@@ -1,0 +1,81 @@
+// EXP-G (extension) — SCADDAR vs. the modern stateless comparators (jump
+// consistent hash, consistent-hash ring) and the paper-era baselines over a
+// mixed add/remove churn: cumulative movement overhead and final balance.
+// This is the ablation the calibration notes ask for ("consistent hashing,
+// jump hash, CRUSH cover this space").
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "placement/registry.h"
+#include "stats/load_metrics.h"
+#include "stats/movement.h"
+
+namespace scaddar {
+namespace {
+
+constexpr int64_t kBlocks = 150000;
+constexpr int64_t kInitialDisks = 10;
+
+// A realistic churn: grow, retire odd disks, grow again.
+const std::vector<const char*> kChurn = {"A2", "R3",  "A1", "R0,5",
+                                         "A3", "R11", "A1", "R2"};
+
+void Run() {
+  std::printf("churn on N0=%lld: ", static_cast<long long>(kInitialDisks));
+  for (const char* op : kChurn) {
+    std::printf("%s ", op);
+  }
+  std::printf(" (%lld blocks)\n\n", static_cast<long long>(kBlocks));
+  std::printf("%-12s %-14s %-14s %-12s %-12s %-10s\n", "policy",
+              "moved-total", "min-required", "overhead", "final-CoV",
+              "state");
+  const std::vector<std::vector<uint64_t>> objects =
+      bench::MakeObjects(0xc0deull, 1, kBlocks, PrngKind::kSplitMix64, 64);
+  for (const std::string_view name : KnownPolicyNames()) {
+    auto policy = MakePolicy(name, kInitialDisks).value();
+    SCADDAR_CHECK(policy->AddObject(1, objects[0]).ok());
+    int64_t moved_total = 0;
+    double min_required = 0.0;
+    for (const char* text : kChurn) {
+      const ScalingOp op = ScalingOp::Parse(text).value();
+      const int64_t n_prev = policy->current_disks();
+      const std::vector<PhysicalDiskId> before =
+          policy->AssignmentSnapshot();
+      SCADDAR_CHECK(policy->ApplyOp(op).ok());
+      const std::vector<PhysicalDiskId> after = policy->AssignmentSnapshot();
+      const MovementStats stats = CompareAssignments(
+          before, after, n_prev, policy->current_disks());
+      moved_total += stats.moved_blocks;
+      min_required +=
+          stats.theoretical_fraction * static_cast<double>(kBlocks);
+    }
+    const LoadMetrics metrics = ComputeLoadMetrics(policy->PerDiskCounts());
+    const char* state = name == "directory" ? "O(B) directory"
+                        : name == "chash"   ? "O(N*vnodes) ring"
+                                            : "O(ops) log";
+    std::printf("%-12.*s %-14lld %-14.0f %-12.2f %-12.5f %-10s\n",
+                static_cast<int>(name.size()), name.data(),
+                static_cast<long long>(moved_total), min_required,
+                static_cast<double>(moved_total) / min_required,
+                metrics.coefficient_of_variation, state);
+  }
+  bench::PrintRule();
+  std::printf(
+      "Expected shape: scaddar matches directory's ~1.0x movement with\n"
+      "O(ops) state (the paper's point); jump pays ~1.5-2x under middle\n"
+      "removals; chash moves minimally but balances worse (CoV ~10x\n"
+      "scaddar's); mod/roundrobin move orders of magnitude more.\n");
+}
+
+}  // namespace
+}  // namespace scaddar
+
+int main() {
+  scaddar::bench::PrintHeader(
+      "EXP-G", "SCADDAR vs. jump hash / consistent hashing under churn");
+  scaddar::Run();
+  return 0;
+}

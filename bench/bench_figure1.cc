@@ -1,0 +1,122 @@
+// FIG1 — reproduces the paper's Figure 1 exactly: 44 blocks (X0 = 0..43)
+// on 4 disks, then two successive 1-disk additions under the *naive*
+// remapping (Eq. 2), showing that the second added disk draws blocks only
+// from disks 1, 3 and 4. A SCADDAR panel follows for contrast, plus a
+// quantitative source-disk census with random 64-bit X0.
+
+#include <cstdio>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "placement/naive_policy.h"
+#include "placement/scaddar_policy.h"
+#include "stats/chi_square.h"
+
+namespace scaddar {
+namespace {
+
+template <typename Policy>
+void PrintLayout(const Policy& policy, const char* caption) {
+  std::printf("%s\n", caption);
+  const int64_t disks = policy.current_disks();
+  for (DiskSlot disk = 0; disk < disks; ++disk) {
+    std::printf("  Disk %lld:", static_cast<long long>(disk));
+    for (BlockIndex i = 0; i < 44; ++i) {
+      if (policy.LocateSlot(1, i) == disk) {
+        std::printf(" %2lld", static_cast<long long>(i));
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+template <typename Policy>
+void RunPanel(const char* name) {
+  std::vector<uint64_t> x0(44);
+  std::iota(x0.begin(), x0.end(), 0);
+  Policy policy(4);
+  SCADDAR_CHECK(policy.AddObject(1, x0).ok());
+  std::printf("\n--- %s placement ---\n", name);
+  PrintLayout(policy, "(a) initial state, N0 = 4:");
+  SCADDAR_CHECK(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  std::vector<DiskSlot> mid(44);
+  for (BlockIndex i = 0; i < 44; ++i) {
+    mid[static_cast<size_t>(i)] = policy.LocateSlot(1, i);
+  }
+  PrintLayout(policy, "(b) after 1st 1-disk add, N1 = 5:");
+  SCADDAR_CHECK(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  PrintLayout(policy, "(c) after 2nd 1-disk add, N2 = 6:");
+  std::set<DiskSlot> sources;
+  for (BlockIndex i = 0; i < 44; ++i) {
+    if (policy.LocateSlot(1, i) == 5) {
+      sources.insert(mid[static_cast<size_t>(i)]);
+    }
+  }
+  std::printf("  source disks feeding the 2nd new disk: {");
+  bool first = true;
+  for (const DiskSlot source : sources) {
+    std::printf("%s%lld", first ? "" : ", ",
+                static_cast<long long>(source));
+    first = false;
+  }
+  std::printf("}\n");
+}
+
+void SourceCensus() {
+  std::printf(
+      "\n--- source-disk census of blocks moved by op 2 (random X0, "
+      "200000 blocks) ---\n");
+  std::printf("%-10s", "policy");
+  for (int disk = 0; disk < 5; ++disk) {
+    std::printf("  from-disk%-2d", disk);
+  }
+  std::printf("  chi2-p\n");
+  const std::vector<std::vector<uint64_t>> objects =
+      bench::MakeObjects(0x5caddaull, 1, 200000, PrngKind::kSplitMix64, 64);
+  const auto run = [&](auto policy, const char* name) {
+    SCADDAR_CHECK(policy.AddObject(1, objects[0]).ok());
+    SCADDAR_CHECK(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+    std::vector<DiskSlot> mid(200000);
+    for (BlockIndex i = 0; i < 200000; ++i) {
+      mid[static_cast<size_t>(i)] = policy.LocateSlot(1, i);
+    }
+    SCADDAR_CHECK(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+    std::vector<int64_t> counts(5, 0);
+    for (BlockIndex i = 0; i < 200000; ++i) {
+      if (policy.LocateSlot(1, i) == 5) {
+        ++counts[static_cast<size_t>(mid[static_cast<size_t>(i)])];
+      }
+    }
+    std::printf("%-10s", name);
+    for (const int64_t count : counts) {
+      std::printf("  %10lld", static_cast<long long>(count));
+    }
+    std::printf("  %6.4f\n", ChiSquareUniform(counts).p_value);
+  };
+  run(NaivePolicy(4), "naive");
+  run(ScaddarPolicy(4), "scaddar");
+  std::printf(
+      "\nExpected shape (paper): naive feeds the new disk from a biased\n"
+      "subset (zero contribution from disks 0 and 2 -> p ~ 0); SCADDAR\n"
+      "draws uniformly from every disk (p >> 0).\n");
+}
+
+}  // namespace
+}  // namespace scaddar
+
+int main() {
+  scaddar::bench::PrintHeader(
+      "FIG1", "naive remapping skew after two disk additions (Figure 1)");
+  scaddar::RunPanel<scaddar::NaivePolicy>("naive (Eq. 2)");
+  scaddar::RunPanel<scaddar::ScaddarPolicy>("SCADDAR (Eq. 3/5)");
+  std::printf(
+      "\nNote: Figure 1 uses toy X0 values 0..43 (the paper: \"their\n"
+      "ordering is not significant\"). SCADDAR draws fresh randomness from\n"
+      "the quotient X div N, which tiny X0 values do not have, so the toy\n"
+      "panel underfills the 2nd new disk; the census below uses real\n"
+      "64-bit X0 and shows SCADDAR's uniform draw vs. naive's bias.\n");
+  scaddar::SourceCensus();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// EXP-K (ablation) — why the paper defines scaling on disk *groups*
+// (Definition 3.3): growing by k disks in ONE group operation consumes a
+// single division of the random range and moves each block at most once,
+// while k single-disk operations consume k divisions and re-touch blocks.
+// This quantifies the design choice DESIGN.md calls out.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/bounds.h"
+#include "placement/scaddar_policy.h"
+#include "stats/load_metrics.h"
+#include "stats/movement.h"
+#include "util/intmath.h"
+
+namespace scaddar {
+namespace {
+
+constexpr int64_t kBlocks = 150000;
+constexpr int64_t kInitialDisks = 8;
+constexpr int kBits = 32;
+constexpr double kEps = 0.05;
+
+struct Outcome {
+  double moved_fraction = 0.0;
+  double pi = 0.0;
+  int64_t future_single_adds = 0;  // Ops left before the Lemma 4.3 gate.
+  double cov = 0.0;
+};
+
+Outcome Grow(int64_t disks_to_add, bool as_group) {
+  ScaddarPolicy policy(kInitialDisks);
+  const auto objects = bench::MakeObjects(0x96f5ull, 1, kBlocks,
+                                          PrngKind::kPcg32, kBits);
+  SCADDAR_CHECK(policy.AddObject(1, objects[0]).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  if (as_group) {
+    SCADDAR_CHECK(policy.ApplyOp(ScalingOp::Add(disks_to_add).value()).ok());
+  } else {
+    for (int64_t i = 0; i < disks_to_add; ++i) {
+      SCADDAR_CHECK(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+    }
+  }
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  Outcome outcome;
+  int64_t moved = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    moved += before[i] != after[i] ? 1 : 0;
+  }
+  outcome.moved_fraction =
+      static_cast<double>(moved) / static_cast<double>(kBlocks);
+  outcome.pi = static_cast<double>(policy.log().pi().value());
+  // How many more single-disk additions fit under the tolerance gate?
+  const uint64_t r0 = MaxRandomForBits(kBits);
+  OpLog probe = policy.log();
+  while (!probe.WouldExceedTolerance(ScalingOp::Add(1).value(), r0, kEps)) {
+    SCADDAR_CHECK(probe.Append(ScalingOp::Add(1).value()).ok());
+    ++outcome.future_single_adds;
+  }
+  outcome.cov =
+      ComputeLoadMetrics(policy.PerDiskCounts()).coefficient_of_variation;
+  return outcome;
+}
+
+void Run() {
+  std::printf("grow N0=%lld by k disks (b=%d, eps=%.0f%%, %lld blocks)\n\n",
+              static_cast<long long>(kInitialDisks), kBits, kEps * 100,
+              static_cast<long long>(kBlocks));
+  std::printf("%-4s %-10s %-10s %-8s %-14s %-12s %-10s\n", "k", "strategy",
+              "moved", "z_min", "Pi_k", "future-ops", "CoV");
+  for (const int64_t k : {2, 4, 8}) {
+    const double z = TheoreticalMoveFraction(kInitialDisks,
+                                             kInitialDisks + k);
+    for (const bool as_group : {true, false}) {
+      const Outcome outcome = Grow(k, as_group);
+      std::printf("%-4lld %-10s %-10.4f %-8.4f %-14.4g %-12lld %-10.5f\n",
+                  static_cast<long long>(k), as_group ? "1 group" : "k ops",
+                  outcome.moved_fraction, z, outcome.pi,
+                  static_cast<long long>(outcome.future_single_adds),
+                  outcome.cov);
+    }
+  }
+  bench::PrintRule();
+  std::printf(
+      "Expected shape: both strategies move ~z_min of the blocks (repeat\n"
+      "hops are rare for pure additions), but the group op consumes ONE\n"
+      "division of the random range where k single adds consume k: Pi_k\n"
+      "differs by orders of magnitude and the remaining operation budget\n"
+      "(future-ops) shrinks accordingly — at k=8 the op-at-a-time strategy\n"
+      "exhausts the b=32 budget entirely. Scale in groups.\n");
+}
+
+}  // namespace
+}  // namespace scaddar
+
+int main() {
+  scaddar::bench::PrintHeader(
+      "EXP-K", "one k-disk group vs. k single-disk operations (ablation)");
+  scaddar::Run();
+  return 0;
+}

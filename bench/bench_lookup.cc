@@ -1,0 +1,153 @@
+// EXP-E — AO1: the cost of the access function AF(). Google-benchmark
+// timings of a single block lookup as the op log grows, against the
+// directory baseline's O(1) hash lookup and the comparators. The paper's
+// claim: AF() is "a series of inexpensive mod and div functions" — tens of
+// nanoseconds even after many operations, no directory required.
+//
+// Also two ablations:
+//  - CompiledLog vs. Mapper: the precompiled renumbering tables vs. the
+//    binary-search replay;
+//  - concurrency (Appendix A's argument): SCADDAR's AF() is stateless and
+//    scales linearly with reader threads, while a centralized directory
+//    serializes behind a mutex.
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "core/compiled_log.h"
+#include "core/mapper.h"
+#include "placement/registry.h"
+#include "random/sequence.h"
+
+namespace scaddar {
+namespace {
+
+OpLog LogWithOps(int64_t n0, int64_t ops) {
+  OpLog log = OpLog::Create(n0).value();
+  for (int64_t j = 0; j < ops; ++j) {
+    // Mixed churn: two adds, then a removal.
+    const ScalingOp op = (j % 3 == 2)
+                             ? ScalingOp::Remove({j % log.current_disks()})
+                                   .value()
+                             : ScalingOp::Add(1).value();
+    SCADDAR_CHECK(log.Append(op).ok());
+  }
+  return log;
+}
+
+void BM_ScaddarAF(benchmark::State& state) {
+  const OpLog log = LogWithOps(8, state.range(0));
+  const Mapper mapper(&log);
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 1, 64).value();
+  const std::vector<uint64_t> x0 = seq.Materialize(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.LocatePhysical(x0[i++ & 4095]));
+  }
+  state.SetLabel("ops=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ScaddarAF)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Arg(32)->Arg(64);
+
+void BM_PolicyLocate(benchmark::State& state, const char* name) {
+  auto policy = MakePolicy(name, 8).value();
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 2, 64).value();
+  SCADDAR_CHECK(policy->AddObject(1, seq.Materialize(4096)).ok());
+  for (int64_t j = 0; j < 8; ++j) {
+    SCADDAR_CHECK(policy->ApplyOp(ScalingOp::Add(1).value()).ok());
+  }
+  BlockIndex i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->Locate(1, i++ & 4095));
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyLocate, scaddar, "scaddar");
+BENCHMARK_CAPTURE(BM_PolicyLocate, naive, "naive");
+BENCHMARK_CAPTURE(BM_PolicyLocate, mod, "mod");
+BENCHMARK_CAPTURE(BM_PolicyLocate, directory, "directory");
+BENCHMARK_CAPTURE(BM_PolicyLocate, roundrobin, "roundrobin");
+BENCHMARK_CAPTURE(BM_PolicyLocate, jump, "jump");
+BENCHMARK_CAPTURE(BM_PolicyLocate, chash, "chash");
+
+void BM_CompiledAF(benchmark::State& state) {
+  OpLog log = OpLog::Create(8).value();
+  for (int64_t j = 0; j < state.range(0); ++j) {
+    const ScalingOp op = (j % 3 == 2)
+                             ? ScalingOp::Remove({j % log.current_disks()})
+                                   .value()
+                             : ScalingOp::Add(1).value();
+    SCADDAR_CHECK(log.Append(op).ok());
+  }
+  const CompiledLog compiled(log);
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 5, 64).value();
+  const std::vector<uint64_t> x0 = seq.Materialize(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.LocatePhysical(x0[i++ & 4095]));
+  }
+  state.SetLabel("ops=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CompiledAF)->Arg(0)->Arg(8)->Arg(32)->Arg(64);
+
+// --- Concurrency ablation (Appendix A's directory-bottleneck claim). ---
+
+// A centralized directory as a real server would run it: every lookup
+// takes the directory lock, because concurrent scaling operations mutate
+// the same table.
+class LockedDirectory {
+ public:
+  explicit LockedDirectory(std::vector<PhysicalDiskId> entries)
+      : entries_(std::move(entries)) {}
+
+  PhysicalDiskId Locate(size_t block) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_[block];
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PhysicalDiskId> entries_;
+};
+
+void BM_ConcurrentScaddarAF(benchmark::State& state) {
+  static const OpLog* log = [] {
+    auto* created = new OpLog(OpLog::Create(8).value());
+    for (int j = 0; j < 8; ++j) {
+      SCADDAR_CHECK(created->Append(ScalingOp::Add(1).value()).ok());
+    }
+    return created;
+  }();
+  static const CompiledLog* compiled = new CompiledLog(*log);
+  auto seq = X0Sequence::Create(
+                 PrngKind::kSplitMix64,
+                 static_cast<uint64_t>(state.thread_index()) + 1, 64)
+                 .value();
+  const std::vector<uint64_t> x0 = seq.Materialize(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled->LocatePhysical(x0[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_ConcurrentScaddarAF)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_ConcurrentLockedDirectory(benchmark::State& state) {
+  static const LockedDirectory* directory = [] {
+    auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 9, 64).value();
+    std::vector<PhysicalDiskId> entries;
+    for (const uint64_t x : seq.Materialize(4096)) {
+      entries.push_back(static_cast<PhysicalDiskId>(x % 16));
+    }
+    return new LockedDirectory(std::move(entries));
+  }();
+  size_t i = static_cast<size_t>(state.thread_index()) * 17;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(directory->Locate(i++ & 4095));
+  }
+}
+BENCHMARK(BM_ConcurrentLockedDirectory)->Threads(1)->Threads(4)->Threads(8);
+
+}  // namespace
+}  // namespace scaddar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// EXP-D — RO1: measured moved fraction vs. the theoretical minimum z_j
+// (Definition 3.4 Eq. 1) for disk additions and removals, across all
+// placement policies. SCADDAR, directory, jump (additions) and chash sit
+// at overhead ~1.0x; mod and roundrobin move nearly everything.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "placement/analysis.h"
+#include "placement/registry.h"
+#include "stats/movement.h"
+
+namespace scaddar {
+namespace {
+
+constexpr int64_t kBlocks = 200000;
+
+struct Scenario {
+  const char* label;
+  int64_t n0;
+  const char* op;
+};
+
+void Run() {
+  const std::vector<Scenario> scenarios = {
+      {"add 1 disk to 8", 8, "A1"},
+      {"add 4 disks to 8", 8, "A4"},
+      {"add 1 disk to 32", 32, "A1"},
+      {"remove 1 of 8 (middle)", 8, "R3"},
+      {"remove 1 of 8 (last)", 8, "R7"},
+      {"remove 4 of 16", 16, "R2,7,9,14"},
+  };
+  std::printf("%-26s %-8s", "scenario", "z_j");
+  for (const std::string_view name : KnownPolicyNames()) {
+    std::printf(" %10.*s", static_cast<int>(name.size()), name.data());
+  }
+  std::printf("\n");
+  std::printf("%-26s %-8s", "", "");
+  for (size_t i = 0; i < KnownPolicyNames().size(); ++i) {
+    std::printf(" %10s", "overhead");
+  }
+  std::printf("\n");
+
+  for (const Scenario& scenario : scenarios) {
+    const ScalingOp op = ScalingOp::Parse(scenario.op).value();
+    const int64_t n_cur = scenario.n0 + op.delta();
+    std::printf("%-26s %-8.4f", scenario.label,
+                TheoreticalMoveFraction(scenario.n0, n_cur));
+    for (const std::string_view name : KnownPolicyNames()) {
+      auto policy = MakePolicy(name, scenario.n0).value();
+      const std::vector<std::vector<uint64_t>> objects = bench::MakeObjects(
+          0x30feull, 1, kBlocks, PrngKind::kSplitMix64, 64);
+      SCADDAR_CHECK(policy->AddObject(1, objects[0]).ok());
+      const std::vector<PhysicalDiskId> before = policy->AssignmentSnapshot();
+      SCADDAR_CHECK(policy->ApplyOp(op).ok());
+      const std::vector<PhysicalDiskId> after = policy->AssignmentSnapshot();
+      const MovementStats stats =
+          CompareAssignments(before, after, scenario.n0, n_cur);
+      std::printf(" %9.2fx", stats.overhead_ratio);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  // EXP-M closure: measured vs. closed-form movement for the analytic
+  // policies (scaddar: z_j; mod/roundrobin: 1 - min*gcd/(a*b) by CRT).
+  std::printf("\nanalytic cross-check (moved fraction, additions):\n");
+  std::printf("%-16s %-10s %-10s %-12s %-12s\n", "transition", "z_j",
+              "mod-analytic", "mod-measured", "scaddar-meas");
+  for (const auto& [a, b] : std::vector<std::pair<int64_t, int64_t>>{
+           {8, 9}, {8, 12}, {4, 8}, {16, 17}}) {
+    const ScalingOp op = ScalingOp::Add(b - a).value();
+    const auto measure = [&](const char* name) {
+      return EstimateMovedFraction(
+                 [&, policy_name = name](int64_t trial) {
+                   PolicyOptions options;
+                   options.seed = static_cast<uint64_t>(trial) + 3;
+                   return std::move(MakePolicy(policy_name, a, options))
+                       .value();
+                 },
+                 op, /*trials=*/4, /*blocks=*/50000, 0x117u)
+          .mean;
+    };
+    std::printf("%2lld -> %-10lld %-10.4f %-10.4f %-12.4f %-12.4f\n",
+                static_cast<long long>(a), static_cast<long long>(b),
+                TheoreticalMoveFraction(a, b), ExpectedMoveFractionMod(a, b),
+                measure("mod"), measure("scaddar"));
+  }
+  bench::PrintRule();
+  std::printf(
+      "Expected shape: scaddar/directory ~1.0x everywhere (RO1 optimal);\n"
+      "naive ~1.0x (it satisfies RO1, only RO2 breaks); jump ~1.0x on adds\n"
+      "and tail removals but ~2x on middle removals; chash ~1.0x with ring\n"
+      "noise; mod and roundrobin pay 5-10x (near-total reshuffles).\n");
+}
+
+}  // namespace
+}  // namespace scaddar
+
+int main() {
+  scaddar::bench::PrintHeader(
+      "EXP-D", "block movement vs. theoretical minimum z_j (RO1)");
+  scaddar::Run();
+  return 0;
+}

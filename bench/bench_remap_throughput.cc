@@ -1,0 +1,69 @@
+// EXP-F — RF() throughput: how fast a whole redistribution plan can be
+// computed. Planning is pure computation (the actual I/O is the
+// migration's job), so this measures blocks/second of REMAP-chain
+// evaluation plus the raw single-step REMAP primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "core/redistribution.h"
+#include "random/sequence.h"
+
+namespace scaddar {
+namespace {
+
+void BM_RemapAddStep(benchmark::State& state) {
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 1, 64).value();
+  const std::vector<uint64_t> x = seq.Materialize(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RemapAdd(x[i++ & 4095], 8, 9));
+  }
+}
+BENCHMARK(BM_RemapAddStep);
+
+void BM_RemapRemoveStep(benchmark::State& state) {
+  const ScalingOp op = ScalingOp::Remove({3}).value();
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 2, 64).value();
+  const std::vector<uint64_t> x = seq.Materialize(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RemapRemove(x[i++ & 4095], 8, 7, op));
+  }
+}
+BENCHMARK(BM_RemapRemoveStep);
+
+void BM_PlanOperation(benchmark::State& state) {
+  const int64_t blocks = state.range(0);
+  OpLog log = OpLog::Create(8).value();
+  SCADDAR_CHECK(log.Append(ScalingOp::Add(2).value()).ok());
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 3, 64).value();
+  const std::vector<uint64_t> x0 = seq.Materialize(blocks);
+  for (auto _ : state) {
+    const MovePlan plan = PlanOperation(log, 1, {{1, &x0}});
+    benchmark::DoNotOptimize(plan.num_moves());
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_PlanOperation)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_PlanAfterLongHistory(benchmark::State& state) {
+  const int64_t ops = state.range(0);
+  OpLog log = OpLog::Create(8).value();
+  for (int64_t j = 0; j < ops; ++j) {
+    SCADDAR_CHECK(log.Append(ScalingOp::Add(1).value()).ok());
+  }
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 4, 64).value();
+  const std::vector<uint64_t> x0 = seq.Materialize(100000);
+  for (auto _ : state) {
+    const MovePlan plan = PlanOperation(log, ops, {{1, &x0}});
+    benchmark::DoNotOptimize(plan.num_moves());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+  state.SetLabel("ops=" + std::to_string(ops));
+}
+BENCHMARK(BM_PlanAfterLongHistory)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace scaddar
+
+BENCHMARK_MAIN();

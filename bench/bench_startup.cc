@@ -1,0 +1,130 @@
+// EXP-N (extension) — stream startup latency: random vs. constrained
+// placement. Section 1 credits random placement with "no need for
+// synchronous access cycles" and "a single traffic pattern". With
+// round-robin striping, all streams sweep the disks in lockstep, so a new
+// stream can only begin when the retrieval phase matching its object's
+// first block has a free service slot; with random placement any round
+// works — admission is by aggregate load alone.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "random/distributions.h"
+#include "random/prng.h"
+#include "stats/accumulator.h"
+#include "stats/histogram.h"
+
+namespace scaddar {
+namespace {
+
+constexpr int64_t kDisks = 12;
+constexpr int64_t kBandwidthPerDisk = 6;   // Streams one disk feeds/round.
+constexpr int64_t kStreamLength = 600;     // Rounds per stream.
+constexpr int64_t kRounds = 30000;
+
+struct LatencyResult {
+  double mean = 0.0;
+  double p95 = 0.0;
+  int64_t started = 0;
+};
+
+// Round-robin striping: a stream admitted at round t reading an object
+// with stripe offset o occupies retrieval phase (o - t) mod N forever;
+// each phase holds at most `kBandwidthPerDisk` concurrent streams. Waiting
+// rotates the stream's phase, so the startup delay is the distance to the
+// first phase with a free slot.
+LatencyResult SimulateRoundRobin(double arrivals_per_round, uint64_t seed) {
+  auto prng = MakePrng(PrngKind::kSplitMix64, seed);
+  std::vector<std::vector<int64_t>> phase_end_rounds(
+      static_cast<size_t>(kDisks));
+  Accumulator latency;
+  Histogram histogram(0, static_cast<double>(kDisks) + 1, 64);
+  for (int64_t t = 0; t < kRounds; ++t) {
+    const int64_t arrivals = PoissonSample(*prng, arrivals_per_round);
+    for (int64_t a = 0; a < arrivals; ++a) {
+      const auto offset =
+          static_cast<int64_t>(UniformUint64(*prng, kDisks));
+      // Find the smallest wait w >= 0 whose phase has a free slot.
+      int64_t wait = -1;
+      for (int64_t w = 0; w < kDisks; ++w) {
+        auto& phase = phase_end_rounds[static_cast<size_t>(
+            ((offset - t - w) % kDisks + kDisks) % kDisks)];
+        // Purge completed streams.
+        std::erase_if(phase,
+                      [t, w](int64_t end) { return end <= t + w; });
+        if (static_cast<int64_t>(phase.size()) < kBandwidthPerDisk) {
+          phase.push_back(t + w + kStreamLength);
+          wait = w;
+          break;
+        }
+      }
+      if (wait < 0) {
+        continue;  // All phases full: rejected (counted via `started`).
+      }
+      latency.Add(static_cast<double>(wait));
+      histogram.Add(static_cast<double>(wait));
+    }
+  }
+  return LatencyResult{latency.mean(), histogram.Quantile(0.95),
+                       latency.count()};
+}
+
+// Random placement: no phases — a stream starts immediately whenever the
+// aggregate committed load allows.
+LatencyResult SimulateRandom(double arrivals_per_round, uint64_t seed) {
+  auto prng = MakePrng(PrngKind::kSplitMix64, seed + 1);
+  std::vector<int64_t> end_rounds;
+  Accumulator latency;
+  int64_t queued_waits = 0;
+  for (int64_t t = 0; t < kRounds; ++t) {
+    std::erase_if(end_rounds, [t](int64_t end) { return end <= t; });
+    const int64_t arrivals = PoissonSample(*prng, arrivals_per_round);
+    for (int64_t a = 0; a < arrivals; ++a) {
+      if (static_cast<int64_t>(end_rounds.size()) <
+          kDisks * kBandwidthPerDisk) {
+        end_rounds.push_back(t + kStreamLength);
+        latency.Add(0.0);
+      } else {
+        ++queued_waits;  // Capacity-rejected; same for both schemes.
+      }
+    }
+  }
+  return LatencyResult{latency.mean(), 0.0, latency.count()};
+}
+
+void Run() {
+  std::printf("%lld disks x %lld streams/disk, %lld-round streams\n\n",
+              static_cast<long long>(kDisks),
+              static_cast<long long>(kBandwidthPerDisk),
+              static_cast<long long>(kStreamLength));
+  std::printf("%-12s %-12s %-14s %-14s %-14s\n", "utilization",
+              "arrivals/rd", "rr-mean-wait", "rr-p95-wait", "random-wait");
+  const double capacity_per_round =
+      static_cast<double>(kDisks * kBandwidthPerDisk) /
+      static_cast<double>(kStreamLength);
+  for (const double utilization : {0.5, 0.7, 0.9, 0.98}) {
+    const double arrivals = utilization * capacity_per_round;
+    const LatencyResult rr = SimulateRoundRobin(arrivals, 0x5107ull);
+    const LatencyResult random = SimulateRandom(arrivals, 0x5107ull);
+    std::printf("%-12.2f %-12.3f %-14.3f %-14.3f %-14.3f\n", utilization,
+                arrivals, rr.mean, rr.p95, random.mean);
+  }
+  bench::PrintRule();
+  std::printf(
+      "Expected shape: with round-robin striping the mean startup wait\n"
+      "grows with utilization (a stream must catch a retrieval phase with\n"
+      "a free slot; p95 approaches the disk count near saturation), while\n"
+      "random placement starts every admitted stream immediately at any\n"
+      "utilization — Section 1's 'no synchronous access cycles' benefit.\n");
+}
+
+}  // namespace
+}  // namespace scaddar
+
+int main() {
+  scaddar::bench::PrintHeader(
+      "EXP-N", "stream startup latency: random vs. constrained placement");
+  scaddar::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef SCADDAR_BENCH_BENCH_UTIL_H_
+#define SCADDAR_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harnesses. Each bench binary
+// regenerates one table/figure from the paper (see DESIGN.md's
+// per-experiment index) as deterministic, seed-fixed console tables.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "random/sequence.h"
+
+namespace scaddar::bench {
+
+inline void PrintHeader(const std::string& experiment_id,
+                        const std::string& title) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("------------------------------------------------------------------\n");
+}
+
+/// Deterministic per-object X0 streams for the experiments (the paper's
+/// Section 5 setting uses 20 objects; callers pick counts and sizes).
+inline std::vector<std::vector<uint64_t>> MakeObjects(uint64_t master_seed,
+                                                      int64_t num_objects,
+                                                      int64_t blocks_each,
+                                                      PrngKind kind,
+                                                      int bits) {
+  std::vector<std::vector<uint64_t>> objects;
+  objects.reserve(static_cast<size_t>(num_objects));
+  for (int64_t m = 0; m < num_objects; ++m) {
+    objects.push_back(
+        X0Sequence::Create(kind, master_seed + static_cast<uint64_t>(m) * 7919,
+                           bits)
+            .value()
+            .Materialize(blocks_each));
+  }
+  return objects;
+}
+
+}  // namespace scaddar::bench
+
+#endif  // SCADDAR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Capacity-planning helper: given a generator width b, a tolerance eps and
+// an expected disk-count trajectory, report how many scaling operations a
+// SCADDAR deployment can absorb before a full redistribution, both by the
+// paper's rule of thumb and by exact Lemma 4.3 simulation of the plan.
+//
+// Run: ./build/examples/capacity_planner [bits] [eps] [n0]
+// e.g. ./build/examples/capacity_planner 64 0.01 16
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bounds.h"
+#include "core/op_log.h"
+#include "util/intmath.h"
+
+using scaddar::ExactMaxOpsForConstantDisks;
+using scaddar::MaxRandomForBits;
+using scaddar::OpLog;
+using scaddar::RuleOfThumbMaxOps;
+using scaddar::ScalingOp;
+
+int main(int argc, char** argv) {
+  const int bits = argc > 1 ? std::atoi(argv[1]) : 64;
+  const double eps = argc > 2 ? std::atof(argv[2]) : 0.01;
+  const int64_t n0 = argc > 3 ? std::atoll(argv[3]) : 16;
+  if (bits < 1 || bits > 64 || eps <= 0.0 || n0 < 2) {
+    std::fprintf(stderr,
+                 "usage: capacity_planner [bits 1..64] [eps > 0] [n0 >= 2]\n");
+    return 1;
+  }
+  const uint64_t r0 = MaxRandomForBits(bits);
+
+  std::printf("configuration: b=%d (R0=%llu), eps=%.3f%%, N0=%lld\n\n", bits,
+              static_cast<unsigned long long>(r0), eps * 100.0,
+              static_cast<long long>(n0));
+  std::printf("rule of thumb (constant ~%lld disks): %lld operations\n",
+              static_cast<long long>(n0),
+              static_cast<long long>(
+                  RuleOfThumbMaxOps(bits, eps, static_cast<double>(n0))));
+  std::printf("exact Lemma 4.3 (constant %lld disks): %lld operations\n\n",
+              static_cast<long long>(n0),
+              static_cast<long long>(
+                  ExactMaxOpsForConstantDisks(r0, n0, eps)));
+
+  // Simulate a concrete growth plan: +1 disk per quarter.
+  std::printf("growth plan simulation (+1 disk per operation):\n");
+  std::printf("%-6s %-8s %-14s %-8s\n", "op", "disks", "Pi_k", "gate");
+  OpLog log = OpLog::Create(n0).value();
+  for (int op = 0;; ++op) {
+    const bool ok = log.SatisfiesTolerance(r0, eps);
+    std::printf("%-6d %-8lld %-14.4g %-8s\n", op,
+                static_cast<long long>(log.current_disks()),
+                static_cast<double>(log.pi().value()), ok ? "ok" : "STOP");
+    if (!ok || op > 64) {
+      std::printf("\n-> schedule a full redistribution before operation %d\n",
+                  op);
+      break;
+    }
+    SCADDAR_CHECK(log.Append(ScalingOp::Add(1).value()).ok());
+  }
+  return 0;
+}

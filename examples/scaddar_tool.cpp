@@ -1,0 +1,198 @@
+// scaddar_tool — a small operator CLI over the library, the kind of
+// utility a storage admin would keep next to a SCADDAR deployment.
+//
+//   scaddar_tool locate <oplog> <x0>            where is this block now?
+//   scaddar_tool trace  <oplog> <x0>            full X_j / D_j chain
+//   scaddar_tool plan   <oplog> <seed> <blocks> move plan for the last op
+//   scaddar_tool gate   <oplog> <bits> <eps>    Lemma 4.3 tolerance check
+//   scaddar_tool budget <oplog> <bits> <eps> <disks>  range fuel gauge
+//   scaddar_tool layout <oplog> <seed> <blocks> per-disk load summary
+//
+// <oplog> uses OpLog text form, e.g. "8;A2;R1,4" (quote it in a shell).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "core/bounds.h"
+#include "core/compiled_log.h"
+#include "core/governor.h"
+#include "core/mapper.h"
+#include "core/redistribution.h"
+#include "random/sequence.h"
+#include "stats/load_metrics.h"
+#include "util/intmath.h"
+
+namespace {
+
+using scaddar::BlockIndex;
+using scaddar::CompiledLog;
+using scaddar::Epoch;
+using scaddar::LoadMetrics;
+using scaddar::Mapper;
+using scaddar::MovePlan;
+using scaddar::OpLog;
+using scaddar::PrngKind;
+using scaddar::StatusOr;
+using scaddar::X0Sequence;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: scaddar_tool locate <oplog> <x0>\n"
+               "       scaddar_tool trace  <oplog> <x0>\n"
+               "       scaddar_tool plan   <oplog> <seed> <blocks>\n"
+               "       scaddar_tool gate   <oplog> <bits> <eps>\n"
+               "       scaddar_tool layout <oplog> <seed> <blocks>\n");
+  return 1;
+}
+
+StatusOr<OpLog> LoadLog(const char* text) { return OpLog::Deserialize(text); }
+
+int Locate(const OpLog& log, uint64_t x0) {
+  const CompiledLog compiled(log);
+  std::printf("slot %lld, physical disk %lld (of %lld disks)\n",
+              static_cast<long long>(compiled.LocateSlot(x0)),
+              static_cast<long long>(compiled.LocatePhysical(x0)),
+              static_cast<long long>(log.current_disks()));
+  return 0;
+}
+
+int Trace(const OpLog& log, uint64_t x0) {
+  const Mapper mapper(&log);
+  const Mapper::Trace trace = mapper.TraceChain(x0);
+  std::printf("%-6s %-8s %-22s %-8s %-10s\n", "epoch", "op", "X_j", "D_j",
+              "physical");
+  for (size_t j = 0; j < trace.x.size(); ++j) {
+    std::printf("%-6zu %-8s %-22llu %-8lld %-10lld\n", j,
+                j == 0 ? "-" : log.op(static_cast<Epoch>(j)).ToString().c_str(),
+                static_cast<unsigned long long>(trace.x[j]),
+                static_cast<long long>(trace.slot[j]),
+                static_cast<long long>(trace.physical[j]));
+  }
+  return 0;
+}
+
+int Plan(const OpLog& log, uint64_t seed, int64_t blocks) {
+  if (log.num_ops() == 0) {
+    std::fprintf(stderr, "op log has no operations to plan\n");
+    return 1;
+  }
+  const std::vector<uint64_t> x0 =
+      X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+          .value()
+          .Materialize(blocks);
+  const MovePlan plan =
+      PlanOperation(log, log.num_ops(), {{/*object=*/1, &x0}});
+  const auto stats = plan.ToMovementStats(
+      log.disks_after(log.num_ops() - 1), log.current_disks());
+  std::printf("last op %s: %lld of %lld blocks move "
+              "(%.4f; theoretical minimum %.4f, overhead %.2fx)\n",
+              log.op(log.num_ops()).ToString().c_str(),
+              static_cast<long long>(plan.num_moves()),
+              static_cast<long long>(blocks), stats.moved_fraction,
+              stats.theoretical_fraction, stats.overhead_ratio);
+  int shown = 0;
+  for (const auto& move : plan.moves()) {
+    if (++shown > 10) {
+      std::printf("  ... %lld more\n",
+                  static_cast<long long>(plan.num_moves() - 10));
+      break;
+    }
+    std::printf("  block %-8lld disk %lld -> %lld\n",
+                static_cast<long long>(move.block.block),
+                static_cast<long long>(move.from_physical),
+                static_cast<long long>(move.to_physical));
+  }
+  return 0;
+}
+
+int Gate(const OpLog& log, int bits, double eps) {
+  const uint64_t r0 = scaddar::MaxRandomForBits(bits);
+  const bool ok = log.SatisfiesTolerance(r0, eps);
+  std::printf("Pi_k = %.6g, limit = %.6g -> %s\n",
+              static_cast<double>(log.pi().value()),
+              static_cast<double>(r0) * (eps / (1.0 + eps)),
+              ok ? "within tolerance"
+                 : "EXCEEDED: schedule a full redistribution");
+  std::printf("guaranteed range R_k = %llu, unfairness bound f = %.6g "
+              "(eps = %.4g)\n",
+              static_cast<unsigned long long>(
+                  scaddar::RangeAfter(r0, log, log.num_ops())),
+              scaddar::UnfairnessAfter(r0, log), eps);
+  const auto probe = scaddar::ScalingOp::Add(1).value();
+  std::printf("one more +1-disk op would %s\n",
+              log.WouldExceedTolerance(probe, r0, eps) ? "EXCEED the gate"
+                                                       : "still fit");
+  return ok ? 0 : 2;
+}
+
+int Budget(const OpLog& log, int bits, double eps, int64_t disks) {
+  const scaddar::ToleranceGovernor governor(bits, eps);
+  std::printf("budget consumed : %5.1f%%\n",
+              governor.BudgetConsumed(log) * 100.0);
+  std::printf("within budget   : %s\n",
+              governor.WithinBudget(log) ? "yes" : "NO — rebase now");
+  std::printf("ops left (~%lld disks): %lld\n",
+              static_cast<long long>(disks),
+              static_cast<long long>(governor.EstimatedOpsLeft(log, disks)));
+  return governor.WithinBudget(log) ? 0 : 2;
+}
+
+int Layout(const OpLog& log, uint64_t seed, int64_t blocks) {
+  const CompiledLog compiled(log);
+  const std::vector<uint64_t> x0 =
+      X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+          .value()
+          .Materialize(blocks);
+  std::vector<int64_t> counts(static_cast<size_t>(log.current_disks()), 0);
+  for (const uint64_t x : x0) {
+    ++counts[static_cast<size_t>(compiled.LocateSlot(x))];
+  }
+  const std::vector<scaddar::PhysicalDiskId>& physical =
+      log.physical_disks();
+  for (size_t slot = 0; slot < counts.size(); ++slot) {
+    std::printf("slot %2zu (physical %3lld): %lld blocks\n", slot,
+                static_cast<long long>(physical[slot]),
+                static_cast<long long>(counts[slot]));
+  }
+  const LoadMetrics metrics = scaddar::ComputeLoadMetrics(counts);
+  std::printf("mean %.1f, CoV %.5f, unfairness %.5f\n", metrics.mean,
+              metrics.coefficient_of_variation, metrics.unfairness);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  const std::string_view command = argv[1];
+  const StatusOr<OpLog> log = LoadLog(argv[2]);
+  if (!log.ok()) {
+    std::fprintf(stderr, "bad op log: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  if (command == "locate" && argc == 4) {
+    return Locate(*log, std::strtoull(argv[3], nullptr, 0));
+  }
+  if (command == "trace" && argc == 4) {
+    return Trace(*log, std::strtoull(argv[3], nullptr, 0));
+  }
+  if (command == "plan" && argc == 5) {
+    return Plan(*log, std::strtoull(argv[3], nullptr, 0),
+                std::atoll(argv[4]));
+  }
+  if (command == "gate" && argc == 5) {
+    return Gate(*log, std::atoi(argv[3]), std::atof(argv[4]));
+  }
+  if (command == "budget" && argc == 6) {
+    return Budget(*log, std::atoi(argv[3]), std::atof(argv[4]),
+                  std::atoll(argv[5]));
+  }
+  if (command == "layout" && argc == 5) {
+    return Layout(*log, std::strtoull(argv[3], nullptr, 0),
+                  std::atoll(argv[4]));
+  }
+  return Usage();
+}

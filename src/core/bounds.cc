@@ -1,0 +1,65 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include "util/intmath.h"
+
+namespace scaddar {
+
+double UnfairnessCoefficient(uint64_t r, int64_t n) {
+  SCADDAR_CHECK(r >= 1);
+  SCADDAR_CHECK(n >= 1);
+  const uint64_t buckets = r / static_cast<uint64_t>(n);
+  if (buckets == 0) {
+    return HUGE_VAL;
+  }
+  return 1.0 / static_cast<double>(buckets);
+}
+
+uint64_t RangeAfter(uint64_t r0, const OpLog& log, Epoch k) {
+  SCADDAR_CHECK(k >= 0 && k <= log.num_ops());
+  uint64_t range = r0;
+  for (Epoch j = 0; j < k; ++j) {
+    range /= static_cast<uint64_t>(log.disks_after(j));
+  }
+  return range;
+}
+
+double UnfairnessAfter(uint64_t r0, const OpLog& log) {
+  const Epoch k = log.num_ops();
+  const uint64_t range = RangeAfter(r0, log, k);
+  if (range == 0) {
+    return HUGE_VAL;
+  }
+  return UnfairnessCoefficient(range, log.disks_after(k));
+}
+
+int64_t RuleOfThumbMaxOps(int bits, double eps, double avg_disks) {
+  SCADDAR_CHECK(bits >= 1 && bits <= 64);
+  SCADDAR_CHECK(eps > 0.0);
+  SCADDAR_CHECK(avg_disks > 1.0);
+  const double numerator = static_cast<double>(bits) - std::log2(1.0 / eps);
+  if (numerator <= 0.0) {
+    return 0;
+  }
+  const auto k_plus_1 =
+      static_cast<int64_t>(std::floor(numerator / std::log2(avg_disks)));
+  return k_plus_1 >= 1 ? k_plus_1 - 1 : 0;
+}
+
+int64_t ExactMaxOpsForConstantDisks(uint64_t r0, int64_t n, double eps) {
+  SCADDAR_CHECK(n >= 2);
+  SCADDAR_CHECK(eps > 0.0);
+  const long double limit =
+      static_cast<long double>(r0) *
+      (static_cast<long double>(eps) / (1.0L + static_cast<long double>(eps)));
+  long double pi = static_cast<long double>(n);  // Pi_0 = N0.
+  int64_t k = 0;
+  while (pi * static_cast<long double>(n) <= limit) {
+    pi *= static_cast<long double>(n);
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,44 @@
+#ifndef SCADDAR_CORE_BOUNDS_H_
+#define SCADDAR_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+#include "core/op_log.h"
+
+namespace scaddar {
+
+/// Section 4.3 — quantifying the reduction in randomness. After each
+/// operation the usable random range shrinks by the previous disk count;
+/// these helpers compute the resulting *expected* unfairness and the number
+/// of operations a configuration can sustain.
+
+/// The unfairness coefficient `f(R, N) = 1 / (R div N)` of drawing `x`
+/// uniformly from [0, R-1] and assigning disk `x mod N`. Returns HUGE_VAL
+/// when `R div N == 0` (range too small to cover the disks even once).
+/// Requires `R >= 1`, `N >= 1` (checked).
+double UnfairnessCoefficient(uint64_t r, int64_t n);
+
+/// Lower bound on the random range after the first `k` operations of `log`:
+/// `R_k = ((R0 div N0) div N1) ... div N_{k-1}` (proof of Lemma 4.2).
+/// `k` in [0, log.num_ops()] (checked).
+uint64_t RangeAfter(uint64_t r0, const OpLog& log, Epoch k);
+
+/// Expected unfairness after all operations of `log`: `f(R_k, N_k)` with
+/// `R_k` from `RangeAfter`.
+double UnfairnessAfter(uint64_t r0, const OpLog& log);
+
+/// The rule of thumb at the end of Section 4.3:
+///   k + 1 <= (b - log2(1/eps)) / log2(avg_disks)
+/// Returns the largest number of scaling operations `k` the configuration
+/// supports (possibly 0). `bits` in [1, 64]; `eps > 0`; `avg_disks > 1`
+/// (checked). The paper's example: bits=64, eps=0.01, avg_disks=16 -> 13.
+int64_t RuleOfThumbMaxOps(int bits, double eps, double avg_disks);
+
+/// Exact variant of the a-priori estimate for a *constant* disk count `n`:
+/// the largest `k` such that `n^(k+1) <= R0 * eps / (1 + eps)` (the Lemma
+/// 4.3 precondition with `Pi_k = n^(k+1)`).
+int64_t ExactMaxOpsForConstantDisks(uint64_t r0, int64_t n, double eps);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CORE_BOUNDS_H_

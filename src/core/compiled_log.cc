@@ -1,0 +1,63 @@
+#include "core/compiled_log.h"
+
+#include "util/intmath.h"
+
+namespace scaddar {
+
+CompiledLog::CompiledLog(const OpLog& log) {
+  steps_.reserve(static_cast<size_t>(log.num_ops()));
+  for (Epoch j = 1; j <= log.num_ops(); ++j) {
+    const ScalingOp& op = log.op(j);
+    Step step;
+    step.n_prev = log.disks_after(j - 1);
+    step.n_cur = log.disks_after(j);
+    step.is_add = op.is_add();
+    if (op.is_remove()) {
+      step.renumber_offset = static_cast<int32_t>(renumber_.size());
+      for (DiskSlot slot = 0; slot < step.n_prev; ++slot) {
+        renumber_.push_back(op.Removes(slot)
+                                ? kRemovedSlot
+                                : static_cast<int32_t>(op.NewSlot(slot)));
+      }
+    }
+    steps_.push_back(step);
+  }
+  physical_ = log.physical_disks();
+  current_disks_ = log.current_disks();
+}
+
+uint64_t CompiledLog::FinalX(uint64_t x0, Epoch from) const {
+  SCADDAR_CHECK(from >= 0 && from <= num_ops());
+  uint64_t x = x0;
+  for (size_t j = static_cast<size_t>(from); j < steps_.size(); ++j) {
+    const Step& step = steps_[j];
+    const auto [q, r] = DivMod(x, static_cast<uint64_t>(step.n_prev));
+    if (step.is_add) {
+      // Eq. 5: stay on r if (q mod n_cur) < n_prev, else move to it.
+      const auto [q_hi, target] = DivMod(q, static_cast<uint64_t>(step.n_cur));
+      x = q_hi * static_cast<uint64_t>(step.n_cur) +
+          (target < static_cast<uint64_t>(step.n_prev) ? r : target);
+    } else {
+      // Eq. 3 with the precompiled new() table.
+      const int32_t renumbered =
+          renumber_[static_cast<size_t>(step.renumber_offset) +
+                    static_cast<size_t>(r)];
+      x = renumbered == kRemovedSlot
+              ? q
+              : q * static_cast<uint64_t>(step.n_cur) +
+                    static_cast<uint64_t>(renumbered);
+    }
+  }
+  return x;
+}
+
+DiskSlot CompiledLog::LocateSlot(uint64_t x0, Epoch from) const {
+  return static_cast<DiskSlot>(FinalX(x0, from) %
+                               static_cast<uint64_t>(current_disks_));
+}
+
+PhysicalDiskId CompiledLog::LocatePhysical(uint64_t x0, Epoch from) const {
+  return physical_[static_cast<size_t>(LocateSlot(x0, from))];
+}
+
+}  // namespace scaddar

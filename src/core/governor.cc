@@ -1,0 +1,59 @@
+#include "core/governor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scaddar {
+
+ToleranceGovernor::ToleranceGovernor(int bits, double eps)
+    : bits_(bits), eps_(eps) {
+  SCADDAR_CHECK(bits >= 1 && bits <= 64);
+  SCADDAR_CHECK(eps > 0.0);
+}
+
+long double ToleranceGovernor::Limit() const {
+  return static_cast<long double>(r0()) *
+         (static_cast<long double>(eps_) /
+          (1.0L + static_cast<long double>(eps_)));
+}
+
+ToleranceGovernor::Advice ToleranceGovernor::Consider(
+    const OpLog& log, const ScalingOp& op) const {
+  return log.WouldExceedTolerance(op, r0(), eps_) ? Advice::kRebaseFirst
+                                                  : Advice::kProceed;
+}
+
+bool ToleranceGovernor::WithinBudget(const OpLog& log) const {
+  return log.SatisfiesTolerance(r0(), eps_);
+}
+
+double ToleranceGovernor::BudgetConsumed(const OpLog& log) const {
+  if (log.pi().saturated()) {
+    return 1.0;
+  }
+  const double spent =
+      std::log2(static_cast<double>(log.pi().value()));
+  const double budget = std::log2(static_cast<double>(Limit()));
+  if (budget <= 0.0) {
+    return 1.0;
+  }
+  return std::clamp(spent / budget, 0.0, 1.0);
+}
+
+int64_t ToleranceGovernor::EstimatedOpsLeft(const OpLog& log,
+                                            int64_t typical_disks) const {
+  SCADDAR_CHECK(typical_disks > 1);
+  if (log.pi().saturated()) {
+    return 0;
+  }
+  const long double remaining =
+      Limit() / static_cast<long double>(log.pi().value());
+  if (remaining <= 1.0L) {
+    return 0;
+  }
+  return static_cast<int64_t>(
+      std::floor(std::log2(static_cast<double>(remaining)) /
+                 std::log2(static_cast<double>(typical_disks))));
+}
+
+}  // namespace scaddar

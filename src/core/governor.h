@@ -1,0 +1,55 @@
+#ifndef SCADDAR_CORE_GOVERNOR_H_
+#define SCADDAR_CORE_GOVERNOR_H_
+
+#include <cstdint>
+
+#include "core/op_log.h"
+#include "util/intmath.h"
+
+namespace scaddar {
+
+/// Operational wrapper around the Section 4.3 tolerance gate: a deployment
+/// configures its generator width `b` and unfairness budget `ε` once, and
+/// asks the governor before every scaling operation whether to proceed or
+/// to schedule a full redistribution first (the paper's "keep track of the
+/// quantity Π_k explicitly and find out whether the next operation will
+/// lead to a violation").
+class ToleranceGovernor {
+ public:
+  enum class Advice {
+    kProceed,      // The op fits within the ε budget.
+    kRebaseFirst,  // Full redistribution needed before (or instead of) it.
+  };
+
+  /// `bits` in [1, 64], `eps > 0` (checked).
+  ToleranceGovernor(int bits, double eps);
+
+  /// Advice for appending `op` to `log`.
+  Advice Consider(const OpLog& log, const ScalingOp& op) const;
+
+  /// True iff `log` is still within budget as it stands.
+  bool WithinBudget(const OpLog& log) const;
+
+  /// Fraction of the log-scale budget already consumed:
+  /// `log2(Π_k) / log2(R0·ε/(1+ε))`, clamped to [0, 1]. A dashboard-ready
+  /// "range fuel gauge".
+  double BudgetConsumed(const OpLog& log) const;
+
+  /// Rough number of further operations the deployment supports if the
+  /// disk count stays around `typical_disks` (> 1, checked).
+  int64_t EstimatedOpsLeft(const OpLog& log, int64_t typical_disks) const;
+
+  int bits() const { return bits_; }
+  double eps() const { return eps_; }
+  uint64_t r0() const { return MaxRandomForBits(bits_); }
+
+ private:
+  long double Limit() const;
+
+  int bits_;
+  double eps_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CORE_GOVERNOR_H_

@@ -1,0 +1,63 @@
+#include "core/mapper.h"
+
+namespace scaddar {
+
+uint64_t Mapper::XBetween(uint64_t x0, Epoch from, Epoch to) const {
+  SCADDAR_CHECK(from >= 0 && from <= to && to <= log_->num_ops());
+  uint64_t x = x0;
+  for (Epoch k = from + 1; k <= to; ++k) {
+    const ScalingOp& op = log_->op(k);
+    const int64_t n_prev = log_->disks_after(k - 1);
+    const int64_t n_cur = log_->disks_after(k);
+    x = op.is_add() ? RemapAdd(x, n_prev, n_cur)
+                    : RemapRemove(x, n_prev, n_cur, op);
+  }
+  return x;
+}
+
+DiskSlot Mapper::SlotBetween(uint64_t x0, Epoch from, Epoch to) const {
+  return static_cast<DiskSlot>(
+      XBetween(x0, from, to) %
+      static_cast<uint64_t>(log_->disks_after(to)));
+}
+
+PhysicalDiskId Mapper::PhysicalBetween(uint64_t x0, Epoch from,
+                                       Epoch to) const {
+  const DiskSlot slot = SlotBetween(x0, from, to);
+  return log_->physical_disks_at(to)[static_cast<size_t>(slot)];
+}
+
+PhysicalDiskId Mapper::LocatePhysical(uint64_t x0) const {
+  return PhysicalAfter(x0, log_->num_ops());
+}
+
+PhysicalDiskId Mapper::PhysicalAfter(uint64_t x0, Epoch j) const {
+  return PhysicalBetween(x0, 0, j);
+}
+
+Mapper::Trace Mapper::TraceChain(uint64_t x0) const {
+  Trace trace;
+  const Epoch ops = log_->num_ops();
+  trace.x.reserve(static_cast<size_t>(ops) + 1);
+  trace.slot.reserve(static_cast<size_t>(ops) + 1);
+  trace.physical.reserve(static_cast<size_t>(ops) + 1);
+  uint64_t x = x0;
+  for (Epoch j = 0; j <= ops; ++j) {
+    if (j > 0) {
+      const ScalingOp& op = log_->op(j);
+      const int64_t n_prev = log_->disks_after(j - 1);
+      const int64_t n_cur = log_->disks_after(j);
+      x = op.is_add() ? RemapAdd(x, n_prev, n_cur)
+                      : RemapRemove(x, n_prev, n_cur, op);
+    }
+    const auto slot = static_cast<DiskSlot>(
+        x % static_cast<uint64_t>(log_->disks_after(j)));
+    trace.x.push_back(x);
+    trace.slot.push_back(slot);
+    trace.physical.push_back(
+        log_->physical_disks_at(j)[static_cast<size_t>(slot)]);
+  }
+  return trace;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,74 @@
+#ifndef SCADDAR_CORE_MAPPER_H_
+#define SCADDAR_CORE_MAPPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/op_log.h"
+#include "core/remap.h"
+#include "core/types.h"
+
+namespace scaddar {
+
+/// The paper's access function `AF()`: given a block's original random
+/// number `X_0` and the op log, computes the block's disk after any number
+/// of scaling operations by replaying the REMAP chain
+/// `REMAP_1 ... REMAP_j` (AO1: a handful of div/mod per operation, no
+/// directory, one disk access per block).
+///
+/// The mapper borrows the op log (non-owning); the log must outlive it.
+class Mapper {
+ public:
+  explicit Mapper(const OpLog* log) : log_(log) {
+    SCADDAR_CHECK(log != nullptr);
+  }
+
+  /// `X_j` after the first `j` operations (`j` in [0, num_ops], checked).
+  uint64_t XAfter(uint64_t x0, Epoch j) const { return XBetween(x0, 0, j); }
+
+  /// Replays only operations `from+1 .. to` (checked: 0 <= from <= to <=
+  /// num_ops). Supports objects written *after* some scaling operations:
+  /// an object registered at epoch `from` starts its REMAP chain there,
+  /// with `x0 mod N_from` as its initial disk — it has no epoch-0 history.
+  uint64_t XBetween(uint64_t x0, Epoch from, Epoch to) const;
+
+  /// `D_j = X_j mod N_j` after the first `j` operations.
+  DiskSlot SlotAfter(uint64_t x0, Epoch j) const {
+    return SlotBetween(x0, 0, j);
+  }
+
+  /// Slot at epoch `to` for a block whose chain starts at epoch `from`.
+  DiskSlot SlotBetween(uint64_t x0, Epoch from, Epoch to) const;
+
+  /// Physical disk at epoch `to` for a chain starting at epoch `from`.
+  PhysicalDiskId PhysicalBetween(uint64_t x0, Epoch from, Epoch to) const;
+
+  /// Current logical slot `D_j` for the latest epoch.
+  DiskSlot LocateSlot(uint64_t x0) const {
+    return SlotAfter(x0, log_->num_ops());
+  }
+
+  /// Current physical disk id (slot mapped through the epoch's slot table).
+  PhysicalDiskId LocatePhysical(uint64_t x0) const;
+
+  /// Physical disk id after the first `j` operations.
+  PhysicalDiskId PhysicalAfter(uint64_t x0, Epoch j) const;
+
+  /// Full chain `X_0..X_j`, `D_0..D_j` for diagnostics, tests and the
+  /// Figure 1 walkthrough.
+  struct Trace {
+    std::vector<uint64_t> x;          // x[j] == X_j.
+    std::vector<DiskSlot> slot;       // slot[j] == D_j.
+    std::vector<PhysicalDiskId> physical;
+  };
+  Trace TraceChain(uint64_t x0) const;
+
+  const OpLog& log() const { return *log_; }
+
+ private:
+  const OpLog* log_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CORE_MAPPER_H_

@@ -1,0 +1,60 @@
+#include "core/remap.h"
+
+#include "util/intmath.h"
+
+namespace scaddar {
+
+uint64_t RemapAdd(uint64_t x_prev, int64_t n_prev, int64_t n_cur) {
+  SCADDAR_DCHECK(n_prev > 0);
+  SCADDAR_DCHECK(n_cur > n_prev);
+  const uint64_t un_prev = static_cast<uint64_t>(n_prev);
+  const uint64_t un_cur = static_cast<uint64_t>(n_cur);
+  const auto [q, r] = DivMod(x_prev, un_prev);
+  const auto [q_hi, target] = DivMod(q, un_cur);
+  if (target < un_prev) {
+    return q_hi * un_cur + r;  // Eq. 5a: block stays on slot r.
+  }
+  return q_hi * un_cur + target;  // Eq. 5b: block moves to added slot.
+}
+
+uint64_t RemapRemove(uint64_t x_prev, int64_t n_prev, int64_t n_cur,
+                     const ScalingOp& op) {
+  SCADDAR_DCHECK(op.is_remove());
+  SCADDAR_DCHECK(n_prev > 0);
+  SCADDAR_DCHECK(n_cur ==
+                 n_prev - static_cast<int64_t>(op.removed_slots().size()));
+  SCADDAR_DCHECK(n_cur > 0);
+  const auto [q, r] = DivMod(x_prev, static_cast<uint64_t>(n_prev));
+  const auto slot = static_cast<DiskSlot>(r);
+  if (!op.Removes(slot)) {
+    // Eq. 3a: stay on the compacted slot, keep q as future randomness.
+    return q * static_cast<uint64_t>(n_cur) +
+           static_cast<uint64_t>(op.NewSlot(slot));
+  }
+  return q;  // Eq. 3b: move to slot (q mod n_cur), uniform over survivors.
+}
+
+int64_t NaiveAddSlot(uint64_t x0, int64_t slot_prev, int64_t n_prev,
+                     int64_t n_cur) {
+  SCADDAR_DCHECK(n_prev > 0);
+  SCADDAR_DCHECK(n_cur > n_prev);
+  SCADDAR_DCHECK(slot_prev >= 0 && slot_prev < n_prev);
+  const auto target =
+      static_cast<int64_t>(x0 % static_cast<uint64_t>(n_cur));
+  // Eq. 2: move iff X0 mod N_j points into the added range [n_prev, n_cur).
+  return target >= n_prev ? target : slot_prev;
+}
+
+int64_t NaiveRemoveSlot(uint64_t x0, int64_t slot_prev, int64_t n_prev,
+                        int64_t n_cur, const ScalingOp& op) {
+  SCADDAR_DCHECK(op.is_remove());
+  SCADDAR_DCHECK(n_prev > 0);
+  SCADDAR_DCHECK(n_cur > 0);
+  SCADDAR_DCHECK(slot_prev >= 0 && slot_prev < n_prev);
+  if (op.Removes(slot_prev)) {
+    return static_cast<int64_t>(x0 % static_cast<uint64_t>(n_cur));
+  }
+  return op.NewSlot(slot_prev);
+}
+
+}  // namespace scaddar

@@ -1,0 +1,57 @@
+#ifndef SCADDAR_CORE_REMAP_H_
+#define SCADDAR_CORE_REMAP_H_
+
+#include <cstdint>
+
+#include "core/scaling_op.h"
+
+namespace scaddar {
+
+/// The REMAP functions of Section 4 — pure integer algebra on the block's
+/// running random number `X_j`. Each function maps `X_{j-1}` to `X_j` for
+/// one scaling operation, drawing fresh randomness from the quotient
+/// `q_{j-1} = X_{j-1} div N_{j-1}` (Definition 4.1) so that RO2 (uniformity)
+/// is preserved across successive operations.
+
+/// Eq. 4/5: op `j` adds disks (`n_cur > n_prev`, both > 0, checked).
+///
+///   X_j = (q div n_cur)*n_cur + r          if (q mod n_cur) <  n_prev  (a)
+///   X_j = (q div n_cur)*n_cur + q mod n_cur otherwise                  (b)
+///
+/// Case (a): the block stays on its slot `r`. Case (b): it moves to added
+/// slot `q mod n_cur`, which happens with probability (n_cur-n_prev)/n_cur,
+/// exactly the RO1 minimum.
+uint64_t RemapAdd(uint64_t x_prev, int64_t n_prev, int64_t n_cur);
+
+/// Eq. 3: op `j` removes the slots named by `op` (`op.is_remove()`; `n_cur`
+/// = `n_prev - op.removed_slots().size() > 0`; checked).
+///
+///   X_j = q*n_cur + new(r)   if slot r survives                        (a)
+///   X_j = q                  if slot r was removed                     (b)
+///
+/// Case (a) keeps the block in place under the compacted numbering while
+/// stashing the fresh randomness `q` in the quotient; case (b) sends it to
+/// slot `q mod n_cur`, uniform over the survivors.
+uint64_t RemapRemove(uint64_t x_prev, int64_t n_prev, int64_t n_cur,
+                     const ScalingOp& op);
+
+/// Eq. 2 — the paper's *naive* addition remap, kept as a baseline. It draws
+/// from the original `X_0` instead of fresh randomness:
+///
+///   X_j = X_0 mod ???  -- concretely: the block moves to slot
+///   (x0 mod n_cur) iff that slot is one of the added ones, else stays.
+///
+/// Satisfies RO1/AO1 but violates RO2 after the second operation (Figure 1):
+/// returns the new slot directly rather than a remapped X.
+int64_t NaiveAddSlot(uint64_t x0, int64_t slot_prev, int64_t n_prev,
+                     int64_t n_cur);
+
+/// Naive removal analog (the paper omits it, noting "the same results are
+/// seen"): a block on a removed slot rehashes to `x0 mod n_cur` among the
+/// survivors; others keep their compacted slot.
+int64_t NaiveRemoveSlot(uint64_t x0, int64_t slot_prev, int64_t n_prev,
+                        int64_t n_cur, const ScalingOp& op);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CORE_REMAP_H_

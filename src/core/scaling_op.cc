@@ -1,0 +1,136 @@
+#include "core/scaling_op.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace scaddar {
+
+StatusOr<ScalingOp> ScalingOp::Add(int64_t count) {
+  if (count <= 0) {
+    return InvalidArgumentError("disk group addition must add >= 1 disk");
+  }
+  ScalingOp op;
+  op.kind_ = Kind::kAdd;
+  op.add_count_ = count;
+  return op;
+}
+
+StatusOr<ScalingOp> ScalingOp::Remove(std::vector<DiskSlot> slots) {
+  if (slots.empty()) {
+    return InvalidArgumentError("disk group removal must name >= 1 slot");
+  }
+  std::sort(slots.begin(), slots.end());
+  if (slots.front() < 0) {
+    return InvalidArgumentError("removed slot indices must be >= 0");
+  }
+  if (std::adjacent_find(slots.begin(), slots.end()) != slots.end()) {
+    return InvalidArgumentError("duplicate slot in disk group removal");
+  }
+  ScalingOp op;
+  op.kind_ = Kind::kRemove;
+  op.removed_slots_ = std::move(slots);
+  return op;
+}
+
+int64_t ScalingOp::add_count() const {
+  SCADDAR_CHECK(kind_ == Kind::kAdd);
+  return add_count_;
+}
+
+const std::vector<DiskSlot>& ScalingOp::removed_slots() const {
+  SCADDAR_CHECK(kind_ == Kind::kRemove);
+  return removed_slots_;
+}
+
+int64_t ScalingOp::delta() const {
+  return kind_ == Kind::kAdd
+             ? add_count_
+             : -static_cast<int64_t>(removed_slots_.size());
+}
+
+bool ScalingOp::Removes(DiskSlot slot) const {
+  SCADDAR_CHECK(kind_ == Kind::kRemove);
+  return std::binary_search(removed_slots_.begin(), removed_slots_.end(),
+                            slot);
+}
+
+DiskSlot ScalingOp::NewSlot(DiskSlot slot) const {
+  SCADDAR_CHECK(kind_ == Kind::kRemove);
+  SCADDAR_CHECK(!Removes(slot));
+  const auto below = std::lower_bound(removed_slots_.begin(),
+                                      removed_slots_.end(), slot) -
+                     removed_slots_.begin();
+  return slot - below;
+}
+
+DiskSlot ScalingOp::OldSlot(DiskSlot new_slot) const {
+  SCADDAR_CHECK(kind_ == Kind::kRemove);
+  SCADDAR_CHECK(new_slot >= 0);
+  // Walk the sorted removal set: each removed slot at or below the candidate
+  // shifts the old index up by one.
+  DiskSlot old_slot = new_slot;
+  for (const DiskSlot removed : removed_slots_) {
+    if (removed <= old_slot) {
+      ++old_slot;
+    } else {
+      break;
+    }
+  }
+  return old_slot;
+}
+
+std::string ScalingOp::ToString() const {
+  if (kind_ == Kind::kAdd) {
+    return "A" + std::to_string(add_count_);
+  }
+  std::string out = "R";
+  for (size_t i = 0; i < removed_slots_.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(removed_slots_[i]);
+  }
+  return out;
+}
+
+StatusOr<ScalingOp> ScalingOp::Parse(std::string_view text) {
+  if (text.empty()) {
+    return InvalidArgumentError("empty scaling op");
+  }
+  const char tag = text.front();
+  std::string_view body = text.substr(1);
+  if (tag == 'A') {
+    int64_t count = 0;
+    const auto [ptr, ec] =
+        std::from_chars(body.data(), body.data() + body.size(), count);
+    if (ec != std::errc() || ptr != body.data() + body.size()) {
+      return InvalidArgumentError("malformed add op");
+    }
+    return Add(count);
+  }
+  if (tag == 'R') {
+    std::vector<DiskSlot> slots;
+    while (!body.empty()) {
+      const size_t comma = body.find(',');
+      const std::string_view token = body.substr(0, comma);
+      int64_t slot = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), slot);
+      if (ec != std::errc() || ptr != token.data() + token.size()) {
+        return InvalidArgumentError("malformed remove op");
+      }
+      slots.push_back(slot);
+      if (comma == std::string_view::npos) {
+        break;
+      }
+      body = body.substr(comma + 1);
+      if (body.empty()) {
+        return InvalidArgumentError("trailing comma in remove op");
+      }
+    }
+    return Remove(std::move(slots));
+  }
+  return InvalidArgumentError("scaling op must start with 'A' or 'R'");
+}
+
+}  // namespace scaddar

@@ -1,0 +1,81 @@
+#ifndef SCADDAR_CORE_SCALING_OP_H_
+#define SCADDAR_CORE_SCALING_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// One scaling operation (Definition 3.3): the addition or removal of a disk
+/// group. An addition appends `add_count` new slots at the top of the slot
+/// range (`N_{j-1} .. N_j - 1`); a removal deletes a set of existing slots
+/// and compacts the survivors, which is the paper's `new()` renumbering.
+///
+/// A `ScalingOp` is a value: it does not know `N_{j-1}` — `OpLog::Append`
+/// validates it against the epoch it is applied to.
+class ScalingOp {
+ public:
+  enum class Kind { kAdd, kRemove };
+
+  /// Creates a disk-group addition of `count` disks (> 0).
+  static StatusOr<ScalingOp> Add(int64_t count);
+
+  /// Creates a disk-group removal of the given slots (non-empty; duplicates
+  /// rejected; slots must be non-negative). Slots are stored sorted.
+  static StatusOr<ScalingOp> Remove(std::vector<DiskSlot> slots);
+
+  ScalingOp(const ScalingOp&) = default;
+  ScalingOp& operator=(const ScalingOp&) = default;
+  ScalingOp(ScalingOp&&) noexcept = default;
+  ScalingOp& operator=(ScalingOp&&) noexcept = default;
+
+  Kind kind() const { return kind_; }
+  bool is_add() const { return kind_ == Kind::kAdd; }
+  bool is_remove() const { return kind_ == Kind::kRemove; }
+
+  /// Number of disks added (kAdd only, checked).
+  int64_t add_count() const;
+
+  /// Sorted removed slots (kRemove only, checked).
+  const std::vector<DiskSlot>& removed_slots() const;
+
+  /// Signed change in disk count: +add_count or -removed_slots().size().
+  int64_t delta() const;
+
+  /// True iff this removal removes `slot` (kRemove only, checked).
+  bool Removes(DiskSlot slot) const;
+
+  /// The paper's `new()`: the compacted index of a surviving slot after this
+  /// removal, i.e. `slot - #removed_slots_below(slot)`. `slot` must survive
+  /// (checked). kRemove only.
+  DiskSlot NewSlot(DiskSlot slot) const;
+
+  /// Inverse of `NewSlot`: the pre-removal slot whose compacted index is
+  /// `new_slot` (>= 0, checked to be valid given the removal set).
+  DiskSlot OldSlot(DiskSlot new_slot) const;
+
+  /// Compact text form: "A3" or "R1,4,7". Round-trips through `Parse`.
+  std::string ToString() const;
+  static StatusOr<ScalingOp> Parse(std::string_view text);
+
+  friend bool operator==(const ScalingOp& a, const ScalingOp& b) {
+    return a.kind_ == b.kind_ && a.add_count_ == b.add_count_ &&
+           a.removed_slots_ == b.removed_slots_;
+  }
+
+ private:
+  ScalingOp() = default;
+
+  Kind kind_ = Kind::kAdd;
+  int64_t add_count_ = 0;
+  std::vector<DiskSlot> removed_slots_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CORE_SCALING_OP_H_

@@ -1,0 +1,38 @@
+#include "core/shared_placement.h"
+
+#include <mutex>
+
+namespace scaddar {
+
+StatusOr<SharedPlacement> SharedPlacement::Create(int64_t n0) {
+  SCADDAR_ASSIGN_OR_RETURN(OpLog log, OpLog::Create(n0));
+  return SharedPlacement(std::move(log));
+}
+
+SharedPlacement::SharedPlacement(OpLog log)
+    : log_(std::move(log)),
+      snapshot_(std::make_shared<const CompiledLog>(log_)),
+      mu_(std::make_shared<std::shared_mutex>()) {}
+
+void SharedPlacement::Publish() {
+  auto next = std::make_shared<const CompiledLog>(log_);
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  snapshot_ = std::move(next);
+}
+
+Status SharedPlacement::ApplyOp(const ScalingOp& op) {
+  SCADDAR_RETURN_IF_ERROR(log_.Append(op));
+  Publish();
+  return OkStatus();
+}
+
+std::shared_ptr<const CompiledLog> SharedPlacement::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return snapshot_;
+}
+
+PhysicalDiskId SharedPlacement::Locate(uint64_t x0, Epoch start_epoch) const {
+  return Snapshot()->LocatePhysical(x0, start_epoch);
+}
+
+}  // namespace scaddar

@@ -1,0 +1,58 @@
+#ifndef SCADDAR_CORE_SHARED_PLACEMENT_H_
+#define SCADDAR_CORE_SHARED_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+
+#include "core/compiled_log.h"
+#include "core/op_log.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Thread-safe AF() for a server with many concurrent readers — the
+/// production answer to Appendix A's directory-bottleneck concern. Lookups
+/// run against an immutable `CompiledLog` snapshot reached through one
+/// brief shared-lock pointer copy; scaling operations (rare) build a new
+/// snapshot off to the side and publish it atomically. Readers therefore
+/// never block each other and never block behind an in-progress operation,
+/// and a reader that started on the old snapshot finishes on the old
+/// snapshot — exactly the epoch semantics the migration layer expects.
+class SharedPlacement {
+ public:
+  /// Starts with `n0` disks (> 0, or fails).
+  static StatusOr<SharedPlacement> Create(int64_t n0);
+
+  SharedPlacement(SharedPlacement&&) noexcept = default;
+  SharedPlacement& operator=(SharedPlacement&&) noexcept = default;
+
+  /// Applies a scaling operation and publishes the new snapshot. Callers
+  /// serialize administrative operations among themselves (one admin at a
+  /// time); readers need no coordination.
+  Status ApplyOp(const ScalingOp& op);
+
+  /// Lock-free-ish block lookup (one shared-lock pointer copy, then pure
+  /// computation on the immutable snapshot). Safe from any thread.
+  PhysicalDiskId Locate(uint64_t x0, Epoch start_epoch = 0) const;
+
+  /// Pins the current snapshot — use for a batch of lookups that must all
+  /// observe the same epoch.
+  std::shared_ptr<const CompiledLog> Snapshot() const;
+
+  /// The administrative view (same thread discipline as ApplyOp).
+  const OpLog& log() const { return log_; }
+
+ private:
+  explicit SharedPlacement(OpLog log);
+
+  void Publish();
+
+  OpLog log_;
+  std::shared_ptr<const CompiledLog> snapshot_;
+  mutable std::shared_ptr<std::shared_mutex> mu_;  // Movability.
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CORE_SHARED_PLACEMENT_H_

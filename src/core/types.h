@@ -1,0 +1,36 @@
+#ifndef SCADDAR_CORE_TYPES_H_
+#define SCADDAR_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace scaddar {
+
+/// Index of a block within one CM object (the paper's `i`).
+using BlockIndex = int64_t;
+
+/// Identifier of a CM object (the paper's `m`).
+using ObjectId = int64_t;
+
+/// A *logical disk slot* in `[0, Nj)`: the disk numbers the REMAP algebra
+/// operates on. Slots are renumbered (compacted) by removal operations.
+using DiskSlot = int64_t;
+
+/// A stable identifier of a physical disk. Never reused: disks added later
+/// get fresh ids, so physical ids outlive slot renumbering.
+using PhysicalDiskId = int64_t;
+
+/// Index of a scaling operation; epoch `j` means "after j scaling
+/// operations" (epoch 0 is the initial state, Definition 3.3).
+using Epoch = int64_t;
+
+/// Globally unique reference to one block of one object.
+struct BlockRef {
+  ObjectId object = 0;
+  BlockIndex block = 0;
+
+  friend bool operator==(const BlockRef&, const BlockRef&) = default;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CORE_TYPES_H_

@@ -1,0 +1,75 @@
+#include "faults/mirror.h"
+
+#include <algorithm>
+
+namespace scaddar {
+
+MirroredPlacement::MirroredPlacement(const ScaddarPolicy* policy)
+    : policy_(policy) {
+  SCADDAR_CHECK(policy != nullptr);
+}
+
+namespace {
+
+int64_t MirrorOffsetImpl(int64_t n) {
+  return std::clamp<int64_t>(n / 2, 1, n - 1);
+}
+
+}  // namespace
+
+int64_t MirroredPlacement::MirrorOffset(int64_t n) {
+  SCADDAR_CHECK(n >= 2);
+  return MirrorOffsetImpl(n);
+}
+
+DiskSlot MirroredPlacement::PrimarySlot(ObjectId object,
+                                        BlockIndex block) const {
+  return policy_->LocateSlot(object, block);
+}
+
+DiskSlot MirroredPlacement::MirrorSlot(ObjectId object,
+                                       BlockIndex block) const {
+  const int64_t n = policy_->current_disks();
+  SCADDAR_CHECK(n >= 2);
+  return (PrimarySlot(object, block) + MirrorOffsetImpl(n)) % n;
+}
+
+PhysicalDiskId MirroredPlacement::PrimaryOf(ObjectId object,
+                                            BlockIndex block) const {
+  return policy_->Locate(object, block);
+}
+
+PhysicalDiskId MirroredPlacement::MirrorOf(ObjectId object,
+                                           BlockIndex block) const {
+  const DiskSlot slot = MirrorSlot(object, block);
+  return policy_->log().physical_disks()[static_cast<size_t>(slot)];
+}
+
+StatusOr<PhysicalDiskId> MirroredPlacement::LocateForRead(
+    ObjectId object, BlockIndex block,
+    const std::unordered_set<PhysicalDiskId>& failed) const {
+  const PhysicalDiskId primary = PrimaryOf(object, block);
+  if (!failed.contains(primary)) {
+    return primary;
+  }
+  const PhysicalDiskId mirror = MirrorOf(object, block);
+  if (!failed.contains(mirror)) {
+    return mirror;
+  }
+  return NotFoundError("both replicas are on failed disks");
+}
+
+std::vector<int64_t> MirroredPlacement::PerDiskCountsWithMirrors() const {
+  const int64_t n = policy_->current_disks();
+  std::vector<int64_t> counts(static_cast<size_t>(n), 0);
+  for (const auto& [id, x0] : policy_->objects_view()) {
+    for (size_t i = 0; i < x0.size(); ++i) {
+      const auto block = static_cast<BlockIndex>(i);
+      ++counts[static_cast<size_t>(PrimarySlot(id, block))];
+      ++counts[static_cast<size_t>(MirrorSlot(id, block))];
+    }
+  }
+  return counts;
+}
+
+}  // namespace scaddar

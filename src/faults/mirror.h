@@ -1,0 +1,56 @@
+#ifndef SCADDAR_FAULTS_MIRROR_H_
+#define SCADDAR_FAULTS_MIRROR_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "placement/scaddar_policy.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Section 6's fault-tolerance extension: each block keeps a mirror copy at
+/// a fixed slot offset `f(Nj)` from its primary — the paper's example is
+/// `f(Nj) = Nj/2`. Because the offset is a pure function of the epoch's disk
+/// count, the mirror needs no extra directory state and scales with the
+/// same op log as the primaries.
+///
+/// With `Nj >= 2` the mirror is always on a *different* disk than the
+/// primary (offset is clamped to [1, Nj-1]), so any single disk failure
+/// leaves every block readable.
+class MirroredPlacement {
+ public:
+  /// Borrows `policy` (must outlive this object; checked non-null).
+  explicit MirroredPlacement(const ScaddarPolicy* policy);
+
+  /// The paper's `f(Nj)`: the mirror's slot offset at disk count `n`
+  /// (`n/2`, clamped into [1, n-1]; `n` must be >= 2, checked).
+  static int64_t MirrorOffset(int64_t n);
+
+  DiskSlot PrimarySlot(ObjectId object, BlockIndex block) const;
+  DiskSlot MirrorSlot(ObjectId object, BlockIndex block) const;
+
+  PhysicalDiskId PrimaryOf(ObjectId object, BlockIndex block) const;
+  PhysicalDiskId MirrorOf(ObjectId object, BlockIndex block) const;
+
+  /// Where to read the block given the set of failed disks: the primary if
+  /// healthy, else the mirror; NotFound if both copies are on failed disks.
+  StatusOr<PhysicalDiskId> LocateForRead(
+      ObjectId object, BlockIndex block,
+      const std::unordered_set<PhysicalDiskId>& failed) const;
+
+  /// Per-disk block counts including mirror copies, indexed like
+  /// `policy->log().physical_disks()`. Mirroring doubles storage; this lets
+  /// the fault bench check the doubled load is still balanced.
+  std::vector<int64_t> PerDiskCountsWithMirrors() const;
+
+  const ScaddarPolicy& policy() const { return *policy_; }
+
+ private:
+  const ScaddarPolicy* policy_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_FAULTS_MIRROR_H_

@@ -1,0 +1,85 @@
+#include "faults/parity.h"
+
+#include <algorithm>
+
+namespace scaddar {
+
+ParityScheme::ParityScheme(const ScaddarPolicy* policy, int64_t group_size)
+    : policy_(policy), group_size_(group_size) {
+  SCADDAR_CHECK(policy != nullptr);
+  SCADDAR_CHECK(group_size >= 2);
+}
+
+ParityScheme::Group ParityScheme::GroupOf(ObjectId object,
+                                          BlockIndex block) const {
+  const auto total = static_cast<BlockIndex>(policy_->NumBlocksOf(object));
+  SCADDAR_CHECK(block >= 0 && block < total);
+  Group group;
+  const BlockIndex first = (block / group_size_) * group_size_;
+  const BlockIndex last = std::min<BlockIndex>(first + group_size_, total);
+  int64_t slot_sum = 0;
+  const int64_t n = policy_->current_disks();
+  std::vector<bool> member_slot(static_cast<size_t>(n), false);
+  for (BlockIndex i = first; i < last; ++i) {
+    group.members.push_back(i);
+    const DiskSlot slot = policy_->LocateSlot(object, i);
+    slot_sum += slot;
+    member_slot[static_cast<size_t>(slot)] = true;
+  }
+  // Parity slot: derived from member slots, linearly probed off any member
+  // disk so a single disk failure never takes a member *and* the parity.
+  // With more distinct member slots than disks this is impossible; then the
+  // parity shares a disk and IsRecoverable reports accordingly.
+  DiskSlot parity = (slot_sum + 1) % n;
+  for (int64_t probe = 0; probe < n; ++probe) {
+    const DiskSlot candidate = (parity + probe) % n;
+    if (!member_slot[static_cast<size_t>(candidate)]) {
+      parity = candidate;
+      break;
+    }
+  }
+  group.parity_slot = parity;
+  group.parity_disk =
+      policy_->log().physical_disks()[static_cast<size_t>(parity)];
+  return group;
+}
+
+bool ParityScheme::IsRecoverable(ObjectId object, BlockIndex block,
+                                 PhysicalDiskId failed) const {
+  const Group group = GroupOf(object, block);
+  int64_t casualties = group.parity_disk == failed ? 1 : 0;
+  for (const BlockIndex member : group.members) {
+    if (policy_->Locate(object, member) == failed) {
+      ++casualties;
+    }
+  }
+  return casualties <= 1;
+}
+
+StatusOr<int64_t> ParityScheme::ReadsToServe(ObjectId object,
+                                             BlockIndex block,
+                                             PhysicalDiskId failed) const {
+  if (policy_->Locate(object, block) != failed) {
+    return int64_t{1};
+  }
+  const Group group = GroupOf(object, block);
+  int64_t reads = 0;
+  for (const BlockIndex member : group.members) {
+    if (member == block) {
+      continue;
+    }
+    if (policy_->Locate(object, member) == failed) {
+      return FailedPreconditionError(
+          "two group members on the failed disk; single parity "
+          "cannot reconstruct");
+    }
+    ++reads;
+  }
+  if (group.parity_disk == failed) {
+    return FailedPreconditionError(
+        "parity and a member share the failed disk");
+  }
+  return reads + 1;  // Surviving members plus the parity block.
+}
+
+}  // namespace scaddar

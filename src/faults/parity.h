@@ -1,0 +1,62 @@
+#ifndef SCADDAR_FAULTS_PARITY_H_
+#define SCADDAR_FAULTS_PARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "placement/scaddar_policy.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Section 6's second fault-tolerance direction: parity groups instead of
+/// full mirroring ("less required storage space"). Every `group_size`
+/// consecutive blocks of an object form a parity group with one parity
+/// block; a single failed disk is recovered by XOR-ing the surviving
+/// members and the parity block.
+///
+/// The parity block's slot is derived from the group members' slots (sum
+/// plus one, modulo Nj, linearly probed off any member's disk), so it needs
+/// no directory and moves consistently under scaling operations.
+class ParityScheme {
+ public:
+  /// `group_size` >= 2 (checked); `policy` borrowed (non-null, checked).
+  ParityScheme(const ScaddarPolicy* policy, int64_t group_size);
+
+  /// Description of the parity group containing `block`.
+  struct Group {
+    std::vector<BlockIndex> members;  // Data blocks in the group.
+    DiskSlot parity_slot = 0;
+    PhysicalDiskId parity_disk = 0;
+  };
+  Group GroupOf(ObjectId object, BlockIndex block) const;
+
+  /// Number of block reads needed to serve `block` when `failed` is down:
+  /// 1 if its disk is healthy, `group members on healthy disks + parity`
+  /// for a reconstruction. Fails (FailedPrecondition) when the group has
+  /// two casualties (single parity cannot recover) — which the caller can
+  /// also probe via `IsRecoverable`.
+  StatusOr<int64_t> ReadsToServe(ObjectId object, BlockIndex block,
+                                 PhysicalDiskId failed) const;
+
+  /// True iff at most one of {members, parity} of the block's group sits on
+  /// `failed`.
+  bool IsRecoverable(ObjectId object, BlockIndex block,
+                     PhysicalDiskId failed) const;
+
+  /// Fractional storage overhead: one parity block per `group_size` data
+  /// blocks.
+  double StorageOverhead() const {
+    return 1.0 / static_cast<double>(group_size_);
+  }
+
+  int64_t group_size() const { return group_size_; }
+
+ private:
+  const ScaddarPolicy* policy_;
+  int64_t group_size_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_FAULTS_PARITY_H_

@@ -1,0 +1,62 @@
+#ifndef SCADDAR_FAULTS_REPLICATION_H_
+#define SCADDAR_FAULTS_REPLICATION_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "placement/scaddar_policy.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// R-way generalization of Section 6's fixed-offset mirroring: replica `r`
+/// of a block lives at slot `(primary + floor(r*Nj/R)) mod Nj`. Offsets are
+/// pure functions of the epoch's disk count, so — like the 2-way mirror —
+/// no directory is needed and the replicas scale with the same op log.
+///
+/// With `Nj >= R` the R offsets are distinct, every replica is on a
+/// different disk, and any `R-1` simultaneous disk failures leave each
+/// block readable.
+class ReplicatedPlacement {
+ public:
+  /// `replicas >= 2` (checked); `policy` borrowed (non-null, checked).
+  ReplicatedPlacement(const ScaddarPolicy* policy, int64_t replicas);
+
+  /// Slot offset of replica `r` (in [0, replicas)) at disk count `n`:
+  /// `floor(r*n/replicas)`. Distinct across `r` whenever `n >= replicas`.
+  static int64_t ReplicaOffset(int64_t n, int64_t replicas, int64_t r);
+
+  /// Slot of replica `r`; replica 0 is the primary.
+  DiskSlot ReplicaSlot(ObjectId object, BlockIndex block, int64_t r) const;
+
+  /// Physical disk of replica `r`.
+  PhysicalDiskId ReplicaOf(ObjectId object, BlockIndex block,
+                           int64_t r) const;
+
+  /// All replica disks of the block, primary first.
+  std::vector<PhysicalDiskId> ReplicasOf(ObjectId object,
+                                         BlockIndex block) const;
+
+  /// The first healthy replica in priority order; NotFound if every
+  /// replica's disk failed.
+  StatusOr<PhysicalDiskId> LocateForRead(
+      ObjectId object, BlockIndex block,
+      const std::unordered_set<PhysicalDiskId>& failed) const;
+
+  /// Per-disk block counts including every replica (R-fold storage).
+  std::vector<int64_t> PerDiskCountsWithReplicas() const;
+
+  /// `R - 1` when the current disk count keeps the offsets distinct.
+  int64_t MaxFailuresTolerated() const;
+
+  int64_t replicas() const { return replicas_; }
+
+ private:
+  const ScaddarPolicy* policy_;
+  int64_t replicas_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_FAULTS_REPLICATION_H_

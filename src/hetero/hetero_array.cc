@@ -1,0 +1,112 @@
+#include "hetero/hetero_array.h"
+
+#include <algorithm>
+
+namespace scaddar {
+
+StatusOr<HeteroPlacement> HeteroPlacement::Create(
+    std::vector<HeteroDisk> disks) {
+  // Validate via the mapping helper (duplicate ids, bad weights, empty).
+  SCADDAR_ASSIGN_OR_RETURN(const LogicalMapping mapping,
+                           LogicalMapping::Create(disks));
+  HeteroPlacement placement;
+  placement.policy_ =
+      std::make_unique<ScaddarPolicy>(mapping.num_logical());
+  placement.disks_ = std::move(disks);
+  const std::vector<PhysicalDiskId>& logical =
+      placement.policy_->log().physical_disks();
+  for (size_t i = 0; i < logical.size(); ++i) {
+    placement.owner_[logical[i]] = mapping.PhysicalOf(static_cast<int64_t>(i));
+  }
+  return placement;
+}
+
+Status HeteroPlacement::AddObject(ObjectId id, std::vector<uint64_t> x0) {
+  return policy_->AddObject(id, std::move(x0));
+}
+
+PhysicalDiskId HeteroPlacement::Locate(ObjectId object,
+                                       BlockIndex block) const {
+  const PhysicalDiskId logical = policy_->Locate(object, block);
+  const auto it = owner_.find(logical);
+  SCADDAR_CHECK(it != owner_.end());
+  return it->second;
+}
+
+Status HeteroPlacement::AddPhysicalDisk(const HeteroDisk& disk) {
+  if (disk.weight <= 0) {
+    return InvalidArgumentError("disk weight must be positive");
+  }
+  for (const HeteroDisk& existing : disks_) {
+    if (existing.id == disk.id) {
+      return AlreadyExistsError("physical disk id already present");
+    }
+  }
+  const PhysicalDiskId first_new = policy_->log().next_physical_id();
+  SCADDAR_ASSIGN_OR_RETURN(const ScalingOp op, ScalingOp::Add(disk.weight));
+  SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(op));
+  for (int64_t i = 0; i < disk.weight; ++i) {
+    owner_[first_new + i] = disk.id;
+  }
+  disks_.push_back(disk);
+  return OkStatus();
+}
+
+Status HeteroPlacement::RemovePhysicalDisk(PhysicalDiskId id) {
+  const auto disk_it =
+      std::find_if(disks_.begin(), disks_.end(),
+                   [id](const HeteroDisk& disk) { return disk.id == id; });
+  if (disk_it == disks_.end()) {
+    return NotFoundError("physical disk not present");
+  }
+  if (disks_.size() == 1) {
+    return FailedPreconditionError("cannot remove the last physical disk");
+  }
+  // Collect the logical slots this physical disk hosts.
+  const std::vector<PhysicalDiskId>& logical =
+      policy_->log().physical_disks();
+  std::vector<DiskSlot> slots;
+  for (size_t i = 0; i < logical.size(); ++i) {
+    if (owner_.at(logical[i]) == id) {
+      slots.push_back(static_cast<DiskSlot>(i));
+    }
+  }
+  SCADDAR_CHECK(!slots.empty());
+  std::vector<PhysicalDiskId> retired_logical;
+  for (const DiskSlot slot : slots) {
+    retired_logical.push_back(logical[static_cast<size_t>(slot)]);
+  }
+  SCADDAR_ASSIGN_OR_RETURN(const ScalingOp op,
+                           ScalingOp::Remove(std::move(slots)));
+  SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(op));
+  for (const PhysicalDiskId lid : retired_logical) {
+    owner_.erase(lid);
+  }
+  disks_.erase(disk_it);
+  return OkStatus();
+}
+
+int64_t HeteroPlacement::total_weight() const {
+  int64_t total = 0;
+  for (const HeteroDisk& disk : disks_) {
+    total += disk.weight;
+  }
+  return total;
+}
+
+std::unordered_map<PhysicalDiskId, int64_t> HeteroPlacement::PhysicalLoad()
+    const {
+  std::unordered_map<PhysicalDiskId, int64_t> load;
+  for (const HeteroDisk& disk : disks_) {
+    load[disk.id] = 0;
+  }
+  const std::vector<int64_t> per_logical = policy_->PerDiskCounts();
+  const std::vector<PhysicalDiskId>& logical =
+      policy_->log().physical_disks();
+  for (size_t i = 0; i < logical.size(); ++i) {
+    load[owner_.at(logical[i])] += per_logical[i];
+  }
+  return load;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,65 @@
+#ifndef SCADDAR_HETERO_HETERO_ARRAY_H_
+#define SCADDAR_HETERO_HETERO_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hetero/logical_map.h"
+#include "placement/scaddar_policy.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// SCADDAR over heterogeneous physical disks: the evolution sketched in
+/// Section 6. A `ScaddarPolicy` runs unchanged over homogeneous *logical*
+/// disks; each heterogeneous physical disk hosts as many logical disks as
+/// its weight. Adding or removing a physical disk becomes a disk-*group*
+/// scaling operation on the logical array, which SCADDAR supports natively.
+class HeteroPlacement {
+ public:
+  /// Starts with the given physical disks (validated like
+  /// `LogicalMapping::Create`).
+  static StatusOr<HeteroPlacement> Create(std::vector<HeteroDisk> disks);
+
+  HeteroPlacement(HeteroPlacement&&) noexcept = default;
+  HeteroPlacement& operator=(HeteroPlacement&&) noexcept = default;
+
+  /// Registers an object's X0 stream (forwarded to the logical policy).
+  Status AddObject(ObjectId id, std::vector<uint64_t> x0);
+
+  /// The heterogeneous physical disk holding the block.
+  PhysicalDiskId Locate(ObjectId object, BlockIndex block) const;
+
+  /// Adds one physical disk: a logical disk-group addition of
+  /// `disk.weight` disks.
+  Status AddPhysicalDisk(const HeteroDisk& disk);
+
+  /// Removes one physical disk: a logical disk-group removal of all its
+  /// logical disks.
+  Status RemovePhysicalDisk(PhysicalDiskId id);
+
+  /// Current physical disks (insertion order).
+  const std::vector<HeteroDisk>& physical_disks() const { return disks_; }
+
+  int64_t total_weight() const;
+
+  /// Blocks per physical disk (zero-loaded disks included).
+  std::unordered_map<PhysicalDiskId, int64_t> PhysicalLoad() const;
+
+  /// The underlying logical-disk policy (for range/tolerance inspection).
+  const ScaddarPolicy& policy() const { return *policy_; }
+
+ private:
+  HeteroPlacement() = default;
+
+  std::unique_ptr<ScaddarPolicy> policy_;
+  std::vector<HeteroDisk> disks_;
+  // Logical disk id (the policy's PhysicalDiskId) -> heterogeneous owner.
+  std::unordered_map<PhysicalDiskId, PhysicalDiskId> owner_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_HETERO_HETERO_ARRAY_H_

@@ -1,0 +1,59 @@
+#include "hetero/logical_map.h"
+
+#include <unordered_set>
+
+namespace scaddar {
+
+StatusOr<LogicalMapping> LogicalMapping::Create(
+    std::vector<HeteroDisk> disks) {
+  if (disks.empty()) {
+    return InvalidArgumentError("need at least one physical disk");
+  }
+  std::unordered_set<PhysicalDiskId> seen;
+  LogicalMapping mapping;
+  for (const HeteroDisk& disk : disks) {
+    if (disk.weight <= 0) {
+      return InvalidArgumentError("disk weight must be positive");
+    }
+    if (!seen.insert(disk.id).second) {
+      return InvalidArgumentError("duplicate physical disk id");
+    }
+    for (int64_t i = 0; i < disk.weight; ++i) {
+      mapping.logical_owner_.push_back(disk.id);
+    }
+  }
+  mapping.disks_ = std::move(disks);
+  return mapping;
+}
+
+PhysicalDiskId LogicalMapping::PhysicalOf(int64_t logical) const {
+  SCADDAR_CHECK(logical >= 0 && logical < num_logical());
+  return logical_owner_[static_cast<size_t>(logical)];
+}
+
+std::vector<int64_t> LogicalMapping::LogicalsOf(
+    PhysicalDiskId physical) const {
+  std::vector<int64_t> result;
+  for (size_t i = 0; i < logical_owner_.size(); ++i) {
+    if (logical_owner_[i] == physical) {
+      result.push_back(static_cast<int64_t>(i));
+    }
+  }
+  SCADDAR_CHECK(!result.empty());
+  return result;
+}
+
+std::unordered_map<PhysicalDiskId, int64_t> LogicalMapping::AggregateLoad(
+    const std::vector<int64_t>& per_logical) const {
+  SCADDAR_CHECK(static_cast<int64_t>(per_logical.size()) == num_logical());
+  std::unordered_map<PhysicalDiskId, int64_t> load;
+  for (const HeteroDisk& disk : disks_) {
+    load[disk.id] = 0;  // Report zero-loaded disks explicitly.
+  }
+  for (size_t i = 0; i < per_logical.size(); ++i) {
+    load[logical_owner_[i]] += per_logical[i];
+  }
+  return load;
+}
+
+}  // namespace scaddar

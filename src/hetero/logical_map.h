@@ -1,0 +1,62 @@
+#ifndef SCADDAR_HETERO_LOGICAL_MAP_H_
+#define SCADDAR_HETERO_LOGICAL_MAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// A heterogeneous physical disk described by its relative capability
+/// (roughly: bandwidth class). A weight-3 disk hosts three logical disks and
+/// should carry 3x the blocks of a weight-1 disk.
+struct HeteroDisk {
+  PhysicalDiskId id = 0;
+  int64_t weight = 1;
+};
+
+/// The paper's future-work direction (Section 6, via [18] "Continuous
+/// Display Using Heterogeneous Disk-Subsystems"): map homogeneous *logical*
+/// disks onto heterogeneous *physical* disks so SCADDAR — which assumes
+/// homogeneous disks — keeps working unchanged. Each physical disk hosts
+/// `weight` logical disks; uniform load over logical disks then yields
+/// bandwidth-proportional load over physical disks.
+class LogicalMapping {
+ public:
+  /// Fails if `disks` is empty, weights are non-positive, or ids repeat.
+  static StatusOr<LogicalMapping> Create(std::vector<HeteroDisk> disks);
+
+  int64_t num_logical() const {
+    return static_cast<int64_t>(logical_owner_.size());
+  }
+  int64_t num_physical() const {
+    return static_cast<int64_t>(disks_.size());
+  }
+
+  /// The physical disk hosting logical disk `logical` (checked).
+  PhysicalDiskId PhysicalOf(int64_t logical) const;
+
+  /// Logical disk indices hosted by `physical` (checked to exist).
+  std::vector<int64_t> LogicalsOf(PhysicalDiskId physical) const;
+
+  const std::vector<HeteroDisk>& disks() const { return disks_; }
+  int64_t total_weight() const { return num_logical(); }
+
+  /// Aggregates per-logical-disk block counts (length `num_logical`,
+  /// checked) into per-physical-disk counts.
+  std::unordered_map<PhysicalDiskId, int64_t> AggregateLoad(
+      const std::vector<int64_t>& per_logical) const;
+
+ private:
+  LogicalMapping() = default;
+
+  std::vector<HeteroDisk> disks_;
+  std::vector<PhysicalDiskId> logical_owner_;  // logical index -> physical.
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_HETERO_LOGICAL_MAP_H_

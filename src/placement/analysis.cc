@@ -1,0 +1,78 @@
+#include "placement/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/sequence.h"
+#include "stats/accumulator.h"
+#include "stats/movement.h"
+#include "util/intmath.h"
+
+namespace scaddar {
+
+double ExpectedStayFractionMod(int64_t n_prev, int64_t n_cur) {
+  SCADDAR_CHECK(n_prev > 0 && n_cur > 0);
+  const auto a = static_cast<uint64_t>(n_prev);
+  const auto b = static_cast<uint64_t>(n_cur);
+  const uint64_t g = Gcd(a, b);
+  return static_cast<double>(std::min(a, b)) * static_cast<double>(g) /
+         (static_cast<double>(a) * static_cast<double>(b));
+}
+
+double ExpectedMoveFractionMod(int64_t n_prev, int64_t n_cur) {
+  return 1.0 - ExpectedStayFractionMod(n_prev, n_cur);
+}
+
+double ExpectedMoveFractionRoundRobin(int64_t n_prev, int64_t n_cur) {
+  // Stripe position o+i is (effectively) uniform over residues for long
+  // objects, so the CRT argument is identical to the mod policy's.
+  return ExpectedMoveFractionMod(n_prev, n_cur);
+}
+
+double ExpectedMoveFractionScaddar(int64_t n_prev, int64_t n_cur) {
+  return TheoreticalMoveFraction(n_prev, n_cur);
+}
+
+MovedFractionEstimate EstimateMovedFraction(
+    const std::function<std::unique_ptr<PlacementPolicy>(int64_t trial)>&
+        factory,
+    const ScalingOp& op, int64_t trials, int64_t blocks, uint64_t seed) {
+  SCADDAR_CHECK(trials >= 2);
+  SCADDAR_CHECK(blocks >= 1);
+  Accumulator fractions;
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    std::unique_ptr<PlacementPolicy> policy = factory(trial);
+    SCADDAR_CHECK(policy != nullptr);
+    const std::vector<uint64_t> x0 =
+        X0Sequence::Create(PrngKind::kSplitMix64,
+                           seed + static_cast<uint64_t>(trial) * 1000003ull,
+                           64)
+            .value()
+            .Materialize(blocks);
+    SCADDAR_CHECK(policy->AddObject(1, x0).ok());
+    const std::vector<PhysicalDiskId> before = policy->AssignmentSnapshot();
+    SCADDAR_CHECK(policy->ApplyOp(op).ok());
+    const std::vector<PhysicalDiskId> after = policy->AssignmentSnapshot();
+    int64_t moved = 0;
+    for (size_t i = 0; i < before.size(); ++i) {
+      moved += before[i] != after[i] ? 1 : 0;
+    }
+    fractions.Add(static_cast<double>(moved) / static_cast<double>(blocks));
+  }
+  MovedFractionEstimate estimate;
+  estimate.mean = fractions.mean();
+  estimate.std_error = std::sqrt(fractions.sample_variance() /
+                                 static_cast<double>(trials));
+  estimate.trials = trials;
+  estimate.blocks_per_trial = blocks;
+  return estimate;
+}
+
+bool WithinStdError(double observed, double expected, double std_error,
+                    double z) {
+  // Guard the degenerate zero-variance case (deterministic policies).
+  const double tolerance = std::max(z * std_error, 1e-9);
+  return std::abs(observed - expected) <= tolerance;
+}
+
+}  // namespace scaddar

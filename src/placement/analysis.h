@@ -1,0 +1,61 @@
+#ifndef SCADDAR_PLACEMENT_ANALYSIS_H_
+#define SCADDAR_PLACEMENT_ANALYSIS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/scaling_op.h"
+#include "placement/policy.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Closed-form movement analysis for the placement policies, used to
+/// validate the simulator against first principles (EXP-M) and to size
+/// reorganizations without running one.
+
+/// Fraction of blocks that *stay* under complete re-hashing
+/// `X mod a -> X mod b` for uniform X (Appendix A's baseline): by CRT the
+/// residue pair (X mod a, X mod b) is equal for exactly `min(a, b)` of the
+/// `lcm(a, b)` joint residues, so
+///   stay = min(a,b) * gcd(a,b) / (a * b).
+/// Both counts must be positive (checked).
+double ExpectedStayFractionMod(int64_t n_prev, int64_t n_cur);
+
+/// Expected *moved* fraction of the mod policy: 1 - ExpectedStayFractionMod.
+double ExpectedMoveFractionMod(int64_t n_prev, int64_t n_cur);
+
+/// Round-robin striping moves a block iff its stripe index changes residue,
+/// which for long objects follows the same CRT count as the mod policy.
+double ExpectedMoveFractionRoundRobin(int64_t n_prev, int64_t n_cur);
+
+/// SCADDAR (and the directory baseline) achieve the Definition 3.4 minimum
+/// `z_j` in expectation.
+double ExpectedMoveFractionScaddar(int64_t n_prev, int64_t n_cur);
+
+/// Monte-Carlo estimate of a policy's moved fraction for one operation.
+struct MovedFractionEstimate {
+  double mean = 0.0;
+  double std_error = 0.0;
+  int64_t trials = 0;
+  int64_t blocks_per_trial = 0;
+};
+
+/// Runs `trials` independent experiments (fresh policy + `blocks` random
+/// X0 each, seeds derived from `seed`), applies `op`, and reports the
+/// across-trial mean and standard error of the moved fraction. The factory
+/// receives the trial index and must return a policy with `n0` disks.
+MovedFractionEstimate EstimateMovedFraction(
+    const std::function<std::unique_ptr<PlacementPolicy>(int64_t trial)>&
+        factory,
+    const ScalingOp& op, int64_t trials, int64_t blocks, uint64_t seed);
+
+/// Two-sided z-test helper: is `observed` within `z` standard errors of
+/// `expected`? (The benches use z = 4: false alarms ~1e-4.)
+bool WithinStdError(double observed, double expected, double std_error,
+                    double z);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_ANALYSIS_H_

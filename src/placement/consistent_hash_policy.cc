@@ -1,0 +1,76 @@
+#include "placement/consistent_hash_policy.h"
+
+#include <algorithm>
+
+#include "random/splitmix64.h"
+
+namespace scaddar {
+
+ConsistentHashPolicy::ConsistentHashPolicy(int64_t n0, int64_t vnodes)
+    : PlacementPolicy(n0), vnodes_(vnodes) {
+  SCADDAR_CHECK(vnodes > 0);
+  for (const PhysicalDiskId disk : log().physical_disks_at(0)) {
+    InsertDisk(disk);
+  }
+}
+
+ConsistentHashPolicy::ConsistentHashPolicy(OpLog initial_log, int64_t vnodes)
+    : PlacementPolicy(std::move(initial_log)), vnodes_(vnodes) {
+  SCADDAR_CHECK(vnodes > 0);
+  for (const PhysicalDiskId disk : log().physical_disks_at(0)) {
+    InsertDisk(disk);
+  }
+}
+
+void ConsistentHashPolicy::InsertDisk(PhysicalDiskId disk) {
+  for (int64_t replica = 0; replica < vnodes_; ++replica) {
+    const uint64_t hash =
+        MixSeeds(static_cast<uint64_t>(disk), static_cast<uint64_t>(replica));
+    const RingPoint point{hash, disk};
+    ring_.insert(std::upper_bound(ring_.begin(), ring_.end(), point), point);
+  }
+}
+
+void ConsistentHashPolicy::EraseDisk(PhysicalDiskId disk) {
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [disk](const RingPoint& point) {
+                               return point.disk == disk;
+                             }),
+              ring_.end());
+}
+
+Status ConsistentHashPolicy::OnOp(const ScalingOp& op) {
+  const Epoch j = log().num_ops();
+  if (op.is_add()) {
+    const std::vector<PhysicalDiskId>& now = log().physical_disks_at(j);
+    const int64_t n_prev = log().disks_after(j - 1);
+    for (size_t i = static_cast<size_t>(n_prev); i < now.size(); ++i) {
+      InsertDisk(now[i]);
+    }
+    return OkStatus();
+  }
+  const std::vector<PhysicalDiskId>& before = log().physical_disks_at(j - 1);
+  for (const DiskSlot slot : op.removed_slots()) {
+    EraseDisk(before[static_cast<size_t>(slot)]);
+  }
+  return OkStatus();
+}
+
+PhysicalDiskId ConsistentHashPolicy::Locate(ObjectId object,
+                                            BlockIndex block) const {
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  SCADDAR_CHECK(block >= 0 &&
+                block < static_cast<BlockIndex>(x0.size()));
+  SCADDAR_CHECK(!ring_.empty());
+  const uint64_t key = Mix64(x0[static_cast<size_t>(block)] ^
+                             0x436f6e486173686bull);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const RingPoint& point, uint64_t k) { return point.hash < k; });
+  if (it == ring_.end()) {
+    it = ring_.begin();  // Wrap around the ring.
+  }
+  return it->disk;
+}
+
+}  // namespace scaddar

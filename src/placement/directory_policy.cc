@@ -1,0 +1,97 @@
+#include "placement/directory_policy.h"
+
+#include <algorithm>
+
+#include "random/distributions.h"
+
+namespace scaddar {
+
+DirectoryPolicy::DirectoryPolicy(int64_t n0, uint64_t seed)
+    : PlacementPolicy(n0), prng_(MakePrng(PrngKind::kSplitMix64, seed)) {}
+
+DirectoryPolicy::DirectoryPolicy(OpLog initial_log, uint64_t seed)
+    : PlacementPolicy(std::move(initial_log)),
+      prng_(MakePrng(PrngKind::kSplitMix64, seed)) {}
+
+Status DirectoryPolicy::OnObjectAdded(ObjectId id) {
+  // Initial placement matches every other policy: X0 mod N over the
+  // *current* live disks (new objects are written under the current epoch).
+  const std::vector<uint64_t>& x0 = x0_of(id);
+  const std::vector<PhysicalDiskId>& physical = log().physical_disks();
+  std::vector<PhysicalDiskId>& entries = directory_[id];
+  entries.reserve(x0.size());
+  const auto n = static_cast<uint64_t>(log().current_disks());
+  for (const uint64_t x : x0) {
+    entries.push_back(physical[static_cast<size_t>(x % n)]);
+  }
+  return OkStatus();
+}
+
+Status DirectoryPolicy::OnObjectRemoved(ObjectId id) {
+  directory_.erase(id);
+  return OkStatus();
+}
+
+Status DirectoryPolicy::OnOp(const ScalingOp& op) {
+  const Epoch j = log().num_ops();
+  const int64_t n_prev = log().disks_after(j - 1);
+  const int64_t n_cur = log().disks_after(j);
+  if (op.is_add()) {
+    // Move each block independently with probability z = (Ncur-Nprev)/Ncur
+    // onto a uniformly chosen new disk: minimal expected movement, perfectly
+    // uniform result.
+    const double z = static_cast<double>(n_cur - n_prev) /
+                     static_cast<double>(n_cur);
+    const std::vector<PhysicalDiskId>& physical = log().physical_disks_at(j);
+    for (auto& [id, entries] : directory_) {
+      for (PhysicalDiskId& disk : entries) {
+        if (Bernoulli(*prng_, z)) {
+          const auto pick = static_cast<int64_t>(UniformUint64(
+              *prng_, static_cast<uint64_t>(op.add_count())));
+          disk = physical[static_cast<size_t>(n_prev + pick)];
+        }
+      }
+    }
+    return OkStatus();
+  }
+  // Removal: only blocks on removed physical disks move, each to a
+  // uniformly chosen survivor.
+  const std::vector<PhysicalDiskId>& before = log().physical_disks_at(j - 1);
+  std::vector<PhysicalDiskId> removed_physical;
+  removed_physical.reserve(op.removed_slots().size());
+  for (const DiskSlot slot : op.removed_slots()) {
+    removed_physical.push_back(before[static_cast<size_t>(slot)]);
+  }
+  std::sort(removed_physical.begin(), removed_physical.end());
+  const std::vector<PhysicalDiskId>& survivors = log().physical_disks_at(j);
+  for (auto& [id, entries] : directory_) {
+    for (PhysicalDiskId& disk : entries) {
+      if (std::binary_search(removed_physical.begin(), removed_physical.end(),
+                             disk)) {
+        const auto pick = UniformUint64(
+            *prng_, static_cast<uint64_t>(survivors.size()));
+        disk = survivors[static_cast<size_t>(pick)];
+      }
+    }
+  }
+  return OkStatus();
+}
+
+PhysicalDiskId DirectoryPolicy::Locate(ObjectId object,
+                                       BlockIndex block) const {
+  const auto it = directory_.find(object);
+  SCADDAR_CHECK(it != directory_.end());
+  SCADDAR_CHECK(block >= 0 &&
+                block < static_cast<BlockIndex>(it->second.size()));
+  return it->second[static_cast<size_t>(block)];
+}
+
+int64_t DirectoryPolicy::directory_entries() const {
+  int64_t total = 0;
+  for (const auto& [id, entries] : directory_) {
+    total += static_cast<int64_t>(entries.size());
+  }
+  return total;
+}
+
+}  // namespace scaddar

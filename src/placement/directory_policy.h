@@ -1,0 +1,50 @@
+#ifndef SCADDAR_PLACEMENT_DIRECTORY_POLICY_H_
+#define SCADDAR_PLACEMENT_DIRECTORY_POLICY_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "placement/policy.h"
+#include "random/prng.h"
+
+namespace scaddar {
+
+/// Appendix A's directory ("book-keeping") approach: remember every block's
+/// physical disk explicitly and, on each scaling operation, move the minimum
+/// set of blocks using *fresh* true randomness from an internal generator.
+///
+/// This is the gold standard for both RO1 (exactly minimal movement, in
+/// expectation) and RO2 (perfect uniformity forever — no range shrinkage),
+/// at the cost the paper rejects: O(total blocks) directory state, directory
+/// updates on every operation, and a potential concurrency bottleneck in a
+/// real server. The benches use it as the quality reference SCADDAR is
+/// measured against.
+class DirectoryPolicy final : public PlacementPolicy {
+ public:
+  /// `seed` drives the fresh randomness used for relocations.
+  DirectoryPolicy(int64_t n0, uint64_t seed);
+  DirectoryPolicy(OpLog initial_log, uint64_t seed);
+
+  std::string_view name() const override { return "directory"; }
+
+  PhysicalDiskId Locate(ObjectId object, BlockIndex block) const override;
+
+  /// Directory entries held (== total blocks): the storage-cost metric the
+  /// paper contrasts with the op log.
+  int64_t directory_entries() const;
+
+ protected:
+  Status OnObjectAdded(ObjectId id) override;
+  Status OnObjectRemoved(ObjectId id) override;
+  Status OnOp(const ScalingOp& op) override;
+
+ private:
+  std::unique_ptr<Prng> prng_;
+  // Directory: per object, each block's physical disk id.
+  std::unordered_map<ObjectId, std::vector<PhysicalDiskId>> directory_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_DIRECTORY_POLICY_H_

@@ -1,0 +1,67 @@
+#include "placement/jump_hash_policy.h"
+
+#include <algorithm>
+
+#include "random/splitmix64.h"
+
+namespace scaddar {
+
+int64_t JumpBucket(uint64_t key, int64_t num_buckets) {
+  SCADDAR_DCHECK(num_buckets > 0);
+  int64_t bucket = -1;
+  int64_t next = 0;
+  while (next < num_buckets) {
+    bucket = next;
+    key = key * 2862933555777941757ull + 1;
+    next = static_cast<int64_t>(
+        static_cast<double>(bucket + 1) *
+        (static_cast<double>(int64_t{1} << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return bucket;
+}
+
+JumpHashPolicy::JumpHashPolicy(int64_t n0) : PlacementPolicy(n0) {
+  buckets_ = log().physical_disks_at(0);
+}
+
+JumpHashPolicy::JumpHashPolicy(OpLog initial_log)
+    : PlacementPolicy(std::move(initial_log)) {
+  buckets_ = log().physical_disks_at(0);
+}
+
+Status JumpHashPolicy::OnOp(const ScalingOp& op) {
+  const Epoch j = log().num_ops();
+  if (op.is_add()) {
+    // New physical ids occupy the tail of the epoch's slot table; jump hash
+    // grows naturally at the tail.
+    const std::vector<PhysicalDiskId>& now = log().physical_disks_at(j);
+    const int64_t n_prev = log().disks_after(j - 1);
+    for (size_t i = static_cast<size_t>(n_prev); i < now.size(); ++i) {
+      buckets_.push_back(now[i]);
+    }
+    return OkStatus();
+  }
+  const std::vector<PhysicalDiskId>& before = log().physical_disks_at(j - 1);
+  for (const DiskSlot slot : op.removed_slots()) {
+    const PhysicalDiskId removed = before[static_cast<size_t>(slot)];
+    const auto it = std::find(buckets_.begin(), buckets_.end(), removed);
+    SCADDAR_CHECK(it != buckets_.end());
+    *it = buckets_.back();  // Swap-with-last, then shrink from the tail.
+    buckets_.pop_back();
+  }
+  return OkStatus();
+}
+
+PhysicalDiskId JumpHashPolicy::Locate(ObjectId object,
+                                      BlockIndex block) const {
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  SCADDAR_CHECK(block >= 0 &&
+                block < static_cast<BlockIndex>(x0.size()));
+  const uint64_t key = Mix64(x0[static_cast<size_t>(block)]);
+  const int64_t bucket =
+      JumpBucket(key, static_cast<int64_t>(buckets_.size()));
+  return buckets_[static_cast<size_t>(bucket)];
+}
+
+}  // namespace scaddar

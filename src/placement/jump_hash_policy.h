@@ -1,0 +1,45 @@
+#ifndef SCADDAR_PLACEMENT_JUMP_HASH_POLICY_H_
+#define SCADDAR_PLACEMENT_JUMP_HASH_POLICY_H_
+
+#include <vector>
+
+#include "placement/policy.h"
+
+namespace scaddar {
+
+/// Lamping & Veach's jump consistent hash (2014) — a modern stateless
+/// comparator for SCADDAR (the ideas the paper pioneered were later covered
+/// by this family). `JumpBucket(key, n)` maps a key to one of `n` buckets
+/// such that growing `n` moves exactly the minimal fraction of keys.
+int64_t JumpBucket(uint64_t key, int64_t num_buckets);
+
+/// Placement policy over jump hash. Additions are optimal (minimal movement,
+/// uniform). Jump hash natively supports only shrinking from the *tail*, so
+/// an arbitrary-disk removal is emulated with the swap-with-last trick:
+/// the last bucket's disk takes over the removed bucket position. The final
+/// distribution stays uniform, but roughly *twice* the minimal number of
+/// blocks move, and the removed disk's blocks all land on a single disk —
+/// exactly the behaviours the comparator bench (EXP-G) quantifies against
+/// SCADDAR's clean removal.
+class JumpHashPolicy final : public PlacementPolicy {
+ public:
+  explicit JumpHashPolicy(int64_t n0);
+  explicit JumpHashPolicy(OpLog initial_log);
+
+  std::string_view name() const override { return "jump"; }
+
+  PhysicalDiskId Locate(ObjectId object, BlockIndex block) const override;
+
+  /// Bucket order (position -> physical id); exposed for tests.
+  const std::vector<PhysicalDiskId>& buckets() const { return buckets_; }
+
+ protected:
+  Status OnOp(const ScalingOp& op) override;
+
+ private:
+  std::vector<PhysicalDiskId> buckets_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_JUMP_HASH_POLICY_H_

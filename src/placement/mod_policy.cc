@@ -1,0 +1,17 @@
+#include "placement/mod_policy.h"
+
+namespace scaddar {
+
+PhysicalDiskId ModPolicy::Locate(ObjectId object, BlockIndex block) const {
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  SCADDAR_CHECK(block >= 0 &&
+                block < static_cast<BlockIndex>(x0.size()));
+  const auto slot = static_cast<DiskSlot>(
+      x0[static_cast<size_t>(block)] %
+      static_cast<uint64_t>(log().current_disks()));
+  return log().physical_disks()[static_cast<size_t>(slot)];
+}
+
+Status ModPolicy::OnOp(const ScalingOp& /*op*/) { return OkStatus(); }
+
+}  // namespace scaddar

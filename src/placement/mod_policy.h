@@ -1,0 +1,28 @@
+#ifndef SCADDAR_PLACEMENT_MOD_POLICY_H_
+#define SCADDAR_PLACEMENT_MOD_POLICY_H_
+
+#include "placement/policy.h"
+
+namespace scaddar {
+
+/// The "complete redistribution" baseline from Appendix A:
+/// `RF() = AF() = (X0 mod Nj)`. Randomness is perfect after every operation
+/// (each epoch is a fresh initial state) but RO1 is violated badly — almost
+/// every block moves on every scaling operation.
+class ModPolicy final : public PlacementPolicy {
+ public:
+  explicit ModPolicy(int64_t n0) : PlacementPolicy(n0) {}
+  explicit ModPolicy(OpLog initial_log)
+      : PlacementPolicy(std::move(initial_log)) {}
+
+  std::string_view name() const override { return "mod"; }
+
+  PhysicalDiskId Locate(ObjectId object, BlockIndex block) const override;
+
+ protected:
+  Status OnOp(const ScalingOp& op) override;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_MOD_POLICY_H_

@@ -1,0 +1,32 @@
+#include "placement/naive_policy.h"
+
+#include "core/remap.h"
+
+namespace scaddar {
+
+DiskSlot NaivePolicy::LocateSlot(ObjectId object, BlockIndex block) const {
+  const std::vector<uint64_t>& x0_vec = x0_of(object);
+  SCADDAR_CHECK(block >= 0 &&
+                block < static_cast<BlockIndex>(x0_vec.size()));
+  const uint64_t x0 = x0_vec[static_cast<size_t>(block)];
+  const Epoch start = epoch_added(object);
+  DiskSlot slot = static_cast<DiskSlot>(
+      x0 % static_cast<uint64_t>(log().disks_after(start)));
+  for (Epoch j = start + 1; j <= log().num_ops(); ++j) {
+    const ScalingOp& op = log().op(j);
+    const int64_t n_prev = log().disks_after(j - 1);
+    const int64_t n_cur = log().disks_after(j);
+    slot = op.is_add() ? NaiveAddSlot(x0, slot, n_prev, n_cur)
+                       : NaiveRemoveSlot(x0, slot, n_prev, n_cur, op);
+  }
+  return slot;
+}
+
+PhysicalDiskId NaivePolicy::Locate(ObjectId object, BlockIndex block) const {
+  const DiskSlot slot = LocateSlot(object, block);
+  return log().physical_disks()[static_cast<size_t>(slot)];
+}
+
+Status NaivePolicy::OnOp(const ScalingOp& /*op*/) { return OkStatus(); }
+
+}  // namespace scaddar

@@ -1,0 +1,32 @@
+#ifndef SCADDAR_PLACEMENT_NAIVE_POLICY_H_
+#define SCADDAR_PLACEMENT_NAIVE_POLICY_H_
+
+#include "placement/policy.h"
+
+namespace scaddar {
+
+/// Section 4.1's naive scheme (Eq. 2), kept as a baseline. Each operation
+/// re-uses the block's original random number `X0` instead of drawing fresh
+/// randomness, so RO1 and AO1 hold but RO2 breaks from the second operation
+/// on (Figure 1: the second added disk receives blocks only from a subset of
+/// the old disks). Like SCADDAR it is stateless beyond the op log.
+class NaivePolicy final : public PlacementPolicy {
+ public:
+  explicit NaivePolicy(int64_t n0) : PlacementPolicy(n0) {}
+  explicit NaivePolicy(OpLog initial_log)
+      : PlacementPolicy(std::move(initial_log)) {}
+
+  std::string_view name() const override { return "naive"; }
+
+  PhysicalDiskId Locate(ObjectId object, BlockIndex block) const override;
+
+  /// Logical slot after replaying all operations with Eq. 2 semantics.
+  DiskSlot LocateSlot(ObjectId object, BlockIndex block) const;
+
+ protected:
+  Status OnOp(const ScalingOp& op) override;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_NAIVE_POLICY_H_

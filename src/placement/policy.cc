@@ -1,0 +1,101 @@
+#include "placement/policy.h"
+
+#include <algorithm>
+
+namespace scaddar {
+
+PlacementPolicy::PlacementPolicy(int64_t n0)
+    : log_(std::move(OpLog::Create(n0).value())) {}
+
+PlacementPolicy::PlacementPolicy(OpLog initial_log)
+    : log_(std::move(initial_log)) {
+  SCADDAR_CHECK(log_.num_ops() == 0);
+}
+
+Status PlacementPolicy::AddObject(ObjectId id, std::vector<uint64_t> x0) {
+  if (object_index_.contains(id)) {
+    return AlreadyExistsError("object already registered");
+  }
+  object_index_[id] = objects_.size();
+  total_blocks_ += static_cast<int64_t>(x0.size());
+  objects_.emplace_back(id, std::move(x0));
+  added_epoch_.push_back(log_.num_ops());
+  return OnObjectAdded(id);
+}
+
+Status PlacementPolicy::ApplyOp(const ScalingOp& op) {
+  SCADDAR_RETURN_IF_ERROR(log_.Append(op));
+  return OnOp(op);
+}
+
+Status PlacementPolicy::OnObjectAdded(ObjectId /*id*/) { return OkStatus(); }
+
+Status PlacementPolicy::OnObjectRemoved(ObjectId /*id*/) {
+  return OkStatus();
+}
+
+Status PlacementPolicy::RemoveObject(ObjectId id) {
+  const auto it = object_index_.find(id);
+  if (it == object_index_.end()) {
+    return NotFoundError("object not registered");
+  }
+  SCADDAR_RETURN_IF_ERROR(OnObjectRemoved(id));
+  const size_t index = it->second;
+  total_blocks_ -= static_cast<int64_t>(objects_[index].second.size());
+  objects_.erase(objects_.begin() + static_cast<ptrdiff_t>(index));
+  added_epoch_.erase(added_epoch_.begin() + static_cast<ptrdiff_t>(index));
+  object_index_.erase(it);
+  // Reindex the tail.
+  for (size_t i = index; i < objects_.size(); ++i) {
+    object_index_[objects_[i].first] = i;
+  }
+  return OkStatus();
+}
+
+const std::vector<uint64_t>& PlacementPolicy::x0_of(ObjectId id) const {
+  const auto it = object_index_.find(id);
+  SCADDAR_CHECK(it != object_index_.end());
+  return objects_[it->second].second;
+}
+
+int64_t PlacementPolicy::NumBlocksOf(ObjectId id) const {
+  return static_cast<int64_t>(x0_of(id).size());
+}
+
+Epoch PlacementPolicy::epoch_added(ObjectId id) const {
+  const auto it = object_index_.find(id);
+  SCADDAR_CHECK(it != object_index_.end());
+  return added_epoch_[it->second];
+}
+
+std::vector<int64_t> PlacementPolicy::PerDiskCounts() const {
+  const std::vector<PhysicalDiskId>& physical = log_.physical_disks();
+  std::unordered_map<PhysicalDiskId, size_t> position;
+  position.reserve(physical.size());
+  for (size_t i = 0; i < physical.size(); ++i) {
+    position[physical[i]] = i;
+  }
+  std::vector<int64_t> counts(physical.size(), 0);
+  for (const auto& [id, x0] : objects_) {
+    for (size_t i = 0; i < x0.size(); ++i) {
+      const PhysicalDiskId disk = Locate(id, static_cast<BlockIndex>(i));
+      const auto it = position.find(disk);
+      SCADDAR_CHECK(it != position.end());
+      ++counts[it->second];
+    }
+  }
+  return counts;
+}
+
+std::vector<PhysicalDiskId> PlacementPolicy::AssignmentSnapshot() const {
+  std::vector<PhysicalDiskId> snapshot;
+  snapshot.reserve(static_cast<size_t>(total_blocks_));
+  for (const auto& [id, x0] : objects_) {
+    for (size_t i = 0; i < x0.size(); ++i) {
+      snapshot.push_back(Locate(id, static_cast<BlockIndex>(i)));
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace scaddar

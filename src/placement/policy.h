@@ -1,0 +1,131 @@
+#ifndef SCADDAR_PLACEMENT_POLICY_H_
+#define SCADDAR_PLACEMENT_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/op_log.h"
+#include "core/scaling_op.h"
+#include "core/types.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// A placement policy is a concrete (RF(), AF()) pair: it decides where
+/// every block of every registered object lives, and how blocks relocate
+/// when the disk array scales. SCADDAR is one policy; the paper's
+/// alternatives (naive remap, complete redistribution, directory
+/// bookkeeping, round-robin striping) and the modern comparators (jump
+/// hash, consistent hashing) implement the same interface so the benches
+/// can run them side by side.
+///
+/// All policies share the scaling history (an `OpLog`) and the registered
+/// objects' `X0` streams; subclasses add whatever per-policy state their
+/// `AF()` needs (SCADDAR: none; directory: every block's location).
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  PlacementPolicy(const PlacementPolicy&) = delete;
+  PlacementPolicy& operator=(const PlacementPolicy&) = delete;
+
+  /// Stable policy name ("scaddar", "naive", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Registers an object and its per-block random numbers. Fails on
+  /// duplicate ids. Objects must be registered in the same order across
+  /// policies for movement comparisons to be meaningful.
+  Status AddObject(ObjectId id, std::vector<uint64_t> x0);
+
+  /// Deletes an object (its blocks simply stop existing — freeing space
+  /// needs no relocation under any policy). NotFound if absent.
+  Status RemoveObject(ObjectId id);
+
+  /// Applies scaling operation `j = log().num_ops() + 1` (Definition 3.3),
+  /// relocating blocks per the policy's redistribution function.
+  Status ApplyOp(const ScalingOp& op);
+
+  /// The access function `AF()`: the physical disk currently holding
+  /// `block` of `object` (which must be registered; checked).
+  virtual PhysicalDiskId Locate(ObjectId object, BlockIndex block) const = 0;
+
+  /// Scaling history (shared semantics across policies).
+  const OpLog& log() const { return log_; }
+  int64_t current_disks() const { return log_.current_disks(); }
+
+  /// Total registered blocks across all objects.
+  int64_t total_blocks() const { return total_blocks_; }
+
+  /// Number of registered objects.
+  int64_t num_objects() const { return static_cast<int64_t>(objects_.size()); }
+
+  /// Per-disk block counts, indexed like `log().physical_disks()` (i.e. by
+  /// live-disk position). O(total blocks) — calls Locate for every block.
+  std::vector<int64_t> PerDiskCounts() const;
+
+  /// Physical disk of every block in deterministic (registration order,
+  /// block index) order; two snapshots from different epochs diff into
+  /// movement stats.
+  std::vector<PhysicalDiskId> AssignmentSnapshot() const;
+
+  /// Registered objects (id, X0 values) in registration order — read-only
+  /// enumeration for migration and verification layers.
+  const std::vector<std::pair<ObjectId, std::vector<uint64_t>>>&
+  objects_view() const {
+    return objects_;
+  }
+
+  /// Number of blocks of a registered object (checked).
+  int64_t NumBlocksOf(ObjectId id) const;
+
+  /// Epoch at which the object was registered (checked). Epoch-aware
+  /// policies (SCADDAR, naive) start the object's remap chain there: an
+  /// object written after `j` scaling operations is initially placed as
+  /// `X0 mod N_j` and has no earlier history — this both matches how a
+  /// real server ingests new content and avoids burning random range on
+  /// operations that predate the object.
+  Epoch epoch_added(ObjectId id) const;
+
+ protected:
+  /// `n0` disks before any scaling operations (must be > 0; checked).
+  explicit PlacementPolicy(int64_t n0);
+
+  /// Starts from an explicit epoch-0 log (no operations yet; checked) —
+  /// used to rebuild placement over an existing array's physical ids after
+  /// a full redistribution.
+  explicit PlacementPolicy(OpLog initial_log);
+
+  /// Hook: called after an object's X0 vector is stored.
+  virtual Status OnObjectAdded(ObjectId id);
+
+  /// Hook: called before an object's state is dropped.
+  virtual Status OnObjectRemoved(ObjectId id);
+
+  /// Hook: called after `op` was validated and appended to the log; the
+  /// pre-op state is `log().physical_disks_at(log().num_ops() - 1)`.
+  virtual Status OnOp(const ScalingOp& op) = 0;
+
+  /// X0 values of a registered object (checked).
+  const std::vector<uint64_t>& x0_of(ObjectId id) const;
+
+  /// Registered objects in registration order.
+  const std::vector<std::pair<ObjectId, std::vector<uint64_t>>>& objects()
+      const {
+    return objects_;
+  }
+
+ private:
+  OpLog log_;
+  std::vector<std::pair<ObjectId, std::vector<uint64_t>>> objects_;
+  std::vector<Epoch> added_epoch_;  // Parallel to objects_.
+  std::unordered_map<ObjectId, size_t> object_index_;
+  int64_t total_blocks_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_POLICY_H_

@@ -1,0 +1,82 @@
+#include "placement/registry.h"
+
+#include "placement/consistent_hash_policy.h"
+#include "placement/directory_policy.h"
+#include "placement/jump_hash_policy.h"
+#include "placement/mod_policy.h"
+#include "placement/naive_policy.h"
+#include "placement/round_robin_policy.h"
+#include "placement/scaddar_policy.h"
+
+namespace scaddar {
+
+StatusOr<std::unique_ptr<PlacementPolicy>> MakePolicy(
+    std::string_view name, int64_t n0, const PolicyOptions& options) {
+  if (n0 <= 0) {
+    return InvalidArgumentError("initial disk count must be positive");
+  }
+  if (name == "scaddar") {
+    return std::unique_ptr<PlacementPolicy>(new ScaddarPolicy(n0));
+  }
+  if (name == "naive") {
+    return std::unique_ptr<PlacementPolicy>(new NaivePolicy(n0));
+  }
+  if (name == "mod") {
+    return std::unique_ptr<PlacementPolicy>(new ModPolicy(n0));
+  }
+  if (name == "directory") {
+    return std::unique_ptr<PlacementPolicy>(
+        new DirectoryPolicy(n0, options.seed));
+  }
+  if (name == "roundrobin") {
+    return std::unique_ptr<PlacementPolicy>(new RoundRobinPolicy(n0));
+  }
+  if (name == "jump") {
+    return std::unique_ptr<PlacementPolicy>(new JumpHashPolicy(n0));
+  }
+  if (name == "chash") {
+    return std::unique_ptr<PlacementPolicy>(
+        new ConsistentHashPolicy(n0, options.vnodes));
+  }
+  return NotFoundError("unknown placement policy");
+}
+
+StatusOr<std::unique_ptr<PlacementPolicy>> MakePolicyWithDisks(
+    std::string_view name, std::vector<PhysicalDiskId> disks,
+    const PolicyOptions& options) {
+  SCADDAR_ASSIGN_OR_RETURN(OpLog log,
+                           OpLog::CreateWithIds(std::move(disks)));
+  if (name == "scaddar") {
+    return std::unique_ptr<PlacementPolicy>(new ScaddarPolicy(std::move(log)));
+  }
+  if (name == "naive") {
+    return std::unique_ptr<PlacementPolicy>(new NaivePolicy(std::move(log)));
+  }
+  if (name == "mod") {
+    return std::unique_ptr<PlacementPolicy>(new ModPolicy(std::move(log)));
+  }
+  if (name == "directory") {
+    return std::unique_ptr<PlacementPolicy>(
+        new DirectoryPolicy(std::move(log), options.seed));
+  }
+  if (name == "roundrobin") {
+    return std::unique_ptr<PlacementPolicy>(
+        new RoundRobinPolicy(std::move(log)));
+  }
+  if (name == "jump") {
+    return std::unique_ptr<PlacementPolicy>(
+        new JumpHashPolicy(std::move(log)));
+  }
+  if (name == "chash") {
+    return std::unique_ptr<PlacementPolicy>(
+        new ConsistentHashPolicy(std::move(log), options.vnodes));
+  }
+  return NotFoundError("unknown placement policy");
+}
+
+std::vector<std::string_view> KnownPolicyNames() {
+  return {"scaddar", "naive", "mod", "directory", "roundrobin", "jump",
+          "chash"};
+}
+
+}  // namespace scaddar

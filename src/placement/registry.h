@@ -1,0 +1,35 @@
+#ifndef SCADDAR_PLACEMENT_REGISTRY_H_
+#define SCADDAR_PLACEMENT_REGISTRY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "placement/policy.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Knobs for stochastic / parameterized policies.
+struct PolicyOptions {
+  uint64_t seed = 0x5caddab10c5ull;  // Fresh randomness (directory policy).
+  int64_t vnodes = 64;               // Virtual nodes (consistent hashing).
+};
+
+/// Creates a policy by name: "scaddar", "naive", "mod", "directory",
+/// "roundrobin", "jump" or "chash". `n0` is the initial disk count.
+StatusOr<std::unique_ptr<PlacementPolicy>> MakePolicy(
+    std::string_view name, int64_t n0, const PolicyOptions& options = {});
+
+/// As `MakePolicy`, but epoch 0 addresses the given existing physical disks
+/// (full-redistribution restarts).
+StatusOr<std::unique_ptr<PlacementPolicy>> MakePolicyWithDisks(
+    std::string_view name, std::vector<PhysicalDiskId> disks,
+    const PolicyOptions& options = {});
+
+/// All registered policy names, in canonical bench order.
+std::vector<std::string_view> KnownPolicyNames();
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_REGISTRY_H_

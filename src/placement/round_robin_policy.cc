@@ -1,0 +1,26 @@
+#include "placement/round_robin_policy.h"
+
+namespace scaddar {
+
+Status RoundRobinPolicy::OnObjectAdded(ObjectId id) {
+  offsets_[id] = next_offset_++;
+  return OkStatus();
+}
+
+Status RoundRobinPolicy::OnOp(const ScalingOp& /*op*/) {
+  // Re-striping is implicit: Locate always stripes over the current count.
+  return OkStatus();
+}
+
+PhysicalDiskId RoundRobinPolicy::Locate(ObjectId object,
+                                        BlockIndex block) const {
+  const auto it = offsets_.find(object);
+  SCADDAR_CHECK(it != offsets_.end());
+  SCADDAR_CHECK(block >= 0 &&
+                block < static_cast<BlockIndex>(x0_of(object).size()));
+  const int64_t n = current_disks();
+  const int64_t slot = (it->second + block) % n;
+  return log().physical_disks()[static_cast<size_t>(slot)];
+}
+
+}  // namespace scaddar

@@ -1,0 +1,37 @@
+#ifndef SCADDAR_PLACEMENT_ROUND_ROBIN_POLICY_H_
+#define SCADDAR_PLACEMENT_ROUND_ROBIN_POLICY_H_
+
+#include <unordered_map>
+
+#include "placement/policy.h"
+
+namespace scaddar {
+
+/// The constrained-placement baseline the paper's Section 1/2 argues
+/// against: classic round-robin striping ([2], [8]). Block `i` of an object
+/// with stripe offset `o` lives on slot `(o + i) mod Nj`. Retrieval needs no
+/// directory, but when the disk count changes *almost every block moves* —
+/// the re-striping cost that motivates randomized placement.
+class RoundRobinPolicy final : public PlacementPolicy {
+ public:
+  explicit RoundRobinPolicy(int64_t n0) : PlacementPolicy(n0) {}
+  explicit RoundRobinPolicy(OpLog initial_log)
+      : PlacementPolicy(std::move(initial_log)) {}
+
+  std::string_view name() const override { return "roundrobin"; }
+
+  PhysicalDiskId Locate(ObjectId object, BlockIndex block) const override;
+
+ protected:
+  Status OnObjectAdded(ObjectId id) override;
+  Status OnOp(const ScalingOp& op) override;
+
+ private:
+  // First-block stripe offset per object (spreads object starts evenly).
+  std::unordered_map<ObjectId, int64_t> offsets_;
+  int64_t next_offset_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_ROUND_ROBIN_POLICY_H_

@@ -1,0 +1,29 @@
+#include "placement/scaddar_policy.h"
+
+namespace scaddar {
+
+PhysicalDiskId ScaddarPolicy::Locate(ObjectId object,
+                                     BlockIndex block) const {
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  SCADDAR_CHECK(block >= 0 &&
+                block < static_cast<BlockIndex>(x0.size()));
+  const Mapper mapper(&log());
+  return mapper.PhysicalBetween(x0[static_cast<size_t>(block)],
+                                epoch_added(object), log().num_ops());
+}
+
+DiskSlot ScaddarPolicy::LocateSlot(ObjectId object, BlockIndex block) const {
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  SCADDAR_CHECK(block >= 0 &&
+                block < static_cast<BlockIndex>(x0.size()));
+  const Mapper mapper(&log());
+  return mapper.SlotBetween(x0[static_cast<size_t>(block)],
+                            epoch_added(object), log().num_ops());
+}
+
+Status ScaddarPolicy::OnOp(const ScalingOp& /*op*/) {
+  // SCADDAR needs no per-block state: the op log is the whole RF() record.
+  return OkStatus();
+}
+
+}  // namespace scaddar

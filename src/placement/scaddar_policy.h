@@ -1,0 +1,36 @@
+#ifndef SCADDAR_PLACEMENT_SCADDAR_POLICY_H_
+#define SCADDAR_PLACEMENT_SCADDAR_POLICY_H_
+
+#include "core/mapper.h"
+#include "placement/policy.h"
+
+namespace scaddar {
+
+/// The paper's contribution as a placement policy. Completely stateless
+/// beyond the shared op log: `Locate` replays the REMAP chain from the
+/// block's `X0` (AO1), and scaling operations need no per-block bookkeeping.
+///
+/// Objects are epoch-aware: one registered after `j` scaling operations
+/// starts its chain at epoch `j` (initial placement `X0 mod N_j`), so late
+/// objects neither replay history that predates them nor burn random range
+/// on it.
+class ScaddarPolicy final : public PlacementPolicy {
+ public:
+  explicit ScaddarPolicy(int64_t n0) : PlacementPolicy(n0) {}
+  explicit ScaddarPolicy(OpLog initial_log)
+      : PlacementPolicy(std::move(initial_log)) {}
+
+  std::string_view name() const override { return "scaddar"; }
+
+  PhysicalDiskId Locate(ObjectId object, BlockIndex block) const override;
+
+  /// Logical slot variant (exposed for tests and the Figure 1 walkthrough).
+  DiskSlot LocateSlot(ObjectId object, BlockIndex block) const;
+
+ protected:
+  Status OnOp(const ScalingOp& op) override;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_SCADDAR_POLICY_H_

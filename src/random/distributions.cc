@@ -1,0 +1,144 @@
+#include "random/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+namespace {
+
+// Lemire's nearly-divisionless unbiased bounded sampling for full-width
+// 64-bit generators.
+uint64_t UniformUint64From64(Prng& prng, uint64_t bound) {
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(prng.Next()) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      m = static_cast<unsigned __int128>(prng.Next()) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+}  // namespace
+
+uint64_t UniformUint64(Prng& prng, uint64_t bound) {
+  SCADDAR_CHECK(bound > 0);
+  if (prng.bits() == 64) {
+    return UniformUint64From64(prng, bound);
+  }
+  const uint64_t span = prng.max() + 1;  // bits() < 64, so no overflow.
+  SCADDAR_CHECK(bound <= span);
+  const uint64_t limit = span - span % bound;
+  uint64_t value = prng.Next();
+  while (value >= limit) {
+    value = prng.Next();
+  }
+  return value % bound;
+}
+
+double UniformDouble(Prng& prng) {
+  uint64_t mantissa;
+  if (prng.bits() >= 53) {
+    mantissa = prng.Next() >> (prng.bits() - 53);
+  } else {
+    // Stitch two draws for narrow generators.
+    const int low_bits = 53 - prng.bits();
+    mantissa = (prng.Next() << low_bits) |
+               (prng.Next() & ((uint64_t{1} << low_bits) - 1));
+  }
+  return static_cast<double>(mantissa) * 0x1.0p-53;
+}
+
+bool Bernoulli(Prng& prng, double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return UniformDouble(prng) < p;
+}
+
+double ExponentialSample(Prng& prng, double lambda) {
+  SCADDAR_CHECK(lambda > 0.0);
+  // 1 - U is in (0, 1], so the log argument is never zero.
+  return -std::log(1.0 - UniformDouble(prng)) / lambda;
+}
+
+int64_t PoissonSample(Prng& prng, double mean) {
+  SCADDAR_CHECK(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // workload generator's arrival batching.
+    const double u1 = UniformDouble(prng);
+    const double u2 = UniformDouble(prng);
+    const double z = std::sqrt(-2.0 * std::log(1.0 - u1)) *
+                     std::cos(2.0 * M_PI * u2);
+    const double value = mean + std::sqrt(mean) * z + 0.5;
+    return value <= 0.0 ? 0 : static_cast<int64_t>(value);
+  }
+  const double limit = std::exp(-mean);
+  int64_t count = -1;
+  double product = 1.0;
+  do {
+    ++count;
+    product *= UniformDouble(prng);
+  } while (product > limit);
+  return count;
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double theta) : theta_(theta) {
+  SCADDAR_CHECK(n > 0);
+  SCADDAR_CHECK(theta >= 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), theta);
+    cdf_[static_cast<size_t>(rank)] = total;
+  }
+  for (double& value : cdf_) {
+    value /= total;
+  }
+  cdf_.back() = 1.0;  // Guard against accumulated rounding.
+}
+
+int64_t ZipfDistribution::Sample(Prng& prng) const {
+  const double u = UniformDouble(prng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? static_cast<int64_t>(cdf_.size()) - 1
+                          : static_cast<int64_t>(it - cdf_.begin());
+}
+
+std::vector<int64_t> SampleWithoutReplacement(Prng& prng, int64_t n,
+                                              int64_t k) {
+  SCADDAR_CHECK(n >= 0);
+  SCADDAR_CHECK(k >= 0 && k <= n);
+  // Floyd's algorithm: for j in [n-k, n), pick t uniform in [0, j]; insert t
+  // unless already present, else insert j.
+  std::unordered_set<int64_t> chosen;
+  std::vector<int64_t> result;
+  result.reserve(static_cast<size_t>(k));
+  for (int64_t j = n - k; j < n; ++j) {
+    const int64_t t = static_cast<int64_t>(
+        UniformUint64(prng, static_cast<uint64_t>(j) + 1));
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,66 @@
+#ifndef SCADDAR_RANDOM_DISTRIBUTIONS_H_
+#define SCADDAR_RANDOM_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/prng.h"
+
+namespace scaddar {
+
+/// Returns an unbiased uniform integer in `[0, bound)`. `bound` must be > 0
+/// and, for generators narrower than 64 bits, at most the generator's range
+/// (both checked). Uses Lemire's multiply-shift rejection for 64-bit
+/// generators and classic modulo rejection otherwise — no modulo bias, which
+/// matters because the whole paper is about preserving uniformity.
+uint64_t UniformUint64(Prng& prng, uint64_t bound);
+
+/// Returns a uniform double in [0, 1) with 53 random bits.
+double UniformDouble(Prng& prng);
+
+/// Returns true with probability `p` (clamped to [0, 1]).
+bool Bernoulli(Prng& prng, double p);
+
+/// Samples an exponential with rate `lambda` (> 0, checked).
+double ExponentialSample(Prng& prng, double lambda);
+
+/// Samples a Poisson with the given mean (>= 0, checked). Uses Knuth's
+/// method for small means and a normal approximation above 64.
+int64_t PoissonSample(Prng& prng, double mean);
+
+/// Zipf distribution over ranks `0..n-1` with exponent `theta` (theta == 0
+/// is uniform; ~0.729 is the classic video-on-demand popularity skew).
+/// Sampling is O(log n) by binary search over the precomputed CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double theta);
+
+  /// Returns a rank in [0, n); rank 0 is the most popular.
+  int64_t Sample(Prng& prng) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+/// Returns `k` distinct indices drawn uniformly from `[0, n)` (Floyd's
+/// algorithm, O(k) expected). Requires 0 <= k <= n.
+std::vector<int64_t> SampleWithoutReplacement(Prng& prng, int64_t n,
+                                              int64_t k);
+
+/// Fisher-Yates shuffle of `values` in place.
+template <typename T>
+void Shuffle(Prng& prng, std::vector<T>& values) {
+  for (size_t i = values.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(UniformUint64(prng, i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_RANDOM_DISTRIBUTIONS_H_

@@ -1,0 +1,24 @@
+#include "random/lcg48.h"
+
+namespace scaddar {
+
+namespace {
+constexpr uint64_t kMask48 = (uint64_t{1} << 48) - 1;
+constexpr uint64_t kMultiplier = 0x5deece66dull;
+constexpr uint64_t kIncrement = 0xbull;
+}  // namespace
+
+Lcg48::Lcg48(uint64_t seed) : state_(seed & kMask48) {}
+
+uint64_t Lcg48::Next() {
+  state_ = (state_ * kMultiplier + kIncrement) & kMask48;
+  return state_;
+}
+
+std::unique_ptr<Prng> Lcg48::Clone() const {
+  auto clone = std::make_unique<Lcg48>(0);
+  clone->state_ = state_;
+  return clone;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,32 @@
+#ifndef SCADDAR_RANDOM_LCG48_H_
+#define SCADDAR_RANDOM_LCG48_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "random/prng.h"
+
+namespace scaddar {
+
+/// A 48-bit linear congruential generator using the drand48 constants
+/// (a = 0x5deece66d, c = 0xb, modulus 2^48). Included because classic CM
+/// server implementations of the paper's era used exactly this family; its
+/// weaker low-order bits make it a useful stress case for the uniformity
+/// tests (SCADDAR consumes the random number's *quotient*, i.e. high bits,
+/// which is the well-conditioned part of an LCG).
+class Lcg48 final : public Prng {
+ public:
+  explicit Lcg48(uint64_t seed);
+
+  uint64_t Next() override;
+  int bits() const override { return 48; }
+  std::unique_ptr<Prng> Clone() const override;
+  std::string_view name() const override { return "lcg48"; }
+
+ private:
+  uint64_t state_;  // Only the low 48 bits are meaningful.
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_RANDOM_LCG48_H_

@@ -1,0 +1,37 @@
+#include "random/pcg32.h"
+
+#include "random/splitmix64.h"
+
+namespace scaddar {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ull;
+}  // namespace
+
+Pcg32::Pcg32(uint64_t seed) {
+  // Standard pcg32_srandom initialization: derive state and stream from the
+  // seed via the SplitMix finalizer so nearby seeds give unrelated streams.
+  inc_ = (Mix64(seed ^ 0xda3e39cb94b95bdbull) << 1u) | 1u;
+  state_ = 0;
+  Next();
+  state_ += Mix64(seed);
+  Next();
+}
+
+uint64_t Pcg32::Next() {
+  const uint64_t old_state = state_;
+  state_ = old_state * kPcgMultiplier + inc_;
+  const uint32_t xorshifted =
+      static_cast<uint32_t>(((old_state >> 18u) ^ old_state) >> 27u);
+  const uint32_t rot = static_cast<uint32_t>(old_state >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::unique_ptr<Prng> Pcg32::Clone() const {
+  std::unique_ptr<Pcg32> clone(new Pcg32());
+  clone->state_ = state_;
+  clone->inc_ = inc_;
+  return clone;
+}
+
+}  // namespace scaddar

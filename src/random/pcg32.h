@@ -1,0 +1,32 @@
+#ifndef SCADDAR_RANDOM_PCG32_H_
+#define SCADDAR_RANDOM_PCG32_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "random/prng.h"
+
+namespace scaddar {
+
+/// PCG-XSH-RR 64/32 (O'Neill 2014): 32 bits of output per step. Matches the
+/// paper's Section 5 experiments which use a 32-bit generator (`b = 32`),
+/// making the range-shrinkage threshold reachable in ~8 operations.
+class Pcg32 final : public Prng {
+ public:
+  explicit Pcg32(uint64_t seed);
+
+  uint64_t Next() override;
+  int bits() const override { return 32; }
+  std::unique_ptr<Prng> Clone() const override;
+  std::string_view name() const override { return "pcg32"; }
+
+ private:
+  Pcg32() = default;
+
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;  // Stream selector; always odd.
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_RANDOM_PCG32_H_

@@ -1,0 +1,55 @@
+#include "random/prng.h"
+
+#include "random/lcg48.h"
+#include "random/pcg32.h"
+#include "random/splitmix64.h"
+#include "random/xoshiro256.h"
+
+namespace scaddar {
+
+std::unique_ptr<Prng> MakePrng(PrngKind kind, uint64_t seed) {
+  switch (kind) {
+    case PrngKind::kSplitMix64:
+      return std::make_unique<SplitMix64>(seed);
+    case PrngKind::kXoshiro256:
+      return std::make_unique<Xoshiro256>(seed);
+    case PrngKind::kLcg48:
+      return std::make_unique<Lcg48>(seed);
+    case PrngKind::kPcg32:
+      return std::make_unique<Pcg32>(seed);
+  }
+  SCADDAR_CHECK(false);
+  return nullptr;
+}
+
+StatusOr<PrngKind> PrngKindFromName(std::string_view name) {
+  if (name == "splitmix64") {
+    return PrngKind::kSplitMix64;
+  }
+  if (name == "xoshiro256") {
+    return PrngKind::kXoshiro256;
+  }
+  if (name == "lcg48") {
+    return PrngKind::kLcg48;
+  }
+  if (name == "pcg32") {
+    return PrngKind::kPcg32;
+  }
+  return InvalidArgumentError("unknown PRNG name");
+}
+
+std::string_view PrngKindName(PrngKind kind) {
+  switch (kind) {
+    case PrngKind::kSplitMix64:
+      return "splitmix64";
+    case PrngKind::kXoshiro256:
+      return "xoshiro256";
+    case PrngKind::kLcg48:
+      return "lcg48";
+    case PrngKind::kPcg32:
+      return "pcg32";
+  }
+  return "unknown";
+}
+
+}  // namespace scaddar

@@ -1,0 +1,67 @@
+#ifndef SCADDAR_RANDOM_PRNG_H_
+#define SCADDAR_RANDOM_PRNG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "util/intmath.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// The paper's `p_r(s)` (Definition 3.1/3.2): a seeded pseudo-random
+/// generator whose output sequence is fully reproducible from the seed.
+/// Every iteration returns the next b-bit value in `[0, 2^b - 1]`, where
+/// `b == bits()` is a property of the concrete generator.
+///
+/// Implementations must be deterministic: two instances constructed with the
+/// same seed produce identical sequences, which is what lets a CM server
+/// regenerate block locations without a directory.
+class Prng {
+ public:
+  virtual ~Prng() = default;
+
+  Prng(const Prng&) = delete;
+  Prng& operator=(const Prng&) = delete;
+
+  /// Returns the next value in the pseudo-random sequence.
+  virtual uint64_t Next() = 0;
+
+  /// Number of random bits per output (the paper's `b`).
+  virtual int bits() const = 0;
+
+  /// Copies the generator including its current position in the sequence.
+  virtual std::unique_ptr<Prng> Clone() const = 0;
+
+  /// Stable generator name for registries and bench labels.
+  virtual std::string_view name() const = 0;
+
+  /// The paper's `R = 2^b - 1`: the largest value `Next()` can return.
+  uint64_t max() const { return MaxRandomForBits(bits()); }
+
+ protected:
+  Prng() = default;
+};
+
+/// Identifies a concrete generator for `MakePrng` and the policy registry.
+enum class PrngKind {
+  kSplitMix64,   // 64-bit, default
+  kXoshiro256,   // 64-bit
+  kLcg48,        // 48-bit (drand48-style linear congruential)
+  kPcg32,        // 32-bit (matches the paper's Section 5 setting b=32)
+};
+
+/// Constructs a generator of `kind` seeded with `seed`.
+std::unique_ptr<Prng> MakePrng(PrngKind kind, uint64_t seed);
+
+/// Parses a generator name ("splitmix64", "xoshiro256", "lcg48", "pcg32").
+StatusOr<PrngKind> PrngKindFromName(std::string_view name);
+
+/// Returns the canonical name of `kind`.
+std::string_view PrngKindName(PrngKind kind);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_RANDOM_PRNG_H_

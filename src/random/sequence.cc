@@ -1,0 +1,67 @@
+#include "random/sequence.h"
+
+#include <utility>
+
+#include "random/splitmix64.h"
+
+namespace scaddar {
+
+StatusOr<X0Sequence> X0Sequence::Create(PrngKind kind, uint64_t seed,
+                                        int bits) {
+  if (bits < 1 || bits > 64) {
+    return InvalidArgumentError("bits must be in [1, 64]");
+  }
+  X0Sequence seq(kind, seed, bits);
+  if (bits > seq.prng_->bits()) {
+    return InvalidArgumentError("bits exceeds generator output width");
+  }
+  return seq;
+}
+
+X0Sequence::X0Sequence(PrngKind kind, uint64_t seed, int bits)
+    : kind_(kind), seed_(seed), bits_(bits), prng_(MakePrng(kind, seed)) {}
+
+X0Sequence::X0Sequence(const X0Sequence& other)
+    : kind_(other.kind_),
+      seed_(other.seed_),
+      bits_(other.bits_),
+      prng_(other.prng_->Clone()) {}
+
+X0Sequence& X0Sequence::operator=(const X0Sequence& other) {
+  if (this != &other) {
+    kind_ = other.kind_;
+    seed_ = other.seed_;
+    bits_ = other.bits_;
+    prng_ = other.prng_->Clone();
+  }
+  return *this;
+}
+
+uint64_t X0Sequence::Next() { return prng_->Next() & max_value(); }
+
+void X0Sequence::Reset() { prng_ = MakePrng(kind_, seed_); }
+
+std::vector<uint64_t> X0Sequence::Materialize(int64_t n) const {
+  SCADDAR_CHECK(n >= 0);
+  std::unique_ptr<Prng> fresh = MakePrng(kind_, seed_);
+  std::vector<uint64_t> values;
+  values.reserve(static_cast<size_t>(n));
+  const uint64_t mask = max_value();
+  for (int64_t i = 0; i < n; ++i) {
+    values.push_back(fresh->Next() & mask);
+  }
+  return values;
+}
+
+CounterSequence::CounterSequence(uint64_t seed, int bits)
+    : seed_(seed), bits_(bits) {
+  SCADDAR_CHECK(bits >= 1 && bits <= 64);
+}
+
+uint64_t CounterSequence::At(int64_t i) const {
+  SCADDAR_CHECK(i >= 0);
+  return Mix64(seed_ ^ (static_cast<uint64_t>(i) * 0xd1342543de82ef95ull)) &
+         max_value();
+}
+
+}  // namespace scaddar

@@ -1,0 +1,32 @@
+#include "random/splitmix64.h"
+
+namespace scaddar {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixSeeds(uint64_t a, uint64_t b) {
+  // Feed both words through the finalizer with distinct round constants so
+  // MixSeeds(a, b) != MixSeeds(b, a) in general.
+  return Mix64(Mix64(a) ^ (b + 0x9e3779b97f4a7c15ull));
+}
+
+uint64_t SplitMix64::Next() {
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::unique_ptr<Prng> SplitMix64::Clone() const {
+  auto clone = std::make_unique<SplitMix64>(0);
+  clone->state_ = state_;
+  return clone;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,43 @@
+#include "random/xoshiro256.h"
+
+#include "random/splitmix64.h"
+
+namespace scaddar {
+
+namespace {
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 seeder(seed);
+  for (uint64_t& word : state_) {
+    word = seeder.Next();
+  }
+  // The all-zero state is invalid (fixed point). SplitMix64 output makes it
+  // astronomically unlikely, but guard anyway for adversarial seeds.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ull;
+  }
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+std::unique_ptr<Prng> Xoshiro256::Clone() const {
+  auto clone = std::make_unique<Xoshiro256>(0);
+  clone->state_ = state_;
+  return clone;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,30 @@
+#ifndef SCADDAR_RANDOM_XOSHIRO256_H_
+#define SCADDAR_RANDOM_XOSHIRO256_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "random/prng.h"
+
+namespace scaddar {
+
+/// xoshiro256** 1.0 (Blackman, Vigna 2018): 64 bits of output per step,
+/// period 2^256 - 1. State is expanded from the seed with SplitMix64 as the
+/// authors recommend.
+class Xoshiro256 final : public Prng {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t Next() override;
+  int bits() const override { return 64; }
+  std::unique_ptr<Prng> Clone() const override;
+  std::string_view name() const override { return "xoshiro256"; }
+
+ private:
+  std::array<uint64_t, 4> state_ = {};
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_RANDOM_XOSHIRO256_H_

@@ -1,0 +1,30 @@
+#include "server/admission.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+AdmissionController::AdmissionController(double utilization_cap)
+    : utilization_cap_(utilization_cap) {
+  SCADDAR_CHECK(utilization_cap > 0.0 && utilization_cap <= 1.0);
+}
+
+int64_t AdmissionController::CapacityFor(int64_t total_bandwidth) const {
+  return static_cast<int64_t>(
+      std::floor(utilization_cap_ * static_cast<double>(total_bandwidth)));
+}
+
+bool AdmissionController::Admit(int64_t active_load, int64_t stream_rate,
+                                int64_t total_bandwidth) {
+  SCADDAR_CHECK(stream_rate >= 1);
+  if (active_load + stream_rate <= CapacityFor(total_bandwidth)) {
+    ++admitted_;
+    return true;
+  }
+  ++rejected_;
+  return false;
+}
+
+}  // namespace scaddar

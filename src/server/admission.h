@@ -1,0 +1,39 @@
+#ifndef SCADDAR_SERVER_ADMISSION_H_
+#define SCADDAR_SERVER_ADMISSION_H_
+
+#include <cstdint>
+
+namespace scaddar {
+
+/// Bandwidth-based admission control: a stream consumes `rate` blocks per
+/// round, so the server can commit at most `utilization_cap *
+/// total_bandwidth` blocks/round of aggregate stream load (the headroom
+/// absorbs load imbalance and reorganization traffic). Statistical rather
+/// than deterministic admission is the price/benefit of random placement
+/// (Section 2).
+class AdmissionController {
+ public:
+  /// `utilization_cap` in (0, 1] (checked).
+  explicit AdmissionController(double utilization_cap);
+
+  /// Decides whether a stream of `stream_rate` blocks/round fits on top of
+  /// the currently committed `active_load`; updates counters.
+  bool Admit(int64_t active_load, int64_t stream_rate,
+             int64_t total_bandwidth);
+
+  /// The largest committed load (blocks/round) the controller allows.
+  int64_t CapacityFor(int64_t total_bandwidth) const;
+
+  int64_t admitted() const { return admitted_; }
+  int64_t rejected() const { return rejected_; }
+  double utilization_cap() const { return utilization_cap_; }
+
+ private:
+  double utilization_cap_;
+  int64_t admitted_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_ADMISSION_H_

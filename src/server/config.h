@@ -1,0 +1,48 @@
+#ifndef SCADDAR_SERVER_CONFIG_H_
+#define SCADDAR_SERVER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "random/prng.h"
+#include "storage/disk.h"
+
+namespace scaddar {
+
+/// Configuration of the simulated continuous media server. The simulation
+/// is round-based: one round is the playback time of one block, each active
+/// stream consumes one block per round, and each disk retrieves
+/// `bandwidth_blocks_per_round` blocks per round.
+struct ServerConfig {
+  /// Disks before any scaling operations (the paper's N0).
+  int64_t initial_disks = 8;
+
+  /// Hardware model for newly added disks.
+  DiskSpec disk_spec = {.capacity_blocks = 200'000,
+                        .bandwidth_blocks_per_round = 8};
+
+  /// Placement policy name from the registry ("scaddar", "directory", ...).
+  std::string policy = "scaddar";
+
+  /// Pseudo-random generator family and bit width `b` for `p_r(s_m)`.
+  PrngKind prng_kind = PrngKind::kSplitMix64;
+  int bits = 64;
+
+  /// Master seed; per-object seeds derive from it.
+  uint64_t master_seed = 0x5caddae0'0b10c5ull;
+
+  /// Lemma 4.3 tolerance: the largest acceptable unfairness coefficient.
+  double tolerance_eps = 0.05;
+
+  /// Fraction of aggregate disk bandwidth admission control may commit to
+  /// streams; the rest is headroom for seeks and reorganization.
+  double admission_utilization_cap = 0.85;
+
+  /// Upper bound on migration transfers charged to any single disk per
+  /// round *in addition to* leftover service bandwidth (0 = only leftover).
+  int64_t migration_extra_budget = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_CONFIG_H_

@@ -1,0 +1,334 @@
+#include "server/ha_server.h"
+
+#include <algorithm>
+
+namespace scaddar {
+
+HaCmServer::HaCmServer(const HaServerConfig& config)
+    : config_(config),
+      catalog_(config.base.master_seed, config.base.prng_kind,
+               config.base.bits),
+      disks_(config.base.disk_spec),
+      admission_(config.base.admission_utilization_cap) {}
+
+StatusOr<std::unique_ptr<HaCmServer>> HaCmServer::Create(
+    const HaServerConfig& config) {
+  if (config.replicas < 2) {
+    return InvalidArgumentError("HA server needs >= 2 replicas");
+  }
+  if (config.base.initial_disks < config.replicas) {
+    return InvalidArgumentError(
+        "need at least as many disks as replicas");
+  }
+  std::unique_ptr<HaCmServer> server(new HaCmServer(config));
+  server->policy_ =
+      std::make_unique<ScaddarPolicy>(config.base.initial_disks);
+  server->replication_ = std::make_unique<ReplicatedPlacement>(
+      server->policy_.get(), config.replicas);
+  SCADDAR_RETURN_IF_ERROR(
+      server->disks_.SyncLiveSet(server->policy_->log().physical_disks()));
+  return server;
+}
+
+PhysicalDiskId HaCmServer::TargetOf(BlockRef ref, int64_t replica) const {
+  const auto replicas =
+      static_cast<int64_t>(copies_.at(ref.object).size());
+  SCADDAR_DCHECK(replica >= 0 && replica < replicas);
+  const int64_t n = policy_->current_disks();
+  const DiskSlot primary = policy_->LocateSlot(ref.object, ref.block);
+  const int64_t offset =
+      replicas >= 2
+          ? ReplicatedPlacement::ReplicaOffset(n, replicas, replica)
+          : 0;
+  const DiskSlot slot = (primary + offset) % n;
+  return policy_->log().physical_disks()[static_cast<size_t>(slot)];
+}
+
+StatusOr<PhysicalDiskId> HaCmServer::CopyLocation(BlockRef ref,
+                                                  int64_t replica) const {
+  const auto it = copies_.find(ref.object);
+  if (it == copies_.end()) {
+    return NotFoundError("object not materialized");
+  }
+  if (replica < 0 ||
+      replica >= static_cast<int64_t>(it->second.size())) {
+    return OutOfRangeError("replica index out of range");
+  }
+  const std::vector<PhysicalDiskId>& locations =
+      it->second[static_cast<size_t>(replica)];
+  if (ref.block < 0 ||
+      ref.block >= static_cast<BlockIndex>(locations.size())) {
+    return OutOfRangeError("block index out of range");
+  }
+  return locations[static_cast<size_t>(ref.block)];
+}
+
+Status HaCmServer::AddObject(ObjectId id, int64_t num_blocks,
+                             int64_t bitrate_weight, int64_t replicas) {
+  if (replicas == 0) {
+    replicas = config_.replicas;
+  }
+  if (replicas < 1 || replicas > policy_->current_disks()) {
+    return InvalidArgumentError(
+        "replica count must be in [1, current disks]");
+  }
+  SCADDAR_RETURN_IF_ERROR(catalog_.AddObject(id, num_blocks, bitrate_weight));
+  SCADDAR_ASSIGN_OR_RETURN(std::vector<uint64_t> x0,
+                           catalog_.MaterializeX0(id));
+  SCADDAR_RETURN_IF_ERROR(policy_->AddObject(id, std::move(x0)));
+  std::vector<std::vector<PhysicalDiskId>>& object_copies = copies_[id];
+  object_copies.resize(static_cast<size_t>(replicas));
+  for (int64_t r = 0; r < replicas; ++r) {
+    std::vector<PhysicalDiskId>& locations =
+        object_copies[static_cast<size_t>(r)];
+    locations.reserve(static_cast<size_t>(num_blocks));
+    for (BlockIndex i = 0; i < num_blocks; ++i) {
+      const PhysicalDiskId disk = TargetOf({id, i}, r);
+      locations.push_back(disk);
+      disks_.GetDisk(disk).value()->AddBlocks(1);
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<int64_t> HaCmServer::StartStream(ObjectId object) {
+  SCADDAR_ASSIGN_OR_RETURN(const CmObject meta, catalog_.GetObject(object));
+  int64_t active_load = 0;
+  for (const Stream& stream : streams_) {
+    active_load += stream.rate();
+  }
+  int64_t live_bandwidth = 0;
+  for (const PhysicalDiskId id : policy_->log().physical_disks()) {
+    live_bandwidth +=
+        disks_.GetDisk(id).value()->spec().bandwidth_blocks_per_round;
+  }
+  if (!admission_.Admit(active_load, meta.bitrate_weight, live_bandwidth)) {
+    return ResourceExhaustedError("admission control rejected the stream");
+  }
+  const int64_t id = next_stream_id_++;
+  streams_.emplace_back(id, object, meta.num_blocks, round_,
+                        meta.bitrate_weight);
+  return id;
+}
+
+Status HaCmServer::ScaleAdd(int64_t count) {
+  SCADDAR_ASSIGN_OR_RETURN(const ScalingOp op, ScalingOp::Add(count));
+  SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(op));
+  SCADDAR_RETURN_IF_ERROR(
+      disks_.SyncLiveSet(policy_->log().physical_disks()));
+  EnqueueReconciliation();
+  return OkStatus();
+}
+
+Status HaCmServer::FailDisk(PhysicalDiskId disk) {
+  if (failed_.contains(disk)) {
+    return FailedPreconditionError("disk already failed");
+  }
+  const std::vector<PhysicalDiskId>& live = policy_->log().physical_disks();
+  const auto it = std::find(live.begin(), live.end(), disk);
+  if (it == live.end()) {
+    return NotFoundError("disk is not part of the placement");
+  }
+  if (static_cast<int64_t>(live.size()) - 1 < config_.replicas) {
+    return FailedPreconditionError(
+        "failing this disk would leave fewer disks than replicas");
+  }
+  const auto slot = static_cast<DiskSlot>(it - live.begin());
+  SCADDAR_ASSIGN_OR_RETURN(const ScalingOp op, ScalingOp::Remove({slot}));
+  SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(op));
+  failed_.insert(disk);
+  // The dead disk's occupancy is gone with it; reset the counter so the
+  // array can retire it.
+  std::vector<PhysicalDiskId> still_live = policy_->log().physical_disks();
+  SimDisk* dead = disks_.GetDisk(disk).value();
+  dead->RemoveBlocks(dead->num_blocks());
+  SCADDAR_RETURN_IF_ERROR(disks_.SyncLiveSet(still_live));
+  EnqueueReconciliation();
+  return OkStatus();
+}
+
+void HaCmServer::EnqueueReconciliation() {
+  for (const auto& [id, object_copies] : copies_) {
+    const auto replicas = static_cast<int64_t>(object_copies.size());
+    for (int64_t r = 0; r < replicas; ++r) {
+      const std::vector<PhysicalDiskId>& locations =
+          object_copies[static_cast<size_t>(r)];
+      for (size_t i = 0; i < locations.size(); ++i) {
+        const BlockRef ref{id, static_cast<BlockIndex>(i)};
+        if (locations[i] != TargetOf(ref, r) ||
+            failed_.contains(locations[i])) {
+          repair_queue_.push_back(CopyRef{ref, r});
+        }
+      }
+    }
+  }
+}
+
+StatusOr<PhysicalDiskId> HaCmServer::HealthySource(BlockRef ref) const {
+  const auto it = copies_.find(ref.object);
+  SCADDAR_CHECK(it != copies_.end());
+  for (const std::vector<PhysicalDiskId>& locations : it->second) {
+    const PhysicalDiskId disk = locations[static_cast<size_t>(ref.block)];
+    if (!failed_.contains(disk)) {
+      return disk;
+    }
+  }
+  return NotFoundError("no healthy copy of the block survives");
+}
+
+HaRoundMetrics HaCmServer::Tick() {
+  HaRoundMetrics metrics;
+  metrics.round = round_;
+  metrics.active_streams = active_streams();
+
+  // Per-disk bandwidth budgets (failed disks serve nothing).
+  std::unordered_map<PhysicalDiskId, int64_t> budget;
+  for (const PhysicalDiskId id : disks_.live_ids()) {
+    if (!failed_.contains(id)) {
+      budget[id] =
+          disks_.GetDisk(id).value()->spec().bandwidth_blocks_per_round;
+    }
+  }
+
+  // --- Serve streams, falling back across replicas. ---------------------
+  for (Stream& stream : streams_) {
+    if (stream.finished() || stream.paused()) {
+      continue;
+    }
+    for (int64_t k = 0; k < stream.rate() && !stream.finished(); ++k) {
+      ++metrics.requests;
+      const BlockRef ref = stream.NextBlockRef();
+      // Try copies in replica-priority order; a copy is readable if its
+      // *materialized* disk is healthy and has budget left.
+      bool served = false;
+      bool degraded = false;
+      const auto& object_copies = copies_.at(ref.object);
+      const auto replicas = static_cast<int64_t>(object_copies.size());
+      for (int64_t r = 0; r < replicas; ++r) {
+        const PhysicalDiskId disk =
+            object_copies[static_cast<size_t>(r)]
+                         [static_cast<size_t>(ref.block)];
+        if (failed_.contains(disk)) {
+          degraded = true;
+          continue;
+        }
+        const auto it = budget.find(disk);
+        if (it == budget.end() || it->second <= 0) {
+          continue;  // Busy disk; try the next replica.
+        }
+        --it->second;
+        disks_.GetDisk(disk).value()->RecordServedRequests(1);
+        stream.DeliverBlock();
+        ++metrics.served;
+        metrics.served_degraded += (degraded || r > 0) ? 1 : 0;
+        served = true;
+        break;
+      }
+      if (!served) {
+        stream.RecordHiccup();
+        ++metrics.hiccups;
+        break;
+      }
+    }
+  }
+  total_served_ += metrics.served;
+  total_hiccups_ += metrics.hiccups;
+
+  // --- Spend leftover bandwidth on repairs. ------------------------------
+  size_t remaining = repair_queue_.size();
+  while (remaining-- > 0) {
+    const CopyRef item = repair_queue_.front();
+    repair_queue_.pop_front();
+    std::vector<PhysicalDiskId>& locations =
+        copies_.at(item.block.object)[static_cast<size_t>(item.replica)];
+    PhysicalDiskId& current =
+        locations[static_cast<size_t>(item.block.block)];
+    const PhysicalDiskId target = TargetOf(item.block, item.replica);
+    if (current == target && !failed_.contains(current)) {
+      continue;  // Already repaired (duplicate entry).
+    }
+    const StatusOr<PhysicalDiskId> source = HealthySource(item.block);
+    if (!source.ok()) {
+      continue;  // Data loss: nothing to copy from. Counted elsewhere.
+    }
+    auto src_budget = budget.find(*source);
+    auto dst_budget = budget.find(target);
+    if (src_budget == budget.end() || dst_budget == budget.end() ||
+        src_budget->second <= 0 || dst_budget->second <= 0) {
+      repair_queue_.push_back(item);
+      continue;
+    }
+    --src_budget->second;
+    --dst_budget->second;
+    if (!failed_.contains(current)) {
+      disks_.GetDisk(current).value()->RemoveBlocks(1);
+    }
+    disks_.GetDisk(target).value()->AddBlocks(1);
+    disks_.GetDisk(*source).value()->RecordMigrationTransfers(1);
+    disks_.GetDisk(target).value()->RecordMigrationTransfers(1);
+    current = target;
+    ++metrics.repaired;
+    ++total_repaired_;
+  }
+  metrics.pending_repairs = pending_repairs();
+
+  // --- Reap finished streams; retire drained failed disks. --------------
+  const auto finished = std::remove_if(
+      streams_.begin(), streams_.end(),
+      [](const Stream& stream) { return stream.finished(); });
+  streams_.erase(finished, streams_.end());
+
+  ++round_;
+  return metrics;
+}
+
+StatusOr<int64_t> HaCmServer::ReplicasOf(ObjectId id) const {
+  const auto it = copies_.find(id);
+  if (it == copies_.end()) {
+    return NotFoundError("object not materialized");
+  }
+  return static_cast<int64_t>(it->second.size());
+}
+
+Status HaCmServer::VerifyRedundancy() const {
+  if (!repairs_idle()) {
+    return FailedPreconditionError("repairs pending");
+  }
+  for (const auto& [id, object_copies] : copies_) {
+    const auto replicas = static_cast<int64_t>(object_copies.size());
+    for (int64_t r = 0; r < replicas; ++r) {
+      const std::vector<PhysicalDiskId>& locations =
+          object_copies[static_cast<size_t>(r)];
+      for (size_t i = 0; i < locations.size(); ++i) {
+        const BlockRef ref{id, static_cast<BlockIndex>(i)};
+        if (locations[i] != TargetOf(ref, r)) {
+          return InternalError("copy not at its replication target");
+        }
+        if (failed_.contains(locations[i])) {
+          return InternalError("copy marked as residing on a failed disk");
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+int64_t HaCmServer::UnreadableBlocks() const {
+  int64_t unreadable = 0;
+  for (const auto& [id, object_copies] : copies_) {
+    const size_t blocks = object_copies.front().size();
+    for (size_t i = 0; i < blocks; ++i) {
+      bool healthy = false;
+      for (const std::vector<PhysicalDiskId>& locations : object_copies) {
+        if (!failed_.contains(locations[i])) {
+          healthy = true;
+          break;
+        }
+      }
+      unreadable += healthy ? 0 : 1;
+    }
+  }
+  return unreadable;
+}
+
+}  // namespace scaddar

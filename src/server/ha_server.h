@@ -1,0 +1,157 @@
+#ifndef SCADDAR_SERVER_HA_SERVER_H_
+#define SCADDAR_SERVER_HA_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "faults/replication.h"
+#include "placement/scaddar_policy.h"
+#include "server/admission.h"
+#include "server/config.h"
+#include "server/stream.h"
+#include "storage/catalog.h"
+#include "storage/disk_array.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Configuration of the high-availability server.
+struct HaServerConfig {
+  ServerConfig base;      // Policy field is ignored: SCADDAR + replication.
+  int64_t replicas = 2;   // Copies per block (>= 2).
+};
+
+/// Round metrics for the HA server.
+struct HaRoundMetrics {
+  int64_t round = 0;
+  int64_t active_streams = 0;
+  int64_t requests = 0;
+  int64_t served = 0;
+  int64_t served_degraded = 0;  // Served from a non-primary replica.
+  int64_t hiccups = 0;
+  int64_t repaired = 0;         // Copies (re)materialized this round.
+  int64_t pending_repairs = 0;
+};
+
+/// Section 6 made operational: a continuous media server that keeps every
+/// block R-way replicated at count-derived offsets, survives *unplanned*
+/// disk failures with zero data loss (any R−1 concurrent failures), and
+/// re-protects online — repair traffic rides the bandwidth left over after
+/// stream service, exactly like scaling migrations do.
+///
+/// Differences from `CmServer`: a failed disk disappears immediately (no
+/// draining — it is dead); reads fall back to the healthiest-priority
+/// replica; and the migration queue tracks (replica, block) *copies*,
+/// whose bytes are sourced from any surviving copy.
+class HaCmServer {
+ public:
+  static StatusOr<std::unique_ptr<HaCmServer>> Create(
+      const HaServerConfig& config);
+
+  HaCmServer(const HaCmServer&) = delete;
+  HaCmServer& operator=(const HaCmServer&) = delete;
+
+  /// Ingests an object and materializes its copies. `replicas == 0` uses
+  /// the server default; `replicas == 1` stores a single, unprotected copy
+  /// (popularity-aware partial replication: spend the mirror budget on hot
+  /// objects only); values above the default are allowed up to the disk
+  /// count.
+  Status AddObject(ObjectId id, int64_t num_blocks,
+                   int64_t bitrate_weight = 1, int64_t replicas = 0);
+
+  /// The replica count of a registered object.
+  StatusOr<int64_t> ReplicasOf(ObjectId id) const;
+
+  /// Starts a stream (admission by committed load on *live* bandwidth).
+  StatusOr<int64_t> StartStream(ObjectId object);
+
+  /// Adds a disk group online; replicas rebalance in the background.
+  Status ScaleAdd(int64_t count);
+
+  /// Unplanned failure: the disk stops serving instantly, its slot is
+  /// removed from placement, every lost copy is queued for re-protection
+  /// from surviving replicas. Fails if the disk is unknown/already dead,
+  /// or if losing it would drop below `replicas` live disks.
+  Status FailDisk(PhysicalDiskId disk);
+
+  /// One scheduling round: serve streams (replica fallback on failures),
+  /// then spend leftover bandwidth on repairs/rebalancing.
+  HaRoundMetrics Tick();
+
+  /// OK iff every copy of every block is materialized at its target disk
+  /// (meaningful when no repairs are pending).
+  Status VerifyRedundancy() const;
+
+  /// Number of blocks with zero healthy copies (data loss; 0 unless more
+  /// than R−1 overlapping failures occurred).
+  int64_t UnreadableBlocks() const;
+
+  // --- Accessors ---------------------------------------------------------
+  const ScaddarPolicy& policy() const { return *policy_; }
+  const ReplicatedPlacement& replication() const { return *replication_; }
+  const std::unordered_set<PhysicalDiskId>& failed_disks() const {
+    return failed_;
+  }
+  int64_t pending_repairs() const {
+    return static_cast<int64_t>(repair_queue_.size());
+  }
+  bool repairs_idle() const { return repair_queue_.empty(); }
+  int64_t round() const { return round_; }
+  int64_t active_streams() const {
+    return static_cast<int64_t>(streams_.size());
+  }
+  int64_t total_hiccups() const { return total_hiccups_; }
+  int64_t total_served() const { return total_served_; }
+  int64_t total_repaired() const { return total_repaired_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Where copy `r` of the block currently *is* (materialized truth).
+  StatusOr<PhysicalDiskId> CopyLocation(BlockRef ref, int64_t replica) const;
+
+ private:
+  explicit HaCmServer(const HaServerConfig& config);
+
+  struct CopyRef {
+    BlockRef block;
+    int64_t replica;
+  };
+
+  /// Queues every copy whose materialized location diverges from its
+  /// replication target.
+  void EnqueueReconciliation();
+
+  /// The disk that should hold copy `r` of the block now.
+  PhysicalDiskId TargetOf(BlockRef ref, int64_t replica) const;
+
+  /// A healthy disk currently holding *some* copy of the block, or error.
+  StatusOr<PhysicalDiskId> HealthySource(BlockRef ref) const;
+
+  HaServerConfig config_;
+  Catalog catalog_;
+  std::unique_ptr<ScaddarPolicy> policy_;
+  std::unique_ptr<ReplicatedPlacement> replication_;
+  DiskArray disks_;
+  // copies_[id][replica][block] = physical disk currently holding it.
+  // copies_[id].size() is the object's replica count (may differ per
+  // object under partial replication).
+  std::unordered_map<ObjectId, std::vector<std::vector<PhysicalDiskId>>>
+      copies_;
+  AdmissionController admission_;
+  std::vector<Stream> streams_;
+  std::unordered_set<PhysicalDiskId> failed_;
+  std::deque<CopyRef> repair_queue_;
+
+  int64_t round_ = 0;
+  int64_t next_stream_id_ = 0;
+  int64_t total_hiccups_ = 0;
+  int64_t total_served_ = 0;
+  int64_t total_repaired_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_HA_SERVER_H_

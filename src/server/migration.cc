@@ -1,0 +1,70 @@
+#include "server/migration.h"
+
+namespace scaddar {
+
+void MigrationExecutor::EnqueuePlan(const MovePlan& plan) {
+  for (const BlockMove& move : plan.moves()) {
+    queue_.push_back(move.block);
+  }
+}
+
+void MigrationExecutor::EnqueueReconciliation(const BlockStore& store,
+                                              const PlacementPolicy& policy) {
+  for (const auto& [id, x0] : policy.objects_view()) {
+    for (size_t i = 0; i < x0.size(); ++i) {
+      const BlockRef ref{id, static_cast<BlockIndex>(i)};
+      const PhysicalDiskId target =
+          policy.Locate(id, static_cast<BlockIndex>(i));
+      const StatusOr<PhysicalDiskId> current = store.LocationOf(ref);
+      SCADDAR_CHECK(current.ok());
+      if (*current != target) {
+        queue_.push_back(ref);
+      }
+    }
+  }
+}
+
+int64_t MigrationExecutor::RunRound(
+    std::unordered_map<PhysicalDiskId, int64_t>& leftover, BlockStore& store,
+    DiskArray& disks, const PlacementPolicy& policy) {
+  int64_t moved = 0;
+  // One pass over the queue: move what bandwidth permits, requeue the rest
+  // in order.
+  size_t remaining = queue_.size();
+  while (remaining-- > 0) {
+    const BlockRef ref = queue_.front();
+    queue_.pop_front();
+    const StatusOr<PhysicalDiskId> current = store.LocationOf(ref);
+    if (!current.ok()) {
+      continue;  // Object deleted while its move was queued.
+    }
+    const PhysicalDiskId target = policy.Locate(ref.object, ref.block);
+    if (*current == target) {
+      continue;  // Already in place (duplicate or superseded entry).
+    }
+    auto src = leftover.find(*current);
+    auto dst = leftover.find(target);
+    if (src == leftover.end() || dst == leftover.end() || src->second <= 0 ||
+        dst->second <= 0) {
+      queue_.push_back(ref);  // No bandwidth this round; retry later.
+      continue;
+    }
+    --src->second;
+    --dst->second;
+    const Status applied = store.ApplyMove(BlockMove{
+        .block = ref,
+        .from_slot = 0,
+        .to_slot = 0,
+        .from_physical = *current,
+        .to_physical = target,
+    });
+    SCADDAR_CHECK(applied.ok());
+    disks.GetDisk(*current).value()->RecordMigrationTransfers(1);
+    disks.GetDisk(target).value()->RecordMigrationTransfers(1);
+    ++moved;
+    ++total_moved_;
+  }
+  return moved;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,54 @@
+#ifndef SCADDAR_SERVER_MIGRATION_H_
+#define SCADDAR_SERVER_MIGRATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "core/redistribution.h"
+#include "core/types.h"
+#include "placement/policy.h"
+#include "storage/block_store.h"
+#include "storage/disk_array.h"
+
+namespace scaddar {
+
+/// Executes block redistribution *online*, using only bandwidth left over
+/// after stream service (Section 1: scaling must not interrupt the CM
+/// server). The queue holds block references, not (source, destination)
+/// pairs: at execution time each block is moved from wherever it currently
+/// is to the placement layer's *latest* target, so overlapping scaling
+/// operations and full redistributions compose correctly — stale queue
+/// entries become no-ops instead of moving blocks to outdated locations.
+class MigrationExecutor {
+ public:
+  MigrationExecutor() = default;
+
+  /// Queues every block of an RF() plan.
+  void EnqueuePlan(const MovePlan& plan);
+
+  /// Queues every block whose materialized location diverges from
+  /// `policy.Locate` — reconciliation after one or more scaling operations.
+  void EnqueueReconciliation(const BlockStore& store,
+                             const PlacementPolicy& policy);
+
+  /// Spends leftover bandwidth: each transfer consumes one unit on the
+  /// source and one on the destination disk. Returns blocks moved this
+  /// round. Blocks already at their current target retire from the queue
+  /// for free.
+  int64_t RunRound(std::unordered_map<PhysicalDiskId, int64_t>& leftover,
+                   BlockStore& store, DiskArray& disks,
+                   const PlacementPolicy& policy);
+
+  int64_t pending() const { return static_cast<int64_t>(queue_.size()); }
+  bool idle() const { return queue_.empty(); }
+  int64_t total_moved() const { return total_moved_; }
+
+ private:
+  std::deque<BlockRef> queue_;
+  int64_t total_moved_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_MIGRATION_H_

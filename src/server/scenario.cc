@@ -1,0 +1,184 @@
+#include "server/scenario.h"
+
+#include <charconv>
+#include <vector>
+
+namespace scaddar {
+
+namespace {
+
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') {
+      ++pos;
+    }
+    const size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') {
+      ++pos;
+    }
+    if (pos > start) {
+      tokens.push_back(line.substr(start, pos - start));
+    }
+  }
+  return tokens;
+}
+
+StatusOr<int64_t> ParseInt(std::string_view token) {
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError("malformed integer");
+  }
+  return value;
+}
+
+StatusOr<std::vector<DiskSlot>> ParseSlotList(std::string_view token) {
+  std::vector<DiskSlot> slots;
+  while (!token.empty()) {
+    const size_t comma = token.find(',');
+    SCADDAR_ASSIGN_OR_RETURN(const int64_t slot,
+                             ParseInt(token.substr(0, comma)));
+    slots.push_back(slot);
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    token = token.substr(comma + 1);
+  }
+  return slots;
+}
+
+Status LineError(int64_t line_number, std::string_view message) {
+  return InvalidArgumentError("line " + std::to_string(line_number) + ": " +
+                              std::string(message));
+}
+
+}  // namespace
+
+StatusOr<ScenarioResult> RunScenario(CmServer& server,
+                                     std::string_view script) {
+  ScenarioResult result;
+  int64_t line_number = 0;
+  std::string_view rest = script;
+  while (!rest.empty()) {
+    const size_t eol = rest.find('\n');
+    std::string_view line = rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 1);
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string_view> tokens = Tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    ++result.lines_executed;
+    const std::string_view command = tokens[0];
+
+    const auto tick_once = [&] {
+      const RoundMetrics metrics = server.Tick();
+      ++result.rounds;
+      result.served += metrics.served;
+      result.hiccups += metrics.hiccups;
+      result.migrated += metrics.migrated;
+    };
+
+    if (command == "addobject" && (tokens.size() == 3 || tokens.size() == 4)) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t id, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t blocks, ParseInt(tokens[2]));
+      int64_t weight = 1;
+      if (tokens.size() == 4) {
+        SCADDAR_ASSIGN_OR_RETURN(weight, ParseInt(tokens[3]));
+      }
+      const Status status = server.AddObject(id, blocks, weight);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "removeobject" && tokens.size() == 2) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t id, ParseInt(tokens[1]));
+      const Status status = server.RemoveObject(id);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "stream" && tokens.size() == 2) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t object, ParseInt(tokens[1]));
+      const StatusOr<int64_t> id = server.StartStream(object);
+      if (id.ok()) {
+        ++result.streams_started;
+      } else if (id.status().code() == StatusCode::kResourceExhausted) {
+        ++result.streams_rejected;
+      } else {
+        return LineError(line_number, id.status().message());
+      }
+    } else if (command == "pause" && tokens.size() == 2) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t id, ParseInt(tokens[1]));
+      const Status status = server.PauseStream(id);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "resume" && tokens.size() == 2) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t id, ParseInt(tokens[1]));
+      const Status status = server.ResumeStream(id);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "seek" && tokens.size() == 3) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t id, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t block, ParseInt(tokens[2]));
+      const Status status = server.SeekStream(id, block);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "scale" && tokens.size() == 3 &&
+               tokens[1] == "add") {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t count, ParseInt(tokens[2]));
+      const Status status = server.ScaleAdd(count);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "scale" && tokens.size() == 3 &&
+               tokens[1] == "remove") {
+      SCADDAR_ASSIGN_OR_RETURN(const std::vector<DiskSlot> slots,
+                               ParseSlotList(tokens[2]));
+      const Status status = server.ScaleRemove(slots);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "rebase" && tokens.size() == 1) {
+      const Status status = server.FullRedistribution();
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "tick" && tokens.size() == 2) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t rounds, ParseInt(tokens[1]));
+      if (rounds < 0) {
+        return LineError(line_number, "tick count must be >= 0");
+      }
+      for (int64_t i = 0; i < rounds; ++i) {
+        tick_once();
+      }
+    } else if (command == "drain" && tokens.size() == 1) {
+      int64_t guard = 0;
+      while (!server.migration().idle()) {
+        tick_once();
+        if (++guard > 1'000'000) {
+          return LineError(line_number, "drain did not converge");
+        }
+      }
+    } else if (command == "verify" && tokens.size() == 1) {
+      const Status status = server.VerifyIntegrity();
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else {
+      return LineError(line_number, "unrecognized command");
+    }
+  }
+  return result;
+}
+
+}  // namespace scaddar

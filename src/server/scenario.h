@@ -1,0 +1,46 @@
+#ifndef SCADDAR_SERVER_SCENARIO_H_
+#define SCADDAR_SERVER_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/server.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Aggregate outcome of a scenario run.
+struct ScenarioResult {
+  int64_t lines_executed = 0;
+  int64_t rounds = 0;
+  int64_t served = 0;
+  int64_t hiccups = 0;
+  int64_t migrated = 0;
+  int64_t streams_started = 0;
+  int64_t streams_rejected = 0;
+};
+
+/// Drives a `CmServer` from a small line-oriented script — the repeatable
+/// experiment format used by operators and the test suite. Commands
+/// (one per line; `#` starts a comment; blank lines ignored):
+///
+///   addobject <id> <blocks> [weight]     ingest an object
+///   removeobject <id>                    delete an object
+///   stream <object-id>                   start a stream (admission may
+///                                        reject; counted, not an error)
+///   pause <stream-id> | resume <stream-id> | seek <stream-id> <block>
+///   scale add <count>                    online disk-group addition
+///   scale remove <slot>[,<slot>...]      online disk-group removal
+///   rebase                               full redistribution
+///   tick <rounds>                        run scheduling rounds
+///   drain                                tick until migration idle
+///   verify                               assert store matches AF()
+///
+/// Execution stops at the first failing command; the error names the line.
+StatusOr<ScenarioResult> RunScenario(CmServer& server,
+                                     std::string_view script);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_SCENARIO_H_

@@ -1,0 +1,51 @@
+#include "server/scheduler.h"
+
+namespace scaddar {
+
+RoundServiceResult RoundScheduler::Run(
+    std::vector<Stream>& streams, const BlockStore& store, DiskArray& disks,
+    std::unordered_map<PhysicalDiskId, int64_t>* leftover) const {
+  RoundServiceResult result;
+  // Initialize per-disk budgets from live bandwidth.
+  std::unordered_map<PhysicalDiskId, int64_t> budget;
+  for (const PhysicalDiskId id : disks.live_ids()) {
+    budget[id] = disks.GetDisk(id).value()->spec().bandwidth_blocks_per_round;
+  }
+  // Streams are served in id order (FIFO fairness); a disk whose budget is
+  // exhausted hiccups the remaining requests routed to it.
+  for (Stream& stream : streams) {
+    if (stream.finished() || stream.paused()) {
+      continue;
+    }
+    // A stream needs `rate()` consecutive blocks per round; the first
+    // shortfall is a hiccup and the stream stalls for the rest of the
+    // round (partial delivery of a multi-rate frame is useless).
+    for (int64_t r = 0; r < stream.rate() && !stream.finished(); ++r) {
+      ++result.requests;
+      const StatusOr<PhysicalDiskId> location =
+          store.LocationOf(stream.NextBlockRef());
+      SCADDAR_CHECK(location.ok());
+      const auto it = budget.find(*location);
+      // A block can transiently sit on a retiring disk; such disks are
+      // still in the live set until drained, so a missing budget entry
+      // means the store and the array disagree — a real bug.
+      SCADDAR_CHECK(it != budget.end());
+      if (it->second > 0) {
+        --it->second;
+        stream.DeliverBlock();
+        disks.GetDisk(*location).value()->RecordServedRequests(1);
+        ++result.served;
+      } else {
+        stream.RecordHiccup();
+        ++result.hiccups;
+        break;
+      }
+    }
+  }
+  if (leftover != nullptr) {
+    *leftover = std::move(budget);
+  }
+  return result;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,39 @@
+#ifndef SCADDAR_SERVER_SCHEDULER_H_
+#define SCADDAR_SERVER_SCHEDULER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "server/stream.h"
+#include "storage/block_store.h"
+#include "storage/disk_array.h"
+
+namespace scaddar {
+
+/// Outcome of one scheduling round.
+struct RoundServiceResult {
+  int64_t requests = 0;
+  int64_t served = 0;
+  int64_t hiccups = 0;
+};
+
+/// Round-based retrieval scheduler. Each active stream requests its next
+/// block; the request is routed to the disk that *materially* holds the
+/// block (the block store — not the placement target, which may differ
+/// mid-migration). A disk serves at most its per-round bandwidth; overflow
+/// requests hiccup and the stream retries next round.
+///
+/// `leftover` (if non-null) receives each live disk's unused bandwidth,
+/// which the migration executor spends afterwards — this is how online
+/// reorganization shares the array with normal service.
+class RoundScheduler {
+ public:
+  RoundServiceResult Run(
+      std::vector<Stream>& streams, const BlockStore& store, DiskArray& disks,
+      std::unordered_map<PhysicalDiskId, int64_t>* leftover) const;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_SCHEDULER_H_

@@ -1,0 +1,416 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace scaddar {
+
+namespace {
+
+StatusOr<int64_t> ParseSnapshotInt(std::string_view token) {
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError("malformed integer in snapshot");
+  }
+  return value;
+}
+
+}  // namespace
+
+CmServer::CmServer(const ServerConfig& config)
+    : config_(config),
+      catalog_(config.master_seed, config.prng_kind, config.bits),
+      disks_(config.disk_spec),
+      store_(&disks_),
+      admission_(config.admission_utilization_cap) {}
+
+StatusOr<std::unique_ptr<CmServer>> CmServer::Create(
+    const ServerConfig& config) {
+  if (config.initial_disks <= 0) {
+    return InvalidArgumentError("server needs at least one disk");
+  }
+  if (config.bits < 1 || config.bits > 64) {
+    return InvalidArgumentError("bits must be in [1, 64]");
+  }
+  std::unique_ptr<CmServer> server(new CmServer(config));
+  PolicyOptions options;
+  options.seed = config.master_seed ^ 0xd15c5ull;
+  SCADDAR_ASSIGN_OR_RETURN(
+      server->policy_,
+      MakePolicy(config.policy, config.initial_disks, options));
+  SCADDAR_RETURN_IF_ERROR(server->SyncDisks());
+  return server;
+}
+
+Status CmServer::SyncDisks() {
+  std::vector<PhysicalDiskId> live = policy_->log().physical_disks();
+  for (const PhysicalDiskId id : retiring_) {
+    live.push_back(id);
+  }
+  std::sort(live.begin(), live.end());
+  live.erase(std::unique(live.begin(), live.end()), live.end());
+  return disks_.SyncLiveSet(live);
+}
+
+Status CmServer::AddObject(ObjectId id, int64_t num_blocks,
+                           int64_t bitrate_weight) {
+  SCADDAR_RETURN_IF_ERROR(
+      catalog_.AddObject(id, num_blocks, bitrate_weight));
+  // Unwind the catalog if any later layer refuses, so a failed ingest
+  // leaves no trace (e.g. bits wider than the generator supports).
+  StatusOr<std::vector<uint64_t>> x0 = catalog_.MaterializeX0(id);
+  if (!x0.ok()) {
+    SCADDAR_CHECK(catalog_.RemoveObject(id).ok());
+    return x0.status();
+  }
+  const Status registered = policy_->AddObject(id, std::move(x0).value());
+  if (!registered.ok()) {
+    SCADDAR_CHECK(catalog_.RemoveObject(id).ok());
+    return registered;
+  }
+  std::vector<PhysicalDiskId> locations;
+  locations.reserve(static_cast<size_t>(num_blocks));
+  for (BlockIndex i = 0; i < num_blocks; ++i) {
+    locations.push_back(policy_->Locate(id, i));
+  }
+  const Status placed = store_.PlaceObject(id, locations);
+  if (!placed.ok()) {
+    SCADDAR_CHECK(policy_->RemoveObject(id).ok());
+    SCADDAR_CHECK(catalog_.RemoveObject(id).ok());
+  }
+  return placed;
+}
+
+Status CmServer::RemoveObject(ObjectId id) {
+  if (!catalog_.Contains(id)) {
+    return NotFoundError("object not in catalog");
+  }
+  for (const Stream& stream : streams_) {
+    if (stream.object() == id) {
+      return FailedPreconditionError(
+          "object has active streams; stop them first");
+    }
+  }
+  SCADDAR_RETURN_IF_ERROR(policy_->RemoveObject(id));
+  SCADDAR_RETURN_IF_ERROR(store_.DropObject(id));
+  return catalog_.RemoveObject(id);
+}
+
+Status CmServer::ScaleAdd(int64_t count) {
+  SCADDAR_ASSIGN_OR_RETURN(const ScalingOp op, ScalingOp::Add(count));
+  SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(op));
+  SCADDAR_RETURN_IF_ERROR(SyncDisks());
+  migration_.EnqueueReconciliation(store_, *policy_);
+  return OkStatus();
+}
+
+Status CmServer::ScaleRemove(std::vector<DiskSlot> slots) {
+  SCADDAR_ASSIGN_OR_RETURN(const ScalingOp op,
+                           ScalingOp::Remove(std::move(slots)));
+  // Resolve the physical disks being retired *before* the op renumbers
+  // slots; they keep serving until the migration drains them.
+  const std::vector<PhysicalDiskId>& before =
+      policy_->log().physical_disks();
+  std::vector<PhysicalDiskId> retiring_now;
+  for (const DiskSlot slot : op.removed_slots()) {
+    if (slot >= static_cast<DiskSlot>(before.size())) {
+      return InvalidArgumentError("removal names a slot beyond N_{j-1}");
+    }
+    retiring_now.push_back(before[static_cast<size_t>(slot)]);
+  }
+  SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(op));
+  for (const PhysicalDiskId id : retiring_now) {
+    retiring_.push_back(id);
+  }
+  SCADDAR_RETURN_IF_ERROR(SyncDisks());
+  migration_.EnqueueReconciliation(store_, *policy_);
+  return OkStatus();
+}
+
+bool CmServer::WouldExceedTolerance(const ScalingOp& op) const {
+  return policy_->log().WouldExceedTolerance(op, catalog_.r0(),
+                                             config_.tolerance_eps);
+}
+
+Status CmServer::FullRedistribution() {
+  // 1. Fresh seeds for every object.
+  for (const ObjectId id : catalog_.object_ids()) {
+    SCADDAR_RETURN_IF_ERROR(catalog_.BumpGeneration(id));
+  }
+  // 2. Fresh placement over the current live disks (retiring disks are
+  //    already draining and must not receive new placements).
+  PolicyOptions options;
+  options.seed = config_.master_seed ^ 0xd15c5ull ^
+                 static_cast<uint64_t>(round_ + 1);
+  SCADDAR_ASSIGN_OR_RETURN(
+      std::unique_ptr<PlacementPolicy> fresh,
+      MakePolicyWithDisks(config_.policy, policy_->log().physical_disks(),
+                          options));
+  for (const ObjectId id : catalog_.object_ids()) {
+    SCADDAR_ASSIGN_OR_RETURN(std::vector<uint64_t> x0,
+                             catalog_.MaterializeX0(id));
+    SCADDAR_RETURN_IF_ERROR(fresh->AddObject(id, std::move(x0)));
+  }
+  policy_ = std::move(fresh);
+  // 3. Converge materialized state onto the new placement, online.
+  migration_.EnqueueReconciliation(store_, *policy_);
+  return OkStatus();
+}
+
+StatusOr<int64_t> CmServer::StartStream(ObjectId object) {
+  SCADDAR_ASSIGN_OR_RETURN(const CmObject meta, catalog_.GetObject(object));
+  if (!admission_.Admit(ActiveLoad(), meta.bitrate_weight,
+                        PlacementBandwidth())) {
+    return ResourceExhaustedError("admission control rejected the stream");
+  }
+  const int64_t id = next_stream_id_++;
+  streams_.emplace_back(id, object, meta.num_blocks, round_,
+                        meta.bitrate_weight);
+  return id;
+}
+
+int64_t CmServer::ActiveLoad() const {
+  int64_t load = 0;
+  for (const Stream& stream : streams_) {
+    load += stream.rate();
+  }
+  return load;
+}
+
+RoundMetrics CmServer::Tick() {
+  RoundMetrics metrics;
+  metrics.round = round_;
+  metrics.active_streams = active_streams();
+
+  std::unordered_map<PhysicalDiskId, int64_t> leftover;
+  const RoundServiceResult service =
+      scheduler_.Run(streams_, store_, disks_, &leftover);
+  metrics.requests = service.requests;
+  metrics.served = service.served;
+  metrics.hiccups = service.hiccups;
+  total_served_ += service.served;
+  total_hiccups_ += service.hiccups;
+
+  if (config_.migration_extra_budget > 0) {
+    for (auto& [id, budget] : leftover) {
+      budget += config_.migration_extra_budget;
+    }
+  }
+  metrics.migrated = migration_.RunRound(leftover, store_, disks_, *policy_);
+  metrics.pending_migration = migration_.pending();
+
+  // Retire drained disks.
+  if (!retiring_.empty()) {
+    std::vector<PhysicalDiskId> still_draining;
+    for (const PhysicalDiskId id : retiring_) {
+      if (store_.CountOn(id) > 0) {
+        still_draining.push_back(id);
+      }
+    }
+    if (still_draining.size() != retiring_.size()) {
+      retiring_ = std::move(still_draining);
+      SCADDAR_CHECK(SyncDisks().ok());
+    }
+  }
+  metrics.retiring_disks = static_cast<int64_t>(retiring_.size());
+
+  // Drop finished streams.
+  const auto finished = std::remove_if(
+      streams_.begin(), streams_.end(),
+      [](const Stream& stream) { return stream.finished(); });
+  completed_streams_ += streams_.end() - finished;
+  streams_.erase(finished, streams_.end());
+
+  ++round_;
+  return metrics;
+}
+
+Status CmServer::PauseStream(int64_t stream_id) {
+  for (Stream& stream : streams_) {
+    if (stream.id() == stream_id) {
+      stream.Pause();
+      return OkStatus();
+    }
+  }
+  return NotFoundError("no active stream with that id");
+}
+
+Status CmServer::ResumeStream(int64_t stream_id) {
+  for (Stream& stream : streams_) {
+    if (stream.id() == stream_id) {
+      stream.Resume();
+      return OkStatus();
+    }
+  }
+  return NotFoundError("no active stream with that id");
+}
+
+Status CmServer::SeekStream(int64_t stream_id, BlockIndex block) {
+  for (Stream& stream : streams_) {
+    if (stream.id() == stream_id) {
+      stream.SeekTo(block);
+      return OkStatus();
+    }
+  }
+  return NotFoundError("no active stream with that id");
+}
+
+StatusOr<std::string> CmServer::SaveSnapshot() const {
+  if (!migration_.idle()) {
+    return FailedPreconditionError(
+        "cannot snapshot while a migration is pending");
+  }
+  std::string out = "scaddar-snapshot-v1\n";
+  out += "policy=";
+  out += policy_->name();
+  out += "\noplog=";
+  out += policy_->log().Serialize();
+  out += '\n';
+  for (const ObjectId id : catalog_.object_ids()) {
+    const CmObject object = catalog_.GetObject(id).value();
+    out += "object=" + std::to_string(object.id) + ',' +
+           std::to_string(object.num_blocks) + ',' +
+           std::to_string(object.bitrate_weight) + ',' +
+           std::to_string(object.seed_generation) + ',' +
+           std::to_string(policy_->epoch_added(id)) + '\n';
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<CmServer>> CmServer::Restore(
+    const ServerConfig& config, std::string_view snapshot) {
+  // --- Parse -----------------------------------------------------------
+  struct ObjectRecord {
+    ObjectId id;
+    int64_t num_blocks;
+    int64_t weight;
+    int64_t generation;
+    Epoch epoch;
+  };
+  std::string policy_name;
+  std::string oplog_text;
+  std::vector<ObjectRecord> records;
+  bool header_seen = false;
+  std::string_view rest = snapshot;
+  while (!rest.empty()) {
+    const size_t eol = rest.find('\n');
+    const std::string_view line = rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 1);
+    if (line.empty()) {
+      continue;
+    }
+    if (!header_seen) {
+      if (line != "scaddar-snapshot-v1") {
+        return InvalidArgumentError("unrecognized snapshot header");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (line.starts_with("policy=")) {
+      policy_name = std::string(line.substr(7));
+    } else if (line.starts_with("oplog=")) {
+      oplog_text = std::string(line.substr(6));
+    } else if (line.starts_with("object=")) {
+      std::string_view body = line.substr(7);
+      int64_t fields[5];
+      for (int f = 0; f < 5; ++f) {
+        const size_t comma = body.find(',');
+        if ((f < 4) == (comma == std::string_view::npos)) {
+          return InvalidArgumentError("malformed object record");
+        }
+        SCADDAR_ASSIGN_OR_RETURN(fields[f],
+                                 ParseSnapshotInt(body.substr(0, comma)));
+        body = comma == std::string_view::npos ? std::string_view()
+                                               : body.substr(comma + 1);
+      }
+      records.push_back(ObjectRecord{fields[0], fields[1], fields[2],
+                                     fields[3], fields[4]});
+    } else {
+      return InvalidArgumentError("unrecognized snapshot line");
+    }
+  }
+  if (!header_seen || policy_name.empty() || oplog_text.empty()) {
+    return InvalidArgumentError("incomplete snapshot");
+  }
+  if (policy_name != config.policy) {
+    return InvalidArgumentError("snapshot policy differs from config");
+  }
+  if (policy_name != "scaddar" && policy_name != "naive" &&
+      policy_name != "mod" && policy_name != "roundrobin") {
+    return UnimplementedError(
+        "only deterministic policies can be restored from metadata");
+  }
+  SCADDAR_ASSIGN_OR_RETURN(const OpLog script,
+                           OpLog::Deserialize(oplog_text));
+  for (const ObjectRecord& record : records) {
+    if (record.epoch < 0 || record.epoch > script.num_ops()) {
+      return InvalidArgumentError(
+          "object registration epoch outside the op log");
+    }
+  }
+
+  // --- Rebuild ---------------------------------------------------------
+  std::unique_ptr<CmServer> server(new CmServer(config));
+  PolicyOptions options;
+  options.seed = config.master_seed ^ 0xd15c5ull;
+  SCADDAR_ASSIGN_OR_RETURN(
+      server->policy_,
+      MakePolicyWithDisks(config.policy, script.physical_disks_at(0),
+                          options));
+  // Interleave object registrations with op replay so every object's
+  // remap chain starts at its recorded epoch.
+  for (Epoch j = 0; j <= script.num_ops(); ++j) {
+    for (const ObjectRecord& record : records) {
+      if (record.epoch != j) {
+        continue;
+      }
+      SCADDAR_RETURN_IF_ERROR(server->catalog_.AddObject(
+          record.id, record.num_blocks, record.weight));
+      SCADDAR_RETURN_IF_ERROR(
+          server->catalog_.SetGeneration(record.id, record.generation));
+      SCADDAR_ASSIGN_OR_RETURN(std::vector<uint64_t> x0,
+                               server->catalog_.MaterializeX0(record.id));
+      SCADDAR_RETURN_IF_ERROR(
+          server->policy_->AddObject(record.id, std::move(x0)));
+    }
+    if (j < script.num_ops()) {
+      SCADDAR_RETURN_IF_ERROR(server->policy_->ApplyOp(script.op(j + 1)));
+    }
+  }
+  SCADDAR_RETURN_IF_ERROR(server->SyncDisks());
+  // Materialize the store from AF() — valid because the snapshot was
+  // taken with an idle migration (store == placement).
+  for (const ObjectId id : server->catalog_.object_ids()) {
+    const int64_t blocks = server->catalog_.GetObject(id)->num_blocks;
+    std::vector<PhysicalDiskId> locations;
+    locations.reserve(static_cast<size_t>(blocks));
+    for (BlockIndex i = 0; i < blocks; ++i) {
+      locations.push_back(server->policy_->Locate(id, i));
+    }
+    SCADDAR_RETURN_IF_ERROR(server->store_.PlaceObject(id, locations));
+  }
+  return server;
+}
+
+Status CmServer::VerifyIntegrity() const {
+  if (!migration_.idle()) {
+    return FailedPreconditionError(
+        "migration in progress; store may lag AF()");
+  }
+  return store_.VerifyAgainstPolicy(*policy_);
+}
+
+int64_t CmServer::PlacementBandwidth() const {
+  int64_t total = 0;
+  for (const PhysicalDiskId id : policy_->log().physical_disks()) {
+    const StatusOr<const SimDisk*> disk = disks_.GetDisk(id);
+    SCADDAR_CHECK(disk.ok());
+    total += (*disk)->spec().bandwidth_blocks_per_round;
+  }
+  return total;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,176 @@
+#ifndef SCADDAR_SERVER_SERVER_H_
+#define SCADDAR_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/scaling_op.h"
+#include "placement/policy.h"
+#include "placement/registry.h"
+#include "server/admission.h"
+#include "server/config.h"
+#include "server/migration.h"
+#include "server/scheduler.h"
+#include "server/stream.h"
+#include "storage/block_store.h"
+#include "storage/catalog.h"
+#include "storage/disk_array.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Per-round server metrics.
+struct RoundMetrics {
+  int64_t round = 0;
+  int64_t active_streams = 0;
+  int64_t requests = 0;
+  int64_t served = 0;
+  int64_t hiccups = 0;
+  int64_t migrated = 0;
+  int64_t pending_migration = 0;
+  int64_t retiring_disks = 0;
+};
+
+/// The simulated continuous media server the paper motivates: random
+/// placement for load balancing, a placement policy (SCADDAR by default) for
+/// block location, and *online* disk scaling — streams keep playing while a
+/// background migration drains/fills disks with leftover bandwidth.
+///
+/// The server owns four cooperating layers:
+///  - `Catalog`: per-object seeds (the only per-object persistent state);
+///  - `PlacementPolicy`: where blocks *should* be (AF);
+///  - `BlockStore` + `DiskArray`: where blocks *are*, and the hardware;
+///  - `MigrationExecutor`: converges the two after scaling operations.
+class CmServer {
+ public:
+  /// Builds an idle server with `config.initial_disks` empty disks.
+  static StatusOr<std::unique_ptr<CmServer>> Create(
+      const ServerConfig& config);
+
+  CmServer(const CmServer&) = delete;
+  CmServer& operator=(const CmServer&) = delete;
+
+  /// Ingests a new CM object: derives its seed, materializes `X0`, places
+  /// its blocks per the policy and writes them to the store.
+  Status AddObject(ObjectId id, int64_t num_blocks,
+                   int64_t bitrate_weight = 1);
+
+  /// Deletes an object and frees its blocks. Refused while any active
+  /// stream is playing it (FailedPrecondition).
+  Status RemoveObject(ObjectId id);
+
+  /// Scaling operation: adds a group of `count` disks (online). Newly added
+  /// disks start empty; the migration executor fills them in the
+  /// background.
+  Status ScaleAdd(int64_t count);
+
+  /// Scaling operation: removes the disk group at the given current-epoch
+  /// slots (online). The physical disks keep serving reads until drained,
+  /// then retire.
+  Status ScaleRemove(std::vector<DiskSlot> slots);
+
+  /// True iff appending `op` would break the Lemma 4.3 tolerance for this
+  /// server's `b` and `eps` — callers should then `FullRedistribution()`
+  /// instead (the paper's recommendation).
+  bool WouldExceedTolerance(const ScalingOp& op) const;
+
+  /// The paper's fallback once the random range is exhausted: every object
+  /// gets a fresh seed generation and placement restarts from an empty op
+  /// log over the current disks. Blocks migrate online like any other
+  /// reorganization.
+  Status FullRedistribution();
+
+  /// Starts a playback stream if admission control allows it; returns the
+  /// stream id or ResourceExhausted.
+  StatusOr<int64_t> StartStream(ObjectId object);
+
+  /// Runs one scheduling round: serve streams, spend leftover bandwidth on
+  /// migration, retire drained disks, drop finished streams.
+  RoundMetrics Tick();
+
+  // --- VCR controls (Section 1 motivation #4). ---
+  Status PauseStream(int64_t stream_id);
+  Status ResumeStream(int64_t stream_id);
+  /// Jumps the stream to `block` (clamped into the object's range).
+  Status SeekStream(int64_t stream_id, BlockIndex block);
+
+  // --- Persistence. -----------------------------------------------------
+  /// Serializes the server's durable metadata — policy name, op log and
+  /// the catalog (ids, sizes, weights, seed generations, registration
+  /// epochs). This is *all* the state a SCADDAR server persists: block
+  /// locations are recomputed, never stored. Requires an idle migration
+  /// (a snapshot mid-reorganization would not capture materialized
+  /// locations). Restores via `Restore`.
+  StatusOr<std::string> SaveSnapshot() const;
+
+  /// Rebuilds a server from `SaveSnapshot` output. The placement is
+  /// replayed deterministically (objects registered at their recorded
+  /// epochs, interleaved with the op log), so every block lands exactly
+  /// where it was before the snapshot. Only deterministic policies
+  /// ("scaddar", "naive", "mod", "roundrobin") are restorable; the
+  /// directory and ring policies carry RNG state and report
+  /// Unimplemented. `config` supplies the hardware/simulation knobs; its
+  /// policy/bits/prng/master_seed must match the snapshot's semantics.
+  static StatusOr<std::unique_ptr<CmServer>> Restore(
+      const ServerConfig& config, std::string_view snapshot);
+
+  /// Verifies that the materialized store matches AF() (meaningful when no
+  /// migration is pending — otherwise reports FailedPrecondition).
+  Status VerifyIntegrity() const;
+
+  // --- Accessors -----------------------------------------------------
+  const ServerConfig& config() const { return config_; }
+  const Catalog& catalog() const { return catalog_; }
+  Catalog& catalog() { return catalog_; }
+  const PlacementPolicy& policy() const { return *policy_; }
+  const BlockStore& store() const { return store_; }
+  const DiskArray& disks() const { return disks_; }
+  DiskArray& disks() { return disks_; }
+  const MigrationExecutor& migration() const { return migration_; }
+  const std::vector<Stream>& streams() const { return streams_; }
+  const AdmissionController& admission() const { return admission_; }
+
+  int64_t round() const { return round_; }
+  int64_t active_streams() const {
+    return static_cast<int64_t>(streams_.size());
+  }
+
+  /// Aggregate committed stream bandwidth (sum of rates, blocks/round).
+  int64_t ActiveLoad() const;
+  int64_t completed_streams() const { return completed_streams_; }
+  int64_t total_hiccups() const { return total_hiccups_; }
+  int64_t total_served() const { return total_served_; }
+
+  /// Aggregate bandwidth of the *placement-live* disks (excludes retiring
+  /// disks, whose bandwidth is transitional).
+  int64_t PlacementBandwidth() const;
+
+ private:
+  explicit CmServer(const ServerConfig& config);
+
+  /// Rebuilds the disk array's live set as policy disks plus still-draining
+  /// retiring disks.
+  Status SyncDisks();
+
+  ServerConfig config_;
+  Catalog catalog_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  DiskArray disks_;
+  BlockStore store_;
+  RoundScheduler scheduler_;
+  MigrationExecutor migration_;
+  AdmissionController admission_;
+  std::vector<Stream> streams_;
+  std::vector<PhysicalDiskId> retiring_;
+
+  int64_t round_ = 0;
+  int64_t next_stream_id_ = 0;
+  int64_t completed_streams_ = 0;
+  int64_t total_hiccups_ = 0;
+  int64_t total_served_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_SERVER_H_

@@ -1,0 +1,11 @@
+#include "server/stream.h"
+
+#include <algorithm>
+
+namespace scaddar {
+
+void Stream::SeekTo(BlockIndex block) {
+  next_block_ = std::clamp<BlockIndex>(block, 0, num_blocks_);
+}
+
+}  // namespace scaddar

@@ -1,0 +1,35 @@
+#include "server/workload.h"
+
+#include "util/status.h"
+
+namespace scaddar {
+
+WorkloadGenerator::WorkloadGenerator(uint64_t seed, double arrivals_per_round,
+                                     double zipf_theta)
+    : prng_(MakePrng(PrngKind::kSplitMix64, seed)),
+      arrivals_per_round_(arrivals_per_round),
+      zipf_theta_(zipf_theta) {
+  SCADDAR_CHECK(arrivals_per_round >= 0.0);
+  SCADDAR_CHECK(zipf_theta >= 0.0);
+}
+
+void WorkloadGenerator::SetObjects(std::vector<ObjectId> objects) {
+  SCADDAR_CHECK(!objects.empty());
+  objects_ = std::move(objects);
+  popularity_ = std::make_unique<ZipfDistribution>(
+      static_cast<int64_t>(objects_.size()), zipf_theta_);
+}
+
+std::vector<ObjectId> WorkloadGenerator::NextArrivals() {
+  SCADDAR_CHECK(popularity_ != nullptr);
+  const int64_t count = PoissonSample(*prng_, arrivals_per_round_);
+  std::vector<ObjectId> arrivals;
+  arrivals.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t rank = popularity_->Sample(*prng_);
+    arrivals.push_back(objects_[static_cast<size_t>(rank)]);
+  }
+  return arrivals;
+}
+
+}  // namespace scaddar

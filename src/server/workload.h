@@ -1,0 +1,42 @@
+#ifndef SCADDAR_SERVER_WORKLOAD_H_
+#define SCADDAR_SERVER_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.h"
+#include "random/distributions.h"
+#include "random/prng.h"
+
+namespace scaddar {
+
+/// Video-on-demand request generator: Poisson stream arrivals with
+/// Zipf-distributed object popularity — the access pattern the RIO-style
+/// random placement literature assumes. Deterministic given the seed.
+class WorkloadGenerator {
+ public:
+  /// `arrivals_per_round` >= 0; `zipf_theta` >= 0 (0 = uniform popularity).
+  WorkloadGenerator(uint64_t seed, double arrivals_per_round,
+                    double zipf_theta);
+
+  /// Registers the objects clients may request; index order is popularity
+  /// rank (first = most popular). Must be called before `NextArrivals`.
+  void SetObjects(std::vector<ObjectId> objects);
+
+  /// Objects requested by newly arriving clients this round.
+  std::vector<ObjectId> NextArrivals();
+
+  double arrivals_per_round() const { return arrivals_per_round_; }
+
+ private:
+  std::unique_ptr<Prng> prng_;
+  double arrivals_per_round_;
+  double zipf_theta_;
+  std::vector<ObjectId> objects_;
+  std::unique_ptr<ZipfDistribution> popularity_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_WORKLOAD_H_

@@ -1,0 +1,54 @@
+#ifndef SCADDAR_STATS_ACCUMULATOR_H_
+#define SCADDAR_STATS_ACCUMULATOR_H_
+
+#include <cstdint>
+
+namespace scaddar {
+
+/// Streaming mean/variance accumulator (Welford's algorithm, numerically
+/// stable). Drives the paper's Section 5 metric: the coefficient of
+/// variation of blocks per disk ("standard deviation divided by the average
+/// number of blocks across all disks").
+class Accumulator {
+ public:
+  Accumulator() = default;
+
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Merges another accumulator (parallel Welford combine).
+  void Merge(const Accumulator& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divides by n). Returns 0 for fewer than one
+  /// observation.
+  double variance() const;
+
+  /// Sample variance (divides by n-1). Returns 0 for fewer than two
+  /// observations.
+  double sample_variance() const;
+
+  /// Population standard deviation.
+  double stddev() const;
+
+  /// Coefficient of variation: stddev / mean. Returns 0 when the mean is 0.
+  double coefficient_of_variation() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STATS_ACCUMULATOR_H_

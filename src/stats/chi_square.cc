@@ -1,0 +1,62 @@
+#include "stats/chi_square.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+namespace {
+
+double NormalSurvival(double z) {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+double ChiSquareSurvival(double statistic, int64_t df) {
+  SCADDAR_CHECK(df >= 1);
+  if (statistic <= 0.0) {
+    return 1.0;
+  }
+  // Wilson-Hilferty: (X/df)^(1/3) is approximately normal with mean
+  // 1 - 2/(9 df) and variance 2/(9 df).
+  const double n = static_cast<double>(df);
+  const double t = std::cbrt(statistic / n);
+  const double mean = 1.0 - 2.0 / (9.0 * n);
+  const double sd = std::sqrt(2.0 / (9.0 * n));
+  return NormalSurvival((t - mean) / sd);
+}
+
+ChiSquareResult ChiSquareAgainst(const std::vector<int64_t>& observed,
+                                 const std::vector<double>& expected) {
+  SCADDAR_CHECK(observed.size() == expected.size());
+  SCADDAR_CHECK(observed.size() >= 2);
+  int64_t total = 0;
+  double weight_total = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    SCADDAR_CHECK(observed[i] >= 0);
+    SCADDAR_CHECK(expected[i] > 0.0);
+    total += observed[i];
+    weight_total += expected[i];
+  }
+  SCADDAR_CHECK(total > 0);
+  ChiSquareResult result;
+  result.degrees_of_freedom = static_cast<int64_t>(observed.size()) - 1;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double exp_count =
+        static_cast<double>(total) * expected[i] / weight_total;
+    const double diff = static_cast<double>(observed[i]) - exp_count;
+    result.statistic += diff * diff / exp_count;
+  }
+  result.p_value = ChiSquareSurvival(result.statistic,
+                                     result.degrees_of_freedom);
+  return result;
+}
+
+ChiSquareResult ChiSquareUniform(const std::vector<int64_t>& observed) {
+  const std::vector<double> expected(observed.size(), 1.0);
+  return ChiSquareAgainst(observed, expected);
+}
+
+}  // namespace scaddar

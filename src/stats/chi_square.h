@@ -1,0 +1,37 @@
+#ifndef SCADDAR_STATS_CHI_SQUARE_H_
+#define SCADDAR_STATS_CHI_SQUARE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scaddar {
+
+/// Result of a chi-square goodness-of-fit test against a uniform (or given)
+/// expectation.
+struct ChiSquareResult {
+  double statistic = 0.0;     // Sum over cells of (obs - exp)^2 / exp.
+  int64_t degrees_of_freedom = 0;
+  double p_value = 0.0;       // P(X^2 >= statistic) under H0.
+
+  /// True iff the test does NOT reject uniformity at significance `alpha`.
+  bool IsUniform(double alpha) const { return p_value >= alpha; }
+};
+
+/// Chi-square test of `observed` counts against a uniform distribution over
+/// the cells. Requires at least 2 cells and a positive total.
+ChiSquareResult ChiSquareUniform(const std::vector<int64_t>& observed);
+
+/// Chi-square test against arbitrary positive `expected` weights (need not
+/// be normalized). Sizes must match; every expected weight must be > 0.
+ChiSquareResult ChiSquareAgainst(const std::vector<int64_t>& observed,
+                                 const std::vector<double>& expected);
+
+/// Upper-tail probability of the chi-square distribution with `df` degrees
+/// of freedom (Wilson-Hilferty cube-root normal approximation; accurate to a
+/// few 1e-3 for df >= 3, adequate for pass/fail tests at alpha in
+/// [1e-4, 0.1]).
+double ChiSquareSurvival(double statistic, int64_t df);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STATS_CHI_SQUARE_H_

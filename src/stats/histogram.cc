@@ -1,0 +1,96 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scaddar {
+
+Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
+  SCADDAR_CHECK(buckets > 0);
+  SCADDAR_CHECK(lo < hi);
+  bucket_width_ = (hi - lo) / buckets;
+  counts_.assign(static_cast<size_t>(buckets), 0);
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto index = static_cast<size_t>((value - lo_) / bucket_width_);
+  index = std::min(index, counts_.size() - 1);
+  ++counts_[index];
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  int64_t seen = underflow_;
+  if (seen >= target) {
+    return lo_;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return lo_ + (static_cast<double>(i) + 0.5) * bucket_width_;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(int width) const {
+  SCADDAR_CHECK(width > 0);
+  int64_t peak = 1;
+  for (const int64_t count : counts_) {
+    peak = std::max(peak, count);
+  }
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double bucket_lo = lo_ + static_cast<double>(i) * bucket_width_;
+    const int bar = static_cast<int>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * width);
+    std::snprintf(line, sizeof(line), "[%10.3f) %8lld |", bucket_lo,
+                  static_cast<long long>(counts_[i]));
+    out += line;
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+CountTally::CountTally(int64_t n) {
+  SCADDAR_CHECK(n >= 0);
+  counts_.assign(static_cast<size_t>(n), 0);
+}
+
+void CountTally::Add(int64_t index, int64_t delta) {
+  SCADDAR_CHECK(index >= 0 && index < size());
+  counts_[static_cast<size_t>(index)] += delta;
+  SCADDAR_CHECK(counts_[static_cast<size_t>(index)] >= 0);
+  total_ += delta;
+}
+
+int64_t CountTally::at(int64_t index) const {
+  SCADDAR_CHECK(index >= 0 && index < size());
+  return counts_[static_cast<size_t>(index)];
+}
+
+void CountTally::Resize(int64_t n) {
+  SCADDAR_CHECK(n >= 0);
+  for (size_t i = static_cast<size_t>(n); i < counts_.size(); ++i) {
+    SCADDAR_CHECK(counts_[i] == 0);
+  }
+  counts_.resize(static_cast<size_t>(n), 0);
+}
+
+}  // namespace scaddar

@@ -1,0 +1,67 @@
+#ifndef SCADDAR_STATS_HISTOGRAM_H_
+#define SCADDAR_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+/// Fixed-width bucket histogram over [lo, hi); values outside the range go
+/// to saturating under/overflow buckets. Used for latency and queue-depth
+/// reporting in the server simulation and for bench output.
+class Histogram {
+ public:
+  /// `buckets` > 0 and `lo < hi` (checked).
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double value);
+
+  int64_t total_count() const { return total_; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  const std::vector<int64_t>& buckets() const { return counts_; }
+
+  /// Approximate quantile (q in [0, 1]) from bucket midpoints.
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering for bench output.
+  std::string ToAscii(int width) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+/// Exact counter over small integer domains `[0, n)`: the per-disk block
+/// count tally used throughout the placement experiments.
+class CountTally {
+ public:
+  explicit CountTally(int64_t n);
+
+  void Add(int64_t index, int64_t delta = 1);
+
+  int64_t at(int64_t index) const;
+  int64_t size() const { return static_cast<int64_t>(counts_.size()); }
+  int64_t total() const { return total_; }
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  /// Resizes the domain (new slots start at zero); shrinking requires the
+  /// dropped slots to be empty (checked).
+  void Resize(int64_t n);
+
+ private:
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STATS_HISTOGRAM_H_

@@ -1,0 +1,39 @@
+#include "stats/load_metrics.h"
+
+#include <cmath>
+
+#include "stats/accumulator.h"
+#include "util/status.h"
+
+namespace scaddar {
+
+LoadMetrics ComputeLoadMetrics(const std::vector<int64_t>& per_disk_counts) {
+  SCADDAR_CHECK(!per_disk_counts.empty());
+  Accumulator acc;
+  int64_t min_load = per_disk_counts.front();
+  int64_t max_load = per_disk_counts.front();
+  int64_t total = 0;
+  for (const int64_t count : per_disk_counts) {
+    SCADDAR_CHECK(count >= 0);
+    acc.Add(static_cast<double>(count));
+    min_load = count < min_load ? count : min_load;
+    max_load = count > max_load ? count : max_load;
+    total += count;
+  }
+  LoadMetrics metrics;
+  metrics.num_disks = static_cast<int64_t>(per_disk_counts.size());
+  metrics.total_blocks = total;
+  metrics.mean = acc.mean();
+  metrics.stddev = acc.stddev();
+  metrics.coefficient_of_variation = acc.coefficient_of_variation();
+  metrics.min_load = min_load;
+  metrics.max_load = max_load;
+  metrics.unfairness =
+      min_load == 0
+          ? HUGE_VAL
+          : static_cast<double>(max_load) / static_cast<double>(min_load) -
+                1.0;
+  return metrics;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,31 @@
+#ifndef SCADDAR_STATS_LOAD_METRICS_H_
+#define SCADDAR_STATS_LOAD_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scaddar {
+
+/// Summary of how evenly a set of blocks is spread over disks. Captures the
+/// paper's RO2 metrics: the coefficient of variation of blocks per disk
+/// (Section 5) and the *measured* unfairness coefficient, defined as
+/// `largest load / smallest load - 1` (Section 4.3 defines the expected-load
+/// version; over many trials the measured value estimates it).
+struct LoadMetrics {
+  int64_t num_disks = 0;
+  int64_t total_blocks = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double coefficient_of_variation = 0.0;
+  int64_t min_load = 0;
+  int64_t max_load = 0;
+  /// max_load / min_load - 1; infinity (HUGE_VAL) when min_load == 0.
+  double unfairness = 0.0;
+};
+
+/// Computes load metrics from per-disk block counts (must be non-empty).
+LoadMetrics ComputeLoadMetrics(const std::vector<int64_t>& per_disk_counts);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STATS_LOAD_METRICS_H_

@@ -1,0 +1,43 @@
+#include "stats/movement.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+double TheoreticalMoveFraction(int64_t n_prev, int64_t n_cur) {
+  SCADDAR_CHECK(n_prev > 0);
+  SCADDAR_CHECK(n_cur > 0);
+  if (n_cur > n_prev) {
+    return static_cast<double>(n_cur - n_prev) / static_cast<double>(n_cur);
+  }
+  return static_cast<double>(n_prev - n_cur) / static_cast<double>(n_prev);
+}
+
+MovementStats CompareAssignments(const std::vector<int64_t>& before,
+                                 const std::vector<int64_t>& after,
+                                 int64_t n_prev, int64_t n_cur) {
+  SCADDAR_CHECK(before.size() == after.size());
+  MovementStats stats;
+  stats.total_blocks = static_cast<int64_t>(before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) {
+      ++stats.moved_blocks;
+    }
+  }
+  stats.moved_fraction =
+      stats.total_blocks == 0
+          ? 0.0
+          : static_cast<double>(stats.moved_blocks) /
+                static_cast<double>(stats.total_blocks);
+  stats.theoretical_fraction = TheoreticalMoveFraction(n_prev, n_cur);
+  if (stats.theoretical_fraction == 0.0) {
+    stats.overhead_ratio = stats.moved_fraction == 0.0 ? 1.0 : HUGE_VAL;
+  } else {
+    stats.overhead_ratio = stats.moved_fraction / stats.theoretical_fraction;
+  }
+  return stats;
+}
+
+}  // namespace scaddar

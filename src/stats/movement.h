@@ -1,0 +1,35 @@
+#ifndef SCADDAR_STATS_MOVEMENT_H_
+#define SCADDAR_STATS_MOVEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scaddar {
+
+/// Block-movement accounting for one scaling operation — the paper's RO1.
+/// `theoretical_fraction` is the minimum moving fraction `z_j` from
+/// Definition 3.4 Eq. 1; `moved_fraction` is what a policy actually moved.
+struct MovementStats {
+  int64_t total_blocks = 0;
+  int64_t moved_blocks = 0;
+  double moved_fraction = 0.0;
+  double theoretical_fraction = 0.0;
+  /// moved_fraction / theoretical_fraction; 1.0 is optimal, values > 1 mean
+  /// excess movement. Defined as infinity when the theoretical minimum is 0
+  /// but blocks moved anyway, and 1.0 when both are 0.
+  double overhead_ratio = 1.0;
+};
+
+/// The paper's Eq. 1: the minimum fraction of blocks that must move when the
+/// disk count changes from `n_prev` to `n_cur` (both > 0, checked).
+double TheoreticalMoveFraction(int64_t n_prev, int64_t n_cur);
+
+/// Compares two per-block disk assignments of equal length and tallies
+/// movement against the theoretical minimum for `n_prev -> n_cur`.
+MovementStats CompareAssignments(const std::vector<int64_t>& before,
+                                 const std::vector<int64_t>& after,
+                                 int64_t n_prev, int64_t n_cur);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STATS_MOVEMENT_H_

@@ -1,0 +1,103 @@
+#include "stats/randtests.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+namespace {
+
+double TwoSidedNormalP(double z) { return std::erfc(std::fabs(z) / std::sqrt(2.0)); }
+
+}  // namespace
+
+RandTestResult MonobitTest(const std::vector<uint64_t>& words,
+                           int bits_per_word) {
+  SCADDAR_CHECK(!words.empty());
+  SCADDAR_CHECK(bits_per_word >= 1 && bits_per_word <= 64);
+  int64_t ones = 0;
+  for (const uint64_t word : words) {
+    const uint64_t masked =
+        bits_per_word == 64 ? word : word & ((uint64_t{1} << bits_per_word) - 1);
+    ones += __builtin_popcountll(masked);
+  }
+  const double n =
+      static_cast<double>(words.size()) * static_cast<double>(bits_per_word);
+  // Under H0, ones ~ Binomial(n, 1/2); z = (2*ones - n)/sqrt(n).
+  RandTestResult result;
+  result.statistic = (2.0 * static_cast<double>(ones) - n) / std::sqrt(n);
+  result.p_value = TwoSidedNormalP(result.statistic);
+  return result;
+}
+
+RandTestResult RunsTest(const std::vector<uint64_t>& words,
+                        int bits_per_word) {
+  SCADDAR_CHECK(!words.empty());
+  SCADDAR_CHECK(bits_per_word >= 1 && bits_per_word <= 64);
+  int64_t n = 0;
+  int64_t ones = 0;
+  int64_t runs = 0;
+  int previous_bit = -1;
+  for (const uint64_t word : words) {
+    for (int b = 0; b < bits_per_word; ++b) {
+      const int bit = static_cast<int>((word >> b) & 1u);
+      ++n;
+      ones += bit;
+      if (bit != previous_bit) {
+        ++runs;
+        previous_bit = bit;
+      }
+    }
+  }
+  const double pi = static_cast<double>(ones) / static_cast<double>(n);
+  RandTestResult result;
+  // NIST SP800-22 runs test statistic.
+  const double expected = 2.0 * static_cast<double>(n) * pi * (1.0 - pi);
+  if (expected == 0.0) {
+    result.statistic = HUGE_VAL;
+    result.p_value = 0.0;
+    return result;
+  }
+  result.statistic =
+      (static_cast<double>(runs) - expected - 1.0) /
+      (2.0 * std::sqrt(2.0 * static_cast<double>(n)) * pi * (1.0 - pi));
+  result.p_value = TwoSidedNormalP(result.statistic);
+  return result;
+}
+
+RandTestResult SerialCorrelationTest(const std::vector<uint64_t>& words) {
+  SCADDAR_CHECK(words.size() >= 3);
+  const size_t n = words.size() - 1;
+  // Pearson correlation of (w_i, w_{i+1}) on values scaled to [0, 1].
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_yy = 0.0;
+  double sum_xy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(words[i]) * 0x1.0p-64;
+    const double y = static_cast<double>(words[i + 1]) * 0x1.0p-64;
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_yy += y * y;
+    sum_xy += x * y;
+  }
+  const double nd = static_cast<double>(n);
+  const double cov = sum_xy / nd - (sum_x / nd) * (sum_y / nd);
+  const double var_x = sum_xx / nd - (sum_x / nd) * (sum_x / nd);
+  const double var_y = sum_yy / nd - (sum_y / nd) * (sum_y / nd);
+  RandTestResult result;
+  if (var_x <= 0.0 || var_y <= 0.0) {
+    result.statistic = HUGE_VAL;
+    result.p_value = 0.0;
+    return result;
+  }
+  const double corr = cov / std::sqrt(var_x * var_y);
+  result.statistic = corr * std::sqrt(nd);  // corr ~ N(0, 1/n) under H0.
+  result.p_value = TwoSidedNormalP(result.statistic);
+  return result;
+}
+
+}  // namespace scaddar

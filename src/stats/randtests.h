@@ -1,0 +1,40 @@
+#ifndef SCADDAR_STATS_RANDTESTS_H_
+#define SCADDAR_STATS_RANDTESTS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scaddar {
+
+/// Statistical quality tests for the `p_r(s)` substrate (FIPS 140-2 /
+/// NIST-style, simplified). The paper's whole construction assumes the
+/// generator's bits are "truly random" (Section 4.3); these tests give the
+/// repository teeth to reject a generator that is not.
+
+/// Result of a single binary hypothesis test.
+struct RandTestResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+
+  bool Passes(double alpha) const { return p_value >= alpha; }
+};
+
+/// Monobit (frequency) test: the fraction of 1 bits across `words` (each
+/// contributing `bits_per_word` low bits) should be 1/2.
+RandTestResult MonobitTest(const std::vector<uint64_t>& words,
+                           int bits_per_word);
+
+/// Runs test (Wald-Wolfowitz on the bit stream): the number of maximal
+/// runs of equal bits should match the expectation for i.i.d. fair bits.
+/// Requires the monobit test to be roughly satisfied to be meaningful.
+RandTestResult RunsTest(const std::vector<uint64_t>& words,
+                        int bits_per_word);
+
+/// Serial correlation of consecutive words (lag-1 Pearson coefficient of
+/// the word values); near 0 for independent outputs. The p-value uses the
+/// normal approximation corr ~ N(0, 1/n).
+RandTestResult SerialCorrelationTest(const std::vector<uint64_t>& words);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STATS_RANDTESTS_H_

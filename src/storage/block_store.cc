@@ -1,0 +1,110 @@
+#include "storage/block_store.h"
+
+namespace scaddar {
+
+Status BlockStore::PlaceObject(ObjectId id,
+                               const std::vector<PhysicalDiskId>& locations) {
+  if (locations.empty()) {
+    return InvalidArgumentError("object must have >= 1 block");
+  }
+  if (locations_.contains(id)) {
+    return AlreadyExistsError("object already materialized");
+  }
+  locations_[id] = locations;
+  total_blocks_ += static_cast<int64_t>(locations.size());
+  for (const PhysicalDiskId disk : locations) {
+    AdjustDisk(disk, 1);
+  }
+  return OkStatus();
+}
+
+Status BlockStore::DropObject(ObjectId id) {
+  const auto it = locations_.find(id);
+  if (it == locations_.end()) {
+    return NotFoundError("object not materialized");
+  }
+  for (const PhysicalDiskId disk : it->second) {
+    AdjustDisk(disk, -1);
+  }
+  total_blocks_ -= static_cast<int64_t>(it->second.size());
+  locations_.erase(it);
+  return OkStatus();
+}
+
+StatusOr<PhysicalDiskId> BlockStore::LocationOf(BlockRef ref) const {
+  const auto it = locations_.find(ref.object);
+  if (it == locations_.end()) {
+    return NotFoundError("object not materialized");
+  }
+  if (ref.block < 0 ||
+      ref.block >= static_cast<BlockIndex>(it->second.size())) {
+    return OutOfRangeError("block index out of range");
+  }
+  return it->second[static_cast<size_t>(ref.block)];
+}
+
+Status BlockStore::ApplyMove(const BlockMove& move) {
+  const auto it = locations_.find(move.block.object);
+  if (it == locations_.end()) {
+    return NotFoundError("object not materialized");
+  }
+  if (move.block.block < 0 ||
+      move.block.block >= static_cast<BlockIndex>(it->second.size())) {
+    return OutOfRangeError("block index out of range");
+  }
+  PhysicalDiskId& location =
+      it->second[static_cast<size_t>(move.block.block)];
+  if (location != move.from_physical) {
+    return FailedPreconditionError("block is not on the expected source disk");
+  }
+  location = move.to_physical;
+  AdjustDisk(move.from_physical, -1);
+  AdjustDisk(move.to_physical, 1);
+  return OkStatus();
+}
+
+Status BlockStore::ApplyPlan(const MovePlan& plan) {
+  for (const BlockMove& move : plan.moves()) {
+    SCADDAR_RETURN_IF_ERROR(ApplyMove(move));
+  }
+  return OkStatus();
+}
+
+Status BlockStore::VerifyAgainstPolicy(const PlacementPolicy& policy) const {
+  for (const auto& [id, locations] : locations_) {
+    for (size_t i = 0; i < locations.size(); ++i) {
+      const PhysicalDiskId expected =
+          policy.Locate(id, static_cast<BlockIndex>(i));
+      if (expected != locations[i]) {
+        return InternalError("materialized location diverges from AF()");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+int64_t BlockStore::CountOn(PhysicalDiskId disk) const {
+  const auto it = per_disk_counts_.find(disk);
+  return it == per_disk_counts_.end() ? 0 : it->second;
+}
+
+void BlockStore::AdjustDisk(PhysicalDiskId disk, int64_t delta) {
+  int64_t& count = per_disk_counts_[disk];
+  count += delta;
+  SCADDAR_CHECK(count >= 0);
+  if (count == 0) {
+    per_disk_counts_.erase(disk);
+  }
+  if (disks_ != nullptr) {
+    StatusOr<SimDisk*> sim = disks_->GetDisk(disk);
+    if (sim.ok()) {
+      if (delta > 0) {
+        (*sim)->AddBlocks(delta);
+      } else {
+        (*sim)->RemoveBlocks(-delta);
+      }
+    }
+  }
+}
+
+}  // namespace scaddar

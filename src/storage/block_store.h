@@ -1,0 +1,69 @@
+#ifndef SCADDAR_STORAGE_BLOCK_STORE_H_
+#define SCADDAR_STORAGE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/redistribution.h"
+#include "core/types.h"
+#include "placement/policy.h"
+#include "storage/disk_array.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// The *materialized* truth of where every block physically resides. The
+/// placement policy computes where blocks *should* be; the block store
+/// records where they *are*. During an online scaling operation the two
+/// disagree until the migration finishes — reads must go through the store,
+/// which is exactly how the paper's server keeps serving during
+/// reorganization.
+///
+/// If constructed with a `DiskArray`, occupancy counters are kept in sync.
+class BlockStore {
+ public:
+  explicit BlockStore(DiskArray* disks = nullptr) : disks_(disks) {}
+
+  /// Materializes an object whose block `i` lives on `locations[i]`.
+  Status PlaceObject(ObjectId id, const std::vector<PhysicalDiskId>& locations);
+
+  /// Deletes an object's blocks.
+  Status DropObject(ObjectId id);
+
+  /// Where block `ref` currently resides.
+  StatusOr<PhysicalDiskId> LocationOf(BlockRef ref) const;
+
+  /// Executes one relocation; fails (without side effects) if the block is
+  /// not currently on `move.from_physical`.
+  Status ApplyMove(const BlockMove& move);
+
+  /// Executes a whole plan; stops at the first failing move.
+  Status ApplyPlan(const MovePlan& plan);
+
+  /// Verifies that every stored block is exactly where `policy.Locate` says
+  /// it should be — the RF()/AF() agreement check.
+  Status VerifyAgainstPolicy(const PlacementPolicy& policy) const;
+
+  int64_t total_blocks() const { return total_blocks_; }
+
+  /// Blocks per physical disk (only disks that hold blocks appear).
+  const std::unordered_map<PhysicalDiskId, int64_t>& per_disk_counts() const {
+    return per_disk_counts_;
+  }
+
+  /// Blocks currently on `disk`.
+  int64_t CountOn(PhysicalDiskId disk) const;
+
+ private:
+  void AdjustDisk(PhysicalDiskId disk, int64_t delta);
+
+  DiskArray* disks_;  // Not owned; may be null.
+  std::unordered_map<ObjectId, std::vector<PhysicalDiskId>> locations_;
+  std::unordered_map<PhysicalDiskId, int64_t> per_disk_counts_;
+  int64_t total_blocks_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STORAGE_BLOCK_STORE_H_

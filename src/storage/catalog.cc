@@ -1,0 +1,95 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "random/splitmix64.h"
+#include "util/intmath.h"
+
+namespace scaddar {
+
+Catalog::Catalog(uint64_t master_seed, PrngKind kind, int bits)
+    : master_seed_(master_seed), kind_(kind), bits_(bits) {
+  SCADDAR_CHECK(bits >= 1 && bits <= 64);
+}
+
+Status Catalog::AddObject(ObjectId id, int64_t num_blocks,
+                          int64_t bitrate_weight) {
+  if (num_blocks <= 0) {
+    return InvalidArgumentError("object must have >= 1 block");
+  }
+  if (bitrate_weight <= 0) {
+    return InvalidArgumentError("bitrate weight must be positive");
+  }
+  if (objects_.contains(id)) {
+    return AlreadyExistsError("object id already in catalog");
+  }
+  CmObject object;
+  object.id = id;
+  object.num_blocks = num_blocks;
+  object.bitrate_weight = bitrate_weight;
+  object.seed_generation = 0;
+  objects_[id] = object;
+  order_.push_back(id);
+  total_blocks_ += num_blocks;
+  return OkStatus();
+}
+
+Status Catalog::RemoveObject(ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFoundError("object not in catalog");
+  }
+  total_blocks_ -= it->second.num_blocks;
+  objects_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), id));
+  return OkStatus();
+}
+
+StatusOr<CmObject> Catalog::GetObject(ObjectId id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFoundError("object not in catalog");
+  }
+  return it->second;
+}
+
+StatusOr<uint64_t> Catalog::SeedOf(ObjectId id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFoundError("object not in catalog");
+  }
+  return MixSeeds(MixSeeds(master_seed_, static_cast<uint64_t>(id)),
+                  static_cast<uint64_t>(it->second.seed_generation));
+}
+
+StatusOr<std::vector<uint64_t>> Catalog::MaterializeX0(ObjectId id) const {
+  SCADDAR_ASSIGN_OR_RETURN(const uint64_t seed, SeedOf(id));
+  SCADDAR_ASSIGN_OR_RETURN(X0Sequence seq,
+                           X0Sequence::Create(kind_, seed, bits_));
+  return seq.Materialize(objects_.at(id).num_blocks);
+}
+
+Status Catalog::SetGeneration(ObjectId id, int64_t generation) {
+  if (generation < 0) {
+    return InvalidArgumentError("generation must be >= 0");
+  }
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFoundError("object not in catalog");
+  }
+  it->second.seed_generation = generation;
+  return OkStatus();
+}
+
+Status Catalog::BumpGeneration(ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFoundError("object not in catalog");
+  }
+  ++it->second.seed_generation;
+  return OkStatus();
+}
+
+uint64_t Catalog::r0() const { return MaxRandomForBits(bits_); }
+
+}  // namespace scaddar

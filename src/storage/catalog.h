@@ -1,0 +1,73 @@
+#ifndef SCADDAR_STORAGE_CATALOG_H_
+#define SCADDAR_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "random/prng.h"
+#include "random/sequence.h"
+#include "storage/object.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// The object catalog: the only per-object state a SCADDAR server persists
+/// (Section 1: "only a storage structure for recording scaling operations" —
+/// plus one seed per object). Per-object seeds are derived from a master
+/// seed, so the catalog itself serializes to a few integers per object, not
+/// per block.
+class Catalog {
+ public:
+  /// `bits` is the paper's `b`; it must not exceed the generator's output
+  /// width (checked at materialization).
+  Catalog(uint64_t master_seed, PrngKind kind, int bits);
+
+  /// Registers an object with `num_blocks` blocks (> 0).
+  Status AddObject(ObjectId id, int64_t num_blocks,
+                   int64_t bitrate_weight = 1);
+
+  Status RemoveObject(ObjectId id);
+
+  bool Contains(ObjectId id) const { return objects_.contains(id); }
+  StatusOr<CmObject> GetObject(ObjectId id) const;
+  int64_t num_objects() const { return static_cast<int64_t>(order_.size()); }
+  int64_t total_blocks() const { return total_blocks_; }
+
+  /// Objects in registration order.
+  const std::vector<ObjectId>& object_ids() const { return order_; }
+
+  /// The seed `p_r` uses for this object at its current generation:
+  /// `MixSeeds(MixSeeds(master, id), generation)`.
+  StatusOr<uint64_t> SeedOf(ObjectId id) const;
+
+  /// Materializes `X0(0..num_blocks-1)` for the object's current seed
+  /// generation (Definition 3.2).
+  StatusOr<std::vector<uint64_t>> MaterializeX0(ObjectId id) const;
+
+  /// Bumps the object's seed generation — the catalog half of a full
+  /// redistribution (the placement layer restarts its op log).
+  Status BumpGeneration(ObjectId id);
+
+  /// Sets the generation directly (>= 0); used when restoring snapshots.
+  Status SetGeneration(ObjectId id, int64_t generation);
+
+  int bits() const { return bits_; }
+  PrngKind kind() const { return kind_; }
+  uint64_t master_seed() const { return master_seed_; }
+
+  /// `R0 = 2^bits - 1` — the initial random range for Lemma 4.3 checks.
+  uint64_t r0() const;
+
+ private:
+  uint64_t master_seed_;
+  PrngKind kind_;
+  int bits_;
+  std::unordered_map<ObjectId, CmObject> objects_;
+  std::vector<ObjectId> order_;
+  int64_t total_blocks_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STORAGE_CATALOG_H_

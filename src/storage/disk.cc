@@ -1,0 +1,19 @@
+#include "storage/disk.h"
+
+#include "util/status.h"
+
+namespace scaddar {
+
+void SimDisk::AddBlocks(int64_t count) {
+  SCADDAR_CHECK(count >= 0);
+  num_blocks_ += count;
+  SCADDAR_CHECK(num_blocks_ <= spec_.capacity_blocks);
+}
+
+void SimDisk::RemoveBlocks(int64_t count) {
+  SCADDAR_CHECK(count >= 0);
+  num_blocks_ -= count;
+  SCADDAR_CHECK(num_blocks_ >= 0);
+}
+
+}  // namespace scaddar

@@ -1,0 +1,53 @@
+#ifndef SCADDAR_STORAGE_DISK_H_
+#define SCADDAR_STORAGE_DISK_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace scaddar {
+
+/// Static properties of one simulated (homogeneous) magnetic disk.
+struct DiskSpec {
+  /// How many blocks fit on the disk.
+  int64_t capacity_blocks = 1'000'000;
+  /// How many block retrievals the disk completes per scheduling round
+  /// (Section 1's bandwidth; CM schedulers think in blocks per round).
+  int64_t bandwidth_blocks_per_round = 8;
+};
+
+/// One simulated disk drive. Tracks occupancy and lifetime service counters;
+/// the scheduler owns per-round queueing.
+class SimDisk {
+ public:
+  SimDisk(PhysicalDiskId id, const DiskSpec& spec) : id_(id), spec_(spec) {}
+
+  PhysicalDiskId id() const { return id_; }
+  const DiskSpec& spec() const { return spec_; }
+
+  int64_t num_blocks() const { return num_blocks_; }
+  bool IsFull() const { return num_blocks_ >= spec_.capacity_blocks; }
+
+  /// Adjusts occupancy; underflow/overflow are programmer errors (checked).
+  void AddBlocks(int64_t count);
+  void RemoveBlocks(int64_t count);
+
+  /// Lifetime counters for the bench reports.
+  void RecordServedRequests(int64_t count) { served_requests_ += count; }
+  void RecordMigrationTransfers(int64_t count) {
+    migration_transfers_ += count;
+  }
+  int64_t served_requests() const { return served_requests_; }
+  int64_t migration_transfers() const { return migration_transfers_; }
+
+ private:
+  PhysicalDiskId id_;
+  DiskSpec spec_;
+  int64_t num_blocks_ = 0;
+  int64_t served_requests_ = 0;
+  int64_t migration_transfers_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STORAGE_DISK_H_

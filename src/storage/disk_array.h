@@ -1,0 +1,57 @@
+#ifndef SCADDAR_STORAGE_DISK_ARRAY_H_
+#define SCADDAR_STORAGE_DISK_ARRAY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// The physical disk farm. Disks are keyed by their stable `PhysicalDiskId`;
+/// the placement layer's op log decides *which* ids are live, and the array
+/// tracks the hardware-side state (specs, occupancy, service counters).
+/// Retired disks are kept (inactive) so post-mortem stats survive removals.
+class DiskArray {
+ public:
+  explicit DiskArray(const DiskSpec& default_spec)
+      : default_spec_(default_spec) {}
+
+  /// Brings the array in sync with the live id set: creates missing disks
+  /// with `default_spec_` and deactivates ids no longer present. Removal
+  /// requires the disk to be empty (the migration must have drained it) —
+  /// fails with FailedPrecondition otherwise.
+  Status SyncLiveSet(const std::vector<PhysicalDiskId>& live);
+
+  /// Direct creation with a custom spec (heterogeneous extensions).
+  Status AddDisk(PhysicalDiskId id, const DiskSpec& spec);
+
+  bool IsLive(PhysicalDiskId id) const;
+  StatusOr<SimDisk*> GetDisk(PhysicalDiskId id);
+  StatusOr<const SimDisk*> GetDisk(PhysicalDiskId id) const;
+
+  /// Live ids in ascending order.
+  std::vector<PhysicalDiskId> live_ids() const;
+  int64_t num_live() const { return num_live_; }
+
+  /// Aggregate bandwidth of live disks (blocks per round).
+  int64_t TotalBandwidth() const;
+
+  /// Aggregate free capacity of live disks (blocks).
+  int64_t TotalFreeCapacity() const;
+
+  /// Occupancy of live disks in `live_ids()` order.
+  std::vector<int64_t> LiveOccupancy() const;
+
+ private:
+  DiskSpec default_spec_;
+  std::unordered_map<PhysicalDiskId, SimDisk> disks_;
+  std::unordered_map<PhysicalDiskId, bool> live_;
+  int64_t num_live_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STORAGE_DISK_ARRAY_H_

@@ -1,0 +1,70 @@
+#include "storage/disk_model.h"
+
+#include <cmath>
+
+namespace scaddar {
+
+double BlockServiceTimeMs(const DiskParameters& disk,
+                          const RoundParameters& round) {
+  SCADDAR_CHECK(disk.rpm > 0.0);
+  SCADDAR_CHECK(disk.avg_seek_ms >= 0.0);
+  SCADDAR_CHECK(disk.transfer_mb_per_s > 0.0);
+  SCADDAR_CHECK(round.block_kb > 0);
+  const double half_rotation_ms = 0.5 * 60'000.0 / disk.rpm;
+  const double transfer_ms = static_cast<double>(round.block_kb) /
+                             (disk.transfer_mb_per_s * 1024.0) * 1000.0;
+  return disk.avg_seek_ms + half_rotation_ms + transfer_ms;
+}
+
+StatusOr<int64_t> BlocksPerRound(const DiskParameters& disk,
+                                 const RoundParameters& round) {
+  if (round.round_seconds <= 0.0) {
+    return InvalidArgumentError("round length must be positive");
+  }
+  const double per_block_ms = BlockServiceTimeMs(disk, round);
+  const auto blocks = static_cast<int64_t>(
+      std::floor(round.round_seconds * 1000.0 / per_block_ms));
+  if (blocks < 1) {
+    return FailedPreconditionError(
+        "disk cannot serve one block within a round");
+  }
+  return blocks;
+}
+
+int64_t CapacityBlocks(const DiskParameters& disk,
+                       const RoundParameters& round) {
+  SCADDAR_CHECK(disk.capacity_gb > 0);
+  SCADDAR_CHECK(round.block_kb > 0);
+  return disk.capacity_gb * 1024 * 1024 / round.block_kb;
+}
+
+StatusOr<DiskSpec> MakeDiskSpec(const DiskParameters& disk,
+                                const RoundParameters& round) {
+  SCADDAR_ASSIGN_OR_RETURN(const int64_t bandwidth,
+                           BlocksPerRound(disk, round));
+  return DiskSpec{.capacity_blocks = CapacityBlocks(disk, round),
+                  .bandwidth_blocks_per_round = bandwidth};
+}
+
+DiskParameters VintageDisk() {
+  return DiskParameters{.rpm = 7200.0,
+                        .avg_seek_ms = 8.0,
+                        .transfer_mb_per_s = 15.0,
+                        .capacity_gb = 18};
+}
+
+DiskParameters Year2001Disk() {
+  return DiskParameters{.rpm = 10000.0,
+                        .avg_seek_ms = 5.0,
+                        .transfer_mb_per_s = 40.0,
+                        .capacity_gb = 73};
+}
+
+DiskParameters ModernDisk() {
+  return DiskParameters{.rpm = 7200.0,
+                        .avg_seek_ms = 8.0,
+                        .transfer_mb_per_s = 250.0,
+                        .capacity_gb = 20'000};
+}
+
+}  // namespace scaddar

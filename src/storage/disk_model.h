@@ -1,0 +1,66 @@
+#ifndef SCADDAR_STORAGE_DISK_MODEL_H_
+#define SCADDAR_STORAGE_DISK_MODEL_H_
+
+#include <cstdint>
+
+#include "storage/disk.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Physical parameters of a magnetic disk drive, in the style CM-server
+/// papers of the SCADDAR era used to derive per-round service guarantees.
+/// Random placement means every block access pays a seek and (on average)
+/// half a rotation before the transfer — there is no sequential-access
+/// discount, which is exactly the trade-off the RIO line of work accepts
+/// for load balance.
+struct DiskParameters {
+  double rpm = 10000.0;               // Spindle speed.
+  double avg_seek_ms = 5.0;           // Average random seek.
+  double transfer_mb_per_s = 40.0;    // Sustained media transfer rate.
+  int64_t capacity_gb = 73;           // Usable capacity.
+};
+
+/// A continuous-media service round.
+struct RoundParameters {
+  double round_seconds = 1.0;         // Playback time of one block.
+  int64_t block_kb = 512;             // CM block size.
+};
+
+/// Worst-expected service time of one random block access:
+/// seek + half a rotation + transfer. Milliseconds.
+double BlockServiceTimeMs(const DiskParameters& disk,
+                          const RoundParameters& round);
+
+/// How many random block retrievals one disk completes per round — the
+/// `bandwidth_blocks_per_round` of the simulation, derived from physics.
+/// Fails if even a single block cannot be served within a round.
+StatusOr<int64_t> BlocksPerRound(const DiskParameters& disk,
+                                 const RoundParameters& round);
+
+/// How many blocks fit on the disk.
+int64_t CapacityBlocks(const DiskParameters& disk,
+                       const RoundParameters& round);
+
+/// Bundles the above into the simulation's `DiskSpec`.
+StatusOr<DiskSpec> MakeDiskSpec(const DiskParameters& disk,
+                                const RoundParameters& round);
+
+/// Era-appropriate presets.
+///
+/// A late-90s drive of the kind the paper's testbed would have used
+/// (7200rpm, ~8ms seeks, ~15 MB/s, 18 GB).
+DiskParameters VintageDisk();
+
+/// A high-end drive contemporary with the paper (10k rpm, ~5ms, 40 MB/s,
+/// 73 GB) — the "newer generation disks with higher bandwidth and more
+/// capacity" of Section 1.
+DiskParameters Year2001Disk();
+
+/// A modern nearline drive (7200rpm, ~8ms, 250 MB/s, 20 TB): transfer is
+/// no longer the bottleneck, seeks are — random placement's cost profile.
+DiskParameters ModernDisk();
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STORAGE_DISK_MODEL_H_

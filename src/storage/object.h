@@ -1,0 +1,26 @@
+#ifndef SCADDAR_STORAGE_OBJECT_H_
+#define SCADDAR_STORAGE_OBJECT_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace scaddar {
+
+/// A continuous media object: a movie/audio stream split into fixed-size
+/// blocks (Section 1). `seed_generation` supports the paper's full
+/// redistribution fallback: when the Lemma 4.3 bound trips, the generation
+/// is bumped, which deterministically derives a fresh seed and an empty op
+/// log for the object.
+struct CmObject {
+  ObjectId id = 0;
+  int64_t num_blocks = 0;
+  /// Playback consumes one block per `blocks_per_round` rounds == 1 here;
+  /// kept as data for heterogeneous bitrates in the workload generator.
+  int64_t bitrate_weight = 1;
+  int64_t seed_generation = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STORAGE_OBJECT_H_

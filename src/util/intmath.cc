@@ -1,0 +1,87 @@
+#include "util/intmath.h"
+
+#include <cmath>
+#include <limits>
+
+namespace scaddar {
+
+void SaturatingProduct::MultiplyBy(uint64_t factor) {
+  SCADDAR_CHECK(factor > 0);
+  if (saturated_) {
+    return;
+  }
+  constexpr unsigned __int128 kMax = ~static_cast<unsigned __int128>(0);
+  if (value_ > kMax / factor) {
+    value_ = kMax;
+    saturated_ = true;
+    return;
+  }
+  value_ *= factor;
+}
+
+int FloorLog2(uint64_t x) {
+  SCADDAR_CHECK(x != 0);
+  return 63 - __builtin_clzll(x);
+}
+
+int CeilLog2(uint64_t x) {
+  SCADDAR_CHECK(x != 0);
+  const int floor_log = FloorLog2(x);
+  return ((x & (x - 1)) == 0) ? floor_log : floor_log + 1;
+}
+
+double Log2(double x) {
+  SCADDAR_CHECK(x >= 1.0);
+  return std::log2(x);
+}
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    const uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  if (a > std::numeric_limits<uint64_t>::max() / b) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return a * b;
+}
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  const uint64_t sum = a + b;
+  if (sum < a) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return sum;
+}
+
+uint64_t SaturatingPow(uint64_t base, uint32_t exp) {
+  uint64_t result = 1;
+  while (exp > 0) {
+    if ((exp & 1u) != 0) {
+      result = SaturatingMul(result, base);
+    }
+    exp >>= 1u;
+    if (exp > 0) {
+      base = SaturatingMul(base, base);
+    }
+  }
+  return result;
+}
+
+uint64_t MaxRandomForBits(int bits) {
+  SCADDAR_CHECK(bits >= 1 && bits <= 64);
+  if (bits == 64) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return (uint64_t{1} << bits) - 1;
+}
+
+}  // namespace scaddar

@@ -1,0 +1,86 @@
+#ifndef SCADDAR_UTIL_INTMATH_H_
+#define SCADDAR_UTIL_INTMATH_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+/// Quotient/remainder pair produced by `DivMod`. The paper's Definition 4.1
+/// (`q_j = X_j div N_j`, `r_j = X_j mod N_j`) is used pervasively, so the
+/// pair gets a named type rather than std::pair.
+struct QuotRem {
+  uint64_t quot = 0;
+  uint64_t rem = 0;
+
+  friend bool operator==(const QuotRem&, const QuotRem&) = default;
+};
+
+/// Returns `x div n` and `x mod n` in one call. `n` must be non-zero
+/// (checked).
+inline QuotRem DivMod(uint64_t x, uint64_t n) {
+  SCADDAR_DCHECK(n != 0);
+  return QuotRem{x / n, x % n};
+}
+
+/// A saturating non-negative 128-bit product accumulator. Tracks the product
+/// `Pi_k = N0 * N1 * ... * Nk` from Lemma 4.2/4.3; the product can overflow
+/// any fixed-width integer after enough operations, so multiplication
+/// saturates at the maximum representable value and `saturated()` reports
+/// that the true product is at least as large as `value()`.
+class SaturatingProduct {
+ public:
+  /// Starts at the multiplicative identity (1).
+  SaturatingProduct() = default;
+
+  /// Multiplies the accumulator by `factor` (> 0, checked), saturating.
+  void MultiplyBy(uint64_t factor);
+
+  /// True once any multiplication overflowed 128 bits; the real product is
+  /// then >= value() == max.
+  bool saturated() const { return saturated_; }
+
+  /// The (possibly saturated) product.
+  unsigned __int128 value() const { return value_; }
+
+  /// Returns true iff the tracked product is <= `limit`. Saturated products
+  /// compare greater than any representable limit that is below max.
+  bool LessEq(unsigned __int128 limit) const {
+    return !saturated_ && value_ <= limit;
+  }
+
+ private:
+  unsigned __int128 value_ = 1;
+  bool saturated_ = false;
+};
+
+/// Floor of log base 2 of `x`; `x` must be non-zero (checked).
+int FloorLog2(uint64_t x);
+
+/// Ceiling of log base 2 of `x`; `x` must be non-zero (checked).
+int CeilLog2(uint64_t x);
+
+/// Exact base-2 logarithm as a double, defined for x >= 1. Used by the
+/// rule-of-thumb estimate `k + 1 <= (b - log2(1/eps)) / log2(avg_disks)`.
+double Log2(double x);
+
+/// Greatest common divisor (both arguments may be zero; gcd(0,0) == 0).
+uint64_t Gcd(uint64_t a, uint64_t b);
+
+/// Returns `base` raised to `exp`, saturating at the maximum uint64 value.
+uint64_t SaturatingPow(uint64_t base, uint32_t exp);
+
+/// Returns a*b saturating at uint64 max.
+uint64_t SaturatingMul(uint64_t a, uint64_t b);
+
+/// Returns a+b saturating at uint64 max.
+uint64_t SaturatingAdd(uint64_t a, uint64_t b);
+
+/// The maximum random value for a generator emitting `bits` random bits:
+/// `R = 2^bits - 1` (Definition 3.2). `bits` must be in [1, 64].
+uint64_t MaxRandomForBits(int bits);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_UTIL_INTMATH_H_

@@ -1,0 +1,92 @@
+#include "util/status.h"
+
+namespace scaddar {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string result(StatusCodeToString(code_));
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status OkStatus() { return Status(); }
+
+Status InvalidArgumentError(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, message);
+}
+
+Status NotFoundError(std::string_view message) {
+  return Status(StatusCode::kNotFound, message);
+}
+
+Status AlreadyExistsError(std::string_view message) {
+  return Status(StatusCode::kAlreadyExists, message);
+}
+
+Status FailedPreconditionError(std::string_view message) {
+  return Status(StatusCode::kFailedPrecondition, message);
+}
+
+Status OutOfRangeError(std::string_view message) {
+  return Status(StatusCode::kOutOfRange, message);
+}
+
+Status ResourceExhaustedError(std::string_view message) {
+  return Status(StatusCode::kResourceExhausted, message);
+}
+
+Status UnimplementedError(std::string_view message) {
+  return Status(StatusCode::kUnimplemented, message);
+}
+
+Status InternalError(std::string_view message) {
+  return Status(StatusCode::kInternal, message);
+}
+
+namespace internal {
+
+void DieBecauseOfBadStatusOrAccess(const Status& status) {
+  std::fprintf(stderr, "StatusOr accessed without value: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieBecauseOfCheckFailure(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "%s:%d: SCADDAR_CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace scaddar

@@ -1,0 +1,126 @@
+#ifndef SCADDAR_UTIL_STATUS_H_
+#define SCADDAR_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace scaddar {
+
+/// Canonical error codes, modelled after the widely used subset of
+/// absl::StatusCode. The library does not use C++ exceptions; every fallible
+/// operation reports failure through `Status` or `StatusOr<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying an error code and message. An OK status holds
+/// no message and compares equal to `Status::Ok()`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic `message`. A `kOk`
+  /// code yields an OK status and the message is dropped.
+  Status(StatusCode code, std::string_view message)
+      : code_(code),
+        message_(code == StatusCode::kOk ? std::string()
+                                         : std::string(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Named constructor for the OK status.
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message" for logs and test failure output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Convenience factories mirroring absl's `InvalidArgumentError` etc.
+Status OkStatus();
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status InternalError(std::string_view message);
+
+namespace internal {
+[[noreturn]] void DieBecauseOfBadStatusOrAccess(const Status& status);
+[[noreturn]] void DieBecauseOfCheckFailure(const char* file, int line,
+                                           const char* expr);
+}  // namespace internal
+
+}  // namespace scaddar
+
+/// Aborts the process with a diagnostic when `expr` is false. Used for
+/// programmer errors (invariant violations), never for recoverable errors.
+#define SCADDAR_CHECK(expr)                                                \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::scaddar::internal::DieBecauseOfCheckFailure(__FILE__, __LINE__,    \
+                                                    #expr);                \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+// Compiled out, but the expression stays visible to the compiler so that
+// parameters used only in DCHECKs are not flagged as unused.
+#define SCADDAR_DCHECK(expr)      \
+  do {                            \
+    if (false) {                  \
+      static_cast<void>(expr);    \
+    }                             \
+  } while (false)
+#else
+#define SCADDAR_DCHECK(expr) SCADDAR_CHECK(expr)
+#endif
+
+/// Evaluates `expr` (a Status expression) and returns it from the current
+/// function if it is not OK.
+#define SCADDAR_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::scaddar::Status scaddar_status_tmp_ = (expr);   \
+    if (!scaddar_status_tmp_.ok()) {                  \
+      return scaddar_status_tmp_;                     \
+    }                                                 \
+  } while (false)
+
+#endif  // SCADDAR_UTIL_STATUS_H_

@@ -1,0 +1,83 @@
+#ifndef SCADDAR_UTIL_STATUSOR_H_
+#define SCADDAR_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+/// Union of a `Status` and a `T`: either holds a value (and an OK status) or
+/// a non-OK status explaining why no value is available. Accessing the value
+/// of a non-OK `StatusOr` aborts the process, so callers must test `ok()`
+/// first (the library does not use exceptions).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programmer error and aborts.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SCADDAR_CHECK(!status_.ok());
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!status_.ok()) {
+      internal::DieBecauseOfBadStatusOrAccess(status_);
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace scaddar
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status
+/// from the current function, otherwise moves the value into `lhs`.
+#define SCADDAR_ASSIGN_OR_RETURN(lhs, rexpr)      \
+  SCADDAR_ASSIGN_OR_RETURN_IMPL_(                 \
+      SCADDAR_STATUS_MACROS_CONCAT_(statusor_, __LINE__), lhs, rexpr)
+
+#define SCADDAR_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                   \
+  if (!var.ok()) {                                      \
+    return var.status();                                \
+  }                                                     \
+  lhs = std::move(var).value()
+
+#define SCADDAR_STATUS_MACROS_CONCAT_(x, y) SCADDAR_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define SCADDAR_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // SCADDAR_UTIL_STATUSOR_H_

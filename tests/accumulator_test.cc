@@ -1,0 +1,101 @@
+#include "stats/accumulator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+  EXPECT_EQ(acc.coefficient_of_variation(), 0.0);
+}
+
+TEST(AccumulatorTest, SingleValue) {
+  Accumulator acc;
+  acc.Add(5.0);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 5.0);
+  EXPECT_EQ(acc.max(), 5.0);
+  EXPECT_EQ(acc.sum(), 5.0);
+}
+
+TEST(AccumulatorTest, KnownMoments) {
+  Accumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // Classic textbook data set.
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_NEAR(acc.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.coefficient_of_variation(), 0.4);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+}
+
+TEST(AccumulatorTest, MergeMatchesDirectAccumulation) {
+  Accumulator direct;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = std::sin(i) * 100.0;
+    direct.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), direct.count());
+  EXPECT_NEAR(left.mean(), direct.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), direct.variance(), 1e-9);
+  EXPECT_EQ(left.min(), direct.min());
+  EXPECT_EQ(left.max(), direct.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmpty) {
+  Accumulator acc;
+  acc.Add(1.0);
+  acc.Add(3.0);
+  Accumulator empty;
+  acc.Merge(empty);
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+
+  Accumulator target;
+  target.Merge(acc);
+  EXPECT_EQ(target.count(), 2);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(AccumulatorTest, NumericalStabilityOnLargeOffsets) {
+  Accumulator acc;
+  constexpr double kOffset = 1e12;
+  for (int i = 0; i < 1000; ++i) {
+    acc.Add(kOffset + (i % 2 == 0 ? 1.0 : -1.0));
+  }
+  EXPECT_NEAR(acc.mean(), kOffset, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(AccumulatorTest, SampleVarianceUndefinedBelowTwo) {
+  Accumulator acc;
+  EXPECT_EQ(acc.sample_variance(), 0.0);
+  acc.Add(9.0);
+  EXPECT_EQ(acc.sample_variance(), 0.0);
+}
+
+TEST(AccumulatorTest, CoefficientOfVariationZeroMean) {
+  Accumulator acc;
+  acc.Add(-1.0);
+  acc.Add(1.0);
+  EXPECT_EQ(acc.coefficient_of_variation(), 0.0);
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,139 @@
+#include "placement/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/registry.h"
+#include "util/intmath.h"
+
+namespace scaddar {
+namespace {
+
+// Brute-force residue count over one lcm period: the ground truth for the
+// CRT-based closed form.
+double BruteForceStayFraction(int64_t a, int64_t b) {
+  const uint64_t lcm = static_cast<uint64_t>(a) / Gcd(a, b) *
+                       static_cast<uint64_t>(b);
+  int64_t stay = 0;
+  for (uint64_t r = 0; r < lcm; ++r) {
+    if (r % static_cast<uint64_t>(a) == r % static_cast<uint64_t>(b)) {
+      ++stay;
+    }
+  }
+  return static_cast<double>(stay) / static_cast<double>(lcm);
+}
+
+TEST(ExpectedStayFractionModTest, MatchesBruteForceOverSweep) {
+  for (int64_t a = 1; a <= 24; ++a) {
+    for (int64_t b = 1; b <= 24; ++b) {
+      EXPECT_NEAR(ExpectedStayFractionMod(a, b), BruteForceStayFraction(a, b),
+                  1e-12)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(ExpectedStayFractionModTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(ExpectedStayFractionMod(8, 9), 1.0 / 9.0);
+  EXPECT_DOUBLE_EQ(ExpectedStayFractionMod(4, 8), 0.5);
+  EXPECT_DOUBLE_EQ(ExpectedStayFractionMod(8, 4), 0.5);
+  EXPECT_DOUBLE_EQ(ExpectedStayFractionMod(7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(ExpectedMoveFractionMod(8, 9), 8.0 / 9.0);
+}
+
+TEST(ExpectedMoveFractionScaddarTest, IsTheoreticalMinimum) {
+  EXPECT_DOUBLE_EQ(ExpectedMoveFractionScaddar(8, 10), 0.2);
+  EXPECT_DOUBLE_EQ(ExpectedMoveFractionScaddar(10, 8), 0.2);
+}
+
+class PolicyVsClosedFormTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(PolicyVsClosedFormTest, ModPolicyMatchesAnalyticPrediction) {
+  const auto [n_prev, n_cur] = GetParam();
+  const ScalingOp op =
+      n_cur > n_prev
+          ? ScalingOp::Add(n_cur - n_prev).value()
+          : ScalingOp::Remove([&] {
+              std::vector<DiskSlot> slots;
+              for (int64_t s = 0; s < n_prev - n_cur; ++s) {
+                slots.push_back(s);
+              }
+              return slots;
+            }()).value();
+  const MovedFractionEstimate estimate = EstimateMovedFraction(
+      [&](int64_t trial) {
+        PolicyOptions options;
+        options.seed = static_cast<uint64_t>(trial) + 1;
+        return std::move(MakePolicy("mod", n_prev, options)).value();
+      },
+      op, /*trials=*/8, /*blocks=*/20000, /*seed=*/0xabcu);
+  // Removal renumbering maps low slots away, so the analytic mod formula
+  // applies to additions exactly; for removals the surviving-slot shift
+  // makes movement at least as large. Check the addition cases tightly.
+  if (n_cur > n_prev) {
+    EXPECT_TRUE(WithinStdError(estimate.mean,
+                               ExpectedMoveFractionMod(n_prev, n_cur),
+                               estimate.std_error, 4.0))
+        << estimate.mean << " vs " << ExpectedMoveFractionMod(n_prev, n_cur)
+        << " +- " << estimate.std_error;
+  } else {
+    EXPECT_GE(estimate.mean,
+              ExpectedMoveFractionScaddar(n_prev, n_cur) - 1e-9);
+  }
+}
+
+TEST_P(PolicyVsClosedFormTest, ScaddarPolicyAchievesTheMinimum) {
+  const auto [n_prev, n_cur] = GetParam();
+  const ScalingOp op =
+      n_cur > n_prev
+          ? ScalingOp::Add(n_cur - n_prev).value()
+          : ScalingOp::Remove({0}).value();
+  const int64_t effective_cur = n_cur > n_prev ? n_cur : n_prev - 1;
+  const MovedFractionEstimate estimate = EstimateMovedFraction(
+      [&](int64_t trial) {
+        PolicyOptions options;
+        options.seed = static_cast<uint64_t>(trial) + 1;
+        return std::move(MakePolicy("scaddar", n_prev, options)).value();
+      },
+      op, /*trials=*/8, /*blocks=*/20000, /*seed=*/0xdefu);
+  EXPECT_TRUE(WithinStdError(
+      estimate.mean, ExpectedMoveFractionScaddar(n_prev, effective_cur),
+      estimate.std_error, 4.0))
+      << estimate.mean << " vs "
+      << ExpectedMoveFractionScaddar(n_prev, effective_cur) << " +- "
+      << estimate.std_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PolicyVsClosedFormTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{8, 9},
+                      std::pair<int64_t, int64_t>{8, 12},
+                      std::pair<int64_t, int64_t>{4, 8},
+                      std::pair<int64_t, int64_t>{9, 8},
+                      std::pair<int64_t, int64_t>{16, 17},
+                      std::pair<int64_t, int64_t>{5, 10}));
+
+TEST(EstimateMovedFractionTest, ReportsSaneErrorBars) {
+  const MovedFractionEstimate estimate = EstimateMovedFraction(
+      [](int64_t trial) {
+        PolicyOptions options;
+        options.seed = static_cast<uint64_t>(trial) + 7;
+        return std::move(MakePolicy("scaddar", 8, options)).value();
+      },
+      ScalingOp::Add(1).value(), /*trials=*/6, /*blocks=*/5000, 0x77u);
+  EXPECT_EQ(estimate.trials, 6);
+  EXPECT_EQ(estimate.blocks_per_trial, 5000);
+  EXPECT_GT(estimate.mean, 0.05);
+  EXPECT_LT(estimate.mean, 0.2);
+  EXPECT_GT(estimate.std_error, 0.0);
+  EXPECT_LT(estimate.std_error, 0.02);
+}
+
+TEST(WithinStdErrorTest, Basics) {
+  EXPECT_TRUE(WithinStdError(1.0, 1.0, 0.0, 4.0));
+  EXPECT_TRUE(WithinStdError(1.01, 1.0, 0.01, 4.0));
+  EXPECT_FALSE(WithinStdError(1.1, 1.0, 0.01, 4.0));
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,288 @@
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "placement/directory_policy.h"
+#include "placement/mod_policy.h"
+#include "placement/naive_policy.h"
+#include "placement/round_robin_policy.h"
+#include "random/sequence.h"
+#include "stats/chi_square.h"
+#include "stats/movement.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+std::vector<uint64_t> Iota44() {
+  std::vector<uint64_t> x0(44);
+  std::iota(x0.begin(), x0.end(), 0);
+  return x0;
+}
+
+// ---------------------------------------------------------------------
+// NaivePolicy: Figure 1, end to end through the policy interface.
+// ---------------------------------------------------------------------
+
+TEST(NaivePolicyTest, FigureOneLayoutAfterFirstAdd) {
+  NaivePolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, Iota44()).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  // Figure 1b.
+  const std::vector<std::vector<uint64_t>> expected = {
+      {0, 8, 12, 16, 20, 28, 32, 36, 40},
+      {1, 5, 13, 17, 21, 25, 33, 37, 41},
+      {2, 6, 10, 18, 22, 26, 30, 38, 42},
+      {3, 7, 11, 15, 23, 27, 31, 35, 43},
+      {4, 9, 14, 19, 24, 29, 34, 39},
+  };
+  for (DiskSlot disk = 0; disk < 5; ++disk) {
+    std::vector<uint64_t> actual;
+    for (uint64_t x0 = 0; x0 < 44; ++x0) {
+      if (policy.LocateSlot(1, static_cast<BlockIndex>(x0)) == disk) {
+        actual.push_back(x0);
+      }
+    }
+    EXPECT_EQ(actual, expected[static_cast<size_t>(disk)])
+        << "disk " << disk;
+  }
+}
+
+TEST(NaivePolicyTest, FigureOneSecondAddSkipsDisksZeroAndTwo) {
+  NaivePolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, Iota44()).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  std::vector<DiskSlot> before(44);
+  for (uint64_t i = 0; i < 44; ++i) {
+    before[i] = policy.LocateSlot(1, static_cast<BlockIndex>(i));
+  }
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  std::set<DiskSlot> sources;
+  std::vector<uint64_t> landed;
+  for (uint64_t i = 0; i < 44; ++i) {
+    if (policy.LocateSlot(1, static_cast<BlockIndex>(i)) == 5) {
+      sources.insert(before[i]);
+      landed.push_back(i);
+    }
+  }
+  // Figure 1c: disk 5 holds {5, 11, 17, 23, 29, 35, 41}, drawn only from
+  // disks 1, 3 and 4 — disks 0 and 2 never contribute.
+  EXPECT_EQ(landed, (std::vector<uint64_t>{5, 11, 17, 23, 29, 35, 41}));
+  EXPECT_EQ(sources, (std::set<DiskSlot>{1, 3, 4}));
+}
+
+TEST(NaivePolicyTest, SatisfiesRO1OnEachOp) {
+  NaivePolicy policy(6);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 30000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 6, 7);
+  EXPECT_NEAR(stats.overhead_ratio, 1.0, 0.05);
+}
+
+TEST(NaivePolicyTest, SecondOpViolatesRO2) {
+  // The headline defect: after two additions the *new* disk's load is fed
+  // from a biased subset, so the per-disk distribution of blocks that
+  // moved in op 2 is skewed. We detect it exactly as Figure 1 shows it:
+  // blocks landing on the op-2 disk can come only from odd old slots.
+  NaivePolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(2, 60000)).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  std::vector<DiskSlot> mid(60000);
+  for (int64_t i = 0; i < 60000; ++i) {
+    mid[static_cast<size_t>(i)] = policy.LocateSlot(1, i);
+  }
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  std::vector<int64_t> source_counts(5, 0);
+  for (int64_t i = 0; i < 60000; ++i) {
+    if (policy.LocateSlot(1, i) == 5) {
+      ++source_counts[static_cast<size_t>(mid[static_cast<size_t>(i)])];
+    }
+  }
+  EXPECT_EQ(source_counts[0], 0);  // Disk 0 never contributes.
+  EXPECT_EQ(source_counts[2], 0);  // Disk 2 never contributes.
+  EXPECT_GT(source_counts[1], 0);
+  EXPECT_GT(source_counts[3], 0);
+  EXPECT_GT(source_counts[4], 0);
+}
+
+// ---------------------------------------------------------------------
+// ModPolicy (complete redistribution).
+// ---------------------------------------------------------------------
+
+TEST(ModPolicyTest, LocateIsX0ModN) {
+  ModPolicy policy(6);
+  const std::vector<uint64_t> x0 = MakeX0(3, 100);
+  ASSERT_TRUE(policy.AddObject(1, x0).ok());
+  for (size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_EQ(policy.Locate(1, static_cast<BlockIndex>(i)),
+              static_cast<PhysicalDiskId>(x0[i] % 6));
+  }
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  for (size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_EQ(policy.Locate(1, static_cast<BlockIndex>(i)),
+              static_cast<PhysicalDiskId>(x0[i] % 7));
+  }
+}
+
+TEST(ModPolicyTest, PerfectUniformityEveryEpoch) {
+  ModPolicy policy(9);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(4, 90000)).ok());
+  EXPECT_TRUE(ChiSquareUniform(policy.PerDiskCounts()).IsUniform(0.001));
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({4}).value()).ok());
+  EXPECT_TRUE(ChiSquareUniform(policy.PerDiskCounts()).IsUniform(0.001));
+}
+
+TEST(ModPolicyTest, ViolatesRO1Badly) {
+  ModPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(5, 20000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 8, 9);
+  // Mod-placement moves ~(1 - 1/9) of all blocks; minimum is 1/9.
+  EXPECT_GT(stats.moved_fraction, 0.8);
+  EXPECT_GT(stats.overhead_ratio, 6.0);
+}
+
+// ---------------------------------------------------------------------
+// DirectoryPolicy (Appendix A bookkeeping baseline).
+// ---------------------------------------------------------------------
+
+TEST(DirectoryPolicyTest, InitialPlacementMatchesModN) {
+  DirectoryPolicy policy(5, /*seed=*/77);
+  const std::vector<uint64_t> x0 = MakeX0(6, 100);
+  ASSERT_TRUE(policy.AddObject(1, x0).ok());
+  for (size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_EQ(policy.Locate(1, static_cast<BlockIndex>(i)),
+              static_cast<PhysicalDiskId>(x0[i] % 5));
+  }
+}
+
+TEST(DirectoryPolicyTest, MinimalMovementOnAdd) {
+  DirectoryPolicy policy(8, 77);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(7, 40000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 8, 10);
+  EXPECT_NEAR(stats.overhead_ratio, 1.0, 0.05);
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) {
+      EXPECT_GE(after[i], 8);  // Only onto the new disks.
+    }
+  }
+}
+
+TEST(DirectoryPolicyTest, RemovalEvictsExactlyTheVictims) {
+  DirectoryPolicy policy(6, 78);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(8, 30000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({2}).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i] != after[i], before[i] == 2);
+    EXPECT_NE(after[i], 2);
+  }
+}
+
+TEST(DirectoryPolicyTest, UniformityNeverDegrades) {
+  // The gold standard: even after MANY operations (way beyond SCADDAR's
+  // k bound for small b) the directory stays perfectly uniform.
+  DirectoryPolicy policy(8, 79);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(9, 80000)).ok());
+  for (int i = 0; i < 20; ++i) {
+    const ScalingOp op = (i % 3 == 2) ? ScalingOp::Remove({0}).value()
+                                      : ScalingOp::Add(1).value();
+    ASSERT_TRUE(policy.ApplyOp(op).ok());
+  }
+  EXPECT_TRUE(ChiSquareUniform(policy.PerDiskCounts()).IsUniform(0.001));
+}
+
+TEST(DirectoryPolicyTest, DirectoryCostIsPerBlock) {
+  DirectoryPolicy policy(4, 80);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(10, 123)).ok());
+  ASSERT_TRUE(policy.AddObject(2, MakeX0(11, 77)).ok());
+  EXPECT_EQ(policy.directory_entries(), 200);
+}
+
+// ---------------------------------------------------------------------
+// RoundRobinPolicy (constrained placement baseline).
+// ---------------------------------------------------------------------
+
+TEST(RoundRobinPolicyTest, StripesSequentially) {
+  RoundRobinPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(12, 10)).ok());
+  const PhysicalDiskId first = policy.Locate(1, 0);
+  for (BlockIndex i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.Locate(1, i),
+              static_cast<PhysicalDiskId>((first + i) % 4));
+  }
+}
+
+TEST(RoundRobinPolicyTest, PerfectBalanceForLongObjects) {
+  RoundRobinPolicy policy(5);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(13, 5000)).ok());
+  const std::vector<int64_t> counts = policy.PerDiskCounts();
+  for (const int64_t count : counts) {
+    EXPECT_EQ(count, 1000);
+  }
+}
+
+TEST(RoundRobinPolicyTest, ScalingMovesAlmostEverything) {
+  RoundRobinPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(14, 20000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 4, 5);
+  EXPECT_GT(stats.moved_fraction, 0.75);  // "almost all the data blocks".
+}
+
+TEST(RoundRobinPolicyTest, RemovalAlsoReshufflesEverything) {
+  RoundRobinPolicy policy(5);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(17, 20000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({2}).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 5, 4);
+  EXPECT_GT(stats.moved_fraction, 0.7);
+  // And nothing may live on the removed physical disk.
+  for (const PhysicalDiskId disk : after) {
+    EXPECT_NE(disk, 2);
+  }
+}
+
+TEST(DirectoryPolicyTest, GroupRemovalEvictsAllVictims) {
+  DirectoryPolicy policy(8, 81);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(18, 20000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({1, 4, 6}).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  for (size_t i = 0; i < before.size(); ++i) {
+    const bool was_victim =
+        before[i] == 1 || before[i] == 4 || before[i] == 6;
+    EXPECT_EQ(before[i] != after[i], was_victim);
+    EXPECT_NE(after[i], 1);
+    EXPECT_NE(after[i], 4);
+    EXPECT_NE(after[i], 6);
+  }
+}
+
+TEST(RoundRobinPolicyTest, DistinctObjectsGetStaggeredOffsets) {
+  RoundRobinPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(15, 4)).ok());
+  ASSERT_TRUE(policy.AddObject(2, MakeX0(16, 4)).ok());
+  EXPECT_NE(policy.Locate(1, 0), policy.Locate(2, 0));
+}
+
+}  // namespace
+}  // namespace scaddar

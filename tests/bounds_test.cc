@@ -1,0 +1,159 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/intmath.h"
+
+namespace scaddar {
+namespace {
+
+TEST(UnfairnessCoefficientTest, Definition) {
+  // f(R, N) = 1 / (R div N).
+  EXPECT_DOUBLE_EQ(UnfairnessCoefficient(100, 10), 0.1);
+  EXPECT_DOUBLE_EQ(UnfairnessCoefficient(1000, 10), 0.01);
+  EXPECT_DOUBLE_EQ(UnfairnessCoefficient(19, 10), 1.0);  // 19 div 10 == 1.
+}
+
+TEST(UnfairnessCoefficientTest, TooSmallRangeIsInfinite) {
+  EXPECT_TRUE(std::isinf(UnfairnessCoefficient(5, 10)));
+}
+
+TEST(UnfairnessCoefficientTest, LargerRangeIsFairer) {
+  double prev = UnfairnessCoefficient(16, 4);
+  for (uint64_t r = 32; r <= (uint64_t{1} << 20); r *= 2) {
+    const double current = UnfairnessCoefficient(r, 4);
+    EXPECT_LE(current, prev);
+    prev = current;
+  }
+}
+
+TEST(RangeAfterTest, SequentialDivision) {
+  OpLog log = OpLog::Create(4).value();
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());   // N1 = 5.
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());   // N2 = 6.
+  const uint64_t r0 = 1000;
+  EXPECT_EQ(RangeAfter(r0, log, 0), 1000u);
+  EXPECT_EQ(RangeAfter(r0, log, 1), 250u);        // 1000 div 4.
+  EXPECT_EQ(RangeAfter(r0, log, 2), 50u);         // 250 div 5.
+}
+
+TEST(RangeAfterTest, Lemma42LowerBound) {
+  // R_k div N_k >= R_0 div (N0 * N1 * ... * Nk) for several logs.
+  OpLog log = OpLog::Create(8).value();
+  const uint64_t r0 = MaxRandomForBits(32);
+  for (const char* text : {"A1", "A2", "R3", "A1", "R0,1"}) {
+    ASSERT_TRUE(log.Append(ScalingOp::Parse(text).value()).ok());
+    const Epoch k = log.num_ops();
+    uint64_t pi = 1;
+    for (Epoch j = 0; j <= k; ++j) {
+      pi *= static_cast<uint64_t>(log.disks_after(j));
+    }
+    const uint64_t lhs = RangeAfter(r0, log, k) /
+                         static_cast<uint64_t>(log.disks_after(k));
+    EXPECT_GE(lhs, r0 / pi) << "after " << text;
+  }
+}
+
+TEST(RuleOfThumbTest, PaperExampleSixteenDisks) {
+  // Section 4.3: "an average of sixteen disks, eps = 1%, 64-bit generator:
+  // k + 1 <= (64 - log 100) / 4, i.e. k + 1 <= 57/4, i.e. k <= 13."
+  EXPECT_EQ(RuleOfThumbMaxOps(64, 0.01, 16.0), 13);
+}
+
+TEST(RuleOfThumbTest, PaperSectionFiveSetting) {
+  // Section 5: "we find k <= 8 where eps = 5%, avg disks = 8 and b = 32."
+  EXPECT_EQ(RuleOfThumbMaxOps(32, 0.05, 8.0), 8);
+}
+
+TEST(RuleOfThumbTest, MoreBitsAllowMoreOps) {
+  const int64_t k32 = RuleOfThumbMaxOps(32, 0.01, 8.0);
+  const int64_t k48 = RuleOfThumbMaxOps(48, 0.01, 8.0);
+  const int64_t k64 = RuleOfThumbMaxOps(64, 0.01, 8.0);
+  EXPECT_LT(k32, k48);
+  EXPECT_LT(k48, k64);
+}
+
+TEST(RuleOfThumbTest, TighterToleranceAllowsFewerOps) {
+  EXPECT_GE(RuleOfThumbMaxOps(64, 0.05, 16.0),
+            RuleOfThumbMaxOps(64, 0.001, 16.0));
+}
+
+TEST(RuleOfThumbTest, MoreDisksAllowFewerOps) {
+  EXPECT_GT(RuleOfThumbMaxOps(64, 0.01, 4.0),
+            RuleOfThumbMaxOps(64, 0.01, 64.0));
+}
+
+TEST(RuleOfThumbTest, DegenerateBudgetIsZero) {
+  // 8 bits cannot pay for log2(1/0.0001) ~ 13.3 bits of tolerance.
+  EXPECT_EQ(RuleOfThumbMaxOps(8, 0.0001, 16.0), 0);
+}
+
+TEST(ExactMaxOpsTest, AgreesWithRuleOfThumbForConstantDisks) {
+  // For constant N the rule of thumb and the exact Lemma 4.3 bound should
+  // agree within one operation (the rule drops constant factors).
+  for (const int bits : {32, 48, 64}) {
+    for (const double eps : {0.05, 0.01}) {
+      for (const int64_t n : {4, 8, 16, 32}) {
+        const int64_t exact =
+            ExactMaxOpsForConstantDisks(MaxRandomForBits(bits), n, eps);
+        const int64_t thumb =
+            RuleOfThumbMaxOps(bits, eps, static_cast<double>(n));
+        EXPECT_LE(std::abs(exact - thumb), 2)
+            << "bits=" << bits << " eps=" << eps << " n=" << n
+            << " exact=" << exact << " thumb=" << thumb;
+      }
+    }
+  }
+}
+
+TEST(ExactMaxOpsTest, MatchesOpLogToleranceGate) {
+  // Walk an op log with constant disk count (add 1, remove 1, ...) and
+  // compare against the closed-form count.
+  const uint64_t r0 = MaxRandomForBits(32);
+  const double eps = 0.05;
+  const int64_t n = 8;
+  const int64_t exact = ExactMaxOpsForConstantDisks(r0, n, eps);
+  OpLog log = OpLog::Create(n).value();
+  int64_t supported = 0;
+  // Alternate add/remove so N oscillates n, n+1, n, n+1, ... The product
+  // grows slightly faster than n^k, so supported <= exact always holds.
+  while (true) {
+    const ScalingOp op = (supported % 2 == 0)
+                             ? ScalingOp::Add(1).value()
+                             : ScalingOp::Remove({0}).value();
+    if (log.WouldExceedTolerance(op, r0, eps)) {
+      break;
+    }
+    ASSERT_TRUE(log.Append(op).ok());
+    ++supported;
+  }
+  EXPECT_LE(supported, exact);
+  EXPECT_GE(supported, exact - 2);
+}
+
+TEST(UnfairnessAfterTest, GrowsWithOperations) {
+  OpLog log = OpLog::Create(8).value();
+  const uint64_t r0 = MaxRandomForBits(32);
+  double prev = UnfairnessAfter(r0, log);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+    const double current = UnfairnessAfter(r0, log);
+    EXPECT_GE(current, prev);
+    prev = current;
+  }
+  // After ~10 ops on 8..17 disks with b=32 the range is nearly exhausted.
+  EXPECT_GT(prev, 1e-4);
+}
+
+TEST(UnfairnessAfterTest, ExhaustedRangeIsInfinite) {
+  OpLog log = OpLog::Create(1000).value();
+  const uint64_t r0 = MaxRandomForBits(16);
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1000).value()).ok());
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1000).value()).ok());
+  EXPECT_TRUE(std::isinf(UnfairnessAfter(r0, log)));
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,104 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+Catalog MakeCatalog() {
+  return Catalog(/*master_seed=*/42, PrngKind::kSplitMix64, /*bits=*/64);
+}
+
+TEST(CatalogTest, AddAndGet) {
+  Catalog catalog = MakeCatalog();
+  ASSERT_TRUE(catalog.AddObject(1, 100).ok());
+  ASSERT_TRUE(catalog.AddObject(2, 50, 3).ok());
+  EXPECT_TRUE(catalog.Contains(1));
+  EXPECT_FALSE(catalog.Contains(3));
+  EXPECT_EQ(catalog.num_objects(), 2);
+  EXPECT_EQ(catalog.total_blocks(), 150);
+  const StatusOr<CmObject> object = catalog.GetObject(2);
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(object->num_blocks, 50);
+  EXPECT_EQ(object->bitrate_weight, 3);
+  EXPECT_EQ(object->seed_generation, 0);
+}
+
+TEST(CatalogTest, Validation) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_FALSE(catalog.AddObject(1, 0).ok());
+  EXPECT_FALSE(catalog.AddObject(1, -5).ok());
+  EXPECT_FALSE(catalog.AddObject(1, 10, 0).ok());
+  ASSERT_TRUE(catalog.AddObject(1, 10).ok());
+  EXPECT_EQ(catalog.AddObject(1, 10).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.GetObject(9).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.RemoveObject(9).code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RemoveUpdatesTotals) {
+  Catalog catalog = MakeCatalog();
+  ASSERT_TRUE(catalog.AddObject(1, 100).ok());
+  ASSERT_TRUE(catalog.AddObject(2, 60).ok());
+  ASSERT_TRUE(catalog.RemoveObject(1).ok());
+  EXPECT_EQ(catalog.num_objects(), 1);
+  EXPECT_EQ(catalog.total_blocks(), 60);
+  EXPECT_EQ(catalog.object_ids(), (std::vector<ObjectId>{2}));
+}
+
+TEST(CatalogTest, SeedsAreDeterministicAndDistinct) {
+  Catalog a = MakeCatalog();
+  Catalog b = MakeCatalog();
+  ASSERT_TRUE(a.AddObject(1, 10).ok());
+  ASSERT_TRUE(a.AddObject(2, 10).ok());
+  ASSERT_TRUE(b.AddObject(1, 10).ok());
+  EXPECT_EQ(*a.SeedOf(1), *b.SeedOf(1));
+  EXPECT_NE(*a.SeedOf(1), *a.SeedOf(2));
+}
+
+TEST(CatalogTest, DifferentMasterSeedsDiverge) {
+  Catalog a(1, PrngKind::kSplitMix64, 64);
+  Catalog b(2, PrngKind::kSplitMix64, 64);
+  ASSERT_TRUE(a.AddObject(1, 10).ok());
+  ASSERT_TRUE(b.AddObject(1, 10).ok());
+  EXPECT_NE(*a.SeedOf(1), *b.SeedOf(1));
+}
+
+TEST(CatalogTest, MaterializeX0Deterministic) {
+  Catalog catalog = MakeCatalog();
+  ASSERT_TRUE(catalog.AddObject(1, 200).ok());
+  const auto first = catalog.MaterializeX0(1);
+  const auto second = catalog.MaterializeX0(1);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(first->size(), 200u);
+}
+
+TEST(CatalogTest, BitsBoundX0Values) {
+  Catalog catalog(7, PrngKind::kSplitMix64, 16);
+  ASSERT_TRUE(catalog.AddObject(1, 1000).ok());
+  EXPECT_EQ(catalog.r0(), 65535u);
+  for (const uint64_t x : *catalog.MaterializeX0(1)) {
+    EXPECT_LE(x, 65535u);
+  }
+}
+
+TEST(CatalogTest, GenerationBumpChangesX0) {
+  Catalog catalog = MakeCatalog();
+  ASSERT_TRUE(catalog.AddObject(1, 100).ok());
+  const auto before = catalog.MaterializeX0(1);
+  ASSERT_TRUE(catalog.BumpGeneration(1).ok());
+  const auto after = catalog.MaterializeX0(1);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_NE(*before, *after);
+  EXPECT_EQ(catalog.GetObject(1)->seed_generation, 1);
+  EXPECT_EQ(catalog.BumpGeneration(9).code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, NarrowGeneratorRejectsWideBits) {
+  Catalog catalog(7, PrngKind::kPcg32, 48);  // 48 bits from 32-bit PRNG.
+  ASSERT_TRUE(catalog.AddObject(1, 10).ok());
+  EXPECT_FALSE(catalog.MaterializeX0(1).ok());
+}
+
+}  // namespace
+}  // namespace scaddar

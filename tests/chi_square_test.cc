@@ -1,0 +1,87 @@
+#include "stats/chi_square.h"
+
+#include <gtest/gtest.h>
+
+#include "random/distributions.h"
+#include "random/prng.h"
+
+namespace scaddar {
+namespace {
+
+TEST(ChiSquareSurvivalTest, ZeroStatisticIsCertain) {
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(0.0, 5), 1.0);
+}
+
+TEST(ChiSquareSurvivalTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double stat = 1.0; stat < 50.0; stat += 5.0) {
+    const double p = ChiSquareSurvival(stat, 10);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ChiSquareSurvivalTest, KnownCriticalValues) {
+  // Chi-square 95th percentile with df=10 is 18.307.
+  EXPECT_NEAR(ChiSquareSurvival(18.307, 10), 0.05, 0.005);
+  // 99th percentile with df=5 is 15.086.
+  EXPECT_NEAR(ChiSquareSurvival(15.086, 5), 0.01, 0.003);
+  // The chi-square median is below the mean: for df=30 it is ~29.34
+  // (Wilson-Hilferty: df*(1 - 2/(9 df))^3), where the survival is 0.5.
+  EXPECT_NEAR(ChiSquareSurvival(29.34, 30), 0.5, 0.01);
+  // And P(X >= df) for df=30 is ~0.466, not 0.5.
+  EXPECT_NEAR(ChiSquareSurvival(30.0, 30), 0.466, 0.01);
+}
+
+TEST(ChiSquareUniformTest, PerfectlyUniformAccepted) {
+  const std::vector<int64_t> counts(8, 1000);
+  const ChiSquareResult result = ChiSquareUniform(counts);
+  EXPECT_EQ(result.statistic, 0.0);
+  EXPECT_EQ(result.degrees_of_freedom, 7);
+  EXPECT_TRUE(result.IsUniform(0.05));
+}
+
+TEST(ChiSquareUniformTest, GrossSkewRejected) {
+  std::vector<int64_t> counts(8, 100);
+  counts[0] = 2000;
+  const ChiSquareResult result = ChiSquareUniform(counts);
+  EXPECT_FALSE(result.IsUniform(0.05));
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquareUniformTest, SamplingNoiseAccepted) {
+  auto prng = MakePrng(PrngKind::kSplitMix64, 5);
+  std::vector<int64_t> counts(20, 0);
+  for (int i = 0; i < 200000; ++i) {
+    ++counts[UniformUint64(*prng, 20)];
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+TEST(ChiSquareAgainstTest, WeightedExpectation) {
+  // Observed exactly proportional to weights -> statistic 0.
+  const std::vector<int64_t> observed = {100, 200, 300};
+  const std::vector<double> weights = {1.0, 2.0, 3.0};
+  const ChiSquareResult result = ChiSquareAgainst(observed, weights);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_TRUE(result.IsUniform(0.05));
+}
+
+TEST(ChiSquareAgainstTest, MisproportionRejected) {
+  const std::vector<int64_t> observed = {300, 200, 100};
+  const std::vector<double> weights = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(ChiSquareAgainst(observed, weights).IsUniform(0.05));
+}
+
+TEST(ChiSquareDeathTest, MismatchedSizesAbort) {
+  const std::vector<int64_t> observed = {1, 2};
+  const std::vector<double> weights = {1.0};
+  EXPECT_DEATH(ChiSquareAgainst(observed, weights), "SCADDAR_CHECK");
+}
+
+TEST(ChiSquareDeathTest, SingleCellAborts) {
+  EXPECT_DEATH(ChiSquareUniform({5}), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,112 @@
+#include "core/compiled_log.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/mapper.h"
+#include "random/distributions.h"
+#include "random/sequence.h"
+
+namespace scaddar {
+namespace {
+
+TEST(CompiledLogTest, EmptyLogIsIdentityModN) {
+  const OpLog log = OpLog::Create(5).value();
+  const CompiledLog compiled(log);
+  EXPECT_EQ(compiled.num_ops(), 0);
+  EXPECT_EQ(compiled.current_disks(), 5);
+  for (uint64_t x0 = 0; x0 < 200; ++x0) {
+    EXPECT_EQ(compiled.FinalX(x0), x0);
+    EXPECT_EQ(compiled.LocateSlot(x0), static_cast<DiskSlot>(x0 % 5));
+  }
+}
+
+TEST(CompiledLogTest, MatchesMapperOnFixedLog) {
+  OpLog log = OpLog::Create(4).value();
+  for (const char* text : {"A2", "R1,4", "A1", "R0", "A3"}) {
+    ASSERT_TRUE(log.Append(ScalingOp::Parse(text).value()).ok());
+  }
+  const Mapper mapper(&log);
+  const CompiledLog compiled(log);
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 1, 64).value();
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t x0 = seq.Next();
+    ASSERT_EQ(compiled.FinalX(x0), mapper.XAfter(x0, log.num_ops()));
+    ASSERT_EQ(compiled.LocateSlot(x0), mapper.LocateSlot(x0));
+    ASSERT_EQ(compiled.LocatePhysical(x0), mapper.LocatePhysical(x0));
+  }
+}
+
+TEST(CompiledLogTest, MatchesMapperWithStartEpochs) {
+  OpLog log = OpLog::Create(6).value();
+  for (const char* text : {"A1", "R2", "A2", "R0,3"}) {
+    ASSERT_TRUE(log.Append(ScalingOp::Parse(text).value()).ok());
+  }
+  const Mapper mapper(&log);
+  const CompiledLog compiled(log);
+  auto seq = X0Sequence::Create(PrngKind::kXoshiro256, 2, 64).value();
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t x0 = seq.Next();
+    for (Epoch from = 0; from <= log.num_ops(); ++from) {
+      ASSERT_EQ(compiled.FinalX(x0, from),
+                mapper.XBetween(x0, from, log.num_ops()));
+      ASSERT_EQ(compiled.LocatePhysical(x0, from),
+                mapper.PhysicalBetween(x0, from, log.num_ops()));
+    }
+  }
+}
+
+class CompiledLogRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompiledLogRandomTest, EquivalentToMapperUnderRandomChurn) {
+  auto prng = MakePrng(PrngKind::kSplitMix64, GetParam());
+  OpLog log = OpLog::Create(8).value();
+  for (int step = 0; step < 15; ++step) {
+    const int64_t n = log.current_disks();
+    if (n <= 2 || Bernoulli(*prng, 0.6)) {
+      ASSERT_TRUE(log.Append(ScalingOp::Add(1 + static_cast<int64_t>(
+                                                   UniformUint64(*prng, 3)))
+                                 .value())
+                      .ok());
+    } else {
+      const std::vector<int64_t> slots = SampleWithoutReplacement(
+          *prng, n, 1 + static_cast<int64_t>(UniformUint64(
+                            *prng, static_cast<uint64_t>(
+                                       std::min<int64_t>(n - 1, 2)))));
+      ASSERT_TRUE(log.Append(ScalingOp::Remove(slots).value()).ok());
+    }
+  }
+  const Mapper mapper(&log);
+  const CompiledLog compiled(log);
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, GetParam() + 99, 64)
+                 .value();
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t x0 = seq.Next();
+    ASSERT_EQ(compiled.FinalX(x0), mapper.XAfter(x0, log.num_ops()));
+    ASSERT_EQ(compiled.LocatePhysical(x0), mapper.LocatePhysical(x0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledLogRandomTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(CompiledLogTest, SnapshotIsImmutable) {
+  OpLog log = OpLog::Create(4).value();
+  const CompiledLog compiled(log);
+  // Appending to the log after compilation must not affect the snapshot.
+  ASSERT_TRUE(log.Append(ScalingOp::Add(4).value()).ok());
+  EXPECT_EQ(compiled.num_ops(), 0);
+  EXPECT_EQ(compiled.current_disks(), 4);
+  EXPECT_EQ(compiled.LocateSlot(7), 3);
+}
+
+TEST(CompiledLogDeathTest, StartEpochOutOfRangeAborts) {
+  const OpLog log = OpLog::Create(4).value();
+  const CompiledLog compiled(log);
+  EXPECT_DEATH(compiled.FinalX(0, 1), "SCADDAR_CHECK");
+  EXPECT_DEATH(compiled.FinalX(0, -1), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

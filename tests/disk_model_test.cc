@@ -1,0 +1,77 @@
+#include "storage/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+TEST(DiskModelTest, ServiceTimeComposition) {
+  // 10k rpm -> half rotation = 3 ms; 512 KB at 40 MB/s = 12.5 ms;
+  // plus 5 ms seek = 20.5 ms.
+  const double ms = BlockServiceTimeMs(Year2001Disk(), RoundParameters{});
+  EXPECT_NEAR(ms, 5.0 + 3.0 + 12.5, 0.01);
+}
+
+TEST(DiskModelTest, BlocksPerRoundFloorsServiceBudget) {
+  // 1000 ms / 20.5 ms = 48.8 -> 48 blocks per round.
+  const StatusOr<int64_t> blocks =
+      BlocksPerRound(Year2001Disk(), RoundParameters{});
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(*blocks, 48);
+}
+
+TEST(DiskModelTest, BiggerBlocksFewerRetrievals) {
+  RoundParameters small{.round_seconds = 1.0, .block_kb = 256};
+  RoundParameters large{.round_seconds = 1.0, .block_kb = 2048};
+  const int64_t many = *BlocksPerRound(Year2001Disk(), small);
+  const int64_t few = *BlocksPerRound(Year2001Disk(), large);
+  EXPECT_GT(many, few);
+}
+
+TEST(DiskModelTest, ModernDiskIsSeekBound) {
+  // On a modern drive the transfer of 512 KB costs ~2 ms while seek+half
+  // rotation costs ~12 ms: random placement pays mostly mechanics.
+  const DiskParameters modern = ModernDisk();
+  const RoundParameters round{};
+  const double total = BlockServiceTimeMs(modern, round);
+  const double transfer_ms = 512.0 / (modern.transfer_mb_per_s * 1024.0) *
+                             1000.0;
+  EXPECT_LT(transfer_ms, 0.25 * total);
+}
+
+TEST(DiskModelTest, NewerGenerationsServeMoreStreams) {
+  // Section 1's premise: newer disks have more bandwidth and capacity.
+  const RoundParameters round{};
+  const int64_t vintage = *BlocksPerRound(VintageDisk(), round);
+  const int64_t y2001 = *BlocksPerRound(Year2001Disk(), round);
+  const int64_t modern = *BlocksPerRound(ModernDisk(), round);
+  EXPECT_LT(vintage, y2001);
+  EXPECT_LT(y2001, modern);
+  EXPECT_LT(CapacityBlocks(VintageDisk(), round),
+            CapacityBlocks(ModernDisk(), round));
+}
+
+TEST(DiskModelTest, MakeDiskSpecBundlesBoth) {
+  const StatusOr<DiskSpec> spec =
+      MakeDiskSpec(Year2001Disk(), RoundParameters{});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->bandwidth_blocks_per_round, 48);
+  EXPECT_EQ(spec->capacity_blocks, 73LL * 1024 * 1024 / 512);
+}
+
+TEST(DiskModelTest, ImpossibleRoundRejected) {
+  RoundParameters tiny{.round_seconds = 0.01, .block_kb = 8192};
+  EXPECT_EQ(BlocksPerRound(VintageDisk(), tiny).status().code(),
+            StatusCode::kFailedPrecondition);
+  RoundParameters invalid{.round_seconds = 0.0, .block_kb = 512};
+  EXPECT_EQ(BlocksPerRound(VintageDisk(), invalid).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DiskModelTest, ShorterRoundsServeFewerBlocks) {
+  RoundParameters half{.round_seconds = 0.5, .block_kb = 512};
+  EXPECT_EQ(*BlocksPerRound(Year2001Disk(), half), 24);
+}
+
+}  // namespace
+}  // namespace scaddar

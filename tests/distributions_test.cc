@@ -1,0 +1,238 @@
+#include "random/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stats/accumulator.h"
+#include "stats/chi_square.h"
+
+namespace scaddar {
+namespace {
+
+std::unique_ptr<Prng> TestPrng(uint64_t seed = 1234) {
+  return MakePrng(PrngKind::kSplitMix64, seed);
+}
+
+TEST(UniformUint64Test, AlwaysBelowBound) {
+  auto prng = TestPrng();
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(UniformUint64(*prng, 37), 37u);
+  }
+}
+
+TEST(UniformUint64Test, BoundOneIsAlwaysZero) {
+  auto prng = TestPrng();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(UniformUint64(*prng, 1), 0u);
+  }
+}
+
+TEST(UniformUint64Test, UniformityChiSquare) {
+  auto prng = TestPrng(42);
+  std::vector<int64_t> counts(13, 0);
+  for (int i = 0; i < 130000; ++i) {
+    ++counts[UniformUint64(*prng, 13)];
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+TEST(UniformUint64Test, NarrowGeneratorWorks) {
+  auto prng = MakePrng(PrngKind::kPcg32, 9);
+  std::vector<int64_t> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const uint64_t value = UniformUint64(*prng, 7);
+    ASSERT_LT(value, 7u);
+    ++counts[value];
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+TEST(UniformDoubleTest, WithinHalfOpenUnitInterval) {
+  auto prng = TestPrng();
+  for (int i = 0; i < 10000; ++i) {
+    const double u = UniformDouble(*prng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformDoubleTest, MeanNearHalf) {
+  auto prng = TestPrng(7);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) {
+    acc.Add(UniformDouble(*prng));
+  }
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(UniformDoubleTest, NarrowGeneratorStillFills53Bits) {
+  auto prng = MakePrng(PrngKind::kPcg32, 3);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = UniformDouble(*prng);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    acc.Add(u);
+  }
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(BernoulliTest, ExtremesAreDeterministic) {
+  auto prng = TestPrng();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Bernoulli(*prng, 0.0));
+    EXPECT_TRUE(Bernoulli(*prng, 1.0));
+    EXPECT_FALSE(Bernoulli(*prng, -0.5));
+    EXPECT_TRUE(Bernoulli(*prng, 1.5));
+  }
+}
+
+TEST(BernoulliTest, FrequencyMatchesProbability) {
+  auto prng = TestPrng(11);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += Bernoulli(*prng, 0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(ExponentialTest, MeanIsOneOverLambda) {
+  auto prng = TestPrng(21);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = ExponentialSample(*prng, 4.0);
+    ASSERT_GE(x, 0.0);
+    acc.Add(x);
+  }
+  EXPECT_NEAR(acc.mean(), 0.25, 0.01);
+}
+
+TEST(PoissonTest, ZeroMeanIsZero) {
+  auto prng = TestPrng();
+  EXPECT_EQ(PoissonSample(*prng, 0.0), 0);
+}
+
+TEST(PoissonTest, SmallMean) {
+  auto prng = TestPrng(31);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) {
+    acc.Add(static_cast<double>(PoissonSample(*prng, 2.5)));
+  }
+  EXPECT_NEAR(acc.mean(), 2.5, 0.05);
+  EXPECT_NEAR(acc.variance(), 2.5, 0.1);
+}
+
+TEST(PoissonTest, LargeMeanNormalApproximation) {
+  auto prng = TestPrng(41);
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) {
+    const int64_t x = PoissonSample(*prng, 200.0);
+    ASSERT_GE(x, 0);
+    acc.Add(static_cast<double>(x));
+  }
+  EXPECT_NEAR(acc.mean(), 200.0, 1.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(200.0), 1.0);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  auto prng = TestPrng(51);
+  const ZipfDistribution zipf(10, 0.0);
+  std::vector<int64_t> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Sample(*prng)];
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+TEST(ZipfTest, PopularRanksDominate) {
+  auto prng = TestPrng(61);
+  const ZipfDistribution zipf(100, 0.729);  // Classic VoD skew.
+  std::vector<int64_t> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Sample(*prng)];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+  // Rank 0 share should be near 1/H where H is the generalized harmonic sum.
+  double h = 0;
+  for (int r = 1; r <= 100; ++r) {
+    h += 1.0 / std::pow(r, 0.729);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 100000.0, 1.0 / h, 0.01);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  auto prng = TestPrng();
+  const ZipfDistribution zipf(5, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t rank = zipf.Sample(*prng);
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, 5);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, ProducesDistinctValues) {
+  auto prng = TestPrng(71);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<int64_t> sample =
+        SampleWithoutReplacement(*prng, 50, 20);
+    ASSERT_EQ(sample.size(), 20u);
+    const std::set<int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (const int64_t v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 50);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullSampleIsPermutation) {
+  auto prng = TestPrng(81);
+  const std::vector<int64_t> sample = SampleWithoutReplacement(*prng, 10, 10);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SampleWithoutReplacementTest, EmptySample) {
+  auto prng = TestPrng();
+  EXPECT_TRUE(SampleWithoutReplacement(*prng, 10, 0).empty());
+  EXPECT_TRUE(SampleWithoutReplacement(*prng, 0, 0).empty());
+}
+
+TEST(SampleWithoutReplacementTest, EachElementEquallyLikely) {
+  auto prng = TestPrng(91);
+  std::vector<int64_t> counts(20, 0);
+  for (int trial = 0; trial < 20000; ++trial) {
+    for (const int64_t v : SampleWithoutReplacement(*prng, 20, 5)) {
+      ++counts[v];
+    }
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+TEST(ShuffleTest, IsPermutation) {
+  auto prng = TestPrng(101);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  Shuffle(*prng, shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(ShuffleTest, FirstPositionUniform) {
+  auto prng = TestPrng(111);
+  std::vector<int64_t> counts(6, 0);
+  for (int trial = 0; trial < 60000; ++trial) {
+    std::vector<int> values = {0, 1, 2, 3, 4, 5};
+    Shuffle(*prng, values);
+    ++counts[values[0]];
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+}  // namespace
+}  // namespace scaddar

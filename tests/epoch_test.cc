@@ -1,0 +1,134 @@
+// Tests for object registration epochs: objects ingested after scaling
+// operations start their REMAP chain at the current epoch.
+
+#include <gtest/gtest.h>
+
+#include "core/mapper.h"
+#include "core/redistribution.h"
+#include "placement/naive_policy.h"
+#include "placement/scaddar_policy.h"
+#include "random/sequence.h"
+#include "stats/chi_square.h"
+#include "stats/movement.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+TEST(EpochTest, PolicyRecordsRegistrationEpoch) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 10)).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(policy.AddObject(2, MakeX0(2, 10)).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({0}).value()).ok());
+  ASSERT_TRUE(policy.AddObject(3, MakeX0(3, 10)).ok());
+  EXPECT_EQ(policy.epoch_added(1), 0);
+  EXPECT_EQ(policy.epoch_added(2), 1);
+  EXPECT_EQ(policy.epoch_added(3), 2);
+}
+
+TEST(EpochTest, LateObjectInitialPlacementIsModCurrentN) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(3).value()).ok());  // N = 7.
+  const std::vector<uint64_t> x0 = MakeX0(4, 500);
+  ASSERT_TRUE(policy.AddObject(1, x0).ok());
+  for (size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_EQ(policy.LocateSlot(1, static_cast<BlockIndex>(i)),
+              static_cast<DiskSlot>(x0[i] % 7));
+  }
+}
+
+TEST(EpochTest, LateObjectUnaffectedByEarlierHistoryShape) {
+  // A late object's SLOT placement depends only on the disk count at its
+  // registration epoch — not on how the array got there. Two arrays with
+  // different histories but equal N place it on identical slots.
+  ScaddarPolicy grew(4);
+  ASSERT_TRUE(grew.ApplyOp(ScalingOp::Add(2).value()).ok());  // N = 6.
+  ScaddarPolicy shrank(8);
+  ASSERT_TRUE(shrank.ApplyOp(ScalingOp::Remove({0, 3}).value()).ok());  // 6.
+  const std::vector<uint64_t> x0 = MakeX0(5, 400);
+  ASSERT_TRUE(grew.AddObject(1, x0).ok());
+  ASSERT_TRUE(shrank.AddObject(1, x0).ok());
+  for (BlockIndex i = 0; i < 400; ++i) {
+    EXPECT_EQ(grew.LocateSlot(1, i), shrank.LocateSlot(1, i));
+  }
+}
+
+TEST(EpochTest, LateObjectMovesMinimallyOnNextOp) {
+  ScaddarPolicy policy(6);
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(6, 30000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 8, 10);
+  EXPECT_NEAR(stats.overhead_ratio, 1.0, 0.05);
+}
+
+TEST(EpochTest, MixedEpochObjectsStayJointlyBalanced) {
+  ScaddarPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(7, 40000)).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE(policy.AddObject(2, MakeX0(8, 40000)).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({3}).value()).ok());
+  ASSERT_TRUE(policy.AddObject(3, MakeX0(9, 40000)).ok());
+  EXPECT_TRUE(ChiSquareUniform(policy.PerDiskCounts()).IsUniform(0.001));
+}
+
+TEST(EpochTest, NaivePolicyIsEpochAwareToo) {
+  NaivePolicy policy(4);
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());  // N = 5.
+  const std::vector<uint64_t> x0 = MakeX0(10, 300);
+  ASSERT_TRUE(policy.AddObject(1, x0).ok());
+  for (size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_EQ(policy.LocateSlot(1, static_cast<BlockIndex>(i)),
+              static_cast<DiskSlot>(x0[i] % 5));
+  }
+}
+
+TEST(EpochTest, PlanOperationSkipsNotYetWrittenObjects) {
+  OpLog log = OpLog::Create(4).value();
+  ASSERT_TRUE(log.Append(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+  const std::vector<uint64_t> early = MakeX0(11, 1000);
+  const std::vector<uint64_t> late = MakeX0(12, 1000);
+  // `late` was written at epoch 1; op 1 cannot move it.
+  const MovePlan plan_op1 = PlanOperation(
+      log, 1, {{1, &early, 0}, {2, &late, 1}});
+  EXPECT_EQ(plan_op1.blocks_considered(), 1000);
+  for (const BlockMove& move : plan_op1.moves()) {
+    EXPECT_EQ(move.block.object, 1);
+  }
+  // Op 2 can move both.
+  const MovePlan plan_op2 = PlanOperation(
+      log, 2, {{1, &early, 0}, {2, &late, 1}});
+  EXPECT_EQ(plan_op2.blocks_considered(), 2000);
+}
+
+TEST(EpochTest, XBetweenComposes) {
+  OpLog log = OpLog::Create(5).value();
+  for (const char* text : {"A2", "R1", "A1"}) {
+    ASSERT_TRUE(log.Append(ScalingOp::Parse(text).value()).ok());
+  }
+  const Mapper mapper(&log);
+  auto seq = X0Sequence::Create(PrngKind::kXoshiro256, 13, 64).value();
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t x0 = seq.Next();
+    // Chaining through an intermediate epoch equals the direct replay.
+    const uint64_t mid = mapper.XBetween(x0, 0, 2);
+    EXPECT_EQ(mapper.XBetween(mid, 2, 3), mapper.XBetween(x0, 0, 3));
+  }
+}
+
+TEST(EpochDeathTest, UnknownObjectEpochAborts) {
+  ScaddarPolicy policy(4);
+  EXPECT_DEATH(policy.epoch_added(42), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

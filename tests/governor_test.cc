@@ -1,0 +1,86 @@
+#include "core/governor.h"
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+TEST(GovernorTest, AdvisesProceedWithHeadroom) {
+  const ToleranceGovernor governor(64, 0.01);
+  const OpLog log = OpLog::Create(16).value();
+  EXPECT_TRUE(governor.WithinBudget(log));
+  EXPECT_EQ(governor.Consider(log, ScalingOp::Add(4).value()),
+            ToleranceGovernor::Advice::kProceed);
+}
+
+TEST(GovernorTest, AdvisesRebaseAtTheEdge) {
+  const ToleranceGovernor governor(16, 0.05);
+  OpLog log = OpLog::Create(8).value();
+  // Burn the tiny 16-bit budget.
+  int rebases_advised = 0;
+  for (int i = 0; i < 10; ++i) {
+    const ScalingOp op = ScalingOp::Add(1).value();
+    if (governor.Consider(log, op) ==
+        ToleranceGovernor::Advice::kRebaseFirst) {
+      ++rebases_advised;
+      break;
+    }
+    ASSERT_TRUE(log.Append(op).ok());
+  }
+  EXPECT_EQ(rebases_advised, 1);
+  EXPECT_TRUE(governor.WithinBudget(log));  // Advice kept us inside.
+}
+
+TEST(GovernorTest, BudgetConsumedIsMonotoneGauge) {
+  const ToleranceGovernor governor(32, 0.05);
+  OpLog log = OpLog::Create(8).value();
+  double previous = governor.BudgetConsumed(log);
+  EXPECT_GT(previous, 0.0);
+  EXPECT_LT(previous, 0.5);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+    const double current = governor.BudgetConsumed(log);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+  EXPECT_EQ(governor.BudgetConsumed(log), 1.0);  // Exhausted and clamped.
+}
+
+TEST(GovernorTest, EstimatedOpsLeftMatchesActualCapacity) {
+  const ToleranceGovernor governor(32, 0.05);
+  OpLog log = OpLog::Create(8).value();
+  const int64_t estimate = governor.EstimatedOpsLeft(log, 8);
+  // Drive to exhaustion with constant-ish 8 disks (add 1 / remove 1).
+  int64_t actual = 0;
+  while (true) {
+    const ScalingOp op = (actual % 2 == 0) ? ScalingOp::Add(1).value()
+                                           : ScalingOp::Remove({0}).value();
+    if (governor.Consider(log, op) ==
+        ToleranceGovernor::Advice::kRebaseFirst) {
+      break;
+    }
+    ASSERT_TRUE(log.Append(op).ok());
+    ++actual;
+  }
+  EXPECT_NEAR(static_cast<double>(actual), static_cast<double>(estimate),
+              2.0);
+  EXPECT_EQ(governor.EstimatedOpsLeft(log, 8), 0);
+}
+
+TEST(GovernorTest, AccessorsRoundTrip) {
+  const ToleranceGovernor governor(48, 0.02);
+  EXPECT_EQ(governor.bits(), 48);
+  EXPECT_DOUBLE_EQ(governor.eps(), 0.02);
+  EXPECT_EQ(governor.r0(), (uint64_t{1} << 48) - 1);
+}
+
+TEST(GovernorDeathTest, Validation) {
+  EXPECT_DEATH(ToleranceGovernor(0, 0.05), "SCADDAR_CHECK");
+  EXPECT_DEATH(ToleranceGovernor(64, 0.0), "SCADDAR_CHECK");
+  const ToleranceGovernor governor(64, 0.05);
+  const OpLog log = OpLog::Create(4).value();
+  EXPECT_DEATH(governor.EstimatedOpsLeft(log, 1), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,123 @@
+#include "hetero/hetero_array.h"
+
+#include <gtest/gtest.h>
+
+#include "hetero/logical_map.h"
+#include "random/sequence.h"
+#include "stats/chi_square.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+TEST(LogicalMappingTest, ExpandsWeights) {
+  const LogicalMapping mapping =
+      LogicalMapping::Create({{0, 1}, {1, 3}, {2, 2}}).value();
+  EXPECT_EQ(mapping.num_logical(), 6);
+  EXPECT_EQ(mapping.num_physical(), 3);
+  EXPECT_EQ(mapping.PhysicalOf(0), 0);
+  EXPECT_EQ(mapping.PhysicalOf(1), 1);
+  EXPECT_EQ(mapping.PhysicalOf(3), 1);
+  EXPECT_EQ(mapping.PhysicalOf(4), 2);
+  EXPECT_EQ(mapping.LogicalsOf(1), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(LogicalMappingTest, Validation) {
+  EXPECT_FALSE(LogicalMapping::Create({}).ok());
+  EXPECT_FALSE(LogicalMapping::Create({{0, 0}}).ok());
+  EXPECT_FALSE(LogicalMapping::Create({{0, -1}}).ok());
+  EXPECT_FALSE(LogicalMapping::Create({{0, 1}, {0, 2}}).ok());
+}
+
+TEST(LogicalMappingTest, AggregateLoad) {
+  const LogicalMapping mapping =
+      LogicalMapping::Create({{10, 2}, {20, 1}}).value();
+  const auto load = mapping.AggregateLoad({5, 7, 3});
+  EXPECT_EQ(load.at(10), 12);
+  EXPECT_EQ(load.at(20), 3);
+}
+
+TEST(HeteroPlacementTest, LoadProportionalToWeight) {
+  HeteroPlacement placement =
+      HeteroPlacement::Create({{0, 1}, {1, 2}, {2, 4}}).value();
+  ASSERT_TRUE(placement.AddObject(1, MakeX0(1, 70000)).ok());
+  const auto load = placement.PhysicalLoad();
+  const std::vector<int64_t> observed = {load.at(0), load.at(1), load.at(2)};
+  const std::vector<double> weights = {1.0, 2.0, 4.0};
+  EXPECT_TRUE(ChiSquareAgainst(observed, weights).IsUniform(0.001));
+}
+
+TEST(HeteroPlacementTest, LocateReturnsPhysicalIds) {
+  HeteroPlacement placement =
+      HeteroPlacement::Create({{100, 2}, {200, 3}}).value();
+  ASSERT_TRUE(placement.AddObject(1, MakeX0(2, 1000)).ok());
+  for (BlockIndex i = 0; i < 1000; ++i) {
+    const PhysicalDiskId disk = placement.Locate(1, i);
+    EXPECT_TRUE(disk == 100 || disk == 200);
+  }
+}
+
+TEST(HeteroPlacementTest, AddPhysicalDiskReceivesItsShare) {
+  HeteroPlacement placement =
+      HeteroPlacement::Create({{0, 2}, {1, 2}}).value();
+  ASSERT_TRUE(placement.AddObject(1, MakeX0(3, 40000)).ok());
+  ASSERT_TRUE(placement.AddPhysicalDisk({2, 4}).ok());
+  EXPECT_EQ(placement.total_weight(), 8);
+  const auto load = placement.PhysicalLoad();
+  // Disk 2 has half the total weight; expect about half the blocks.
+  EXPECT_NEAR(static_cast<double>(load.at(2)) / 40000.0, 0.5, 0.03);
+}
+
+TEST(HeteroPlacementTest, AddValidation) {
+  HeteroPlacement placement = HeteroPlacement::Create({{0, 1}}).value();
+  EXPECT_FALSE(placement.AddPhysicalDisk({0, 2}).ok());  // Duplicate id.
+  EXPECT_FALSE(placement.AddPhysicalDisk({5, 0}).ok());  // Bad weight.
+}
+
+TEST(HeteroPlacementTest, RemovePhysicalDiskEvictsOnlyItsBlocks) {
+  HeteroPlacement placement =
+      HeteroPlacement::Create({{0, 2}, {1, 3}, {2, 2}}).value();
+  ASSERT_TRUE(placement.AddObject(1, MakeX0(4, 30000)).ok());
+  std::vector<PhysicalDiskId> before(30000);
+  for (BlockIndex i = 0; i < 30000; ++i) {
+    before[static_cast<size_t>(i)] = placement.Locate(1, i);
+  }
+  ASSERT_TRUE(placement.RemovePhysicalDisk(1).ok());
+  EXPECT_EQ(placement.physical_disks().size(), 2u);
+  for (BlockIndex i = 0; i < 30000; ++i) {
+    const PhysicalDiskId now = placement.Locate(1, i);
+    EXPECT_NE(now, 1);
+    if (before[static_cast<size_t>(i)] != 1) {
+      EXPECT_EQ(now, before[static_cast<size_t>(i)])
+          << "block " << i << " moved off a surviving disk";
+    }
+  }
+}
+
+TEST(HeteroPlacementTest, RemoveValidation) {
+  HeteroPlacement placement = HeteroPlacement::Create({{0, 1}}).value();
+  EXPECT_EQ(placement.RemovePhysicalDisk(9).code(), StatusCode::kNotFound);
+  EXPECT_EQ(placement.RemovePhysicalDisk(0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HeteroPlacementTest, BalanceSurvivesChurn) {
+  HeteroPlacement placement =
+      HeteroPlacement::Create({{0, 2}, {1, 2}}).value();
+  ASSERT_TRUE(placement.AddObject(1, MakeX0(5, 50000)).ok());
+  ASSERT_TRUE(placement.AddPhysicalDisk({2, 3}).ok());
+  ASSERT_TRUE(placement.RemovePhysicalDisk(0).ok());
+  ASSERT_TRUE(placement.AddPhysicalDisk({3, 1}).ok());
+  const auto load = placement.PhysicalLoad();
+  const std::vector<int64_t> observed = {load.at(1), load.at(2), load.at(3)};
+  const std::vector<double> weights = {2.0, 3.0, 1.0};
+  EXPECT_TRUE(ChiSquareAgainst(observed, weights).IsUniform(0.001));
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,97 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+TEST(HistogramTest, BucketsFill) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.Add(0.5);
+  hist.Add(1.5);
+  hist.Add(1.7);
+  hist.Add(9.99);
+  EXPECT_EQ(hist.total_count(), 4);
+  EXPECT_EQ(hist.buckets()[0], 1);
+  EXPECT_EQ(hist.buckets()[1], 2);
+  EXPECT_EQ(hist.buckets()[9], 1);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram hist(0.0, 1.0, 4);
+  hist.Add(-0.1);
+  hist.Add(1.0);  // hi is exclusive.
+  hist.Add(5.0);
+  EXPECT_EQ(hist.underflow(), 1);
+  EXPECT_EQ(hist.overflow(), 2);
+  EXPECT_EQ(hist.total_count(), 3);
+}
+
+TEST(HistogramTest, QuantileOfUniformFill) {
+  Histogram hist(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    hist.Add(i + 0.5);
+  }
+  EXPECT_NEAR(hist.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(hist.Quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(hist.Quantile(0.01), 1.0, 1.5);
+}
+
+TEST(HistogramTest, QuantileEmpty) {
+  Histogram hist(2.0, 4.0, 2);
+  EXPECT_EQ(hist.Quantile(0.5), 2.0);
+}
+
+TEST(HistogramTest, AsciiRenderingContainsBars) {
+  Histogram hist(0.0, 2.0, 2);
+  hist.Add(0.5);
+  hist.Add(0.6);
+  hist.Add(1.5);
+  const std::string ascii = hist.ToAscii(10);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+  EXPECT_NE(ascii.find('\n'), std::string::npos);
+}
+
+TEST(CountTallyTest, AddAndRead) {
+  CountTally tally(4);
+  tally.Add(0);
+  tally.Add(0);
+  tally.Add(3, 5);
+  EXPECT_EQ(tally.at(0), 2);
+  EXPECT_EQ(tally.at(1), 0);
+  EXPECT_EQ(tally.at(3), 5);
+  EXPECT_EQ(tally.total(), 7);
+  EXPECT_EQ(tally.size(), 4);
+}
+
+TEST(CountTallyTest, NegativeDeltaAllowedDownToZero) {
+  CountTally tally(2);
+  tally.Add(1, 3);
+  tally.Add(1, -3);
+  EXPECT_EQ(tally.at(1), 0);
+  EXPECT_EQ(tally.total(), 0);
+}
+
+TEST(CountTallyTest, GrowKeepsCounts) {
+  CountTally tally(2);
+  tally.Add(1, 7);
+  tally.Resize(5);
+  EXPECT_EQ(tally.size(), 5);
+  EXPECT_EQ(tally.at(1), 7);
+  EXPECT_EQ(tally.at(4), 0);
+}
+
+TEST(CountTallyDeathTest, ShrinkOverNonEmptySlotAborts) {
+  CountTally tally(3);
+  tally.Add(2);
+  EXPECT_DEATH(tally.Resize(2), "SCADDAR_CHECK");
+}
+
+TEST(CountTallyDeathTest, OutOfRangeAborts) {
+  CountTally tally(3);
+  EXPECT_DEATH(tally.Add(3), "SCADDAR_CHECK");
+  EXPECT_DEATH(tally.at(-1), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

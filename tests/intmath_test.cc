@@ -1,0 +1,155 @@
+#include "util/intmath.h"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+TEST(DivModTest, BasicIdentity) {
+  const QuotRem qr = DivMod(41, 6);
+  EXPECT_EQ(qr.quot, 6u);
+  EXPECT_EQ(qr.rem, 5u);
+  EXPECT_EQ(qr.quot * 6 + qr.rem, 41u);
+}
+
+TEST(DivModTest, ZeroNumerator) {
+  const QuotRem qr = DivMod(0, 7);
+  EXPECT_EQ(qr, (QuotRem{0, 0}));
+}
+
+TEST(DivModTest, LargeValues) {
+  const uint64_t x = std::numeric_limits<uint64_t>::max();
+  const QuotRem qr = DivMod(x, 10);
+  EXPECT_EQ(qr.quot * 10 + qr.rem, x);
+  EXPECT_LT(qr.rem, 10u);
+}
+
+class DivModPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DivModPropertyTest, ReconstructsInput) {
+  const uint64_t n = GetParam();
+  for (uint64_t x = 0; x < 1000; x += 7) {
+    const QuotRem qr = DivMod(x, n);
+    EXPECT_EQ(qr.quot * n + qr.rem, x);
+    EXPECT_LT(qr.rem, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, DivModPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 64, 1000));
+
+TEST(SaturatingProductTest, StartsAtOne) {
+  SaturatingProduct product;
+  EXPECT_FALSE(product.saturated());
+  EXPECT_EQ(static_cast<uint64_t>(product.value()), 1u);
+}
+
+TEST(SaturatingProductTest, Multiplies) {
+  SaturatingProduct product;
+  product.MultiplyBy(6);
+  product.MultiplyBy(7);
+  EXPECT_EQ(static_cast<uint64_t>(product.value()), 42u);
+  EXPECT_TRUE(product.LessEq(42));
+  EXPECT_FALSE(product.LessEq(41));
+}
+
+TEST(SaturatingProductTest, SaturatesAndStaysSaturated) {
+  SaturatingProduct product;
+  for (int i = 0; i < 10; ++i) {
+    product.MultiplyBy(std::numeric_limits<uint64_t>::max());
+  }
+  EXPECT_TRUE(product.saturated());
+  EXPECT_FALSE(product.LessEq(~static_cast<unsigned __int128>(0) - 1));
+  // Multiplying further is a no-op, not UB.
+  product.MultiplyBy(2);
+  EXPECT_TRUE(product.saturated());
+}
+
+TEST(SaturatingProductTest, ExactlyAtBoundaryIsNotSaturated) {
+  SaturatingProduct product;
+  product.MultiplyBy(uint64_t{1} << 63);
+  product.MultiplyBy(uint64_t{1} << 63);
+  product.MultiplyBy(4);  // 2^130 > 2^128 - 1 -> saturates.
+  EXPECT_TRUE(product.saturated());
+
+  SaturatingProduct fits;
+  fits.MultiplyBy(uint64_t{1} << 62);
+  fits.MultiplyBy(uint64_t{1} << 62);  // 2^124 fits in 128 bits.
+  EXPECT_FALSE(fits.saturated());
+}
+
+TEST(FloorLog2Test, PowersOfTwo) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 63), 63);
+}
+
+TEST(FloorLog2Test, NonPowers) {
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(std::numeric_limits<uint64_t>::max()), 63);
+}
+
+TEST(CeilLog2Test, Values) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(Log2Test, MatchesIntegerLogOnPowers) {
+  EXPECT_DOUBLE_EQ(Log2(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2(16.0), 4.0);
+  EXPECT_NEAR(Log2(100.0), 6.643856, 1e-6);
+}
+
+TEST(GcdTest, Values) {
+  EXPECT_EQ(Gcd(0, 0), 0u);
+  EXPECT_EQ(Gcd(0, 9), 9u);
+  EXPECT_EQ(Gcd(9, 0), 9u);
+  EXPECT_EQ(Gcd(12, 18), 6u);
+  EXPECT_EQ(Gcd(17, 13), 1u);
+  EXPECT_EQ(Gcd(48, 36), 12u);
+}
+
+TEST(SaturatingArithmeticTest, Mul) {
+  EXPECT_EQ(SaturatingMul(6, 7), 42u);
+  EXPECT_EQ(SaturatingMul(0, std::numeric_limits<uint64_t>::max()), 0u);
+  EXPECT_EQ(SaturatingMul(uint64_t{1} << 40, uint64_t{1} << 40),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(SaturatingArithmeticTest, Add) {
+  EXPECT_EQ(SaturatingAdd(1, 2), 3u);
+  EXPECT_EQ(SaturatingAdd(std::numeric_limits<uint64_t>::max(), 1),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(SaturatingArithmeticTest, Pow) {
+  EXPECT_EQ(SaturatingPow(2, 10), 1024u);
+  EXPECT_EQ(SaturatingPow(10, 0), 1u);
+  EXPECT_EQ(SaturatingPow(0, 5), 0u);
+  EXPECT_EQ(SaturatingPow(2, 64), std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(SaturatingPow(16, 16), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(MaxRandomForBitsTest, Values) {
+  EXPECT_EQ(MaxRandomForBits(1), 1u);
+  EXPECT_EQ(MaxRandomForBits(8), 255u);
+  EXPECT_EQ(MaxRandomForBits(32), 0xffffffffull);
+  EXPECT_EQ(MaxRandomForBits(48), (uint64_t{1} << 48) - 1);
+  EXPECT_EQ(MaxRandomForBits(64), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(MaxRandomForBitsDeathTest, RejectsOutOfRange) {
+  EXPECT_DEATH(MaxRandomForBits(0), "SCADDAR_CHECK");
+  EXPECT_DEATH(MaxRandomForBits(65), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

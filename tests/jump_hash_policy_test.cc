@@ -1,0 +1,135 @@
+#include "placement/jump_hash_policy.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "random/sequence.h"
+#include "stats/chi_square.h"
+#include "stats/movement.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+TEST(JumpBucketTest, SingleBucket) {
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(JumpBucket(key, 1), 0);
+  }
+}
+
+TEST(JumpBucketTest, WithinRange) {
+  for (uint64_t key = 1; key < 5000; key += 7) {
+    const int64_t bucket = JumpBucket(key * 0x9e3779b97f4a7c15ull, 13);
+    EXPECT_GE(bucket, 0);
+    EXPECT_LT(bucket, 13);
+  }
+}
+
+TEST(JumpBucketTest, MonotoneConsistency) {
+  // The jump hash guarantee: growing n never moves a key between two
+  // existing buckets — it either stays or moves to the NEW bucket.
+  auto seq = X0Sequence::Create(PrngKind::kXoshiro256, 1, 64).value();
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = seq.Next();
+    for (int64_t n = 1; n < 20; ++n) {
+      const int64_t before = JumpBucket(key, n);
+      const int64_t after = JumpBucket(key, n + 1);
+      EXPECT_TRUE(after == before || after == n);
+    }
+  }
+}
+
+TEST(JumpBucketTest, BalancedDistribution) {
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 2, 64).value();
+  std::vector<int64_t> counts(11, 0);
+  for (int i = 0; i < 110000; ++i) {
+    ++counts[static_cast<size_t>(JumpBucket(seq.Next(), 11))];
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+TEST(JumpHashPolicyTest, AddIsOptimal) {
+  JumpHashPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(3, 40000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 8, 10);
+  EXPECT_NEAR(stats.overhead_ratio, 1.0, 0.05);
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) {
+      EXPECT_GE(after[i], 8);
+    }
+  }
+}
+
+TEST(JumpHashPolicyTest, TailRemovalIsOptimal) {
+  JumpHashPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(4, 40000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  // Removing the LAST slot is jump hash's native shrink.
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({7}).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 8, 7);
+  EXPECT_NEAR(stats.overhead_ratio, 1.0, 0.05);
+}
+
+TEST(JumpHashPolicyTest, MiddleRemovalCostsDouble) {
+  JumpHashPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(5, 40000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({2}).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 8, 7);
+  // The swap-with-last emulation moves ~2x the minimum — the documented
+  // disadvantage vs SCADDAR's clean arbitrary-disk removal.
+  EXPECT_GT(stats.overhead_ratio, 1.6);
+  EXPECT_LT(stats.overhead_ratio, 2.4);
+}
+
+TEST(JumpHashPolicyTest, BucketsTrackLiveSet) {
+  JumpHashPolicy policy(6);
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({0, 3}).value()).ok());
+  const std::set<PhysicalDiskId> buckets(policy.buckets().begin(),
+                                         policy.buckets().end());
+  const std::set<PhysicalDiskId> live(policy.log().physical_disks().begin(),
+                                      policy.log().physical_disks().end());
+  EXPECT_EQ(buckets, live);
+}
+
+TEST(JumpHashPolicyTest, BalanceAfterMixedOps) {
+  JumpHashPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(6, 80000)).ok());
+  for (const char* text : {"A2", "R3", "A1", "R0"}) {
+    ASSERT_TRUE(policy.ApplyOp(ScalingOp::Parse(text).value()).ok());
+  }
+  EXPECT_TRUE(ChiSquareUniform(policy.PerDiskCounts()).IsUniform(0.001));
+}
+
+TEST(JumpHashPolicyTest, MiddleRemovalDumpsVictimsOnOneDisk) {
+  // The transient pathology the comparator bench reports: every block of
+  // the removed disk lands on the disk that was swapped into its bucket.
+  JumpHashPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(7, 40000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({2}).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  std::set<PhysicalDiskId> victim_destinations;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] == 2) {
+      victim_destinations.insert(after[i]);
+    }
+  }
+  EXPECT_EQ(victim_destinations.size(), 1u);
+  EXPECT_EQ(*victim_destinations.begin(), 7);  // The swapped-in last disk.
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,51 @@
+#include "stats/load_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+TEST(LoadMetricsTest, UniformLoad) {
+  const LoadMetrics metrics = ComputeLoadMetrics({100, 100, 100, 100});
+  EXPECT_EQ(metrics.num_disks, 4);
+  EXPECT_EQ(metrics.total_blocks, 400);
+  EXPECT_DOUBLE_EQ(metrics.mean, 100.0);
+  EXPECT_DOUBLE_EQ(metrics.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.coefficient_of_variation, 0.0);
+  EXPECT_EQ(metrics.min_load, 100);
+  EXPECT_EQ(metrics.max_load, 100);
+  EXPECT_DOUBLE_EQ(metrics.unfairness, 0.0);
+}
+
+TEST(LoadMetricsTest, SkewedLoad) {
+  const LoadMetrics metrics = ComputeLoadMetrics({50, 150});
+  EXPECT_DOUBLE_EQ(metrics.mean, 100.0);
+  EXPECT_DOUBLE_EQ(metrics.stddev, 50.0);
+  EXPECT_DOUBLE_EQ(metrics.coefficient_of_variation, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.unfairness, 2.0);  // 150/50 - 1.
+}
+
+TEST(LoadMetricsTest, EmptyDiskGivesInfiniteUnfairness) {
+  const LoadMetrics metrics = ComputeLoadMetrics({0, 10});
+  EXPECT_TRUE(std::isinf(metrics.unfairness));
+}
+
+TEST(LoadMetricsTest, SingleDisk) {
+  const LoadMetrics metrics = ComputeLoadMetrics({42});
+  EXPECT_EQ(metrics.num_disks, 1);
+  EXPECT_DOUBLE_EQ(metrics.coefficient_of_variation, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.unfairness, 0.0);
+}
+
+TEST(LoadMetricsDeathTest, EmptyInputAborts) {
+  EXPECT_DEATH(ComputeLoadMetrics({}), "SCADDAR_CHECK");
+}
+
+TEST(LoadMetricsDeathTest, NegativeCountAborts) {
+  EXPECT_DEATH(ComputeLoadMetrics({5, -1}), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,188 @@
+#include "core/mapper.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/distributions.h"
+#include "random/sequence.h"
+#include "stats/chi_square.h"
+
+namespace scaddar {
+namespace {
+
+TEST(MapperTest, EpochZeroIsIdentity) {
+  const OpLog log = OpLog::Create(4).value();
+  const Mapper mapper(&log);
+  for (uint64_t x0 = 0; x0 < 100; ++x0) {
+    EXPECT_EQ(mapper.XAfter(x0, 0), x0);
+    EXPECT_EQ(mapper.SlotAfter(x0, 0), static_cast<DiskSlot>(x0 % 4));
+    EXPECT_EQ(mapper.LocatePhysical(x0), static_cast<PhysicalDiskId>(x0 % 4));
+  }
+}
+
+TEST(MapperTest, TraceIsConsistentWithPointQueries) {
+  OpLog log = OpLog::Create(4).value();
+  ASSERT_TRUE(log.Append(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE(log.Append(ScalingOp::Remove({1, 3}).value()).ok());
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+  const Mapper mapper(&log);
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 11, 64).value();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x0 = seq.Next();
+    const Mapper::Trace trace = mapper.TraceChain(x0);
+    ASSERT_EQ(trace.x.size(), 4u);
+    ASSERT_EQ(trace.slot.size(), 4u);
+    ASSERT_EQ(trace.physical.size(), 4u);
+    for (Epoch j = 0; j <= 3; ++j) {
+      EXPECT_EQ(trace.x[static_cast<size_t>(j)], mapper.XAfter(x0, j));
+      EXPECT_EQ(trace.slot[static_cast<size_t>(j)], mapper.SlotAfter(x0, j));
+      EXPECT_EQ(trace.physical[static_cast<size_t>(j)],
+                mapper.PhysicalAfter(x0, j));
+    }
+  }
+}
+
+TEST(MapperTest, SlotAlwaysWithinEpochRange) {
+  OpLog log = OpLog::Create(3).value();
+  ASSERT_TRUE(log.Append(ScalingOp::Add(5).value()).ok());
+  ASSERT_TRUE(log.Append(ScalingOp::Remove({0, 2, 4, 6}).value()).ok());
+  const Mapper mapper(&log);
+  auto seq = X0Sequence::Create(PrngKind::kPcg32, 13, 32).value();
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t x0 = seq.Next();
+    for (Epoch j = 0; j <= log.num_ops(); ++j) {
+      const DiskSlot slot = mapper.SlotAfter(x0, j);
+      EXPECT_GE(slot, 0);
+      EXPECT_LT(slot, log.disks_after(j));
+    }
+  }
+}
+
+// The paper's RO1 as an *exact* invariant, not a statistical one: across
+// any single operation, a block changes physical disks only if the op
+// forces it (additions pull blocks only onto new disks; removals push
+// blocks only off removed disks).
+struct OpSequenceCase {
+  int64_t n0;
+  std::vector<const char*> ops;
+};
+
+class MapperInvariantTest : public ::testing::TestWithParam<OpSequenceCase> {
+};
+
+TEST_P(MapperInvariantTest, RO1MoversAreExactlyTheForcedOnes) {
+  const auto& param = GetParam();
+  OpLog log = OpLog::Create(param.n0).value();
+  for (const char* text : param.ops) {
+    ASSERT_TRUE(log.Append(ScalingOp::Parse(text).value()).ok()) << text;
+  }
+  const Mapper mapper(&log);
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 17, 64).value();
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t x0 = seq.Next();
+    for (Epoch j = 1; j <= log.num_ops(); ++j) {
+      const ScalingOp& op = log.op(j);
+      const PhysicalDiskId before = mapper.PhysicalAfter(x0, j - 1);
+      const PhysicalDiskId after = mapper.PhysicalAfter(x0, j);
+      if (op.is_add()) {
+        if (before != after) {
+          // Mover must land on a disk added by THIS operation.
+          const std::vector<PhysicalDiskId>& now = log.physical_disks_at(j);
+          const int64_t n_prev = log.disks_after(j - 1);
+          const std::set<PhysicalDiskId> added(now.begin() + n_prev,
+                                               now.end());
+          EXPECT_TRUE(added.contains(after))
+              << "op " << j << ": moved to old disk " << after;
+        }
+      } else {
+        // Removal: a block moves iff its disk was removed.
+        const std::vector<PhysicalDiskId>& prev =
+            log.physical_disks_at(j - 1);
+        std::set<PhysicalDiskId> removed;
+        for (const DiskSlot slot : op.removed_slots()) {
+          removed.insert(prev[static_cast<size_t>(slot)]);
+        }
+        if (removed.contains(before)) {
+          EXPECT_NE(before, after);
+          EXPECT_FALSE(removed.contains(after));
+        } else {
+          EXPECT_EQ(before, after)
+              << "op " << j << " moved a block off a surviving disk";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpSequences, MapperInvariantTest,
+    ::testing::Values(
+        OpSequenceCase{4, {"A1"}},
+        OpSequenceCase{4, {"A1", "A1", "A1"}},
+        OpSequenceCase{6, {"R4"}},
+        OpSequenceCase{6, {"R0", "R0", "R0"}},
+        OpSequenceCase{4, {"A2", "R1", "A3", "R0,2"}},
+        OpSequenceCase{10, {"R1,3,5", "A4", "R0", "A1", "A1"}},
+        OpSequenceCase{2, {"A1", "R0", "A2", "R1", "A1"}},
+        OpSequenceCase{16, {"A16", "R0,1,2,3,4,5,6,7", "A8"}}));
+
+TEST(MapperTest, UniformityHoldsAfterManyOps) {
+  // RO2, statistically: after a mixed op sequence the slot distribution is
+  // still uniform (64-bit range, far from exhaustion).
+  OpLog log = OpLog::Create(8).value();
+  for (const char* text : {"A2", "R3", "A1", "R0,5", "A3"}) {
+    ASSERT_TRUE(log.Append(ScalingOp::Parse(text).value()).ok());
+  }
+  const Mapper mapper(&log);
+  std::vector<int64_t> counts(static_cast<size_t>(log.current_disks()), 0);
+  auto seq = X0Sequence::Create(PrngKind::kXoshiro256, 19, 64).value();
+  for (int i = 0; i < 110000; ++i) {
+    ++counts[static_cast<size_t>(mapper.LocateSlot(seq.Next()))];
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+TEST(MapperTest, DeterministicAcrossIdenticalLogs) {
+  const auto build = [] {
+    OpLog log = OpLog::Create(5).value();
+    SCADDAR_CHECK(log.Append(ScalingOp::Add(2).value()).ok());
+    SCADDAR_CHECK(log.Append(ScalingOp::Remove({1}).value()).ok());
+    return log;
+  };
+  const OpLog log_a = build();
+  const OpLog log_b = build();
+  const Mapper a(&log_a);
+  const Mapper b(&log_b);
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 23, 64).value();
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t x0 = seq.Next();
+    EXPECT_EQ(a.LocatePhysical(x0), b.LocatePhysical(x0));
+  }
+}
+
+TEST(MapperTest, SerializedLogYieldsIdenticalPlacement) {
+  OpLog log = OpLog::Create(7).value();
+  for (const char* text : {"A3", "R2,8", "A1"}) {
+    ASSERT_TRUE(log.Append(ScalingOp::Parse(text).value()).ok());
+  }
+  const OpLog restored = OpLog::Deserialize(log.Serialize()).value();
+  const Mapper original(&log);
+  const Mapper roundtrip(&restored);
+  auto seq = X0Sequence::Create(PrngKind::kLcg48, 29, 48).value();
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t x0 = seq.Next();
+    EXPECT_EQ(original.LocatePhysical(x0), roundtrip.LocatePhysical(x0));
+  }
+}
+
+TEST(MapperDeathTest, EpochOutOfRangeAborts) {
+  const OpLog log = OpLog::Create(4).value();
+  const Mapper mapper(&log);
+  EXPECT_DEATH(mapper.XAfter(0, 1), "SCADDAR_CHECK");
+  EXPECT_DEATH(mapper.XAfter(0, -1), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

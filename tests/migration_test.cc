@@ -1,0 +1,185 @@
+#include "server/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/scaddar_policy.h"
+#include "random/sequence.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+struct Fixture {
+  Fixture(int64_t n0, int64_t blocks)
+      : policy(n0),
+        disks(DiskSpec{.capacity_blocks = 1'000'000,
+                       .bandwidth_blocks_per_round = 8}),
+        store(&disks) {
+    SCADDAR_CHECK(policy.AddObject(1, MakeX0(1, blocks)).ok());
+    SCADDAR_CHECK(disks.SyncLiveSet(policy.log().physical_disks()).ok());
+    std::vector<PhysicalDiskId> locations;
+    for (BlockIndex i = 0; i < blocks; ++i) {
+      locations.push_back(policy.Locate(1, i));
+    }
+    SCADDAR_CHECK(store.PlaceObject(1, locations).ok());
+  }
+
+  std::unordered_map<PhysicalDiskId, int64_t> Budget(int64_t per_disk) {
+    std::unordered_map<PhysicalDiskId, int64_t> budget;
+    for (const PhysicalDiskId id : disks.live_ids()) {
+      budget[id] = per_disk;
+    }
+    return budget;
+  }
+
+  ScaddarPolicy policy;
+  DiskArray disks;
+  BlockStore store;
+  MigrationExecutor migration;
+};
+
+TEST(MigrationTest, ReconciliationFindsExactDivergence) {
+  Fixture fx(4, 2000);
+  ASSERT_TRUE(fx.policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(fx.disks.SyncLiveSet(fx.policy.log().physical_disks()).ok());
+  fx.migration.EnqueueReconciliation(fx.store, fx.policy);
+  int64_t divergent = 0;
+  for (BlockIndex i = 0; i < 2000; ++i) {
+    if (*fx.store.LocationOf({1, i}) != fx.policy.Locate(1, i)) {
+      ++divergent;
+    }
+  }
+  EXPECT_EQ(fx.migration.pending(), divergent);
+  EXPECT_GT(divergent, 0);
+}
+
+TEST(MigrationTest, RunRoundRespectsBudget) {
+  Fixture fx(4, 4000);
+  ASSERT_TRUE(fx.policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(fx.disks.SyncLiveSet(fx.policy.log().physical_disks()).ok());
+  fx.migration.EnqueueReconciliation(fx.store, fx.policy);
+  auto budget = fx.Budget(2);
+  const int64_t moved =
+      fx.migration.RunRound(budget, fx.store, fx.disks, fx.policy);
+  // Every move consumes a unit at the destination (the single new disk has
+  // budget 2), so at most 2 transfers can land there this round.
+  EXPECT_LE(moved, 2);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(MigrationTest, ConvergesOverRounds) {
+  Fixture fx(4, 3000);
+  ASSERT_TRUE(fx.policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE(fx.disks.SyncLiveSet(fx.policy.log().physical_disks()).ok());
+  fx.migration.EnqueueReconciliation(fx.store, fx.policy);
+  int rounds = 0;
+  while (!fx.migration.idle()) {
+    auto budget = fx.Budget(50);
+    fx.migration.RunRound(budget, fx.store, fx.disks, fx.policy);
+    ASSERT_LT(++rounds, 1000) << "migration failed to converge";
+  }
+  EXPECT_TRUE(fx.store.VerifyAgainstPolicy(fx.policy).ok());
+  EXPECT_GT(fx.migration.total_moved(), 0);
+}
+
+TEST(MigrationTest, ZeroBudgetMakesNoProgress) {
+  Fixture fx(4, 1000);
+  ASSERT_TRUE(fx.policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(fx.disks.SyncLiveSet(fx.policy.log().physical_disks()).ok());
+  fx.migration.EnqueueReconciliation(fx.store, fx.policy);
+  const int64_t pending_before = fx.migration.pending();
+  auto budget = fx.Budget(0);
+  EXPECT_EQ(fx.migration.RunRound(budget, fx.store, fx.disks, fx.policy), 0);
+  EXPECT_EQ(fx.migration.pending(), pending_before);
+}
+
+TEST(MigrationTest, StaleEntriesRetireForFree) {
+  Fixture fx(4, 1000);
+  // Enqueue blocks that are already at their targets.
+  MovePlan noop_plan;
+  for (BlockIndex i = 0; i < 100; ++i) {
+    noop_plan.Add(BlockMove{.block = {1, i}});
+  }
+  fx.migration.EnqueuePlan(noop_plan);
+  EXPECT_EQ(fx.migration.pending(), 100);
+  auto budget = fx.Budget(0);  // No bandwidth needed for stale entries.
+  EXPECT_EQ(fx.migration.RunRound(budget, fx.store, fx.disks, fx.policy), 0);
+  EXPECT_TRUE(fx.migration.idle());
+}
+
+TEST(MigrationTest, EnqueuePlanDrivesTheSameConvergence) {
+  Fixture fx(4, 1500);
+  ASSERT_TRUE(fx.policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(fx.disks.SyncLiveSet(fx.policy.log().physical_disks()).ok());
+  const std::vector<uint64_t>& x0 = fx.policy.objects_view()[0].second;
+  const MovePlan plan = PlanOperation(fx.policy.log(), 1, {{1, &x0}});
+  fx.migration.EnqueuePlan(plan);
+  EXPECT_EQ(fx.migration.pending(), plan.num_moves());
+  while (!fx.migration.idle()) {
+    auto budget = fx.Budget(100);
+    fx.migration.RunRound(budget, fx.store, fx.disks, fx.policy);
+  }
+  EXPECT_TRUE(fx.store.VerifyAgainstPolicy(fx.policy).ok());
+  EXPECT_EQ(fx.migration.total_moved(), plan.num_moves());
+}
+
+TEST(MigrationTest, DeletedObjectEntriesAreDroppedGracefully) {
+  Fixture fx(4, 500);
+  ASSERT_TRUE(fx.policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(fx.disks.SyncLiveSet(fx.policy.log().physical_disks()).ok());
+  fx.migration.EnqueueReconciliation(fx.store, fx.policy);
+  ASSERT_GT(fx.migration.pending(), 0);
+  // Remove the object from both layers; queued refs become dangling.
+  ASSERT_TRUE(fx.store.DropObject(1).ok());
+  ASSERT_TRUE(fx.policy.RemoveObject(1).ok());
+  auto budget = fx.Budget(100);
+  EXPECT_EQ(fx.migration.RunRound(budget, fx.store, fx.disks, fx.policy), 0);
+  EXPECT_TRUE(fx.migration.idle());
+}
+
+TEST(MigrationTest, OverlappingOpsConvergeToLatestTargets) {
+  Fixture fx(4, 2000);
+  ASSERT_TRUE(fx.policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(fx.disks.SyncLiveSet(fx.policy.log().physical_disks()).ok());
+  fx.migration.EnqueueReconciliation(fx.store, fx.policy);
+  // Second op lands while the first migration is still pending.
+  ASSERT_TRUE(fx.policy.ApplyOp(ScalingOp::Remove({1}).value()).ok());
+  std::vector<PhysicalDiskId> live = fx.policy.log().physical_disks();
+  live.push_back(1);  // Disk 1 is retiring but still holds blocks.
+  ASSERT_TRUE(fx.disks.SyncLiveSet(live).ok());
+  fx.migration.EnqueueReconciliation(fx.store, fx.policy);
+  int rounds = 0;
+  while (!fx.migration.idle()) {
+    auto budget = fx.Budget(50);
+    budget[1] = 50;  // The retiring disk can still move blocks out.
+    fx.migration.RunRound(budget, fx.store, fx.disks, fx.policy);
+    ASSERT_LT(++rounds, 1000);
+  }
+  EXPECT_TRUE(fx.store.VerifyAgainstPolicy(fx.policy).ok());
+  EXPECT_EQ(fx.store.CountOn(1), 0);  // Retiring disk fully drained.
+}
+
+TEST(MigrationTest, TransferCountersChargedToBothEnds) {
+  Fixture fx(2, 500);
+  ASSERT_TRUE(fx.policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(fx.disks.SyncLiveSet(fx.policy.log().physical_disks()).ok());
+  fx.migration.EnqueueReconciliation(fx.store, fx.policy);
+  while (!fx.migration.idle()) {
+    auto budget = fx.Budget(100);
+    fx.migration.RunRound(budget, fx.store, fx.disks, fx.policy);
+  }
+  const int64_t moved = fx.migration.total_moved();
+  int64_t charged = 0;
+  for (const PhysicalDiskId id : fx.disks.live_ids()) {
+    charged += (*fx.disks.GetDisk(id))->migration_transfers();
+  }
+  EXPECT_EQ(charged, 2 * moved);
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,121 @@
+#include "faults/mirror.h"
+
+#include <gtest/gtest.h>
+
+#include "random/sequence.h"
+#include "stats/chi_square.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+TEST(MirrorOffsetTest, PaperFormula) {
+  EXPECT_EQ(MirroredPlacement::MirrorOffset(2), 1);
+  EXPECT_EQ(MirroredPlacement::MirrorOffset(3), 1);
+  EXPECT_EQ(MirroredPlacement::MirrorOffset(8), 4);   // f(N) = N/2.
+  EXPECT_EQ(MirroredPlacement::MirrorOffset(9), 4);
+  EXPECT_EQ(MirroredPlacement::MirrorOffset(100), 50);
+}
+
+TEST(MirrorTest, MirrorIsAlwaysOnDifferentDisk) {
+  ScaddarPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 2000)).ok());
+  const MirroredPlacement mirror(&policy);
+  for (BlockIndex i = 0; i < 2000; ++i) {
+    EXPECT_NE(mirror.PrimaryOf(1, i), mirror.MirrorOf(1, i)) << i;
+  }
+}
+
+TEST(MirrorTest, MirrorDistinctEvenWithTwoDisks) {
+  ScaddarPolicy policy(2);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(2, 200)).ok());
+  const MirroredPlacement mirror(&policy);
+  for (BlockIndex i = 0; i < 200; ++i) {
+    EXPECT_NE(mirror.PrimaryOf(1, i), mirror.MirrorOf(1, i));
+  }
+}
+
+TEST(MirrorTest, MirrorSlotFollowsOffsetFormula) {
+  ScaddarPolicy policy(9);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(3, 500)).ok());
+  const MirroredPlacement mirror(&policy);
+  for (BlockIndex i = 0; i < 500; ++i) {
+    EXPECT_EQ(mirror.MirrorSlot(1, i),
+              (mirror.PrimarySlot(1, i) + 4) % 9);
+  }
+}
+
+TEST(MirrorTest, ReadPrefersHealthyPrimary) {
+  ScaddarPolicy policy(6);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(4, 100)).ok());
+  const MirroredPlacement mirror(&policy);
+  const std::unordered_set<PhysicalDiskId> no_failures;
+  for (BlockIndex i = 0; i < 100; ++i) {
+    EXPECT_EQ(*mirror.LocateForRead(1, i, no_failures),
+              mirror.PrimaryOf(1, i));
+  }
+}
+
+TEST(MirrorTest, SingleDiskFailureIsFullyMasked) {
+  ScaddarPolicy policy(6);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(5, 3000)).ok());
+  const MirroredPlacement mirror(&policy);
+  for (PhysicalDiskId failed = 0; failed < 6; ++failed) {
+    const std::unordered_set<PhysicalDiskId> failures = {failed};
+    for (BlockIndex i = 0; i < 3000; ++i) {
+      const StatusOr<PhysicalDiskId> read = mirror.LocateForRead(1, i, failures);
+      ASSERT_TRUE(read.ok()) << "disk " << failed << " block " << i;
+      EXPECT_NE(*read, failed);
+    }
+  }
+}
+
+TEST(MirrorTest, OppositeFailurePairLosesBlocks) {
+  // Failing a disk AND its mirror offset partner must lose exactly the
+  // blocks whose two copies sat on that pair.
+  ScaddarPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(6, 4000)).ok());
+  const MirroredPlacement mirror(&policy);
+  const std::unordered_set<PhysicalDiskId> failures = {0, 4};  // Offset 4.
+  int64_t lost = 0;
+  for (BlockIndex i = 0; i < 4000; ++i) {
+    if (!mirror.LocateForRead(1, i, failures).ok()) {
+      ++lost;
+    }
+  }
+  // Blocks with primary on 0 (mirror 4) or primary on 4 (mirror 0):
+  // expected 2/8 of all blocks.
+  EXPECT_NEAR(static_cast<double>(lost) / 4000.0, 0.25, 0.03);
+}
+
+TEST(MirrorTest, MirroredLoadIsStillBalanced) {
+  ScaddarPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(7, 40000)).ok());
+  const MirroredPlacement mirror(&policy);
+  const std::vector<int64_t> counts = mirror.PerDiskCountsWithMirrors();
+  int64_t total = 0;
+  for (const int64_t count : counts) {
+    total += count;
+  }
+  EXPECT_EQ(total, 80000);  // Exactly 2x storage.
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+TEST(MirrorTest, SurvivesScalingOperations) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(8, 2000)).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(3).value()).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({2}).value()).ok());
+  const MirroredPlacement mirror(&policy);
+  for (BlockIndex i = 0; i < 2000; ++i) {
+    EXPECT_NE(mirror.PrimaryOf(1, i), mirror.MirrorOf(1, i));
+  }
+}
+
+}  // namespace
+}  // namespace scaddar

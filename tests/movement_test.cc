@@ -1,0 +1,63 @@
+#include "stats/movement.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+TEST(TheoreticalMoveFractionTest, PaperEquationOne) {
+  // Addition: (Nj - Nj-1) / Nj.
+  EXPECT_DOUBLE_EQ(TheoreticalMoveFraction(4, 5), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(TheoreticalMoveFraction(5, 6), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(TheoreticalMoveFraction(10, 15), 5.0 / 15.0);
+  // Removal: (Nj-1 - Nj) / Nj-1.
+  EXPECT_DOUBLE_EQ(TheoreticalMoveFraction(6, 5), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(TheoreticalMoveFraction(10, 5), 0.5);
+  // No change.
+  EXPECT_DOUBLE_EQ(TheoreticalMoveFraction(7, 7), 0.0);
+}
+
+TEST(CompareAssignmentsTest, CountsMoves) {
+  const std::vector<int64_t> before = {0, 1, 2, 3, 0, 1};
+  const std::vector<int64_t> after = {0, 1, 4, 3, 4, 1};
+  const MovementStats stats = CompareAssignments(before, after, 4, 5);
+  EXPECT_EQ(stats.total_blocks, 6);
+  EXPECT_EQ(stats.moved_blocks, 2);
+  EXPECT_DOUBLE_EQ(stats.moved_fraction, 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(stats.theoretical_fraction, 0.2);
+  EXPECT_NEAR(stats.overhead_ratio, (2.0 / 6.0) / 0.2, 1e-12);
+}
+
+TEST(CompareAssignmentsTest, NoMovement) {
+  const std::vector<int64_t> same = {1, 2, 3};
+  const MovementStats stats = CompareAssignments(same, same, 4, 5);
+  EXPECT_EQ(stats.moved_blocks, 0);
+  EXPECT_DOUBLE_EQ(stats.overhead_ratio, 0.0);
+}
+
+TEST(CompareAssignmentsTest, SameDiskCountWithMovementIsInfiniteOverhead) {
+  const std::vector<int64_t> before = {0, 1};
+  const std::vector<int64_t> after = {1, 0};
+  const MovementStats stats = CompareAssignments(before, after, 4, 4);
+  EXPECT_TRUE(std::isinf(stats.overhead_ratio));
+}
+
+TEST(CompareAssignmentsTest, EmptyAssignments) {
+  const MovementStats stats = CompareAssignments({}, {}, 4, 5);
+  EXPECT_EQ(stats.total_blocks, 0);
+  EXPECT_DOUBLE_EQ(stats.moved_fraction, 0.0);
+}
+
+TEST(CompareAssignmentsDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH(CompareAssignments({1}, {1, 2}, 4, 5), "SCADDAR_CHECK");
+}
+
+TEST(TheoreticalMoveFractionDeathTest, NonPositiveCountsAbort) {
+  EXPECT_DEATH(TheoreticalMoveFraction(0, 5), "SCADDAR_CHECK");
+  EXPECT_DEATH(TheoreticalMoveFraction(5, 0), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

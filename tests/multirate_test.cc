@@ -1,0 +1,100 @@
+// Multi-rate stream tests: objects with bitrate_weight > 1 consume that
+// many blocks per round, and admission control budgets by load, not by
+// stream count.
+
+#include <gtest/gtest.h>
+
+#include "server/server.h"
+
+namespace scaddar {
+namespace {
+
+std::unique_ptr<CmServer> MakeServer(int64_t disks, int64_t bandwidth,
+                                     double cap = 1.0) {
+  ServerConfig config;
+  config.initial_disks = disks;
+  config.disk_spec = {.capacity_blocks = 100'000,
+                      .bandwidth_blocks_per_round = bandwidth};
+  config.admission_utilization_cap = cap;
+  config.master_seed = 31337;
+  return std::move(CmServer::Create(config)).value();
+}
+
+TEST(MultiRateTest, HighRateStreamFinishesProportionallyFaster) {
+  auto server = MakeServer(4, 16);
+  ASSERT_TRUE(server->AddObject(1, 120, /*bitrate_weight=*/1).ok());
+  ASSERT_TRUE(server->AddObject(2, 120, /*bitrate_weight=*/4).ok());
+  ASSERT_TRUE(server->StartStream(1).ok());
+  ASSERT_TRUE(server->StartStream(2).ok());
+  int rounds_for_fast = 0;
+  for (int round = 0; round < 200 && server->completed_streams() < 1;
+       ++round) {
+    server->Tick();
+    ++rounds_for_fast;
+  }
+  // The 4x stream plays 120 blocks in ~30 rounds; the 1x needs 120.
+  EXPECT_NEAR(rounds_for_fast, 30, 2);
+  EXPECT_EQ(server->active_streams(), 1);
+  EXPECT_EQ(server->total_hiccups(), 0);
+}
+
+TEST(MultiRateTest, ActiveLoadSumsRates) {
+  auto server = MakeServer(4, 16);
+  ASSERT_TRUE(server->AddObject(1, 100, 1).ok());
+  ASSERT_TRUE(server->AddObject(2, 100, 5).ok());
+  ASSERT_TRUE(server->StartStream(1).ok());
+  ASSERT_TRUE(server->StartStream(2).ok());
+  ASSERT_TRUE(server->StartStream(2).ok());
+  EXPECT_EQ(server->ActiveLoad(), 11);
+  EXPECT_EQ(server->active_streams(), 3);
+}
+
+TEST(MultiRateTest, AdmissionBudgetsByLoadNotStreams) {
+  // Capacity = 4 disks * 4 bw * 1.0 = 16 blocks/round.
+  auto server = MakeServer(4, 4);
+  ASSERT_TRUE(server->AddObject(1, 100, /*bitrate_weight=*/8).ok());
+  EXPECT_TRUE(server->StartStream(1).ok());   // Load 8.
+  EXPECT_TRUE(server->StartStream(1).ok());   // Load 16.
+  EXPECT_FALSE(server->StartStream(1).ok());  // Would exceed 16.
+  ASSERT_TRUE(server->AddObject(2, 100, 1).ok());
+  EXPECT_FALSE(server->StartStream(2).ok());  // Even 1 more is too much.
+}
+
+TEST(MultiRateTest, RequestsCountBlocksNotStreams) {
+  auto server = MakeServer(4, 16);
+  ASSERT_TRUE(server->AddObject(1, 100, 3).ok());
+  ASSERT_TRUE(server->StartStream(1).ok());
+  const RoundMetrics metrics = server->Tick();
+  EXPECT_EQ(metrics.requests, 3);
+  EXPECT_EQ(metrics.served, 3);
+}
+
+TEST(MultiRateTest, AdmissionRejectsRateBeyondHardware) {
+  // One disk with bandwidth 2 cannot feed a rate-4 stream; admission must
+  // reject it outright rather than let it hiccup forever.
+  auto server = MakeServer(1, 2);
+  ASSERT_TRUE(server->AddObject(1, 40, 4).ok());
+  EXPECT_EQ(server->StartStream(1).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(server->active_streams(), 0);
+}
+
+TEST(MultiRateTest, MixedRatesShareBandwidthWithoutHiccups) {
+  auto server = MakeServer(8, 8, /*cap=*/0.5);  // Capacity 32.
+  ASSERT_TRUE(server->AddObject(1, 400, 1).ok());
+  ASSERT_TRUE(server->AddObject(2, 400, 2).ok());
+  ASSERT_TRUE(server->AddObject(3, 400, 4).ok());
+  int64_t admitted = 0;
+  for (const ObjectId id : {1, 2, 3, 1, 2, 3, 1, 2, 3}) {
+    admitted += server->StartStream(id).ok() ? 1 : 0;
+  }
+  EXPECT_GT(admitted, 4);
+  for (int round = 0; round < 100; ++round) {
+    server->Tick();
+  }
+  // 50% utilization: hiccups stay in the far statistical tail.
+  EXPECT_LT(server->total_hiccups(), server->total_served() / 50 + 3);
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,176 @@
+#include "core/op_log.h"
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+OpLog MakeLog(int64_t n0) { return OpLog::Create(n0).value(); }
+
+TEST(OpLogTest, CreateValidation) {
+  EXPECT_TRUE(OpLog::Create(1).ok());
+  EXPECT_FALSE(OpLog::Create(0).ok());
+  EXPECT_FALSE(OpLog::Create(-3).ok());
+}
+
+TEST(OpLogTest, InitialState) {
+  const OpLog log = MakeLog(4);
+  EXPECT_EQ(log.num_ops(), 0);
+  EXPECT_EQ(log.initial_disks(), 4);
+  EXPECT_EQ(log.current_disks(), 4);
+  EXPECT_EQ(log.disks_after(0), 4);
+  EXPECT_EQ(log.physical_disks(), (std::vector<PhysicalDiskId>{0, 1, 2, 3}));
+  EXPECT_EQ(log.next_physical_id(), 4);
+  EXPECT_EQ(static_cast<uint64_t>(log.pi().value()), 4u);
+}
+
+TEST(OpLogTest, AddGrowsCountsAndIds) {
+  OpLog log = MakeLog(4);
+  ASSERT_TRUE(log.Append(ScalingOp::Add(2).value()).ok());
+  EXPECT_EQ(log.num_ops(), 1);
+  EXPECT_EQ(log.current_disks(), 6);
+  EXPECT_EQ(log.physical_disks(),
+            (std::vector<PhysicalDiskId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(log.next_physical_id(), 6);
+  EXPECT_EQ(static_cast<uint64_t>(log.pi().value()), 24u);  // 4 * 6.
+}
+
+TEST(OpLogTest, RemoveCompactsPhysicalIds) {
+  OpLog log = MakeLog(6);
+  ASSERT_TRUE(log.Append(ScalingOp::Remove({1, 4}).value()).ok());
+  EXPECT_EQ(log.current_disks(), 4);
+  EXPECT_EQ(log.physical_disks(), (std::vector<PhysicalDiskId>{0, 2, 3, 5}));
+  // Physical ids are never reused by later additions.
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+  EXPECT_EQ(log.physical_disks(),
+            (std::vector<PhysicalDiskId>{0, 2, 3, 5, 6}));
+}
+
+TEST(OpLogTest, RemoveValidation) {
+  OpLog log = MakeLog(3);
+  // Slot beyond N-1.
+  EXPECT_FALSE(log.Append(ScalingOp::Remove({3}).value()).ok());
+  // Removing everything.
+  EXPECT_FALSE(log.Append(ScalingOp::Remove({0, 1, 2}).value()).ok());
+  // Failed appends must not corrupt the log.
+  EXPECT_EQ(log.num_ops(), 0);
+  EXPECT_EQ(log.current_disks(), 3);
+  EXPECT_TRUE(log.Append(ScalingOp::Remove({0, 1}).value()).ok());
+  EXPECT_EQ(log.current_disks(), 1);
+}
+
+TEST(OpLogTest, DisksAfterHistory) {
+  OpLog log = MakeLog(4);
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(log.Append(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE(log.Append(ScalingOp::Remove({0}).value()).ok());
+  EXPECT_EQ(log.disks_after(0), 4);
+  EXPECT_EQ(log.disks_after(1), 5);
+  EXPECT_EQ(log.disks_after(2), 7);
+  EXPECT_EQ(log.disks_after(3), 6);
+  EXPECT_EQ(log.op(1), ScalingOp::Add(1).value());
+  EXPECT_EQ(log.op(3), ScalingOp::Remove({0}).value());
+}
+
+TEST(OpLogTest, PhysicalHistoryPerEpoch) {
+  OpLog log = MakeLog(3);
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());       // 0 1 2 3
+  ASSERT_TRUE(log.Append(ScalingOp::Remove({1}).value()).ok());  // 0 2 3
+  EXPECT_EQ(log.physical_disks_at(0), (std::vector<PhysicalDiskId>{0, 1, 2}));
+  EXPECT_EQ(log.physical_disks_at(1),
+            (std::vector<PhysicalDiskId>{0, 1, 2, 3}));
+  EXPECT_EQ(log.physical_disks_at(2), (std::vector<PhysicalDiskId>{0, 2, 3}));
+}
+
+TEST(OpLogTest, PiTracksProductOfCounts) {
+  OpLog log = MakeLog(4);                                        // Pi = 4
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());       // * 5
+  ASSERT_TRUE(log.Append(ScalingOp::Remove({0}).value()).ok());  // * 4
+  ASSERT_TRUE(log.Append(ScalingOp::Add(2).value()).ok());       // * 6
+  EXPECT_EQ(static_cast<uint64_t>(log.pi().value()), 4u * 5u * 4u * 6u);
+}
+
+TEST(OpLogTest, ToleranceGate) {
+  // b = 16 -> R0 = 65535, eps = 0.05 -> limit = 65535 * 0.05/1.05 = 3120.7.
+  const uint64_t r0 = 65535;
+  OpLog log = MakeLog(8);  // Pi = 8.
+  EXPECT_TRUE(log.SatisfiesTolerance(r0, 0.05));
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());  // Pi = 72.
+  EXPECT_TRUE(log.SatisfiesTolerance(r0, 0.05));
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());  // Pi = 720.
+  EXPECT_TRUE(log.SatisfiesTolerance(r0, 0.05));
+  // Next add would give Pi = 720 * 11 = 7920 > 3120 -> must be predicted.
+  EXPECT_TRUE(log.WouldExceedTolerance(ScalingOp::Add(1).value(), r0, 0.05));
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+  EXPECT_FALSE(log.SatisfiesTolerance(r0, 0.05));
+}
+
+TEST(OpLogTest, WouldExceedMatchesActualAppend) {
+  const uint64_t r0 = (uint64_t{1} << 32) - 1;
+  OpLog log = MakeLog(8);
+  for (int i = 0; i < 12; ++i) {
+    const ScalingOp op = ScalingOp::Add(1).value();
+    const bool predicted = log.WouldExceedTolerance(op, r0, 0.05);
+    ASSERT_TRUE(log.Append(op).ok());
+    EXPECT_EQ(!log.SatisfiesTolerance(r0, 0.05), predicted) << "op " << i;
+  }
+}
+
+TEST(OpLogTest, SerializeRoundTrip) {
+  OpLog log = MakeLog(5);
+  ASSERT_TRUE(log.Append(ScalingOp::Add(3).value()).ok());
+  ASSERT_TRUE(log.Append(ScalingOp::Remove({2, 6}).value()).ok());
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+  const std::string text = log.Serialize();
+  EXPECT_EQ(text, "5;A3;R2,6;A1");
+  const StatusOr<OpLog> parsed = OpLog::Deserialize(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, log);
+  EXPECT_EQ(parsed->physical_disks(), log.physical_disks());
+}
+
+TEST(OpLogTest, SerializeRoundTripWithCustomIds) {
+  OpLog log = OpLog::CreateWithIds({7, 3, 11}).value();
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+  const std::string text = log.Serialize();
+  EXPECT_EQ(text, "@7,3,11;A1");
+  const StatusOr<OpLog> parsed = OpLog::Deserialize(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->physical_disks(),
+            (std::vector<PhysicalDiskId>{7, 3, 11, 12}));
+}
+
+TEST(OpLogTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(OpLog::Deserialize("").ok());
+  EXPECT_FALSE(OpLog::Deserialize("abc").ok());
+  EXPECT_FALSE(OpLog::Deserialize("0").ok());
+  EXPECT_FALSE(OpLog::Deserialize("4;Z9").ok());
+  EXPECT_FALSE(OpLog::Deserialize("4;A").ok());
+  EXPECT_FALSE(OpLog::Deserialize("2;R5").ok());  // Slot out of range.
+  EXPECT_FALSE(OpLog::Deserialize("@1,1").ok());  // Duplicate ids.
+  EXPECT_FALSE(OpLog::Deserialize("@-2").ok());   // Negative id.
+}
+
+TEST(OpLogTest, CreateWithIdsValidation) {
+  EXPECT_TRUE(OpLog::CreateWithIds({0, 1, 2}).ok());
+  EXPECT_TRUE(OpLog::CreateWithIds({5}).ok());
+  EXPECT_FALSE(OpLog::CreateWithIds({}).ok());
+  EXPECT_FALSE(OpLog::CreateWithIds({1, 1}).ok());
+  EXPECT_FALSE(OpLog::CreateWithIds({-1}).ok());
+}
+
+TEST(OpLogTest, CreateWithIdsNextIdAboveMax) {
+  const OpLog log = OpLog::CreateWithIds({9, 2, 4}).value();
+  EXPECT_EQ(log.next_physical_id(), 10);
+  EXPECT_EQ(log.initial_disks(), 3);
+}
+
+TEST(OpLogDeathTest, OutOfRangeEpochAborts) {
+  const OpLog log = MakeLog(2);
+  EXPECT_DEATH(log.disks_after(1), "SCADDAR_CHECK");
+  EXPECT_DEATH(log.op(1), "SCADDAR_CHECK");
+  EXPECT_DEATH(log.physical_disks_at(-1), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,117 @@
+#include "faults/parity.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "random/sequence.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+TEST(ParityTest, GroupsPartitionTheObject) {
+  ScaddarPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 100)).ok());
+  const ParityScheme parity(&policy, 4);
+  for (BlockIndex i = 0; i < 100; ++i) {
+    const ParityScheme::Group group = parity.GroupOf(1, i);
+    EXPECT_EQ(group.members.front(), (i / 4) * 4);
+    EXPECT_LE(static_cast<int64_t>(group.members.size()), 4);
+    // The block belongs to its own group.
+    EXPECT_NE(std::find(group.members.begin(), group.members.end(), i),
+              group.members.end());
+  }
+}
+
+TEST(ParityTest, TailGroupMayBeShort) {
+  ScaddarPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(2, 10)).ok());
+  const ParityScheme parity(&policy, 4);
+  const ParityScheme::Group tail = parity.GroupOf(1, 9);
+  EXPECT_EQ(tail.members, (std::vector<BlockIndex>{8, 9}));
+}
+
+TEST(ParityTest, ParityAvoidsMemberDisksWhenPossible) {
+  ScaddarPolicy policy(16);  // Plenty of disks vs. group size 4.
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(3, 400)).ok());
+  const ParityScheme parity(&policy, 4);
+  for (BlockIndex i = 0; i < 400; i += 4) {
+    const ParityScheme::Group group = parity.GroupOf(1, i);
+    for (const BlockIndex member : group.members) {
+      EXPECT_NE(policy.Locate(1, member), group.parity_disk)
+          << "group of " << i;
+    }
+  }
+}
+
+TEST(ParityTest, HealthyReadCostsOneBlock) {
+  ScaddarPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(4, 100)).ok());
+  const ParityScheme parity(&policy, 4);
+  for (BlockIndex i = 0; i < 100; ++i) {
+    const PhysicalDiskId elsewhere = (policy.Locate(1, i) + 1) % 8;
+    const StatusOr<int64_t> reads = parity.ReadsToServe(1, i, elsewhere);
+    ASSERT_TRUE(reads.ok());
+    EXPECT_EQ(*reads, 1);
+  }
+}
+
+TEST(ParityTest, ReconstructionReadsSurvivorsPlusParity) {
+  ScaddarPolicy policy(16);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(5, 400)).ok());
+  const ParityScheme parity(&policy, 4);
+  int64_t reconstructions = 0;
+  for (BlockIndex i = 0; i < 400; ++i) {
+    const PhysicalDiskId failed = policy.Locate(1, i);
+    if (!parity.IsRecoverable(1, i, failed)) {
+      continue;  // Two members collided on the failed disk.
+    }
+    const StatusOr<int64_t> reads = parity.ReadsToServe(1, i, failed);
+    ASSERT_TRUE(reads.ok());
+    const auto group_size =
+        static_cast<int64_t>(parity.GroupOf(1, i).members.size());
+    EXPECT_EQ(*reads, group_size);  // (size-1) survivors + 1 parity.
+    ++reconstructions;
+  }
+  EXPECT_GT(reconstructions, 300);  // Most groups are recoverable.
+}
+
+TEST(ParityTest, DoubleCasualtyIsUnrecoverable) {
+  // With only 2 disks and group size 4, some group must put two members on
+  // the same disk; failing it is unrecoverable.
+  ScaddarPolicy policy(2);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(6, 200)).ok());
+  const ParityScheme parity(&policy, 4);
+  bool found_unrecoverable = false;
+  for (BlockIndex i = 0; i < 200 && !found_unrecoverable; ++i) {
+    const PhysicalDiskId failed = policy.Locate(1, i);
+    if (!parity.IsRecoverable(1, i, failed)) {
+      EXPECT_FALSE(parity.ReadsToServe(1, i, failed).ok());
+      found_unrecoverable = true;
+    }
+  }
+  EXPECT_TRUE(found_unrecoverable);
+}
+
+TEST(ParityTest, StorageOverheadIsInverseGroupSize) {
+  ScaddarPolicy policy(8);
+  const ParityScheme parity4(&policy, 4);
+  const ParityScheme parity8(&policy, 8);
+  EXPECT_DOUBLE_EQ(parity4.StorageOverhead(), 0.25);
+  EXPECT_DOUBLE_EQ(parity8.StorageOverhead(), 0.125);
+}
+
+TEST(ParityDeathTest, GroupSizeValidation) {
+  ScaddarPolicy policy(4);
+  EXPECT_DEATH(ParityScheme(&policy, 1), "SCADDAR_CHECK");
+  EXPECT_DEATH(ParityScheme(nullptr, 4), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,125 @@
+#include "placement/policy.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "placement/scaddar_policy.h"
+#include "random/sequence.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+TEST(PlacementPolicyTest, AddObjectRejectsDuplicates) {
+  ScaddarPolicy policy(4);
+  EXPECT_TRUE(policy.AddObject(1, MakeX0(1, 10)).ok());
+  const Status duplicate = policy.AddObject(1, MakeX0(2, 10));
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PlacementPolicyTest, CountsObjectsAndBlocks) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 10)).ok());
+  ASSERT_TRUE(policy.AddObject(2, MakeX0(2, 25)).ok());
+  EXPECT_EQ(policy.num_objects(), 2);
+  EXPECT_EQ(policy.total_blocks(), 35);
+  EXPECT_EQ(policy.NumBlocksOf(1), 10);
+  EXPECT_EQ(policy.NumBlocksOf(2), 25);
+}
+
+TEST(PlacementPolicyTest, PerDiskCountsSumToTotal) {
+  ScaddarPolicy policy(6);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 300)).ok());
+  ASSERT_TRUE(policy.AddObject(2, MakeX0(2, 200)).ok());
+  const std::vector<int64_t> counts = policy.PerDiskCounts();
+  EXPECT_EQ(counts.size(), 6u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}), 500);
+}
+
+TEST(PlacementPolicyTest, PerDiskCountsTrackScaling) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(3, 400)).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  const std::vector<int64_t> counts = policy.PerDiskCounts();
+  EXPECT_EQ(counts.size(), 6u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}), 400);
+  // The new disks must actually hold blocks.
+  EXPECT_GT(counts[4], 0);
+  EXPECT_GT(counts[5], 0);
+}
+
+TEST(PlacementPolicyTest, AssignmentSnapshotIsStableOrder) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(7, MakeX0(1, 5)).ok());
+  ASSERT_TRUE(policy.AddObject(3, MakeX0(2, 5)).ok());
+  const std::vector<PhysicalDiskId> snapshot = policy.AssignmentSnapshot();
+  ASSERT_EQ(snapshot.size(), 10u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(snapshot[static_cast<size_t>(i)], policy.Locate(7, i));
+    EXPECT_EQ(snapshot[static_cast<size_t>(5 + i)], policy.Locate(3, i));
+  }
+}
+
+TEST(PlacementPolicyTest, ObjectsViewMatchesRegistration) {
+  ScaddarPolicy policy(4);
+  const std::vector<uint64_t> x0 = MakeX0(1, 3);
+  ASSERT_TRUE(policy.AddObject(42, x0).ok());
+  const auto& view = policy.objects_view();
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0].first, 42);
+  EXPECT_EQ(view[0].second, x0);
+}
+
+TEST(PlacementPolicyTest, ApplyOpValidationDoesNotCorrupt) {
+  ScaddarPolicy policy(2);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 50)).ok());
+  EXPECT_FALSE(policy.ApplyOp(ScalingOp::Remove({5}).value()).ok());
+  EXPECT_EQ(policy.current_disks(), 2);
+  EXPECT_EQ(policy.log().num_ops(), 0);
+}
+
+TEST(PlacementPolicyTest, RemoveObjectFreesState) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 10)).ok());
+  ASSERT_TRUE(policy.AddObject(2, MakeX0(2, 20)).ok());
+  ASSERT_TRUE(policy.AddObject(3, MakeX0(3, 30)).ok());
+  ASSERT_TRUE(policy.RemoveObject(2).ok());
+  EXPECT_EQ(policy.num_objects(), 2);
+  EXPECT_EQ(policy.total_blocks(), 40);
+  EXPECT_EQ(policy.RemoveObject(2).code(), StatusCode::kNotFound);
+  // Remaining objects still resolve, including the reindexed tail.
+  EXPECT_NO_FATAL_FAILURE(policy.Locate(1, 0));
+  EXPECT_NO_FATAL_FAILURE(policy.Locate(3, 29));
+  EXPECT_EQ(policy.epoch_added(3), 0);
+}
+
+TEST(PlacementPolicyTest, RemovedIdCanBeReRegistered) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 10)).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+  ASSERT_TRUE(policy.RemoveObject(1).ok());
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(9, 5)).ok());
+  EXPECT_EQ(policy.NumBlocksOf(1), 5);
+  EXPECT_EQ(policy.epoch_added(1), 1);  // Re-registered at the new epoch.
+}
+
+TEST(PlacementPolicyDeathTest, LocateUnknownObjectAborts) {
+  ScaddarPolicy policy(4);
+  EXPECT_DEATH(policy.Locate(99, 0), "SCADDAR_CHECK");
+}
+
+TEST(PlacementPolicyDeathTest, LocateOutOfRangeBlockAborts) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(1, 5)).ok());
+  EXPECT_DEATH(policy.Locate(1, 5), "SCADDAR_CHECK");
+  EXPECT_DEATH(policy.Locate(1, -1), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

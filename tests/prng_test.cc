@@ -1,0 +1,172 @@
+#include "random/prng.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/lcg48.h"
+#include "random/pcg32.h"
+#include "random/splitmix64.h"
+#include "random/xoshiro256.h"
+#include "stats/chi_square.h"
+
+namespace scaddar {
+namespace {
+
+class PrngKindTest : public ::testing::TestWithParam<PrngKind> {};
+
+TEST_P(PrngKindTest, SameSeedSameSequence) {
+  auto a = MakePrng(GetParam(), 12345);
+  auto b = MakePrng(GetParam(), 12345);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a->Next(), b->Next()) << "at step " << i;
+  }
+}
+
+TEST_P(PrngKindTest, DifferentSeedsDiverge) {
+  auto a = MakePrng(GetParam(), 1);
+  auto b = MakePrng(GetParam(), 2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a->Next() != b->Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST_P(PrngKindTest, OutputsWithinDeclaredRange) {
+  auto prng = MakePrng(GetParam(), 7);
+  const uint64_t max = prng->max();
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(prng->Next(), max);
+  }
+}
+
+TEST_P(PrngKindTest, ClonePreservesPosition) {
+  auto prng = MakePrng(GetParam(), 99);
+  for (int i = 0; i < 57; ++i) {
+    prng->Next();
+  }
+  auto clone = prng->Clone();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(prng->Next(), clone->Next()) << "at step " << i;
+  }
+}
+
+TEST_P(PrngKindTest, NameRoundTripsThroughRegistry) {
+  auto prng = MakePrng(GetParam(), 0);
+  EXPECT_EQ(prng->name(), PrngKindName(GetParam()));
+  const StatusOr<PrngKind> parsed = PrngKindFromName(prng->name());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, GetParam());
+}
+
+TEST_P(PrngKindTest, ModularProjectionIsRoughlyUniform) {
+  // The property the whole paper rests on: X mod N is near-uniform.
+  auto prng = MakePrng(GetParam(), 0xfeedull);
+  constexpr int kDisks = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int64_t> counts(kDisks, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[prng->Next() % kDisks];
+  }
+  const ChiSquareResult result = ChiSquareUniform(counts);
+  EXPECT_TRUE(result.IsUniform(0.001))
+      << "chi2=" << result.statistic << " p=" << result.p_value;
+}
+
+TEST_P(PrngKindTest, NoShortCycleInFirstMillion) {
+  auto prng = MakePrng(GetParam(), 424242);
+  const uint64_t first = prng->Next();
+  const uint64_t second = prng->Next();
+  int repeats = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (prng->Next() == first && prng->Next() == second) {
+      ++repeats;
+    }
+  }
+  EXPECT_EQ(repeats, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, PrngKindTest,
+                         ::testing::Values(PrngKind::kSplitMix64,
+                                           PrngKind::kXoshiro256,
+                                           PrngKind::kLcg48,
+                                           PrngKind::kPcg32),
+                         [](const auto& info) {
+                           return std::string(PrngKindName(info.param));
+                         });
+
+TEST(PrngBitsTest, DeclaredWidths) {
+  EXPECT_EQ(MakePrng(PrngKind::kSplitMix64, 0)->bits(), 64);
+  EXPECT_EQ(MakePrng(PrngKind::kXoshiro256, 0)->bits(), 64);
+  EXPECT_EQ(MakePrng(PrngKind::kLcg48, 0)->bits(), 48);
+  EXPECT_EQ(MakePrng(PrngKind::kPcg32, 0)->bits(), 32);
+}
+
+TEST(PrngFactoryTest, UnknownNameFails) {
+  EXPECT_FALSE(PrngKindFromName("mersenne").ok());
+  EXPECT_FALSE(PrngKindFromName("").ok());
+}
+
+TEST(SplitMix64Test, KnownVector) {
+  // Reference values for seed 0 from the public-domain implementation.
+  SplitMix64 prng(0);
+  EXPECT_EQ(prng.Next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(prng.Next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(prng.Next(), 0x06c45d188009454full);
+}
+
+TEST(Mix64Test, ZeroIsNotFixedPoint) { EXPECT_NE(Mix64(0), 0u); }
+
+TEST(Mix64Test, Deterministic) { EXPECT_EQ(Mix64(123), Mix64(123)); }
+
+TEST(Mix64Test, AvalancheSpread) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    total_flips +=
+        __builtin_popcountll(Mix64(42) ^ Mix64(42 ^ (uint64_t{1} << bit)));
+  }
+  const double mean_flips = total_flips / 64.0;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(MixSeedsTest, OrderMatters) {
+  EXPECT_NE(MixSeeds(1, 2), MixSeeds(2, 1));
+}
+
+TEST(MixSeedsTest, SensitiveToBothArguments) {
+  EXPECT_NE(MixSeeds(1, 2), MixSeeds(1, 3));
+  EXPECT_NE(MixSeeds(1, 2), MixSeeds(4, 2));
+}
+
+TEST(Lcg48Test, StaysWithin48Bits) {
+  Lcg48 prng(0x123456789abcdefull);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(prng.Next(), uint64_t{1} << 48);
+  }
+}
+
+TEST(Pcg32Test, StaysWithin32Bits) {
+  Pcg32 prng(987);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(prng.Next(), 0xffffffffull);
+  }
+}
+
+TEST(Xoshiro256Test, ZeroSeedIsValid) {
+  Xoshiro256 prng(0);
+  // Must not get stuck at zero.
+  uint64_t nonzero = 0;
+  for (int i = 0; i < 10; ++i) {
+    nonzero |= prng.Next();
+  }
+  EXPECT_NE(nonzero, 0u);
+}
+
+}  // namespace
+}  // namespace scaddar

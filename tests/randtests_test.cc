@@ -1,0 +1,86 @@
+#include "stats/randtests.h"
+
+#include <gtest/gtest.h>
+
+#include "random/prng.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> Draw(PrngKind kind, uint64_t seed, int64_t n) {
+  auto prng = MakePrng(kind, seed);
+  std::vector<uint64_t> words;
+  words.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    words.push_back(prng->Next());
+  }
+  return words;
+}
+
+class RandTestsPrngTest : public ::testing::TestWithParam<PrngKind> {};
+
+TEST_P(RandTestsPrngTest, PassesMonobit) {
+  auto prng = MakePrng(GetParam(), 0x5eedull);
+  const std::vector<uint64_t> words = Draw(GetParam(), 0x5eed, 20000);
+  const RandTestResult result = MonobitTest(words, prng->bits());
+  EXPECT_TRUE(result.Passes(0.001)) << "p=" << result.p_value;
+}
+
+TEST_P(RandTestsPrngTest, PassesRunsTest) {
+  auto prng = MakePrng(GetParam(), 0xabcdull);
+  const std::vector<uint64_t> words = Draw(GetParam(), 0xabcd, 20000);
+  const RandTestResult result = RunsTest(words, prng->bits());
+  EXPECT_TRUE(result.Passes(0.001)) << "p=" << result.p_value;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, RandTestsPrngTest,
+                         ::testing::Values(PrngKind::kSplitMix64,
+                                           PrngKind::kXoshiro256,
+                                           PrngKind::kLcg48,
+                                           PrngKind::kPcg32),
+                         [](const auto& info) {
+                           return std::string(PrngKindName(info.param));
+                         });
+
+TEST(RandTestsPrngTest, SerialCorrelationOfFullWidthGenerators) {
+  // Serial correlation of whole-word values: meaningful for 64-bit
+  // generators (an LCG's raw consecutive states are famously correlated;
+  // its 48-bit variant passes at word level but we only claim the test
+  // for the mixers we default to).
+  for (const PrngKind kind :
+       {PrngKind::kSplitMix64, PrngKind::kXoshiro256}) {
+    const std::vector<uint64_t> words = Draw(kind, 0x1122, 50000);
+    const RandTestResult result = SerialCorrelationTest(words);
+    EXPECT_TRUE(result.Passes(0.001))
+        << PrngKindName(kind) << " p=" << result.p_value;
+  }
+}
+
+TEST(RandTestsTest, AllOnesFailsMonobit) {
+  const std::vector<uint64_t> words(1000, ~uint64_t{0});
+  EXPECT_FALSE(MonobitTest(words, 64).Passes(0.01));
+}
+
+TEST(RandTestsTest, AlternatingBitsFailRunsTest) {
+  // 0b0101... has a perfect monobit score but far too many runs.
+  const std::vector<uint64_t> words(1000, 0x5555555555555555ull);
+  EXPECT_TRUE(MonobitTest(words, 64).Passes(0.01));
+  EXPECT_FALSE(RunsTest(words, 64).Passes(0.01));
+}
+
+TEST(RandTestsTest, MonotoneSequenceFailsSerialCorrelation) {
+  std::vector<uint64_t> words;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    words.push_back(i << 40);
+  }
+  EXPECT_FALSE(SerialCorrelationTest(words).Passes(0.01));
+}
+
+TEST(RandTestsTest, ConstantSequenceHandledGracefully) {
+  const std::vector<uint64_t> words(100, 42);
+  const RandTestResult result = SerialCorrelationTest(words);
+  EXPECT_FALSE(result.Passes(0.01));  // Degenerate variance -> reject.
+}
+
+}  // namespace
+}  // namespace scaddar

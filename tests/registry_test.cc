@@ -1,0 +1,87 @@
+#include "placement/registry.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "random/sequence.h"
+
+namespace scaddar {
+namespace {
+
+TEST(RegistryTest, AllKnownNamesConstruct) {
+  for (const std::string_view name : KnownPolicyNames()) {
+    const auto policy = MakePolicy(name, 8);
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_EQ((*policy)->name(), name);
+    EXPECT_EQ((*policy)->current_disks(), 8);
+  }
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  EXPECT_EQ(MakePolicy("crush", 8).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(MakePolicy("", 8).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, RejectsBadDiskCount) {
+  EXPECT_FALSE(MakePolicy("scaddar", 0).ok());
+  EXPECT_FALSE(MakePolicy("scaddar", -4).ok());
+}
+
+TEST(RegistryTest, OptionsReachDirectoryPolicy) {
+  PolicyOptions options_a;
+  options_a.seed = 1;
+  PolicyOptions options_b;
+  options_b.seed = 2;
+  auto a = MakePolicy("directory", 8, options_a);
+  auto b = MakePolicy("directory", 8, options_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::vector<uint64_t> x0 =
+      X0Sequence::Create(PrngKind::kSplitMix64, 1, 64).value().Materialize(
+          5000);
+  ASSERT_TRUE((*a)->AddObject(1, x0).ok());
+  ASSERT_TRUE((*b)->AddObject(1, x0).ok());
+  ASSERT_TRUE((*a)->ApplyOp(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE((*b)->ApplyOp(ScalingOp::Add(2).value()).ok());
+  // Different relocation seeds must produce different directories.
+  EXPECT_NE((*a)->AssignmentSnapshot(), (*b)->AssignmentSnapshot());
+}
+
+TEST(RegistryTest, MakePolicyWithDisksPreservesIds) {
+  for (const std::string_view name : KnownPolicyNames()) {
+    const auto policy = MakePolicyWithDisks(name, {10, 20, 30});
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_EQ((*policy)->log().physical_disks(),
+              (std::vector<PhysicalDiskId>{10, 20, 30}))
+        << name;
+  }
+}
+
+TEST(RegistryTest, MakePolicyWithDisksValidates) {
+  EXPECT_FALSE(MakePolicyWithDisks("scaddar", {}).ok());
+  EXPECT_FALSE(MakePolicyWithDisks("scaddar", {1, 1}).ok());
+  EXPECT_FALSE(MakePolicyWithDisks("nope", {1, 2}).ok());
+}
+
+TEST(RegistryTest, EveryPolicyPlacesEveryBlockOnALiveDisk) {
+  const std::vector<uint64_t> x0 =
+      X0Sequence::Create(PrngKind::kSplitMix64, 2, 64).value().Materialize(
+          2000);
+  for (const std::string_view name : KnownPolicyNames()) {
+    auto policy = MakePolicy(name, 5);
+    ASSERT_TRUE(policy.ok());
+    ASSERT_TRUE((*policy)->AddObject(1, x0).ok());
+    ASSERT_TRUE((*policy)->ApplyOp(ScalingOp::Add(2).value()).ok());
+    ASSERT_TRUE((*policy)->ApplyOp(ScalingOp::Remove({1}).value()).ok());
+    const std::vector<PhysicalDiskId>& live =
+        (*policy)->log().physical_disks();
+    for (BlockIndex i = 0; i < 2000; ++i) {
+      const PhysicalDiskId disk = (*policy)->Locate(1, i);
+      EXPECT_NE(std::find(live.begin(), live.end(), disk), live.end())
+          << name << " block " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,270 @@
+#include "core/remap.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/sequence.h"
+#include "stats/chi_square.h"
+
+namespace scaddar {
+namespace {
+
+// ---------------------------------------------------------------------
+// Worked examples straight out of Section 4.2.1 of the paper.
+// ---------------------------------------------------------------------
+
+TEST(RemapRemoveTest, PaperExampleMovedBlock) {
+  // Disks 0..5 (N_{j-1}=6, N_j=5), disk 4 removed. A block with X_{j-1}=28
+  // sits on slot 4 (28 mod 6) and must move: X_j = q = 28 div 6 = 4, so
+  // D_j = 4, which is the 4th surviving disk = physical Disk 5.
+  const ScalingOp op = ScalingOp::Remove({4}).value();
+  const uint64_t x_j = RemapRemove(28, 6, 5, op);
+  EXPECT_EQ(x_j, 4u);
+  EXPECT_EQ(x_j % 5, 4u);
+  const std::vector<int64_t> survivors = {0, 1, 2, 3, 5};
+  EXPECT_EQ(survivors[x_j % 5], 5);  // Physical Disk 5, as in the paper.
+}
+
+TEST(RemapRemoveTest, PaperExampleStayingBlock) {
+  // Same operation; a block with X_{j-1}=41 sits on slot 5 (41 mod 6 = 5)
+  // and stays: q = 6, new(5) = 4, X_j = 6*5 + 4 = 34; D_j = 34 mod 5 = 4,
+  // the 4th surviving disk = original physical Disk 5.
+  const ScalingOp op = ScalingOp::Remove({4}).value();
+  const uint64_t x_j = RemapRemove(41, 6, 5, op);
+  EXPECT_EQ(x_j, 34u);
+  EXPECT_EQ(x_j % 5, 4u);
+  EXPECT_EQ(x_j / 5, 6u);  // Fresh randomness q stashed in the quotient.
+}
+
+// ---------------------------------------------------------------------
+// Algebraic invariants of Eq. 5 (addition).
+// ---------------------------------------------------------------------
+
+struct AddCase {
+  int64_t n_prev;
+  int64_t n_cur;
+};
+
+class RemapAddPropertyTest : public ::testing::TestWithParam<AddCase> {};
+
+TEST_P(RemapAddPropertyTest, StayersKeepSlotMoversHitNewDisks) {
+  const auto [n_prev, n_cur] = GetParam();
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 1, 64).value();
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t x_prev = seq.Next();
+    const uint64_t x_cur = RemapAdd(x_prev, n_prev, n_cur);
+    const auto slot_prev =
+        static_cast<int64_t>(x_prev % static_cast<uint64_t>(n_prev));
+    const auto slot_cur =
+        static_cast<int64_t>(x_cur % static_cast<uint64_t>(n_cur));
+    if (slot_cur != slot_prev) {
+      // RO1: a block that changes slots must land on an *added* disk.
+      EXPECT_GE(slot_cur, n_prev);
+      EXPECT_LT(slot_cur, n_cur);
+    }
+  }
+}
+
+TEST_P(RemapAddPropertyTest, QuotientBecomesFreshRandomSource) {
+  const auto [n_prev, n_cur] = GetParam();
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 2, 64).value();
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t x_prev = seq.Next();
+    const uint64_t q_prev = x_prev / static_cast<uint64_t>(n_prev);
+    const uint64_t x_cur = RemapAdd(x_prev, n_prev, n_cur);
+    // Eq. 5: X_j div N_j == q_{j-1} div N_j in both branches.
+    EXPECT_EQ(x_cur / static_cast<uint64_t>(n_cur),
+              q_prev / static_cast<uint64_t>(n_cur));
+  }
+}
+
+TEST_P(RemapAddPropertyTest, MoveProbabilityMatchesRO1) {
+  const auto [n_prev, n_cur] = GetParam();
+  auto seq = X0Sequence::Create(PrngKind::kXoshiro256, 3, 64).value();
+  constexpr int kSamples = 100000;
+  int moved = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t x_prev = seq.Next();
+    const uint64_t x_cur = RemapAdd(x_prev, n_prev, n_cur);
+    if (x_cur % static_cast<uint64_t>(n_cur) !=
+        x_prev % static_cast<uint64_t>(n_prev)) {
+      ++moved;
+    }
+  }
+  const double expected =
+      static_cast<double>(n_cur - n_prev) / static_cast<double>(n_cur);
+  EXPECT_NEAR(static_cast<double>(moved) / kSamples, expected, 0.01);
+}
+
+TEST_P(RemapAddPropertyTest, MoversSpreadUniformlyOverAddedDisks) {
+  const auto [n_prev, n_cur] = GetParam();
+  if (n_cur - n_prev < 2) {
+    GTEST_SKIP() << "needs >= 2 added disks for a spread test";
+  }
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 4, 64).value();
+  std::vector<int64_t> counts(static_cast<size_t>(n_cur - n_prev), 0);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t x_prev = seq.Next();
+    const uint64_t x_cur = RemapAdd(x_prev, n_prev, n_cur);
+    const auto slot_cur =
+        static_cast<int64_t>(x_cur % static_cast<uint64_t>(n_cur));
+    if (slot_cur != static_cast<int64_t>(
+                        x_prev % static_cast<uint64_t>(n_prev))) {
+      ++counts[static_cast<size_t>(slot_cur - n_prev)];
+    }
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AddShapes, RemapAddPropertyTest,
+    ::testing::Values(AddCase{4, 5}, AddCase{5, 6}, AddCase{4, 8},
+                      AddCase{1, 2}, AddCase{16, 20}, AddCase{7, 13},
+                      AddCase{100, 101}),
+    [](const auto& info) {
+      return std::to_string(info.param.n_prev) + "to" +
+             std::to_string(info.param.n_cur);
+    });
+
+// ---------------------------------------------------------------------
+// Algebraic invariants of Eq. 3 (removal).
+// ---------------------------------------------------------------------
+
+struct RemoveCase {
+  int64_t n_prev;
+  std::vector<DiskSlot> removed;
+};
+
+class RemapRemovePropertyTest : public ::testing::TestWithParam<RemoveCase> {
+};
+
+TEST_P(RemapRemovePropertyTest, SurvivorsKeepCompactedSlot) {
+  const auto& [n_prev, removed] = GetParam();
+  const ScalingOp op = ScalingOp::Remove(removed).value();
+  const int64_t n_cur = n_prev - static_cast<int64_t>(removed.size());
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 5, 64).value();
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t x_prev = seq.Next();
+    const auto slot_prev =
+        static_cast<DiskSlot>(x_prev % static_cast<uint64_t>(n_prev));
+    const uint64_t x_cur = RemapRemove(x_prev, n_prev, n_cur, op);
+    const auto slot_cur =
+        static_cast<DiskSlot>(x_cur % static_cast<uint64_t>(n_cur));
+    if (!op.Removes(slot_prev)) {
+      EXPECT_EQ(slot_cur, op.NewSlot(slot_prev));
+      EXPECT_EQ(x_cur / static_cast<uint64_t>(n_cur),
+                x_prev / static_cast<uint64_t>(n_prev));
+    } else {
+      EXPECT_EQ(x_cur, x_prev / static_cast<uint64_t>(n_prev));
+    }
+  }
+}
+
+TEST_P(RemapRemovePropertyTest, EvictedBlocksSpreadUniformly) {
+  const auto& [n_prev, removed] = GetParam();
+  const ScalingOp op = ScalingOp::Remove(removed).value();
+  const int64_t n_cur = n_prev - static_cast<int64_t>(removed.size());
+  if (n_cur < 2) {
+    GTEST_SKIP() << "needs >= 2 survivors";
+  }
+  auto seq = X0Sequence::Create(PrngKind::kXoshiro256, 6, 64).value();
+  std::vector<int64_t> counts(static_cast<size_t>(n_cur), 0);
+  for (int i = 0; i < 300000; ++i) {
+    const uint64_t x_prev = seq.Next();
+    const auto slot_prev =
+        static_cast<DiskSlot>(x_prev % static_cast<uint64_t>(n_prev));
+    if (!op.Removes(slot_prev)) {
+      continue;
+    }
+    const uint64_t x_cur = RemapRemove(x_prev, n_prev, n_cur, op);
+    ++counts[static_cast<size_t>(x_cur % static_cast<uint64_t>(n_cur))];
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RemoveShapes, RemapRemovePropertyTest,
+    ::testing::Values(RemoveCase{6, {4}}, RemoveCase{6, {0}},
+                      RemoveCase{6, {5}}, RemoveCase{8, {1, 6}},
+                      RemoveCase{10, {0, 1, 2}}, RemoveCase{5, {2}},
+                      RemoveCase{32, {7, 15, 23, 31}}),
+    [](const auto& info) {
+      std::string name = std::to_string(info.param.n_prev) + "minus";
+      for (const DiskSlot slot : info.param.removed) {
+        name += "_" + std::to_string(slot);
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Naive scheme (Eq. 2) — exact Figure 1 reproduction at function level.
+// ---------------------------------------------------------------------
+
+TEST(NaiveRemapTest, FigureOneFirstAddition) {
+  // 44 blocks with X0 = 0..43 over N0 = 4, then one disk added (N = 5).
+  // Figure 1b: disk 4 receives exactly {4, 9, 14, 19, 24, 29, 34, 39}.
+  std::vector<uint64_t> moved_to_new;
+  for (uint64_t x0 = 0; x0 < 44; ++x0) {
+    const int64_t slot0 = static_cast<int64_t>(x0 % 4);
+    const int64_t slot1 = NaiveAddSlot(x0, slot0, 4, 5);
+    if (slot1 == 4) {
+      moved_to_new.push_back(x0);
+    } else {
+      EXPECT_EQ(slot1, slot0);  // Everyone else stays put.
+    }
+  }
+  EXPECT_EQ(moved_to_new,
+            (std::vector<uint64_t>{4, 9, 14, 19, 24, 29, 34, 39}));
+}
+
+TEST(NaiveRemapTest, FigureOneSecondAdditionIsSkewed) {
+  // Figure 1c: after the second addition (N = 6), disk 5 receives
+  // {5, 11, 17, 23, 29, 35, 41}, all drawn from disks 1, 3 and 4 only —
+  // disks 0 and 2 are ignored, which is the RO2 violation.
+  std::vector<uint64_t> moved;
+  std::vector<int64_t> source_disks;
+  for (uint64_t x0 = 0; x0 < 44; ++x0) {
+    const int64_t slot0 = static_cast<int64_t>(x0 % 4);
+    const int64_t slot1 = NaiveAddSlot(x0, slot0, 4, 5);
+    const int64_t slot2 = NaiveAddSlot(x0, slot1, 5, 6);
+    if (slot2 == 5) {
+      moved.push_back(x0);
+      source_disks.push_back(slot1);
+    }
+  }
+  EXPECT_EQ(moved, (std::vector<uint64_t>{5, 11, 17, 23, 29, 35, 41}));
+  for (const int64_t source : source_disks) {
+    EXPECT_TRUE(source == 1 || source == 3 || source == 4)
+        << "block came from disk " << source;
+  }
+}
+
+TEST(NaiveRemapTest, SecondAdditionNeverDrawsFromEveryDisk) {
+  // The structural reason for Figure 1's skew: a block reaches disk 5 only
+  // if X0 mod 6 == 5, which forces X0 mod 2 == 1, so blocks on even slots
+  // of the *original* placement can never move — with large random X0 too.
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 9, 64).value();
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t x0 = seq.Next();
+    const int64_t slot0 = static_cast<int64_t>(x0 % 4);
+    const int64_t slot1 = NaiveAddSlot(x0, slot0, 4, 5);
+    const int64_t slot2 = NaiveAddSlot(x0, slot1, 5, 6);
+    if (slot2 == 5 && slot1 != 4) {
+      // Mover that was not already on the op-1 disk: must come from an odd
+      // original slot (x0 mod 6 == 5 implies x0 odd; slot1 == x0 mod 4).
+      EXPECT_EQ(slot1 % 2, 1);
+    }
+  }
+}
+
+TEST(NaiveRemoveSlotTest, EvictedRehashesByX0) {
+  const ScalingOp op = ScalingOp::Remove({1}).value();
+  // Block on removed slot 1 rehashes to x0 mod 3 among survivors.
+  EXPECT_EQ(NaiveRemoveSlot(7, 1, 4, 3, op), static_cast<int64_t>(7 % 3));
+  // Survivor keeps compacted slot: old slot 2 -> new slot 1.
+  EXPECT_EQ(NaiveRemoveSlot(2, 2, 4, 3, op), 1);
+}
+
+}  // namespace
+}  // namespace scaddar

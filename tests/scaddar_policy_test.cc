@@ -1,0 +1,121 @@
+#include "placement/scaddar_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mapper.h"
+#include "random/sequence.h"
+#include "stats/chi_square.h"
+#include "stats/load_metrics.h"
+#include "stats/movement.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+TEST(ScaddarPolicyTest, MatchesMapperExactly) {
+  ScaddarPolicy policy(5);
+  const std::vector<uint64_t> x0 = MakeX0(1, 1000);
+  ASSERT_TRUE(policy.AddObject(1, x0).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({3}).value()).ok());
+  const Mapper mapper(&policy.log());
+  for (size_t i = 0; i < x0.size(); ++i) {
+    const auto block = static_cast<BlockIndex>(i);
+    EXPECT_EQ(policy.Locate(1, block), mapper.LocatePhysical(x0[i]));
+    EXPECT_EQ(policy.LocateSlot(1, block), mapper.LocateSlot(x0[i]));
+  }
+}
+
+TEST(ScaddarPolicyTest, InitialPlacementIsModN) {
+  ScaddarPolicy policy(7);
+  const std::vector<uint64_t> x0 = MakeX0(2, 100);
+  ASSERT_TRUE(policy.AddObject(1, x0).ok());
+  for (size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_EQ(policy.LocateSlot(1, static_cast<BlockIndex>(i)),
+              static_cast<DiskSlot>(x0[i] % 7));
+  }
+}
+
+TEST(ScaddarPolicyTest, MovementIsMinimalAcrossAdd) {
+  ScaddarPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(3, 20000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(2).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 8, 10);
+  EXPECT_NEAR(stats.overhead_ratio, 1.0, 0.05);
+  // Movers went only to the new disks.
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) {
+      EXPECT_GE(after[i], 8);
+    }
+  }
+}
+
+TEST(ScaddarPolicyTest, MovementIsMinimalAcrossRemove) {
+  ScaddarPolicy policy(8);
+  ASSERT_TRUE(policy.AddObject(1, MakeX0(4, 20000)).ok());
+  const std::vector<PhysicalDiskId> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Remove({2, 5}).value()).ok());
+  const std::vector<PhysicalDiskId> after = policy.AssignmentSnapshot();
+  const MovementStats stats = CompareAssignments(before, after, 8, 6);
+  EXPECT_NEAR(stats.overhead_ratio, 1.0, 0.05);
+  for (size_t i = 0; i < before.size(); ++i) {
+    const bool was_on_removed = before[i] == 2 || before[i] == 5;
+    EXPECT_EQ(before[i] != after[i], was_on_removed);
+  }
+}
+
+TEST(ScaddarPolicyTest, LoadBalancedAfterMixedOps) {
+  ScaddarPolicy policy(8);
+  for (ObjectId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(
+        policy.AddObject(id, MakeX0(static_cast<uint64_t>(id), 2000)).ok());
+  }
+  for (const char* text : {"A2", "R3", "A1", "R0,7"}) {
+    ASSERT_TRUE(policy.ApplyOp(ScalingOp::Parse(text).value()).ok());
+  }
+  const std::vector<int64_t> counts = policy.PerDiskCounts();
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+  EXPECT_LT(ComputeLoadMetrics(counts).coefficient_of_variation, 0.05);
+}
+
+TEST(ScaddarPolicyTest, DeterministicAcrossInstances) {
+  const auto build = [] {
+    auto policy = std::make_unique<ScaddarPolicy>(6);
+    SCADDAR_CHECK(policy->AddObject(1, MakeX0(5, 500)).ok());
+    SCADDAR_CHECK(policy->ApplyOp(ScalingOp::Add(1).value()).ok());
+    SCADDAR_CHECK(policy->ApplyOp(ScalingOp::Remove({0}).value()).ok());
+    return policy;
+  };
+  const auto a = build();
+  const auto b = build();
+  EXPECT_EQ(a->AssignmentSnapshot(), b->AssignmentSnapshot());
+}
+
+TEST(ScaddarPolicyTest, ObjectAddedAfterScalingUsesCurrentEpoch) {
+  ScaddarPolicy policy(4);
+  ASSERT_TRUE(policy.ApplyOp(ScalingOp::Add(4).value()).ok());
+  const std::vector<uint64_t> x0 = MakeX0(6, 8000);
+  ASSERT_TRUE(policy.AddObject(1, x0).ok());
+  // The new object spreads over all 8 disks, including the added ones.
+  const std::vector<int64_t> counts = policy.PerDiskCounts();
+  ASSERT_EQ(counts.size(), 8u);
+  for (const int64_t count : counts) {
+    EXPECT_GT(count, 0);
+  }
+  EXPECT_TRUE(ChiSquareUniform(counts).IsUniform(0.001));
+}
+
+TEST(ScaddarPolicyTest, NameIsStable) {
+  ScaddarPolicy policy(2);
+  EXPECT_EQ(policy.name(), "scaddar");
+}
+
+}  // namespace
+}  // namespace scaddar

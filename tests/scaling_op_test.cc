@@ -1,0 +1,140 @@
+#include "core/scaling_op.h"
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+TEST(ScalingOpTest, AddBasics) {
+  const StatusOr<ScalingOp> op = ScalingOp::Add(3);
+  ASSERT_TRUE(op.ok());
+  EXPECT_TRUE(op->is_add());
+  EXPECT_FALSE(op->is_remove());
+  EXPECT_EQ(op->add_count(), 3);
+  EXPECT_EQ(op->delta(), 3);
+}
+
+TEST(ScalingOpTest, AddRejectsNonPositive) {
+  EXPECT_FALSE(ScalingOp::Add(0).ok());
+  EXPECT_FALSE(ScalingOp::Add(-2).ok());
+}
+
+TEST(ScalingOpTest, RemoveSortsSlots) {
+  const StatusOr<ScalingOp> op = ScalingOp::Remove({5, 1, 3});
+  ASSERT_TRUE(op.ok());
+  EXPECT_TRUE(op->is_remove());
+  EXPECT_EQ(op->removed_slots(), (std::vector<DiskSlot>{1, 3, 5}));
+  EXPECT_EQ(op->delta(), -3);
+}
+
+TEST(ScalingOpTest, RemoveRejectsBadInput) {
+  EXPECT_FALSE(ScalingOp::Remove({}).ok());
+  EXPECT_FALSE(ScalingOp::Remove({1, 1}).ok());
+  EXPECT_FALSE(ScalingOp::Remove({-1}).ok());
+}
+
+TEST(ScalingOpTest, RemovesMembership) {
+  const ScalingOp op = ScalingOp::Remove({2, 4}).value();
+  EXPECT_TRUE(op.Removes(2));
+  EXPECT_TRUE(op.Removes(4));
+  EXPECT_FALSE(op.Removes(0));
+  EXPECT_FALSE(op.Removes(3));
+  EXPECT_FALSE(op.Removes(5));
+}
+
+TEST(ScalingOpTest, NewSlotCompaction) {
+  // Removing slots {1, 4} from 0..5: survivors 0,2,3,5 -> 0,1,2,3.
+  const ScalingOp op = ScalingOp::Remove({1, 4}).value();
+  EXPECT_EQ(op.NewSlot(0), 0);
+  EXPECT_EQ(op.NewSlot(2), 1);
+  EXPECT_EQ(op.NewSlot(3), 2);
+  EXPECT_EQ(op.NewSlot(5), 3);
+}
+
+TEST(ScalingOpTest, PaperNewSlotExample) {
+  // Section 4.2.1: "if disk 1 were removed from the disk set 0,1,2,3 and
+  // r = 2 then new(r) should become 1".
+  const ScalingOp op = ScalingOp::Remove({1}).value();
+  EXPECT_EQ(op.NewSlot(2), 1);
+  // And the removal example: disks 0..5, remove disk 4, new(5) == 4.
+  const ScalingOp remove4 = ScalingOp::Remove({4}).value();
+  EXPECT_EQ(remove4.NewSlot(5), 4);
+}
+
+TEST(ScalingOpTest, OldSlotInvertsNewSlot) {
+  const ScalingOp op = ScalingOp::Remove({0, 3, 4, 9}).value();
+  for (const DiskSlot survivor : {1, 2, 5, 6, 7, 8, 10, 11}) {
+    EXPECT_EQ(op.OldSlot(op.NewSlot(survivor)), survivor);
+  }
+}
+
+class NewSlotPropertyTest
+    : public ::testing::TestWithParam<std::vector<DiskSlot>> {};
+
+TEST_P(NewSlotPropertyTest, CompactionIsOrderPreservingBijection) {
+  const ScalingOp op = ScalingOp::Remove(GetParam()).value();
+  constexpr DiskSlot kN = 32;
+  DiskSlot expected_new = 0;
+  for (DiskSlot slot = 0; slot < kN; ++slot) {
+    if (op.Removes(slot)) {
+      continue;
+    }
+    EXPECT_EQ(op.NewSlot(slot), expected_new);
+    EXPECT_EQ(op.OldSlot(expected_new), slot);
+    ++expected_new;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RemovalSets, NewSlotPropertyTest,
+    ::testing::Values(std::vector<DiskSlot>{0},
+                      std::vector<DiskSlot>{31},
+                      std::vector<DiskSlot>{0, 1, 2, 3},
+                      std::vector<DiskSlot>{5, 10, 15, 20, 25},
+                      std::vector<DiskSlot>{1, 3, 5, 7, 9, 11},
+                      std::vector<DiskSlot>{0, 31},
+                      std::vector<DiskSlot>{16}));
+
+TEST(ScalingOpTest, ToStringForms) {
+  EXPECT_EQ(ScalingOp::Add(7).value().ToString(), "A7");
+  EXPECT_EQ(ScalingOp::Remove({3, 1}).value().ToString(), "R1,3");
+}
+
+TEST(ScalingOpTest, ParseRoundTrip) {
+  for (const char* text : {"A1", "A99", "R0", "R1,3,5", "R42"}) {
+    const StatusOr<ScalingOp> op = ScalingOp::Parse(text);
+    ASSERT_TRUE(op.ok()) << text;
+    EXPECT_EQ(op->ToString(), text);
+  }
+}
+
+TEST(ScalingOpTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ScalingOp::Parse("").ok());
+  EXPECT_FALSE(ScalingOp::Parse("X3").ok());
+  EXPECT_FALSE(ScalingOp::Parse("A").ok());
+  EXPECT_FALSE(ScalingOp::Parse("A1x").ok());
+  EXPECT_FALSE(ScalingOp::Parse("R").ok());
+  EXPECT_FALSE(ScalingOp::Parse("R1,").ok());
+  EXPECT_FALSE(ScalingOp::Parse("R1,,2").ok());
+  EXPECT_FALSE(ScalingOp::Parse("A0").ok());
+  EXPECT_FALSE(ScalingOp::Parse("R2,2").ok());
+}
+
+TEST(ScalingOpTest, Equality) {
+  EXPECT_EQ(ScalingOp::Add(2).value(), ScalingOp::Add(2).value());
+  EXPECT_FALSE(ScalingOp::Add(2).value() == ScalingOp::Add(3).value());
+  EXPECT_EQ(ScalingOp::Remove({1, 2}).value(),
+            ScalingOp::Remove({2, 1}).value());
+}
+
+TEST(ScalingOpDeathTest, WrongKindAccessorsAbort) {
+  const ScalingOp add = ScalingOp::Add(1).value();
+  const ScalingOp remove = ScalingOp::Remove({0}).value();
+  EXPECT_DEATH(add.removed_slots(), "SCADDAR_CHECK");
+  EXPECT_DEATH(remove.add_count(), "SCADDAR_CHECK");
+  EXPECT_DEATH(add.Removes(0), "SCADDAR_CHECK");
+  EXPECT_DEATH(remove.NewSlot(0), "SCADDAR_CHECK");  // Slot 0 is removed.
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,126 @@
+#include "server/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+std::unique_ptr<CmServer> MakeServer() {
+  ServerConfig config;
+  config.initial_disks = 4;
+  config.master_seed = 555;
+  return std::move(CmServer::Create(config)).value();
+}
+
+TEST(ScenarioTest, EndToEndScript) {
+  auto server = MakeServer();
+  const StatusOr<ScenarioResult> result = RunScenario(*server, R"(
+# A full lifecycle.
+addobject 1 200
+addobject 2 100 2
+stream 1
+tick 50
+scale add 2
+drain
+verify
+stream 2
+tick 110
+removeobject 2
+)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->streams_started, 2);
+  EXPECT_GT(result->served, 0);
+  EXPECT_GT(result->migrated, 0);
+  EXPECT_EQ(server->policy().current_disks(), 6);
+}
+
+TEST(ScenarioTest, CommentsAndBlanksIgnored) {
+  auto server = MakeServer();
+  const StatusOr<ScenarioResult> result = RunScenario(*server, R"(
+# comment only
+
+addobject 1 10   # trailing comment
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->lines_executed, 1);
+}
+
+TEST(ScenarioTest, ErrorsNameTheLine) {
+  auto server = MakeServer();
+  const StatusOr<ScenarioResult> result = RunScenario(*server, R"(
+addobject 1 10
+bogus command
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ScenarioTest, FailingCommandStopsExecution) {
+  auto server = MakeServer();
+  const StatusOr<ScenarioResult> result = RunScenario(*server, R"(
+addobject 1 10
+addobject 1 10
+addobject 2 10
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(server->catalog().Contains(2));
+}
+
+TEST(ScenarioTest, StreamRejectionIsCountedNotFatal) {
+  ServerConfig config;
+  config.initial_disks = 1;
+  config.disk_spec.bandwidth_blocks_per_round = 2;
+  config.admission_utilization_cap = 1.0;
+  config.master_seed = 9;
+  auto server = std::move(CmServer::Create(config)).value();
+  const StatusOr<ScenarioResult> result = RunScenario(*server, R"(
+addobject 1 50
+stream 1
+stream 1
+stream 1
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->streams_started, 2);
+  EXPECT_EQ(result->streams_rejected, 1);
+}
+
+TEST(ScenarioTest, VcrCommands) {
+  auto server = MakeServer();
+  const StatusOr<ScenarioResult> result = RunScenario(*server, R"(
+addobject 1 100
+stream 1
+tick 5
+pause 0
+tick 5
+resume 0
+seek 0 90
+tick 15
+)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(server->completed_streams(), 1);
+}
+
+TEST(ScenarioTest, RebaseCommand) {
+  auto server = MakeServer();
+  const StatusOr<ScenarioResult> result = RunScenario(*server, R"(
+addobject 1 300
+scale add 1
+drain
+rebase
+drain
+verify
+)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(server->catalog().GetObject(1)->seed_generation, 1);
+}
+
+TEST(ScenarioTest, MalformedArgumentsRejected) {
+  auto server = MakeServer();
+  EXPECT_FALSE(RunScenario(*server, "addobject one 10\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "tick -3\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "scale sideways 2\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "scale remove 1,,2\n").ok());
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,106 @@
+#include "random/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace scaddar {
+namespace {
+
+TEST(X0SequenceTest, CreateRejectsBadBits) {
+  EXPECT_FALSE(X0Sequence::Create(PrngKind::kSplitMix64, 1, 0).ok());
+  EXPECT_FALSE(X0Sequence::Create(PrngKind::kSplitMix64, 1, 65).ok());
+  // 33 bits from a 32-bit generator is invalid.
+  EXPECT_FALSE(X0Sequence::Create(PrngKind::kPcg32, 1, 33).ok());
+  EXPECT_TRUE(X0Sequence::Create(PrngKind::kPcg32, 1, 32).ok());
+}
+
+TEST(X0SequenceTest, DeterministicAcrossInstances) {
+  auto a = X0Sequence::Create(PrngKind::kSplitMix64, 777, 64);
+  auto b = X0Sequence::Create(PrngKind::kSplitMix64, 777, 64);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(a->Next(), b->Next());
+  }
+}
+
+TEST(X0SequenceTest, MaskingToRequestedBits) {
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 3, 20);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq->max_value(), (uint64_t{1} << 20) - 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(seq->Next(), seq->max_value());
+  }
+}
+
+TEST(X0SequenceTest, ResetRestartsStream) {
+  auto seq = X0Sequence::Create(PrngKind::kXoshiro256, 55, 64);
+  ASSERT_TRUE(seq.ok());
+  const uint64_t first = seq->Next();
+  seq->Next();
+  seq->Next();
+  seq->Reset();
+  EXPECT_EQ(seq->Next(), first);
+}
+
+TEST(X0SequenceTest, MaterializeMatchesIteration) {
+  auto seq = X0Sequence::Create(PrngKind::kPcg32, 99, 32);
+  ASSERT_TRUE(seq.ok());
+  const std::vector<uint64_t> values = seq->Materialize(100);
+  ASSERT_EQ(values.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(seq->Next(), values[static_cast<size_t>(i)]) << i;
+  }
+}
+
+TEST(X0SequenceTest, MaterializeDoesNotDisturbIteration) {
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 1, 64);
+  ASSERT_TRUE(seq.ok());
+  const uint64_t first = seq->Next();
+  const std::vector<uint64_t> values = seq->Materialize(10);
+  EXPECT_EQ(values[0], first);  // Materialize starts from the beginning...
+  EXPECT_EQ(seq->Next(), values[1]);  // ...while iteration continues.
+}
+
+TEST(X0SequenceTest, CopyPreservesPosition) {
+  auto seq = X0Sequence::Create(PrngKind::kLcg48, 5, 48);
+  ASSERT_TRUE(seq.ok());
+  seq->Next();
+  seq->Next();
+  X0Sequence copy = *seq;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(copy.Next(), seq->Next());
+  }
+}
+
+TEST(X0SequenceTest, SeedChangesStream) {
+  auto a = X0Sequence::Create(PrngKind::kSplitMix64, 1, 64);
+  auto b = X0Sequence::Create(PrngKind::kSplitMix64, 2, 64);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->Next(), b->Next());
+}
+
+TEST(CounterSequenceTest, PureFunctionOfIndex) {
+  const CounterSequence seq(42, 64);
+  EXPECT_EQ(seq.At(17), seq.At(17));
+  EXPECT_NE(seq.At(17), seq.At(18));
+}
+
+TEST(CounterSequenceTest, RespectsBitMask) {
+  const CounterSequence seq(42, 16);
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_LE(seq.At(i), (uint64_t{1} << 16) - 1);
+  }
+}
+
+TEST(CounterSequenceTest, SeedSensitivity) {
+  const CounterSequence a(1, 64);
+  const CounterSequence b(2, 64);
+  EXPECT_NE(a.At(0), b.At(0));
+}
+
+TEST(CounterSequenceDeathTest, NegativeIndexAborts) {
+  const CounterSequence seq(1, 64);
+  EXPECT_DEATH(seq.At(-1), "SCADDAR_CHECK");
+}
+
+}  // namespace
+}  // namespace scaddar

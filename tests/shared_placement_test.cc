@@ -1,0 +1,110 @@
+#include "core/shared_placement.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mapper.h"
+#include "random/sequence.h"
+
+namespace scaddar {
+namespace {
+
+TEST(SharedPlacementTest, CreateValidation) {
+  EXPECT_TRUE(SharedPlacement::Create(4).ok());
+  EXPECT_FALSE(SharedPlacement::Create(0).ok());
+}
+
+TEST(SharedPlacementTest, MatchesMapperAfterEveryOp) {
+  SharedPlacement placement = SharedPlacement::Create(6).value();
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 1, 64).value();
+  for (const char* text : {"A2", "R1", "A1", "R0,4"}) {
+    ASSERT_TRUE(placement.ApplyOp(ScalingOp::Parse(text).value()).ok());
+    const Mapper mapper(&placement.log());
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t x0 = seq.Next();
+      EXPECT_EQ(placement.Locate(x0), mapper.LocatePhysical(x0));
+    }
+  }
+}
+
+TEST(SharedPlacementTest, SnapshotIsPinnedAcrossOps) {
+  SharedPlacement placement = SharedPlacement::Create(4).value();
+  const std::shared_ptr<const CompiledLog> before = placement.Snapshot();
+  ASSERT_TRUE(placement.ApplyOp(ScalingOp::Add(4).value()).ok());
+  EXPECT_EQ(before->current_disks(), 4);          // Old epoch unchanged...
+  EXPECT_EQ(placement.Snapshot()->current_disks(), 8);  // ...new published.
+}
+
+TEST(SharedPlacementTest, FailedOpPublishesNothing) {
+  SharedPlacement placement = SharedPlacement::Create(3).value();
+  const std::shared_ptr<const CompiledLog> before = placement.Snapshot();
+  EXPECT_FALSE(placement.ApplyOp(ScalingOp::Remove({9}).value()).ok());
+  EXPECT_EQ(placement.Snapshot(), before);
+}
+
+TEST(SharedPlacementTest, ConcurrentReadersDuringScaling) {
+  SharedPlacement placement = SharedPlacement::Create(8).value();
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> reads{0};
+  std::atomic<int64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&placement, &stop, &reads, &violations, t] {
+      auto seq = X0Sequence::Create(PrngKind::kSplitMix64,
+                                    static_cast<uint64_t>(t) + 1, 64)
+                     .value();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Pin one snapshot for a consistent batch of lookups.
+        const std::shared_ptr<const CompiledLog> snapshot =
+            placement.Snapshot();
+        for (int i = 0; i < 64; ++i) {
+          const PhysicalDiskId disk = snapshot->LocatePhysical(seq.Next());
+          if (disk < 0) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Admin thread: churn through scaling operations while readers run.
+  for (int op = 0; op < 60; ++op) {
+    const ScalingOp scaling = (op % 3 == 2)
+                                  ? ScalingOp::Remove({op % 4}).value()
+                                  : ScalingOp::Add(1).value();
+    ASSERT_TRUE(placement.ApplyOp(scaling).ok());
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(reads.load(), 1000);
+  // Final consistency against the synchronous mapper.
+  const Mapper mapper(&placement.log());
+  auto seq = X0Sequence::Create(PrngKind::kXoshiro256, 9, 64).value();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x0 = seq.Next();
+    EXPECT_EQ(placement.Locate(x0), mapper.LocatePhysical(x0));
+  }
+}
+
+TEST(SharedPlacementTest, StartEpochSupported) {
+  SharedPlacement placement = SharedPlacement::Create(5).value();
+  ASSERT_TRUE(placement.ApplyOp(ScalingOp::Add(2).value()).ok());
+  ASSERT_TRUE(placement.ApplyOp(ScalingOp::Remove({1}).value()).ok());
+  const Mapper mapper(&placement.log());
+  auto seq = X0Sequence::Create(PrngKind::kLcg48, 3, 48).value();
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t x0 = seq.Next();
+    EXPECT_EQ(placement.Locate(x0, /*start_epoch=*/1),
+              mapper.PhysicalBetween(x0, 1, 2));
+  }
+}
+
+}  // namespace
+}  // namespace scaddar

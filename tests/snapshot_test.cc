@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "server/server.h"
+
+namespace scaddar {
+namespace {
+
+ServerConfig Config(const char* policy = "scaddar") {
+  ServerConfig config;
+  config.initial_disks = 5;
+  config.policy = policy;
+  config.master_seed = 424242;
+  return config;
+}
+
+std::unique_ptr<CmServer> Make(const ServerConfig& config) {
+  return std::move(CmServer::Create(config)).value();
+}
+
+void DrainMigration(CmServer& server) {
+  int rounds = 0;
+  while (!server.migration().idle()) {
+    server.Tick();
+    SCADDAR_CHECK(++rounds < 100000);
+  }
+  server.Tick();
+}
+
+TEST(SnapshotTest, RoundTripPreservesEveryBlockLocation) {
+  auto server = Make(Config());
+  ASSERT_TRUE(server->AddObject(1, 800).ok());
+  ASSERT_TRUE(server->ScaleAdd(2).ok());
+  DrainMigration(*server);
+  ASSERT_TRUE(server->AddObject(2, 400, 3).ok());  // Registered at epoch 1.
+  ASSERT_TRUE(server->ScaleRemove({3}).ok());
+  DrainMigration(*server);
+
+  const StatusOr<std::string> snapshot = server->SaveSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  const auto restored = CmServer::Restore(Config(), *snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  EXPECT_EQ((*restored)->policy().current_disks(),
+            server->policy().current_disks());
+  EXPECT_EQ((*restored)->policy().log().Serialize(),
+            server->policy().log().Serialize());
+  for (const ObjectId id : {1, 2}) {
+    const int64_t blocks = server->catalog().GetObject(id)->num_blocks;
+    for (BlockIndex i = 0; i < blocks; ++i) {
+      ASSERT_EQ((*restored)->policy().Locate(id, i),
+                server->policy().Locate(id, i))
+          << "object " << id << " block " << i;
+    }
+  }
+  EXPECT_TRUE((*restored)->VerifyIntegrity().ok());
+  EXPECT_EQ((*restored)->store().total_blocks(),
+            server->store().total_blocks());
+}
+
+TEST(SnapshotTest, PreservesSeedGenerations) {
+  auto server = Make(Config());
+  ASSERT_TRUE(server->AddObject(1, 300).ok());
+  ASSERT_TRUE(server->FullRedistribution().ok());
+  DrainMigration(*server);
+  ASSERT_EQ(server->catalog().GetObject(1)->seed_generation, 1);
+
+  const auto restored =
+      CmServer::Restore(Config(), *server->SaveSnapshot());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->catalog().GetObject(1)->seed_generation, 1);
+  for (BlockIndex i = 0; i < 300; ++i) {
+    ASSERT_EQ((*restored)->policy().Locate(1, i),
+              server->policy().Locate(1, i));
+  }
+}
+
+TEST(SnapshotTest, SnapshotIsTinyComparedToADirectory) {
+  auto server = Make(Config());
+  ASSERT_TRUE(server->AddObject(1, 100000).ok());
+  ASSERT_TRUE(server->ScaleAdd(3).ok());
+  DrainMigration(*server);
+  const std::string snapshot = *server->SaveSnapshot();
+  // The paper's storage argument: metadata is O(objects + ops), not
+  // O(blocks). 100k blocks, yet the snapshot stays under 200 bytes.
+  EXPECT_LT(snapshot.size(), 200u);
+}
+
+TEST(SnapshotTest, RefusesMidMigrationSnapshot) {
+  auto server = Make(Config());
+  ASSERT_TRUE(server->AddObject(1, 500).ok());
+  ASSERT_TRUE(server->ScaleAdd(1).ok());
+  EXPECT_EQ(server->SaveSnapshot().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, RejectsCorruptedInput) {
+  const ServerConfig config = Config();
+  EXPECT_FALSE(CmServer::Restore(config, "").ok());
+  EXPECT_FALSE(CmServer::Restore(config, "garbage\n").ok());
+  EXPECT_FALSE(
+      CmServer::Restore(config, "scaddar-snapshot-v1\npolicy=scaddar\n")
+          .ok());
+  EXPECT_FALSE(CmServer::Restore(config,
+                                 "scaddar-snapshot-v1\npolicy=scaddar\n"
+                                 "oplog=5\nobject=1,2\n")
+                   .ok());
+  EXPECT_FALSE(CmServer::Restore(config,
+                                 "scaddar-snapshot-v1\npolicy=scaddar\n"
+                                 "oplog=5\nunknown=1\n")
+                   .ok());
+}
+
+TEST(SnapshotTest, RejectsOutOfRangeRegistrationEpoch) {
+  const ServerConfig config = Config();
+  EXPECT_FALSE(CmServer::Restore(config,
+                                 "scaddar-snapshot-v1\npolicy=scaddar\n"
+                                 "oplog=5;A1\nobject=1,10,1,0,5\n")
+                   .ok());
+  EXPECT_FALSE(CmServer::Restore(config,
+                                 "scaddar-snapshot-v1\npolicy=scaddar\n"
+                                 "oplog=5\nobject=1,10,1,0,-1\n")
+                   .ok());
+}
+
+TEST(SnapshotTest, RejectsPolicyMismatch) {
+  auto server = Make(Config());
+  ASSERT_TRUE(server->AddObject(1, 10).ok());
+  const std::string snapshot = *server->SaveSnapshot();
+  EXPECT_EQ(CmServer::Restore(Config("mod"), snapshot).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, StatefulPoliciesAreUnimplemented) {
+  auto server = Make(Config("directory"));
+  ASSERT_TRUE(server->AddObject(1, 10).ok());
+  const std::string snapshot = *server->SaveSnapshot();
+  EXPECT_EQ(
+      CmServer::Restore(Config("directory"), snapshot).status().code(),
+      StatusCode::kUnimplemented);
+}
+
+TEST(SnapshotTest, DeterministicPoliciesAllRoundTrip) {
+  for (const char* name : {"scaddar", "naive", "mod", "roundrobin"}) {
+    auto server = Make(Config(name));
+    ASSERT_TRUE(server->AddObject(1, 300).ok());
+    ASSERT_TRUE(server->ScaleAdd(1).ok());
+    DrainMigration(*server);
+    const auto restored =
+        CmServer::Restore(Config(name), *server->SaveSnapshot());
+    ASSERT_TRUE(restored.ok()) << name;
+    for (BlockIndex i = 0; i < 300; ++i) {
+      ASSERT_EQ((*restored)->policy().Locate(1, i),
+                server->policy().Locate(1, i))
+          << name << " block " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scaddar

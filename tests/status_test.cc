@@ -1,0 +1,133 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace scaddar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactoryEqualsDefault) {
+  EXPECT_EQ(OkStatus(), Status());
+  EXPECT_EQ(Status::Ok(), OkStatus());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidArgumentError("bad block index");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad block index");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad block index");
+}
+
+TEST(StatusTest, OkCodeDropsMessage) {
+  const Status status(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_NE(NotFoundError("x"), NotFoundError("y"));
+  EXPECT_NE(NotFoundError("x"), InternalError("x"));
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("m").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+}
+
+Status FailsThrough() {
+  SCADDAR_RETURN_IF_ERROR(OutOfRangeError("inner"));
+  return InternalError("unreachable");
+}
+
+Status SucceedsThrough() {
+  SCADDAR_RETURN_IF_ERROR(OkStatus());
+  return AlreadyExistsError("reached");
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough(), OutOfRangeError("inner"));
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPassesOk) {
+  EXPECT_EQ(SucceedsThrough(), AlreadyExistsError("reached"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status(), NotFoundError("missing"));
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result = std::string("payload");
+  const std::string extracted = std::move(result).value();
+  EXPECT_EQ(extracted, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+StatusOr<int> Doubler(StatusOr<int> input) {
+  SCADDAR_ASSIGN_OR_RETURN(const int value, input);
+  return value * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  const StatusOr<int> result = Doubler(InternalError("boom"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status(), InternalError("boom"));
+}
+
+TEST(StatusOrTest, AssignOrReturnExtractsValue) {
+  const StatusOr<int> result = Doubler(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SCADDAR_CHECK(1 == 2), "SCADDAR_CHECK failed");
+}
+
+TEST(StatusDeathTest, StatusOrValueOnErrorAborts) {
+  StatusOr<int> result = InternalError("no value");
+  EXPECT_DEATH(result.value(), "StatusOr accessed without value");
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "server/server.h"
+
+namespace scaddar {
+namespace {
+
+std::unique_ptr<CmServer> MakeServer() {
+  ServerConfig config;
+  config.initial_disks = 4;
+  config.master_seed = 77;
+  return std::move(CmServer::Create(config)).value();
+}
+
+TEST(StreamVcrTest, SeekClampsToObjectRange) {
+  Stream stream(0, 1, 10, 0);
+  stream.SeekTo(5);
+  EXPECT_EQ(stream.next_block(), 5);
+  stream.SeekTo(-3);
+  EXPECT_EQ(stream.next_block(), 0);
+  stream.SeekTo(99);
+  EXPECT_EQ(stream.next_block(), 10);
+  EXPECT_TRUE(stream.finished());
+}
+
+TEST(StreamVcrTest, PauseResume) {
+  Stream stream(0, 1, 10, 0);
+  EXPECT_FALSE(stream.paused());
+  stream.Pause();
+  EXPECT_TRUE(stream.paused());
+  stream.Resume();
+  EXPECT_FALSE(stream.paused());
+}
+
+TEST(ServerVcrTest, PausedStreamConsumesNothing) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server->AddObject(1, 100).ok());
+  const int64_t id = *server->StartStream(1);
+  server->Tick();
+  ASSERT_TRUE(server->PauseStream(id).ok());
+  const RoundMetrics paused_round = server->Tick();
+  EXPECT_EQ(paused_round.requests, 0);
+  EXPECT_EQ(paused_round.served, 0);
+  EXPECT_EQ(server->streams()[0].next_block(), 1);  // Frozen.
+  ASSERT_TRUE(server->ResumeStream(id).ok());
+  const RoundMetrics resumed_round = server->Tick();
+  EXPECT_EQ(resumed_round.served, 1);
+  EXPECT_EQ(server->streams()[0].next_block(), 2);
+}
+
+TEST(ServerVcrTest, SeekJumpsPlayback) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server->AddObject(1, 100).ok());
+  const int64_t id = *server->StartStream(1);
+  for (int round = 0; round < 10; ++round) {
+    server->Tick();
+  }
+  EXPECT_EQ(server->streams()[0].next_block(), 10);
+  ASSERT_TRUE(server->SeekStream(id, 90).ok());  // Fast-forward.
+  for (int round = 0; round < 10; ++round) {
+    server->Tick();
+  }
+  // 90..99 played, stream finished and was reaped.
+  EXPECT_EQ(server->completed_streams(), 1);
+  EXPECT_EQ(server->active_streams(), 0);
+  EXPECT_EQ(server->total_hiccups(), 0);
+}
+
+TEST(ServerVcrTest, RewindReplaysBlocks) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server->AddObject(1, 50).ok());
+  const int64_t id = *server->StartStream(1);
+  for (int round = 0; round < 20; ++round) {
+    server->Tick();
+  }
+  ASSERT_TRUE(server->SeekStream(id, 0).ok());  // Rewind to the start.
+  EXPECT_EQ(server->streams()[0].next_block(), 0);
+  server->Tick();
+  EXPECT_EQ(server->streams()[0].next_block(), 1);
+}
+
+TEST(ServerVcrTest, SeekToEndFinishesStream) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server->AddObject(1, 30).ok());
+  const int64_t id = *server->StartStream(1);
+  ASSERT_TRUE(server->SeekStream(id, 30).ok());
+  server->Tick();
+  EXPECT_EQ(server->completed_streams(), 1);
+  EXPECT_EQ(server->active_streams(), 0);
+}
+
+TEST(ServerVcrTest, ControlsRequireActiveStream) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server->AddObject(1, 10).ok());
+  EXPECT_EQ(server->PauseStream(9).code(), StatusCode::kNotFound);
+  EXPECT_EQ(server->ResumeStream(9).code(), StatusCode::kNotFound);
+  EXPECT_EQ(server->SeekStream(9, 0).code(), StatusCode::kNotFound);
+}
+
+TEST(ServerVcrTest, VcrDuringOnlineScaling) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server->AddObject(1, 200).ok());
+  const int64_t id = *server->StartStream(1);
+  ASSERT_TRUE(server->ScaleAdd(2).ok());
+  ASSERT_TRUE(server->SeekStream(id, 150).ok());
+  int rounds = 0;
+  while (!server->migration().idle()) {
+    server->Tick();
+    ASSERT_LT(++rounds, 10000);
+  }
+  for (int round = 0; round < 60; ++round) {
+    server->Tick();
+  }
+  EXPECT_EQ(server->completed_streams(), 1);
+  EXPECT_EQ(server->total_hiccups(), 0);
+  EXPECT_TRUE(server->VerifyIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace scaddar
