@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_comparators.cc" "bench/CMakeFiles/bench_comparators.dir/bench_comparators.cc.o" "gcc" "bench/CMakeFiles/bench_comparators.dir/bench_comparators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scaddar_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_ops.dir/bench_group_ops.cc.o"
+  "CMakeFiles/bench_group_ops.dir/bench_group_ops.cc.o.d"
+  "bench_group_ops"
+  "bench_group_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_movement.dir/bench_movement.cc.o"
+  "CMakeFiles/bench_movement.dir/bench_movement.cc.o.d"
+  "bench_movement"
+  "bench_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remap_throughput.dir/bench_remap_throughput.cc.o"
+  "CMakeFiles/bench_remap_throughput.dir/bench_remap_throughput.cc.o.d"
+  "bench_remap_throughput"
+  "bench_remap_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remap_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unfairness.dir/bench_unfairness.cc.o"
+  "CMakeFiles/bench_unfairness.dir/bench_unfairness.cc.o.d"
+  "bench_unfairness"
+  "bench_unfairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unfairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_retirement.dir/disk_retirement.cpp.o"
+  "CMakeFiles/disk_retirement.dir/disk_retirement.cpp.o.d"
+  "disk_retirement"
+  "disk_retirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_retirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

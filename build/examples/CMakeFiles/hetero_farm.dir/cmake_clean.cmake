@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_farm.dir/hetero_farm.cpp.o"
+  "CMakeFiles/hetero_farm.dir/hetero_farm.cpp.o.d"
+  "hetero_farm"
+  "hetero_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

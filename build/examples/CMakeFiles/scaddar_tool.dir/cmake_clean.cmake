@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_tool.dir/scaddar_tool.cpp.o"
+  "CMakeFiles/scaddar_tool.dir/scaddar_tool.cpp.o.d"
+  "scaddar_tool"
+  "scaddar_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

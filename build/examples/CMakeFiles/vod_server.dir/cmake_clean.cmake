@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_server.dir/vod_server.cpp.o"
+  "CMakeFiles/vod_server.dir/vod_server.cpp.o.d"
+  "vod_server"
+  "vod_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

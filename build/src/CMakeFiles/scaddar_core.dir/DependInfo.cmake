@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cc" "src/CMakeFiles/scaddar_core.dir/core/bounds.cc.o" "gcc" "src/CMakeFiles/scaddar_core.dir/core/bounds.cc.o.d"
+  "/root/repo/src/core/compiled_log.cc" "src/CMakeFiles/scaddar_core.dir/core/compiled_log.cc.o" "gcc" "src/CMakeFiles/scaddar_core.dir/core/compiled_log.cc.o.d"
+  "/root/repo/src/core/governor.cc" "src/CMakeFiles/scaddar_core.dir/core/governor.cc.o" "gcc" "src/CMakeFiles/scaddar_core.dir/core/governor.cc.o.d"
+  "/root/repo/src/core/mapper.cc" "src/CMakeFiles/scaddar_core.dir/core/mapper.cc.o" "gcc" "src/CMakeFiles/scaddar_core.dir/core/mapper.cc.o.d"
+  "/root/repo/src/core/op_log.cc" "src/CMakeFiles/scaddar_core.dir/core/op_log.cc.o" "gcc" "src/CMakeFiles/scaddar_core.dir/core/op_log.cc.o.d"
+  "/root/repo/src/core/redistribution.cc" "src/CMakeFiles/scaddar_core.dir/core/redistribution.cc.o" "gcc" "src/CMakeFiles/scaddar_core.dir/core/redistribution.cc.o.d"
+  "/root/repo/src/core/remap.cc" "src/CMakeFiles/scaddar_core.dir/core/remap.cc.o" "gcc" "src/CMakeFiles/scaddar_core.dir/core/remap.cc.o.d"
+  "/root/repo/src/core/scaling_op.cc" "src/CMakeFiles/scaddar_core.dir/core/scaling_op.cc.o" "gcc" "src/CMakeFiles/scaddar_core.dir/core/scaling_op.cc.o.d"
+  "/root/repo/src/core/shared_placement.cc" "src/CMakeFiles/scaddar_core.dir/core/shared_placement.cc.o" "gcc" "src/CMakeFiles/scaddar_core.dir/core/shared_placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scaddar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

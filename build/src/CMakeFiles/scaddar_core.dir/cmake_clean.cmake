@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_core.dir/core/bounds.cc.o"
+  "CMakeFiles/scaddar_core.dir/core/bounds.cc.o.d"
+  "CMakeFiles/scaddar_core.dir/core/compiled_log.cc.o"
+  "CMakeFiles/scaddar_core.dir/core/compiled_log.cc.o.d"
+  "CMakeFiles/scaddar_core.dir/core/governor.cc.o"
+  "CMakeFiles/scaddar_core.dir/core/governor.cc.o.d"
+  "CMakeFiles/scaddar_core.dir/core/mapper.cc.o"
+  "CMakeFiles/scaddar_core.dir/core/mapper.cc.o.d"
+  "CMakeFiles/scaddar_core.dir/core/op_log.cc.o"
+  "CMakeFiles/scaddar_core.dir/core/op_log.cc.o.d"
+  "CMakeFiles/scaddar_core.dir/core/redistribution.cc.o"
+  "CMakeFiles/scaddar_core.dir/core/redistribution.cc.o.d"
+  "CMakeFiles/scaddar_core.dir/core/remap.cc.o"
+  "CMakeFiles/scaddar_core.dir/core/remap.cc.o.d"
+  "CMakeFiles/scaddar_core.dir/core/scaling_op.cc.o"
+  "CMakeFiles/scaddar_core.dir/core/scaling_op.cc.o.d"
+  "CMakeFiles/scaddar_core.dir/core/shared_placement.cc.o"
+  "CMakeFiles/scaddar_core.dir/core/shared_placement.cc.o.d"
+  "libscaddar_core.a"
+  "libscaddar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

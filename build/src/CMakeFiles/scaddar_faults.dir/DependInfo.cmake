@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/mirror.cc" "src/CMakeFiles/scaddar_faults.dir/faults/mirror.cc.o" "gcc" "src/CMakeFiles/scaddar_faults.dir/faults/mirror.cc.o.d"
+  "/root/repo/src/faults/parity.cc" "src/CMakeFiles/scaddar_faults.dir/faults/parity.cc.o" "gcc" "src/CMakeFiles/scaddar_faults.dir/faults/parity.cc.o.d"
+  "/root/repo/src/faults/recovery.cc" "src/CMakeFiles/scaddar_faults.dir/faults/recovery.cc.o" "gcc" "src/CMakeFiles/scaddar_faults.dir/faults/recovery.cc.o.d"
+  "/root/repo/src/faults/replication.cc" "src/CMakeFiles/scaddar_faults.dir/faults/replication.cc.o" "gcc" "src/CMakeFiles/scaddar_faults.dir/faults/replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scaddar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_faults.dir/faults/mirror.cc.o"
+  "CMakeFiles/scaddar_faults.dir/faults/mirror.cc.o.d"
+  "CMakeFiles/scaddar_faults.dir/faults/parity.cc.o"
+  "CMakeFiles/scaddar_faults.dir/faults/parity.cc.o.d"
+  "CMakeFiles/scaddar_faults.dir/faults/recovery.cc.o"
+  "CMakeFiles/scaddar_faults.dir/faults/recovery.cc.o.d"
+  "CMakeFiles/scaddar_faults.dir/faults/replication.cc.o"
+  "CMakeFiles/scaddar_faults.dir/faults/replication.cc.o.d"
+  "libscaddar_faults.a"
+  "libscaddar_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_hetero.dir/hetero/hetero_array.cc.o"
+  "CMakeFiles/scaddar_hetero.dir/hetero/hetero_array.cc.o.d"
+  "CMakeFiles/scaddar_hetero.dir/hetero/logical_map.cc.o"
+  "CMakeFiles/scaddar_hetero.dir/hetero/logical_map.cc.o.d"
+  "libscaddar_hetero.a"
+  "libscaddar_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

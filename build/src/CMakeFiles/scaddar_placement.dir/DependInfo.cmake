@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/analysis.cc" "src/CMakeFiles/scaddar_placement.dir/placement/analysis.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/analysis.cc.o.d"
+  "/root/repo/src/placement/consistent_hash_policy.cc" "src/CMakeFiles/scaddar_placement.dir/placement/consistent_hash_policy.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/consistent_hash_policy.cc.o.d"
+  "/root/repo/src/placement/directory_policy.cc" "src/CMakeFiles/scaddar_placement.dir/placement/directory_policy.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/directory_policy.cc.o.d"
+  "/root/repo/src/placement/jump_hash_policy.cc" "src/CMakeFiles/scaddar_placement.dir/placement/jump_hash_policy.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/jump_hash_policy.cc.o.d"
+  "/root/repo/src/placement/mod_policy.cc" "src/CMakeFiles/scaddar_placement.dir/placement/mod_policy.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/mod_policy.cc.o.d"
+  "/root/repo/src/placement/naive_policy.cc" "src/CMakeFiles/scaddar_placement.dir/placement/naive_policy.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/naive_policy.cc.o.d"
+  "/root/repo/src/placement/policy.cc" "src/CMakeFiles/scaddar_placement.dir/placement/policy.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/policy.cc.o.d"
+  "/root/repo/src/placement/registry.cc" "src/CMakeFiles/scaddar_placement.dir/placement/registry.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/registry.cc.o.d"
+  "/root/repo/src/placement/round_robin_policy.cc" "src/CMakeFiles/scaddar_placement.dir/placement/round_robin_policy.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/round_robin_policy.cc.o.d"
+  "/root/repo/src/placement/scaddar_policy.cc" "src/CMakeFiles/scaddar_placement.dir/placement/scaddar_policy.cc.o" "gcc" "src/CMakeFiles/scaddar_placement.dir/placement/scaddar_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scaddar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

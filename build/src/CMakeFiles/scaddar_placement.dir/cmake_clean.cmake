@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_placement.dir/placement/analysis.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/analysis.cc.o.d"
+  "CMakeFiles/scaddar_placement.dir/placement/consistent_hash_policy.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/consistent_hash_policy.cc.o.d"
+  "CMakeFiles/scaddar_placement.dir/placement/directory_policy.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/directory_policy.cc.o.d"
+  "CMakeFiles/scaddar_placement.dir/placement/jump_hash_policy.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/jump_hash_policy.cc.o.d"
+  "CMakeFiles/scaddar_placement.dir/placement/mod_policy.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/mod_policy.cc.o.d"
+  "CMakeFiles/scaddar_placement.dir/placement/naive_policy.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/naive_policy.cc.o.d"
+  "CMakeFiles/scaddar_placement.dir/placement/policy.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/policy.cc.o.d"
+  "CMakeFiles/scaddar_placement.dir/placement/registry.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/registry.cc.o.d"
+  "CMakeFiles/scaddar_placement.dir/placement/round_robin_policy.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/round_robin_policy.cc.o.d"
+  "CMakeFiles/scaddar_placement.dir/placement/scaddar_policy.cc.o"
+  "CMakeFiles/scaddar_placement.dir/placement/scaddar_policy.cc.o.d"
+  "libscaddar_placement.a"
+  "libscaddar_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/random/distributions.cc" "src/CMakeFiles/scaddar_random.dir/random/distributions.cc.o" "gcc" "src/CMakeFiles/scaddar_random.dir/random/distributions.cc.o.d"
+  "/root/repo/src/random/lcg48.cc" "src/CMakeFiles/scaddar_random.dir/random/lcg48.cc.o" "gcc" "src/CMakeFiles/scaddar_random.dir/random/lcg48.cc.o.d"
+  "/root/repo/src/random/pcg32.cc" "src/CMakeFiles/scaddar_random.dir/random/pcg32.cc.o" "gcc" "src/CMakeFiles/scaddar_random.dir/random/pcg32.cc.o.d"
+  "/root/repo/src/random/prng.cc" "src/CMakeFiles/scaddar_random.dir/random/prng.cc.o" "gcc" "src/CMakeFiles/scaddar_random.dir/random/prng.cc.o.d"
+  "/root/repo/src/random/sequence.cc" "src/CMakeFiles/scaddar_random.dir/random/sequence.cc.o" "gcc" "src/CMakeFiles/scaddar_random.dir/random/sequence.cc.o.d"
+  "/root/repo/src/random/splitmix64.cc" "src/CMakeFiles/scaddar_random.dir/random/splitmix64.cc.o" "gcc" "src/CMakeFiles/scaddar_random.dir/random/splitmix64.cc.o.d"
+  "/root/repo/src/random/xoshiro256.cc" "src/CMakeFiles/scaddar_random.dir/random/xoshiro256.cc.o" "gcc" "src/CMakeFiles/scaddar_random.dir/random/xoshiro256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scaddar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

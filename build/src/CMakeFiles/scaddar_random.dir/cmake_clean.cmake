@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_random.dir/random/distributions.cc.o"
+  "CMakeFiles/scaddar_random.dir/random/distributions.cc.o.d"
+  "CMakeFiles/scaddar_random.dir/random/lcg48.cc.o"
+  "CMakeFiles/scaddar_random.dir/random/lcg48.cc.o.d"
+  "CMakeFiles/scaddar_random.dir/random/pcg32.cc.o"
+  "CMakeFiles/scaddar_random.dir/random/pcg32.cc.o.d"
+  "CMakeFiles/scaddar_random.dir/random/prng.cc.o"
+  "CMakeFiles/scaddar_random.dir/random/prng.cc.o.d"
+  "CMakeFiles/scaddar_random.dir/random/sequence.cc.o"
+  "CMakeFiles/scaddar_random.dir/random/sequence.cc.o.d"
+  "CMakeFiles/scaddar_random.dir/random/splitmix64.cc.o"
+  "CMakeFiles/scaddar_random.dir/random/splitmix64.cc.o.d"
+  "CMakeFiles/scaddar_random.dir/random/xoshiro256.cc.o"
+  "CMakeFiles/scaddar_random.dir/random/xoshiro256.cc.o.d"
+  "libscaddar_random.a"
+  "libscaddar_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

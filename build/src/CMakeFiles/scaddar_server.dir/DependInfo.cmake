@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/admission.cc" "src/CMakeFiles/scaddar_server.dir/server/admission.cc.o" "gcc" "src/CMakeFiles/scaddar_server.dir/server/admission.cc.o.d"
+  "/root/repo/src/server/ha_server.cc" "src/CMakeFiles/scaddar_server.dir/server/ha_server.cc.o" "gcc" "src/CMakeFiles/scaddar_server.dir/server/ha_server.cc.o.d"
+  "/root/repo/src/server/migration.cc" "src/CMakeFiles/scaddar_server.dir/server/migration.cc.o" "gcc" "src/CMakeFiles/scaddar_server.dir/server/migration.cc.o.d"
+  "/root/repo/src/server/scenario.cc" "src/CMakeFiles/scaddar_server.dir/server/scenario.cc.o" "gcc" "src/CMakeFiles/scaddar_server.dir/server/scenario.cc.o.d"
+  "/root/repo/src/server/scheduler.cc" "src/CMakeFiles/scaddar_server.dir/server/scheduler.cc.o" "gcc" "src/CMakeFiles/scaddar_server.dir/server/scheduler.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/CMakeFiles/scaddar_server.dir/server/server.cc.o" "gcc" "src/CMakeFiles/scaddar_server.dir/server/server.cc.o.d"
+  "/root/repo/src/server/stream.cc" "src/CMakeFiles/scaddar_server.dir/server/stream.cc.o" "gcc" "src/CMakeFiles/scaddar_server.dir/server/stream.cc.o.d"
+  "/root/repo/src/server/workload.cc" "src/CMakeFiles/scaddar_server.dir/server/workload.cc.o" "gcc" "src/CMakeFiles/scaddar_server.dir/server/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scaddar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scaddar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_server.dir/server/admission.cc.o"
+  "CMakeFiles/scaddar_server.dir/server/admission.cc.o.d"
+  "CMakeFiles/scaddar_server.dir/server/ha_server.cc.o"
+  "CMakeFiles/scaddar_server.dir/server/ha_server.cc.o.d"
+  "CMakeFiles/scaddar_server.dir/server/migration.cc.o"
+  "CMakeFiles/scaddar_server.dir/server/migration.cc.o.d"
+  "CMakeFiles/scaddar_server.dir/server/scenario.cc.o"
+  "CMakeFiles/scaddar_server.dir/server/scenario.cc.o.d"
+  "CMakeFiles/scaddar_server.dir/server/scheduler.cc.o"
+  "CMakeFiles/scaddar_server.dir/server/scheduler.cc.o.d"
+  "CMakeFiles/scaddar_server.dir/server/server.cc.o"
+  "CMakeFiles/scaddar_server.dir/server/server.cc.o.d"
+  "CMakeFiles/scaddar_server.dir/server/stream.cc.o"
+  "CMakeFiles/scaddar_server.dir/server/stream.cc.o.d"
+  "CMakeFiles/scaddar_server.dir/server/workload.cc.o"
+  "CMakeFiles/scaddar_server.dir/server/workload.cc.o.d"
+  "libscaddar_server.a"
+  "libscaddar_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/accumulator.cc" "src/CMakeFiles/scaddar_stats.dir/stats/accumulator.cc.o" "gcc" "src/CMakeFiles/scaddar_stats.dir/stats/accumulator.cc.o.d"
+  "/root/repo/src/stats/chi_square.cc" "src/CMakeFiles/scaddar_stats.dir/stats/chi_square.cc.o" "gcc" "src/CMakeFiles/scaddar_stats.dir/stats/chi_square.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/scaddar_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/scaddar_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/load_metrics.cc" "src/CMakeFiles/scaddar_stats.dir/stats/load_metrics.cc.o" "gcc" "src/CMakeFiles/scaddar_stats.dir/stats/load_metrics.cc.o.d"
+  "/root/repo/src/stats/movement.cc" "src/CMakeFiles/scaddar_stats.dir/stats/movement.cc.o" "gcc" "src/CMakeFiles/scaddar_stats.dir/stats/movement.cc.o.d"
+  "/root/repo/src/stats/randtests.cc" "src/CMakeFiles/scaddar_stats.dir/stats/randtests.cc.o" "gcc" "src/CMakeFiles/scaddar_stats.dir/stats/randtests.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scaddar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_stats.dir/stats/accumulator.cc.o"
+  "CMakeFiles/scaddar_stats.dir/stats/accumulator.cc.o.d"
+  "CMakeFiles/scaddar_stats.dir/stats/chi_square.cc.o"
+  "CMakeFiles/scaddar_stats.dir/stats/chi_square.cc.o.d"
+  "CMakeFiles/scaddar_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/scaddar_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/scaddar_stats.dir/stats/load_metrics.cc.o"
+  "CMakeFiles/scaddar_stats.dir/stats/load_metrics.cc.o.d"
+  "CMakeFiles/scaddar_stats.dir/stats/movement.cc.o"
+  "CMakeFiles/scaddar_stats.dir/stats/movement.cc.o.d"
+  "CMakeFiles/scaddar_stats.dir/stats/randtests.cc.o"
+  "CMakeFiles/scaddar_stats.dir/stats/randtests.cc.o.d"
+  "libscaddar_stats.a"
+  "libscaddar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_storage.dir/storage/block_store.cc.o"
+  "CMakeFiles/scaddar_storage.dir/storage/block_store.cc.o.d"
+  "CMakeFiles/scaddar_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/scaddar_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/scaddar_storage.dir/storage/disk.cc.o"
+  "CMakeFiles/scaddar_storage.dir/storage/disk.cc.o.d"
+  "CMakeFiles/scaddar_storage.dir/storage/disk_array.cc.o"
+  "CMakeFiles/scaddar_storage.dir/storage/disk_array.cc.o.d"
+  "CMakeFiles/scaddar_storage.dir/storage/disk_model.cc.o"
+  "CMakeFiles/scaddar_storage.dir/storage/disk_model.cc.o.d"
+  "libscaddar_storage.a"
+  "libscaddar_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

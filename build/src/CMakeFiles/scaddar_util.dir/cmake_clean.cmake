@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_util.dir/util/intmath.cc.o"
+  "CMakeFiles/scaddar_util.dir/util/intmath.cc.o.d"
+  "CMakeFiles/scaddar_util.dir/util/status.cc.o"
+  "CMakeFiles/scaddar_util.dir/util/status.cc.o.d"
+  "libscaddar_util.a"
+  "libscaddar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_workload_test.dir/admission_workload_test.cc.o"
+  "CMakeFiles/admission_workload_test.dir/admission_workload_test.cc.o.d"
+  "admission_workload_test"
+  "admission_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chi_square_test.dir/chi_square_test.cc.o"
+  "CMakeFiles/chi_square_test.dir/chi_square_test.cc.o.d"
+  "chi_square_test"
+  "chi_square_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chi_square_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

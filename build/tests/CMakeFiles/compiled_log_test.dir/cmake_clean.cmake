@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_log_test.dir/compiled_log_test.cc.o"
+  "CMakeFiles/compiled_log_test.dir/compiled_log_test.cc.o.d"
+  "compiled_log_test"
+  "compiled_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistent_hash_policy_test.dir/consistent_hash_policy_test.cc.o"
+  "CMakeFiles/consistent_hash_policy_test.dir/consistent_hash_policy_test.cc.o.d"
+  "consistent_hash_policy_test"
+  "consistent_hash_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistent_hash_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_server_test.dir/ha_server_test.cc.o"
+  "CMakeFiles/ha_server_test.dir/ha_server_test.cc.o.d"
+  "ha_server_test"
+  "ha_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

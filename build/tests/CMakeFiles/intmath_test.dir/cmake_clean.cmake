@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intmath_test.dir/intmath_test.cc.o"
+  "CMakeFiles/intmath_test.dir/intmath_test.cc.o.d"
+  "intmath_test"
+  "intmath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intmath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

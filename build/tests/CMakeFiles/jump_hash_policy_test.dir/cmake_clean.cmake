@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jump_hash_policy_test.dir/jump_hash_policy_test.cc.o"
+  "CMakeFiles/jump_hash_policy_test.dir/jump_hash_policy_test.cc.o.d"
+  "jump_hash_policy_test"
+  "jump_hash_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jump_hash_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

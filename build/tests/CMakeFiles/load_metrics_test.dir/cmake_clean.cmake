@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_metrics_test.dir/load_metrics_test.cc.o"
+  "CMakeFiles/load_metrics_test.dir/load_metrics_test.cc.o.d"
+  "load_metrics_test"
+  "load_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirror_test.dir/mirror_test.cc.o"
+  "CMakeFiles/mirror_test.dir/mirror_test.cc.o.d"
+  "mirror_test"
+  "mirror_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirror_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movement_test.dir/movement_test.cc.o"
+  "CMakeFiles/movement_test.dir/movement_test.cc.o.d"
+  "movement_test"
+  "movement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirate_test.dir/multirate_test.cc.o"
+  "CMakeFiles/multirate_test.dir/multirate_test.cc.o.d"
+  "multirate_test"
+  "multirate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

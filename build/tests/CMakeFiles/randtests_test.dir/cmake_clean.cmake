@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randtests_test.dir/randtests_test.cc.o"
+  "CMakeFiles/randtests_test.dir/randtests_test.cc.o.d"
+  "randtests_test"
+  "randtests_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randtests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redistribution_test.dir/redistribution_test.cc.o"
+  "CMakeFiles/redistribution_test.dir/redistribution_test.cc.o.d"
+  "redistribution_test"
+  "redistribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redistribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

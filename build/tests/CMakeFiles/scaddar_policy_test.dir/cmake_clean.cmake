@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaddar_policy_test.dir/scaddar_policy_test.cc.o"
+  "CMakeFiles/scaddar_policy_test.dir/scaddar_policy_test.cc.o.d"
+  "scaddar_policy_test"
+  "scaddar_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaddar_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_op_test.dir/scaling_op_test.cc.o"
+  "CMakeFiles/scaling_op_test.dir/scaling_op_test.cc.o.d"
+  "scaling_op_test"
+  "scaling_op_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_placement_test.dir/shared_placement_test.cc.o"
+  "CMakeFiles/shared_placement_test.dir/shared_placement_test.cc.o.d"
+  "shared_placement_test"
+  "shared_placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
