@@ -2,11 +2,21 @@
 // computed. Planning is pure computation (the actual I/O is the
 // migration's job), so this measures blocks/second of REMAP-chain
 // evaluation plus the raw single-step REMAP primitives.
+//
+// Three tiers are measured (docs/batch_engine.md explains how to read
+// them):
+//  - *Mapper variants: the scalar reference — one Mapper replay per block
+//    per epoch (the pre-batch-engine planner);
+//  - default variants: the step-major CompiledLog batch kernels on one
+//    thread;
+//  - *Parallel variants: the batch kernels sharded across a ThreadPool
+//    (on a single-core host these show pool overhead, not speedup).
 
 #include <benchmark/benchmark.h>
 
 #include "core/redistribution.h"
 #include "random/sequence.h"
+#include "util/thread_pool.h"
 
 namespace scaddar {
 namespace {
@@ -32,6 +42,7 @@ void BM_RemapRemoveStep(benchmark::State& state) {
 }
 BENCHMARK(BM_RemapRemoveStep);
 
+// Batch-kernel planner (the default PlanOperation path), single thread.
 void BM_PlanOperation(benchmark::State& state) {
   const int64_t blocks = state.range(0);
   OpLog log = OpLog::Create(8).value();
@@ -46,12 +57,52 @@ void BM_PlanOperation(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanOperation)->Arg(10000)->Arg(100000)->Arg(1000000);
 
-void BM_PlanAfterLongHistory(benchmark::State& state) {
-  const int64_t ops = state.range(0);
+// Scalar reference: one Mapper replay per block per epoch.
+void BM_PlanOperationMapper(benchmark::State& state) {
+  const int64_t blocks = state.range(0);
+  OpLog log = OpLog::Create(8).value();
+  SCADDAR_CHECK(log.Append(ScalingOp::Add(2).value()).ok());
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 3, 64).value();
+  const std::vector<uint64_t> x0 = seq.Materialize(blocks);
+  for (auto _ : state) {
+    const MovePlan plan = PlanOperationScalar(log, 1, {{1, &x0}});
+    benchmark::DoNotOptimize(plan.num_moves());
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_PlanOperationMapper)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Sharded planner on a persistent pool at 1M blocks. Thread count is the
+// benchmark argument; near-linear scaling needs as many physical cores.
+void BM_PlanOperationParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  OpLog log = OpLog::Create(8).value();
+  SCADDAR_CHECK(log.Append(ScalingOp::Add(2).value()).ok());
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 3, 64).value();
+  const std::vector<uint64_t> x0 = seq.Materialize(1000000);
+  ThreadPool pool(threads);
+  ParallelPlanOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    const MovePlan plan = PlanOperation(log, 1, {{1, &x0}}, options);
+    benchmark::DoNotOptimize(plan.num_moves());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000000);
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_PlanOperationParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+OpLog LongAddHistory(int64_t ops) {
   OpLog log = OpLog::Create(8).value();
   for (int64_t j = 0; j < ops; ++j) {
     SCADDAR_CHECK(log.Append(ScalingOp::Add(1).value()).ok());
   }
+  return log;
+}
+
+void BM_PlanAfterLongHistory(benchmark::State& state) {
+  const int64_t ops = state.range(0);
+  const OpLog log = LongAddHistory(ops);
   auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 4, 64).value();
   const std::vector<uint64_t> x0 = seq.Materialize(100000);
   for (auto _ : state) {
@@ -62,6 +113,20 @@ void BM_PlanAfterLongHistory(benchmark::State& state) {
   state.SetLabel("ops=" + std::to_string(ops));
 }
 BENCHMARK(BM_PlanAfterLongHistory)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_PlanAfterLongHistoryMapper(benchmark::State& state) {
+  const int64_t ops = state.range(0);
+  const OpLog log = LongAddHistory(ops);
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 4, 64).value();
+  const std::vector<uint64_t> x0 = seq.Materialize(100000);
+  for (auto _ : state) {
+    const MovePlan plan = PlanOperationScalar(log, ops, {{1, &x0}});
+    benchmark::DoNotOptimize(plan.num_moves());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+  state.SetLabel("ops=" + std::to_string(ops));
+}
+BENCHMARK(BM_PlanAfterLongHistoryMapper)->Arg(1)->Arg(8)->Arg(32);
 
 }  // namespace
 }  // namespace scaddar

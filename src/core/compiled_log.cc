@@ -1,6 +1,6 @@
 #include "core/compiled_log.h"
 
-#include "util/intmath.h"
+#include <algorithm>
 
 namespace scaddar {
 
@@ -11,6 +11,8 @@ CompiledLog::CompiledLog(const OpLog& log) {
     Step step;
     step.n_prev = log.disks_after(j - 1);
     step.n_cur = log.disks_after(j);
+    step.div_prev = FastDiv64(static_cast<uint64_t>(step.n_prev));
+    step.div_cur = FastDiv64(static_cast<uint64_t>(step.n_cur));
     step.is_add = op.is_add();
     if (op.is_remove()) {
       step.renumber_offset = static_cast<int32_t>(renumber_.size());
@@ -23,7 +25,15 @@ CompiledLog::CompiledLog(const OpLog& log) {
     steps_.push_back(step);
   }
   physical_ = log.physical_disks();
+  initial_disks_ = log.initial_disks();
   current_disks_ = log.current_disks();
+  div_current_ = FastDiv64(static_cast<uint64_t>(current_disks_));
+  source_revision_ = log.revision();
+}
+
+int64_t CompiledLog::disks_after(Epoch j) const {
+  SCADDAR_CHECK(j >= 0 && j <= num_ops());
+  return j == 0 ? initial_disks_ : steps_[static_cast<size_t>(j - 1)].n_cur;
 }
 
 uint64_t CompiledLog::FinalX(uint64_t x0, Epoch from) const {
@@ -31,10 +41,10 @@ uint64_t CompiledLog::FinalX(uint64_t x0, Epoch from) const {
   uint64_t x = x0;
   for (size_t j = static_cast<size_t>(from); j < steps_.size(); ++j) {
     const Step& step = steps_[j];
-    const auto [q, r] = DivMod(x, static_cast<uint64_t>(step.n_prev));
+    const auto [q, r] = step.div_prev.DivMod(x);
     if (step.is_add) {
       // Eq. 5: stay on r if (q mod n_cur) < n_prev, else move to it.
-      const auto [q_hi, target] = DivMod(q, static_cast<uint64_t>(step.n_cur));
+      const auto [q_hi, target] = step.div_cur.DivMod(q);
       x = q_hi * static_cast<uint64_t>(step.n_cur) +
           (target < static_cast<uint64_t>(step.n_prev) ? r : target);
     } else {
@@ -51,13 +61,65 @@ uint64_t CompiledLog::FinalX(uint64_t x0, Epoch from) const {
   return x;
 }
 
+void CompiledLog::AdvanceXBatch(std::span<uint64_t> xs, Epoch from,
+                                Epoch to) const {
+  SCADDAR_CHECK(from >= 0 && from <= to && to <= num_ops());
+  for (size_t j = static_cast<size_t>(from); j < static_cast<size_t>(to);
+       ++j) {
+    const Step& step = steps_[j];
+    const FastDiv64 div_prev = step.div_prev;
+    const FastDiv64 div_cur = step.div_cur;
+    const uint64_t n_prev = static_cast<uint64_t>(step.n_prev);
+    const uint64_t n_cur = static_cast<uint64_t>(step.n_cur);
+    if (step.is_add) {
+      for (uint64_t& x : xs) {
+        const auto [q, r] = div_prev.DivMod(x);
+        const auto [q_hi, target] = div_cur.DivMod(q);
+        x = q_hi * n_cur + (target < n_prev ? r : target);
+      }
+    } else {
+      const int32_t* renumber =
+          renumber_.data() + static_cast<size_t>(step.renumber_offset);
+      for (uint64_t& x : xs) {
+        const auto [q, r] = div_prev.DivMod(x);
+        const int32_t renumbered = renumber[r];
+        x = renumbered == kRemovedSlot
+                ? q
+                : q * n_cur + static_cast<uint64_t>(renumbered);
+      }
+    }
+  }
+}
+
 DiskSlot CompiledLog::LocateSlot(uint64_t x0, Epoch from) const {
-  return static_cast<DiskSlot>(FinalX(x0, from) %
-                               static_cast<uint64_t>(current_disks_));
+  return static_cast<DiskSlot>(div_current_.Mod(FinalX(x0, from)));
 }
 
 PhysicalDiskId CompiledLog::LocatePhysical(uint64_t x0, Epoch from) const {
   return physical_[static_cast<size_t>(LocateSlot(x0, from))];
+}
+
+void CompiledLog::LocateSlotBatch(std::span<const uint64_t> x0,
+                                  std::span<DiskSlot> out, Epoch from) const {
+  SCADDAR_CHECK(x0.size() == out.size());
+  // DiskSlot is int64_t, the signed twin of the chain's uint64_t — the
+  // output buffer doubles as evaluation scratch (signed/unsigned aliasing
+  // of the same width is well-defined).
+  uint64_t* scratch = reinterpret_cast<uint64_t*>(out.data());
+  std::copy(x0.begin(), x0.end(), scratch);
+  AdvanceXBatch(std::span<uint64_t>(scratch, out.size()), from, num_ops());
+  for (size_t i = 0; i < out.size(); ++i) {
+    scratch[i] = div_current_.Mod(scratch[i]);
+  }
+}
+
+void CompiledLog::LocatePhysicalBatch(std::span<const uint64_t> x0,
+                                      std::span<PhysicalDiskId> out,
+                                      Epoch from) const {
+  LocateSlotBatch(x0, out, from);
+  for (PhysicalDiskId& slot : out) {
+    slot = physical_[static_cast<size_t>(slot)];
+  }
 }
 
 }  // namespace scaddar

@@ -2,25 +2,46 @@
 #define SCADDAR_CORE_COMPILED_LOG_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/op_log.h"
 #include "core/types.h"
+#include "util/intmath.h"
 
 namespace scaddar {
 
 /// A snapshot of an `OpLog` compiled into a flat remap program for fast
-/// `AF()` evaluation. Two optimizations over replaying through `Mapper`:
+/// `AF()` evaluation. Three optimizations over replaying through `Mapper`:
 ///
 ///  - each removal's `new()` renumbering is precompiled into a dense
 ///    `old_slot -> new_slot` array (one load instead of a binary search
 ///    over the removed-slot set per step);
 ///  - the per-step parameters (N_{j-1}, N_j, kind) live in one contiguous
-///    array, so the hot loop touches no per-op vectors.
+///    array, so the hot loop touches no per-op vectors;
+///  - every division by N_{j-1}/N_j uses a precomputed multiply-shift
+///    reciprocal (`FastDiv64`), turning the paper's "series of inexpensive
+///    mod and div functions" into multiplies.
 ///
 /// The compiled program is immutable: recompile after appending operations
-/// (ops are rare; lookups are millions/sec). `bench_lookup` quantifies the
-/// speedup; `compiled_log_test` proves bit-exact equivalence with `Mapper`.
+/// (ops are rare; lookups are millions/sec). `source_revision()` echoes
+/// `OpLog::revision()` at compile time so callers can detect staleness with
+/// one integer compare. `bench_lookup` quantifies the speedup;
+/// `compiled_log_test` proves bit-exact equivalence with `Mapper`.
+///
+/// ## Batch evaluation
+///
+/// The `*Batch` entry points evaluate a contiguous span of blocks
+/// *step-major*: the outer loop walks compiled steps, the inner loop walks
+/// the block array. Per-step parameters (N's, reciprocals, renumber-table
+/// base pointer) then stay in registers across the whole span, a removal's
+/// renumber table stays hot in cache while every block consults it, and the
+/// inner loop is a branch-light sequence the compiler can unroll. All
+/// blocks of one batch must share a `from` epoch (objects are written at
+/// one epoch, so natural batches — an object's blocks, a planner shard —
+/// already do); this is the same-epoch fast path: no per-element epoch
+/// check anywhere in the hot loop. `bench_remap_throughput` measures the
+/// step-major speedup over per-call replay.
 class CompiledLog {
  public:
   /// Compiles a snapshot of `log`. O(sum of N over removal ops) time/space.
@@ -36,13 +57,44 @@ class CompiledLog {
   /// Final physical disk for a chain starting at epoch `from`.
   PhysicalDiskId LocatePhysical(uint64_t x0, Epoch from = 0) const;
 
+  /// In-place step-major advance: replays compiled steps `from+1 .. to`
+  /// over every element of `xs` (checked: 0 <= from <= to <= num_ops).
+  /// `xs[i]` must hold `X_from(i)` on entry and holds `X_to(i)` on return.
+  /// The planners use the intermediate-epoch form to read a chain at both
+  /// `j-1` and `j` in one pass.
+  void AdvanceXBatch(std::span<uint64_t> xs, Epoch from, Epoch to) const;
+
+  /// `xs[i] := FinalX(xs[i], from)` for the whole span, step-major.
+  void FinalXBatch(std::span<uint64_t> xs, Epoch from = 0) const {
+    AdvanceXBatch(xs, from, num_ops());
+  }
+
+  /// `out[i] := LocateSlot(x0[i], from)` (sizes must match, checked).
+  /// `out` doubles as the scratch space, so the batch needs no allocation.
+  void LocateSlotBatch(std::span<const uint64_t> x0, std::span<DiskSlot> out,
+                       Epoch from = 0) const;
+
+  /// `out[i] := LocatePhysical(x0[i], from)` (sizes must match, checked).
+  void LocatePhysicalBatch(std::span<const uint64_t> x0,
+                           std::span<PhysicalDiskId> out,
+                           Epoch from = 0) const;
+
   int64_t num_ops() const { return static_cast<int64_t>(steps_.size()); }
   int64_t current_disks() const { return current_disks_; }
+
+  /// `N_j` for `j` in [0, num_ops()] (checked) — the compiled mirror of
+  /// `OpLog::disks_after`, so batch callers never touch the log.
+  int64_t disks_after(Epoch j) const;
+
+  /// `OpLog::revision()` of the source log when this snapshot was compiled.
+  int64_t source_revision() const { return source_revision_; }
 
  private:
   struct Step {
     int64_t n_prev = 0;
     int64_t n_cur = 0;
+    FastDiv64 div_prev;  // Reciprocal of n_prev.
+    FastDiv64 div_cur;   // Reciprocal of n_cur.
     bool is_add = false;
     // For removals: dense renumbering, size n_prev; kRemovedSlot for slots
     // the op removes (their blocks take the q-path).
@@ -54,7 +106,10 @@ class CompiledLog {
   std::vector<Step> steps_;
   std::vector<int32_t> renumber_;  // Concatenated renumber tables.
   std::vector<PhysicalDiskId> physical_;  // Final slot -> physical id.
+  int64_t initial_disks_ = 0;
   int64_t current_disks_ = 0;
+  FastDiv64 div_current_;  // Reciprocal of current_disks_.
+  int64_t source_revision_ = 0;
 };
 
 }  // namespace scaddar

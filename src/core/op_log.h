@@ -51,6 +51,12 @@ class OpLog {
   /// Number of scaling operations performed (the paper's `j`).
   int64_t num_ops() const { return static_cast<int64_t>(ops_.size()); }
 
+  /// Monotonic counter bumped by every successful `Append`. Lets holders of
+  /// a compiled snapshot (`CompiledLog`) detect staleness with one integer
+  /// compare instead of recompiling defensively; unlike `num_ops()` it is
+  /// explicitly a change-detection token, not a semantic quantity.
+  int64_t revision() const { return revision_; }
+
   /// `N_j` for `j` in `[0, num_ops()]` (checked).
   int64_t disks_after(Epoch j) const;
 
@@ -106,6 +112,7 @@ class OpLog {
   std::vector<std::vector<PhysicalDiskId>> physical_by_epoch_;
   PhysicalDiskId next_physical_id_ = 0;
   SaturatingProduct pi_;
+  int64_t revision_ = 0;
 };
 
 }  // namespace scaddar

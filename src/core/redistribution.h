@@ -9,6 +9,7 @@
 #include "core/types.h"
 #include "stats/movement.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace scaddar {
 
@@ -33,6 +34,17 @@ class MovePlan {
   void Add(BlockMove move) { moves_.push_back(move); }
   void set_blocks_considered(int64_t n) { blocks_considered_ = n; }
 
+  /// Pre-sizes the move vector. The planners pass the RO1-expected move
+  /// count (`z_j/N_j · blocks` for additions), so million-block plans grow
+  /// without `push_back` reallocation churn.
+  void Reserve(int64_t n) {
+    moves_.reserve(static_cast<size_t>(n < 0 ? 0 : n));
+  }
+
+  /// Splices `shard`'s moves onto the end (planner shard merge); `shard`'s
+  /// `blocks_considered` accounting is added too.
+  void Append(MovePlan&& shard);
+
   const std::vector<BlockMove>& moves() const { return moves_; }
   int64_t num_moves() const { return static_cast<int64_t>(moves_.size()); }
   int64_t blocks_considered() const { return blocks_considered_; }
@@ -54,25 +66,62 @@ struct ObjectBlocksView {
   Epoch start_epoch = 0;
 };
 
+/// Controls how the planners shard their block scans across threads.
+/// The defaults give the serial batch path; every configuration yields a
+/// `MovePlan` byte-identical to every other (see below).
+struct ParallelPlanOptions {
+  /// Worker count when `pool == nullptr`; <= 1 plans on the calling
+  /// thread. Ignored if `pool` is set (its size is used instead).
+  int num_threads = 1;
+
+  /// Inputs smaller than this stay on the calling thread even when
+  /// threads are available — shard setup costs more than it saves.
+  int64_t min_blocks_to_shard = 1 << 16;
+
+  /// Optional caller-owned pool to run on (it must outlive the call);
+  /// `nullptr` spins up a transient pool of `num_threads` workers.
+  ThreadPool* pool = nullptr;
+};
+
 /// The paper's `RF()` for scaling operation `j` (1-based, in
 /// [1, log.num_ops()], checked): computes which blocks must move between
 /// epochs `j-1` and `j`. Per Section 4: on additions the REMAP chain is
 /// evaluated for *every* block (any block may win a slot on a new disk); on
 /// removals only blocks resident on removed disks relocate — the plan
 /// contains exactly those blocks whose *physical* disk changes.
+///
+/// Evaluation is batched through `CompiledLog` step-major kernels: one
+/// chain pass reads each block at both `j-1` and `j`. With `options`
+/// requesting threads, the flattened (object, block) sequence is cut into
+/// contiguous shards planned concurrently and merged in shard order, so
+/// the result is *byte-identical* to the serial plan — same moves, same
+/// order — regardless of thread count (`parallel_plan_test` proves it).
 MovePlan PlanOperation(const OpLog& log, Epoch j,
-                       const std::vector<ObjectBlocksView>& objects);
+                       const std::vector<ObjectBlocksView>& objects,
+                       const ParallelPlanOptions& options = {});
 
 /// Plans the paper's fallback when Lemma 4.3's precondition is violated:
 /// a complete redistribution onto a fresh placement. `from` maps blocks via
 /// (`from_log` replayed over `from_x0`); `to` via (`to_log` over `to_x0`,
 /// typically a new seed generation with an empty log). Both views must
 /// enumerate the same objects with the same block counts (checked). Every
-/// block whose physical disk differs is emitted.
+/// block whose physical disk differs is emitted. Batched and sharded
+/// exactly like `PlanOperation` (deterministic for any `options`).
 MovePlan PlanFullRedistribution(const OpLog& from_log,
                                 const std::vector<ObjectBlocksView>& from_x0,
                                 const OpLog& to_log,
-                                const std::vector<ObjectBlocksView>& to_x0);
+                                const std::vector<ObjectBlocksView>& to_x0,
+                                const ParallelPlanOptions& options = {});
+
+/// Reference implementations: one `Mapper` replay per block per epoch, no
+/// batching, no threads. Retained as the equivalence oracle for the batch
+/// planners (`batch_equivalence_test`) and as the baseline that
+/// `bench_remap_throughput` measures the step-major kernels against.
+MovePlan PlanOperationScalar(const OpLog& log, Epoch j,
+                             const std::vector<ObjectBlocksView>& objects);
+MovePlan PlanFullRedistributionScalar(
+    const OpLog& from_log, const std::vector<ObjectBlocksView>& from_x0,
+    const OpLog& to_log, const std::vector<ObjectBlocksView>& to_x0);
 
 }  // namespace scaddar
 

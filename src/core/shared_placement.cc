@@ -35,4 +35,10 @@ PhysicalDiskId SharedPlacement::Locate(uint64_t x0, Epoch start_epoch) const {
   return Snapshot()->LocatePhysical(x0, start_epoch);
 }
 
+void SharedPlacement::LocateBatch(std::span<const uint64_t> x0,
+                                  std::span<PhysicalDiskId> out,
+                                  Epoch start_epoch) const {
+  Snapshot()->LocatePhysicalBatch(x0, out, start_epoch);
+}
+
 }  // namespace scaddar

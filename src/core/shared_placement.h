@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 
 #include "core/compiled_log.h"
 #include "core/op_log.h"
@@ -35,6 +36,13 @@ class SharedPlacement {
   /// Lock-free-ish block lookup (one shared-lock pointer copy, then pure
   /// computation on the immutable snapshot). Safe from any thread.
   PhysicalDiskId Locate(uint64_t x0, Epoch start_epoch = 0) const;
+
+  /// Batch lookup: all of `x0` resolve against ONE pinned snapshot via the
+  /// step-major kernels — a single shared-lock pointer copy no matter how
+  /// many blocks, and every block observes the same epoch (sizes must
+  /// match, checked; all blocks share `start_epoch`).
+  void LocateBatch(std::span<const uint64_t> x0,
+                   std::span<PhysicalDiskId> out, Epoch start_epoch = 0) const;
 
   /// Pins the current snapshot — use for a batch of lookups that must all
   /// observe the same epoch.

@@ -28,6 +28,15 @@ Status PlacementPolicy::ApplyOp(const ScalingOp& op) {
   return OnOp(op);
 }
 
+void PlacementPolicy::LocateAllBlocks(ObjectId object,
+                                      std::vector<PhysicalDiskId>& out) const {
+  const size_t blocks = x0_of(object).size();
+  out.resize(blocks);
+  for (size_t i = 0; i < blocks; ++i) {
+    out[i] = Locate(object, static_cast<BlockIndex>(i));
+  }
+}
+
 Status PlacementPolicy::OnObjectAdded(ObjectId /*id*/) { return OkStatus(); }
 
 Status PlacementPolicy::OnObjectRemoved(ObjectId /*id*/) {

@@ -53,6 +53,14 @@ class PlacementPolicy {
   /// `block` of `object` (which must be registered; checked).
   virtual PhysicalDiskId Locate(ObjectId object, BlockIndex block) const = 0;
 
+  /// Batch `AF()`: fills `out` with the physical disk of every block of
+  /// `object` (resized to the object's block count). The default loops over
+  /// `Locate`; policies with a batch fast path (SCADDAR's step-major
+  /// compiled kernels) override it so bulk consumers — reconciliation,
+  /// snapshots, planners — pay one virtual call per object, not per block.
+  virtual void LocateAllBlocks(ObjectId object,
+                               std::vector<PhysicalDiskId>& out) const;
+
   /// Scaling history (shared semantics across policies).
   const OpLog& log() const { return log_; }
   int64_t current_disks() const { return log_.current_disks(); }

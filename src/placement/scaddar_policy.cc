@@ -1,28 +1,46 @@
 #include "placement/scaddar_policy.h"
 
+#include <span>
+
 namespace scaddar {
+
+const CompiledLog& ScaddarPolicy::compiled() const {
+  if (compiled_ == nullptr ||
+      compiled_->source_revision() != log().revision()) {
+    compiled_ = std::make_unique<CompiledLog>(log());
+  }
+  return *compiled_;
+}
 
 PhysicalDiskId ScaddarPolicy::Locate(ObjectId object,
                                      BlockIndex block) const {
   const std::vector<uint64_t>& x0 = x0_of(object);
   SCADDAR_CHECK(block >= 0 &&
                 block < static_cast<BlockIndex>(x0.size()));
-  const Mapper mapper(&log());
-  return mapper.PhysicalBetween(x0[static_cast<size_t>(block)],
-                                epoch_added(object), log().num_ops());
+  return compiled().LocatePhysical(x0[static_cast<size_t>(block)],
+                                   epoch_added(object));
+}
+
+void ScaddarPolicy::LocateAllBlocks(ObjectId object,
+                                    std::vector<PhysicalDiskId>& out) const {
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  out.resize(x0.size());
+  compiled().LocatePhysicalBatch(std::span<const uint64_t>(x0),
+                                 std::span<PhysicalDiskId>(out),
+                                 epoch_added(object));
 }
 
 DiskSlot ScaddarPolicy::LocateSlot(ObjectId object, BlockIndex block) const {
   const std::vector<uint64_t>& x0 = x0_of(object);
   SCADDAR_CHECK(block >= 0 &&
                 block < static_cast<BlockIndex>(x0.size()));
-  const Mapper mapper(&log());
-  return mapper.SlotBetween(x0[static_cast<size_t>(block)],
-                            epoch_added(object), log().num_ops());
+  return compiled().LocateSlot(x0[static_cast<size_t>(block)],
+                               epoch_added(object));
 }
 
 Status ScaddarPolicy::OnOp(const ScalingOp& /*op*/) {
   // SCADDAR needs no per-block state: the op log is the whole RF() record.
+  // The compiled-log cache self-invalidates via OpLog::revision().
   return OkStatus();
 }
 

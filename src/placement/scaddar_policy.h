@@ -1,6 +1,9 @@
 #ifndef SCADDAR_PLACEMENT_SCADDAR_POLICY_H_
 #define SCADDAR_PLACEMENT_SCADDAR_POLICY_H_
 
+#include <memory>
+
+#include "core/compiled_log.h"
 #include "core/mapper.h"
 #include "placement/policy.h"
 
@@ -9,6 +12,12 @@ namespace scaddar {
 /// The paper's contribution as a placement policy. Completely stateless
 /// beyond the shared op log: `Locate` replays the REMAP chain from the
 /// block's `X0` (AO1), and scaling operations need no per-block bookkeeping.
+///
+/// Lookups run against a cached `CompiledLog` of the op log rather than a
+/// fresh `Mapper` replay: the cache is rebuilt lazily whenever
+/// `OpLog::revision()` says the log moved on (ops are rare, lookups are
+/// millions/sec), and `LocateAllBlocks` feeds whole objects through the
+/// step-major batch kernels.
 ///
 /// Objects are epoch-aware: one registered after `j` scaling operations
 /// starts its chain at epoch `j` (initial placement `X0 mod N_j`), so late
@@ -24,11 +33,21 @@ class ScaddarPolicy final : public PlacementPolicy {
 
   PhysicalDiskId Locate(ObjectId object, BlockIndex block) const override;
 
+  void LocateAllBlocks(ObjectId object,
+                       std::vector<PhysicalDiskId>& out) const override;
+
   /// Logical slot variant (exposed for tests and the Figure 1 walkthrough).
   DiskSlot LocateSlot(ObjectId object, BlockIndex block) const;
 
  protected:
   Status OnOp(const ScalingOp& op) override;
+
+ private:
+  /// The compiled snapshot of `log()`, rebuilt iff the log's revision
+  /// advanced since the last call.
+  const CompiledLog& compiled() const;
+
+  mutable std::unique_ptr<CompiledLog> compiled_;
 };
 
 }  // namespace scaddar

@@ -10,14 +10,17 @@ void MigrationExecutor::EnqueuePlan(const MovePlan& plan) {
 
 void MigrationExecutor::EnqueueReconciliation(const BlockStore& store,
                                               const PlacementPolicy& policy) {
+  // Targets come from the per-object batch AF(): under SCADDAR that is one
+  // compiled step-major pass per object instead of a virtual call plus a
+  // full chain replay per block.
+  std::vector<PhysicalDiskId> targets;
   for (const auto& [id, x0] : policy.objects_view()) {
+    policy.LocateAllBlocks(id, targets);
     for (size_t i = 0; i < x0.size(); ++i) {
       const BlockRef ref{id, static_cast<BlockIndex>(i)};
-      const PhysicalDiskId target =
-          policy.Locate(id, static_cast<BlockIndex>(i));
       const StatusOr<PhysicalDiskId> current = store.LocationOf(ref);
       SCADDAR_CHECK(current.ok());
-      if (*current != target) {
+      if (*current != targets[i]) {
         queue_.push_back(ref);
       }
     }

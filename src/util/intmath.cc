@@ -19,6 +19,38 @@ void SaturatingProduct::MultiplyBy(uint64_t factor) {
   value_ *= factor;
 }
 
+FastDiv64::FastDiv64(uint64_t d) {
+  SCADDAR_CHECK(d != 0);
+  d_ = d;
+  const int log = 63 - __builtin_clzll(d);
+  if ((d & (d - 1)) == 0) {
+    // Power of two: plain shift, flagged by magic_ == 0.
+    magic_ = 0;
+    shift_ = static_cast<uint8_t>(log);
+    return;
+  }
+  // m = floor(2^(64+log) / d); 64+log <= 127 so the numerator fits in
+  // 128 bits. The estimate q = (m+1)*x >> (64+log) is exact when the
+  // defect e = d - (2^(64+log) mod d) is < 2^log; otherwise one more bit
+  // of precision is recovered with the add-and-halve step.
+  const unsigned __int128 p = static_cast<unsigned __int128>(1) << (64 + log);
+  uint64_t m = static_cast<uint64_t>(p / d);
+  const uint64_t rem = static_cast<uint64_t>(p - static_cast<unsigned __int128>(m) * d);
+  const uint64_t e = d - rem;
+  shift_ = static_cast<uint8_t>(log);
+  if (e < (uint64_t{1} << log)) {
+    add_ = false;
+  } else {
+    add_ = true;
+    const uint64_t twice_rem = rem + rem;
+    m += m;
+    if (twice_rem >= d || twice_rem < rem) {
+      ++m;
+    }
+  }
+  magic_ = m + 1;
+}
+
 int FloorLog2(uint64_t x) {
   SCADDAR_CHECK(x != 0);
   return 63 - __builtin_clzll(x);

@@ -55,6 +55,51 @@ class SaturatingProduct {
   bool saturated_ = false;
 };
 
+/// Precomputed multiply-shift reciprocal for repeated unsigned division by
+/// a fixed 64-bit divisor (Granlund–Montgomery). One hardware division at
+/// construction buys back every division in a hot loop: `Div` is a 64x64
+/// high-multiply plus a shift. The batch REMAP kernels divide millions of
+/// blocks by the same `N_j` per step, which is exactly this trade.
+class FastDiv64 {
+ public:
+  /// Prepares division by `d` (> 0, checked).
+  explicit FastDiv64(uint64_t d);
+
+  /// Uninitialized-but-valid state (divides by 1); lets containers of
+  /// FastDiv64 be resized before the divisors are known.
+  FastDiv64() : FastDiv64(1) {}
+
+  /// `x / divisor()`, exact for all x.
+  uint64_t Div(uint64_t x) const {
+    if (magic_ == 0) {
+      return x >> shift_;  // Power-of-two divisor.
+    }
+    const uint64_t hi = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(magic_) * x) >> 64);
+    if (add_) {
+      return (((x - hi) >> 1) + hi) >> shift_;
+    }
+    return hi >> shift_;
+  }
+
+  /// `x mod divisor()`.
+  uint64_t Mod(uint64_t x) const { return x - Div(x) * d_; }
+
+  /// Both at once (one multiply, shared).
+  QuotRem DivMod(uint64_t x) const {
+    const uint64_t q = Div(x);
+    return QuotRem{q, x - q * d_};
+  }
+
+  uint64_t divisor() const { return d_; }
+
+ private:
+  uint64_t d_ = 1;
+  uint64_t magic_ = 0;
+  uint8_t shift_ = 0;
+  bool add_ = false;
+};
+
 /// Floor of log base 2 of `x`; `x` must be non-zero (checked).
 int FloorLog2(uint64_t x);
 

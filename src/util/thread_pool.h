@@ -1,0 +1,60 @@
+#ifndef SCADDAR_UTIL_THREAD_POOL_H_
+#define SCADDAR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+/// A minimal fixed-size worker pool for compute fan-out (redistribution
+/// planning shards, batch chain evaluation). Deliberately small surface:
+/// tasks are fire-and-forget closures, and `ParallelFor` provides the one
+/// pattern the planners need — chunked static partitioning with a join.
+/// No work stealing, no priorities: planner shards are pre-balanced by
+/// block count, so static chunks keep the merge order deterministic and
+/// the synchronization trivial to reason about (and to race-check).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Schedule(std::function<void()> task);
+
+  /// Runs `body(begin, end)` over `[begin, end)` split into contiguous
+  /// chunks, one per worker (the paper-facing "shard" granularity). Blocks
+  /// until every chunk finished. Chunk `t` covers
+  /// `[begin + t*ceil(n/k), ...)`, so the partition — and anything built
+  /// per-chunk and merged in chunk order — is deterministic for a given
+  /// `(n, num_threads)`. The calling thread executes chunk 0 itself.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_UTIL_THREAD_POOL_H_

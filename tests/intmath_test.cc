@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -149,6 +150,80 @@ TEST(MaxRandomForBitsTest, Values) {
 TEST(MaxRandomForBitsDeathTest, RejectsOutOfRange) {
   EXPECT_DEATH(MaxRandomForBits(0), "SCADDAR_CHECK");
   EXPECT_DEATH(MaxRandomForBits(65), "SCADDAR_CHECK");
+}
+
+TEST(FastDiv64Test, EdgeDivisorsExactOverEdgeDividends) {
+  const uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  const std::vector<uint64_t> divisors = {
+      1,       2,        3,          5,          7,          10,
+      11,      63,       64,         65,         100,        641,
+      1 << 16, (1 << 16) + 1, (uint64_t{1} << 32) - 1, uint64_t{1} << 32,
+      (uint64_t{1} << 32) + 1, 4294967291ull /* prime */, uint64_t{1} << 63,
+      (uint64_t{1} << 63) + 1, kMax - 1, kMax};
+  std::vector<uint64_t> dividends = {0, 1, 2, 3, 63, 64, 65, 1000000007ull};
+  for (const uint64_t d : divisors) {
+    // Dividends around every divisor's multiples catch off-by-one magic.
+    dividends.push_back(d - 1);
+    dividends.push_back(d);
+    dividends.push_back(d + 1);
+    dividends.push_back(kMax);
+    dividends.push_back(kMax - 1);
+  }
+  for (const uint64_t d : divisors) {
+    const FastDiv64 div(d);
+    EXPECT_EQ(div.divisor(), d);
+    for (const uint64_t x : dividends) {
+      ASSERT_EQ(div.Div(x), x / d) << "x=" << x << " d=" << d;
+      ASSERT_EQ(div.Mod(x), x % d) << "x=" << x << " d=" << d;
+      const QuotRem qr = div.DivMod(x);
+      ASSERT_EQ(qr.quot, x / d);
+      ASSERT_EQ(qr.rem, x % d);
+    }
+  }
+}
+
+TEST(FastDiv64Test, RandomizedExactness) {
+  // SplitMix64-style scramble: deterministic pseudo-random 64-bit pairs.
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t d = next() | 1u;  // Odd, so never a power of two.
+    const uint64_t x = next();
+    const FastDiv64 div(d);
+    ASSERT_EQ(div.Div(x), x / d) << "x=" << x << " d=" << d;
+  }
+  for (int shift = 0; shift < 64; ++shift) {
+    const FastDiv64 div(uint64_t{1} << shift);
+    for (int i = 0; i < 100; ++i) {
+      const uint64_t x = next();
+      ASSERT_EQ(div.Div(x), x >> shift);
+    }
+  }
+  // Small divisors (disk counts) against random dividends — the hot case.
+  for (uint64_t d = 1; d <= 300; ++d) {
+    const FastDiv64 div(d);
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t x = next();
+      ASSERT_EQ(div.Div(x), x / d) << "x=" << x << " d=" << d;
+    }
+  }
+}
+
+TEST(FastDiv64Test, DefaultDividesByOne) {
+  const FastDiv64 div;
+  EXPECT_EQ(div.divisor(), 1u);
+  EXPECT_EQ(div.Div(12345), 12345u);
+  EXPECT_EQ(div.Mod(12345), 0u);
+}
+
+TEST(FastDiv64DeathTest, RejectsZeroDivisor) {
+  EXPECT_DEATH(FastDiv64(0), "SCADDAR_CHECK");
 }
 
 }  // namespace

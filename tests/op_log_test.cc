@@ -82,6 +82,24 @@ TEST(OpLogTest, PhysicalHistoryPerEpoch) {
   EXPECT_EQ(log.physical_disks_at(2), (std::vector<PhysicalDiskId>{0, 2, 3}));
 }
 
+TEST(OpLogTest, RevisionBumpsOnAppendOnly) {
+  OpLog log = MakeLog(4);
+  EXPECT_EQ(log.revision(), 0);
+  ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());
+  EXPECT_EQ(log.revision(), 1);
+  // A rejected append leaves the revision untouched.
+  EXPECT_FALSE(log.Append(ScalingOp::Remove({99}).value()).ok());
+  EXPECT_EQ(log.revision(), 1);
+  ASSERT_TRUE(log.Append(ScalingOp::Remove({0}).value()).ok());
+  EXPECT_EQ(log.revision(), 2);
+  // Copies carry the counter; the copy and original then advance alone.
+  OpLog copy = log;
+  EXPECT_EQ(copy.revision(), 2);
+  ASSERT_TRUE(copy.Append(ScalingOp::Add(2).value()).ok());
+  EXPECT_EQ(copy.revision(), 3);
+  EXPECT_EQ(log.revision(), 2);
+}
+
 TEST(OpLogTest, PiTracksProductOfCounts) {
   OpLog log = MakeLog(4);                                        // Pi = 4
   ASSERT_TRUE(log.Append(ScalingOp::Add(1).value()).ok());       // * 5

@@ -1,0 +1,146 @@
+// Determinism proofs for parallel redistribution planning: for any thread
+// count (1, 2, 8), with or without a shared pool, `PlanOperation` and
+// `PlanFullRedistribution` must produce a `MovePlan` identical to the
+// serial planner — same moves, same order, same accounting. This test is
+// also the TSan smoke payload (`tsan_smoke` rebuilds and runs it with
+// `-fsanitize=thread`), so it deliberately drives the pool hard.
+
+#include <iterator>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/redistribution.h"
+#include "random/sequence.h"
+#include "util/thread_pool.h"
+
+namespace scaddar {
+namespace {
+
+OpLog MixedLog() {
+  OpLog log = OpLog::Create(10).value();
+  for (const char* text : {"A2", "R1,4", "A1", "R0", "A3", "R2,5"}) {
+    EXPECT_TRUE(log.Append(ScalingOp::Parse(text).value()).ok());
+  }
+  return log;
+}
+
+struct Corpus {
+  std::vector<std::vector<uint64_t>> storage;
+  std::vector<ObjectBlocksView> views;
+};
+
+// Several objects of uneven sizes and different start epochs, so shard
+// boundaries land mid-object and across object boundaries.
+Corpus MakeCorpus(uint64_t seed_base, int64_t scale) {
+  Corpus corpus;
+  const struct {
+    int64_t blocks;
+    Epoch epoch;
+  } shapes[] = {{37 * scale, 0}, {101 * scale, 2}, {1 * scale, 3},
+                {53 * scale, 0}, {89 * scale, 1}};
+  corpus.storage.reserve(std::size(shapes));
+  ObjectId next_id = 1;
+  for (const auto& shape : shapes) {
+    auto seq = X0Sequence::Create(PrngKind::kSplitMix64,
+                                  seed_base + static_cast<uint64_t>(next_id),
+                                  64)
+                   .value();
+    corpus.storage.push_back(seq.Materialize(shape.blocks));
+    corpus.views.push_back(
+        {next_id++, &corpus.storage.back(), shape.epoch});
+  }
+  return corpus;
+}
+
+void ExpectPlansIdentical(const MovePlan& actual, const MovePlan& expected) {
+  ASSERT_EQ(actual.num_moves(), expected.num_moves());
+  ASSERT_EQ(actual.blocks_considered(), expected.blocks_considered());
+  for (int64_t i = 0; i < actual.num_moves(); ++i) {
+    ASSERT_EQ(actual.moves()[static_cast<size_t>(i)],
+              expected.moves()[static_cast<size_t>(i)])
+        << "move " << i;
+  }
+}
+
+class ParallelPlanTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelPlanTest, PlanOperationIdenticalToSerialAtAnyThreadCount) {
+  const int threads = GetParam();
+  const OpLog log = MixedLog();
+  const Corpus corpus = MakeCorpus(/*seed_base=*/40, /*scale=*/97);
+  ParallelPlanOptions options;
+  options.num_threads = threads;
+  options.min_blocks_to_shard = 1;  // Force sharding even on small inputs.
+  for (Epoch j = 1; j <= log.num_ops(); ++j) {
+    const MovePlan serial = PlanOperation(log, j, corpus.views);
+    const MovePlan parallel = PlanOperation(log, j, corpus.views, options);
+    ExpectPlansIdentical(parallel, serial);
+  }
+}
+
+TEST_P(ParallelPlanTest, PlanFullRedistributionIdenticalToSerial) {
+  const int threads = GetParam();
+  const OpLog from_log = MixedLog();
+  const OpLog to_log = OpLog::Create(14).value();
+  const Corpus from = MakeCorpus(/*seed_base=*/60, /*scale=*/61);
+  Corpus to = MakeCorpus(/*seed_base=*/80, /*scale=*/61);
+  for (ObjectBlocksView& view : to.views) {
+    view.start_epoch = 0;  // Fresh seed generation: chains start at epoch 0.
+  }
+  ParallelPlanOptions options;
+  options.num_threads = threads;
+  options.min_blocks_to_shard = 1;
+  const MovePlan serial =
+      PlanFullRedistribution(from_log, from.views, to_log, to.views);
+  const MovePlan parallel =
+      PlanFullRedistribution(from_log, from.views, to_log, to.views, options);
+  ExpectPlansIdentical(parallel, serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelPlanTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(ParallelPlanTest, SharedPoolMatchesTransientPool) {
+  const OpLog log = MixedLog();
+  const Corpus corpus = MakeCorpus(/*seed_base=*/100, /*scale=*/53);
+  ThreadPool pool(4);
+  ParallelPlanOptions shared;
+  shared.pool = &pool;
+  shared.min_blocks_to_shard = 1;
+  ParallelPlanOptions transient;
+  transient.num_threads = 4;
+  transient.min_blocks_to_shard = 1;
+  for (Epoch j = 1; j <= log.num_ops(); ++j) {
+    ExpectPlansIdentical(PlanOperation(log, j, corpus.views, shared),
+                         PlanOperation(log, j, corpus.views, transient));
+  }
+}
+
+TEST(ParallelPlanTest, PoolIsReusableAcrossManyPlans) {
+  // Stresses pool reuse (and, under TSan, the ParallelFor join protocol).
+  const OpLog log = MixedLog();
+  const Corpus corpus = MakeCorpus(/*seed_base=*/120, /*scale=*/11);
+  ThreadPool pool(8);
+  ParallelPlanOptions options;
+  options.pool = &pool;
+  options.min_blocks_to_shard = 1;
+  const MovePlan expected = PlanOperation(log, 2, corpus.views);
+  for (int round = 0; round < 25; ++round) {
+    ExpectPlansIdentical(PlanOperation(log, 2, corpus.views, options),
+                         expected);
+  }
+}
+
+TEST(ParallelPlanTest, SmallInputsStayOnCallingThread) {
+  const OpLog log = MixedLog();
+  const Corpus corpus = MakeCorpus(/*seed_base=*/140, /*scale=*/1);
+  ParallelPlanOptions options;
+  options.num_threads = 8;  // Default min_blocks_to_shard exceeds input.
+  const MovePlan serial = PlanOperation(log, 1, corpus.views);
+  const MovePlan parallel = PlanOperation(log, 1, corpus.views, options);
+  ExpectPlansIdentical(parallel, serial);
+}
+
+}  // namespace
+}  // namespace scaddar
