@@ -3,6 +3,7 @@
 // headroom left for reorganization. This exercises the paper's core
 // motivation: scaling without taking the server down.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
@@ -18,9 +19,11 @@ struct Outcome {
   int64_t served = 0;
   int64_t hiccups = 0;
   int64_t moved = 0;
+  double wall_seconds = 0;
 };
 
-Outcome RunScenario(double utilization_cap, int64_t extra_budget) {
+Outcome RunScenario(double utilization_cap, int64_t extra_budget,
+                    ServingPath path = ServingPath::kBatchCursor) {
   ServerConfig config;
   config.initial_disks = 8;
   config.disk_spec = {.capacity_blocks = 500'000,
@@ -28,6 +31,7 @@ Outcome RunScenario(double utilization_cap, int64_t extra_budget) {
   config.master_seed = 0xbeefull;
   config.admission_utilization_cap = utilization_cap;
   config.migration_extra_budget = extra_budget;
+  config.serving_path = path;
   auto server = std::move(CmServer::Create(config)).value();
   for (ObjectId id = 1; id <= 10; ++id) {
     SCADDAR_CHECK(server->AddObject(id, 2000).ok());
@@ -47,6 +51,7 @@ Outcome RunScenario(double utilization_cap, int64_t extra_budget) {
   SCADDAR_CHECK(server->ScaleAdd(2).ok());
   Outcome outcome;
   constexpr int kHorizon = 4000;
+  const auto start = std::chrono::steady_clock::now();
   for (int round = 0; round < kHorizon; ++round) {
     const RoundMetrics metrics = server->Tick();
     outcome.served += metrics.served;
@@ -58,8 +63,43 @@ Outcome RunScenario(double utilization_cap, int64_t extra_budget) {
       outcome.migration_rounds = round + 1;
     }
   }
+  outcome.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
   outcome.moved = server->migration().total_moved();
   return outcome;
+}
+
+/// Batch tier: the same scaling scenario under each serving-path
+/// implementation. Served/hiccup counts must be identical (the paths are
+/// equivalent); wall time is where they differ.
+void RunServingTiers() {
+  bench::PrintRule();
+  std::printf("%-14s %-12s %-12s %-12s %-12s\n", "serving-path", "served",
+              "hiccups", "wall-s", "speedup");
+  const Outcome oracle =
+      RunScenario(0.7, 0, ServingPath::kStoreScalar);
+  for (const auto& [name, path] :
+       std::initializer_list<std::pair<const char*, ServingPath>>{
+           {"store-scalar", ServingPath::kStoreScalar},
+           {"batch-cursor", ServingPath::kBatchCursor}}) {
+    const Outcome outcome =
+        path == ServingPath::kStoreScalar ? oracle
+                                          : RunScenario(0.7, 0, path);
+    SCADDAR_CHECK(outcome.served == oracle.served &&
+                  outcome.hiccups == oracle.hiccups);
+    std::printf("%-14s %-12lld %-12lld %-12.3f %-12.2f\n", name,
+                static_cast<long long>(outcome.served),
+                static_cast<long long>(outcome.hiccups),
+                outcome.wall_seconds,
+                outcome.wall_seconds > 0
+                    ? oracle.wall_seconds / outcome.wall_seconds
+                    : 0.0);
+  }
+  std::printf(
+      "Identical served/hiccup counts by construction (checked); the\n"
+      "batched cursor path buys its speedup without changing a single\n"
+      "scheduling decision.\n");
 }
 
 void Run() {
@@ -90,6 +130,7 @@ void Run() {
       "tail) — compare rows with equal caps to see that the background\n"
       "migration itself adds virtually no hiccups: the server never goes\n"
       "down for reorganization.\n");
+  RunServingTiers();
 }
 
 }  // namespace

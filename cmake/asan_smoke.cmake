@@ -1,0 +1,35 @@
+# Configures, builds and runs the serving-path tests under AddressSanitizer
+# in a nested build tree. Driven by the `asan_smoke` ctest entry so the
+# cursor windows, span-based store rows and batched migration rounds are
+# memory-checked as part of tier-1; also runnable directly:
+#   cmake -DSOURCE_DIR=. -DBINARY_DIR=build/asan-smoke -P cmake/asan_smoke.cmake
+foreach(var SOURCE_DIR BINARY_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "asan_smoke.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DSCADDAR_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
+  RESULT_VARIABLE configure_result)
+if(configure_result)
+  message(FATAL_ERROR "ASan configure failed: ${configure_result}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR}
+          --target location_cursor_test serving_equivalence_test
+  RESULT_VARIABLE build_result)
+if(build_result)
+  message(FATAL_ERROR "ASan build failed: ${build_result}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_CTEST_COMMAND} --test-dir ${BINARY_DIR}
+          -R "location_cursor_test|serving_equivalence_test"
+          --output-on-failure
+  RESULT_VARIABLE test_result)
+if(test_result)
+  message(FATAL_ERROR "ASan smoke tests failed: ${test_result}")
+endif()

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -60,6 +61,25 @@ class PlacementPolicy {
   /// snapshots, planners — pay one virtual call per object, not per block.
   virtual void LocateAllBlocks(ObjectId object,
                                std::vector<PhysicalDiskId>& out) const;
+
+  /// Batch `AF()` over the contiguous block range `[begin, end)` of
+  /// `object` (`out.size()` must equal `end - begin`; bounds checked). The
+  /// serving-path cursors prefetch their sliding windows through this —
+  /// policies with batch kernels resolve the whole window against one
+  /// pinned snapshot.
+  virtual void LocateRange(ObjectId object, BlockIndex begin, BlockIndex end,
+                           std::span<PhysicalDiskId> out) const;
+
+  /// Batch `AF()` over an arbitrary set of block indices of one object
+  /// (sizes must match; indices bounds-checked). The migration executor
+  /// resolves a round's queued blocks per object through this.
+  virtual void LocateMany(ObjectId object, std::span<const BlockIndex> blocks,
+                          std::span<PhysicalDiskId> out) const;
+
+  /// Hook for batch consumers that fan work out across threads: brings any
+  /// lazily built lookup state (SCADDAR's compiled-log cache) up to date on
+  /// the calling thread so concurrent `Locate*` calls are read-only.
+  virtual void PrepareForBatch() const {}
 
   /// Scaling history (shared semantics across policies).
   const OpLog& log() const { return log_; }

@@ -30,6 +30,42 @@ void ScaddarPolicy::LocateAllBlocks(ObjectId object,
                                  epoch_added(object));
 }
 
+void ScaddarPolicy::LocateRange(ObjectId object, BlockIndex begin,
+                                BlockIndex end,
+                                std::span<PhysicalDiskId> out) const {
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  const auto blocks = static_cast<BlockIndex>(x0.size());
+  SCADDAR_CHECK(begin >= 0 && begin <= end && end <= blocks);
+  SCADDAR_CHECK(static_cast<BlockIndex>(out.size()) == end - begin);
+  compiled().LocatePhysicalBatch(
+      std::span<const uint64_t>(x0).subspan(static_cast<size_t>(begin),
+                                            static_cast<size_t>(end - begin)),
+      out, epoch_added(object));
+}
+
+void ScaddarPolicy::LocateMany(ObjectId object,
+                               std::span<const BlockIndex> blocks,
+                               std::span<PhysicalDiskId> out) const {
+  SCADDAR_CHECK(blocks.size() == out.size());
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  std::vector<uint64_t> gathered(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    SCADDAR_CHECK(blocks[i] >= 0 &&
+                  blocks[i] < static_cast<BlockIndex>(x0.size()));
+    gathered[i] = x0[static_cast<size_t>(blocks[i])];
+  }
+  compiled().LocatePhysicalBatch(std::span<const uint64_t>(gathered), out,
+                                 epoch_added(object));
+}
+
+void ScaddarPolicy::LocateAllSlots(ObjectId object,
+                                   std::vector<DiskSlot>& out) const {
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  out.resize(x0.size());
+  compiled().LocateSlotBatch(std::span<const uint64_t>(x0),
+                             std::span<DiskSlot>(out), epoch_added(object));
+}
+
 DiskSlot ScaddarPolicy::LocateSlot(ObjectId object, BlockIndex block) const {
   const std::vector<uint64_t>& x0 = x0_of(object);
   SCADDAR_CHECK(block >= 0 &&

@@ -36,8 +36,24 @@ class ScaddarPolicy final : public PlacementPolicy {
   void LocateAllBlocks(ObjectId object,
                        std::vector<PhysicalDiskId>& out) const override;
 
+  void LocateRange(ObjectId object, BlockIndex begin, BlockIndex end,
+                   std::span<PhysicalDiskId> out) const override;
+
+  void LocateMany(ObjectId object, std::span<const BlockIndex> blocks,
+                  std::span<PhysicalDiskId> out) const override;
+
+  /// Rebuilds the compiled-log cache if stale; afterwards concurrent batch
+  /// lookups only read it (sharded reconciliation calls this before fanning
+  /// out across the thread pool).
+  void PrepareForBatch() const override { compiled(); }
+
   /// Logical slot variant (exposed for tests and the Figure 1 walkthrough).
   DiskSlot LocateSlot(ObjectId object, BlockIndex block) const;
+
+  /// Batch slot variant: one step-major pass over the whole object. The HA
+  /// server derives every replica's target from these primary slots, so one
+  /// chain evaluation serves R replicas.
+  void LocateAllSlots(ObjectId object, std::vector<DiskSlot>& out) const;
 
  protected:
   Status OnOp(const ScalingOp& op) override;

@@ -41,16 +41,39 @@ uint64_t X0Sequence::Next() { return prng_->Next() & max_value(); }
 
 void X0Sequence::Reset() { prng_ = MakePrng(kind_, seed_); }
 
-std::vector<uint64_t> X0Sequence::Materialize(int64_t n) const {
-  SCADDAR_CHECK(n >= 0);
-  std::unique_ptr<Prng> fresh = MakePrng(kind_, seed_);
-  std::vector<uint64_t> values;
-  values.reserve(static_cast<size_t>(n));
-  const uint64_t mask = max_value();
+namespace {
+
+std::vector<uint64_t> FillFromStart(Prng& prng, uint64_t mask, int64_t n) {
+  std::vector<uint64_t> values(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
-    values.push_back(fresh->Next() & mask);
+    values[static_cast<size_t>(i)] = prng.Next() & mask;
   }
   return values;
+}
+
+}  // namespace
+
+std::vector<uint64_t> X0Sequence::Materialize(int64_t n) const {
+  SCADDAR_CHECK(n >= 0);
+  const std::unique_ptr<Prng> fresh = MakePrng(kind_, seed_);
+  return FillFromStart(*fresh, max_value(), n);
+}
+
+StatusOr<std::vector<uint64_t>> X0Sequence::MaterializeOnce(PrngKind kind,
+                                                            uint64_t seed,
+                                                            int bits,
+                                                            int64_t n) {
+  if (bits < 1 || bits > 64) {
+    return InvalidArgumentError("bits must be in [1, 64]");
+  }
+  if (n < 0) {
+    return InvalidArgumentError("block count must be >= 0");
+  }
+  const std::unique_ptr<Prng> prng = MakePrng(kind, seed);
+  if (bits > prng->bits()) {
+    return InvalidArgumentError("bits exceeds generator output width");
+  }
+  return FillFromStart(*prng, MaxRandomForBits(bits), n);
 }
 
 CounterSequence::CounterSequence(uint64_t seed, int bits)

@@ -40,6 +40,16 @@ class X0Sequence {
   /// this object's iteration state (works on a clone).
   std::vector<uint64_t> Materialize(int64_t n) const;
 
+  /// One-shot `X0(0) ... X0(n-1)` without constructing a reusable sequence:
+  /// validates like `Create`, allocates exactly one generator, and sizes the
+  /// output up front. The ingest path (`Catalog::MaterializeX0`) uses this to
+  /// skip the extra per-ingest generator allocation that `Create` +
+  /// `Materialize` pays for position independence. Deterministic: repeated
+  /// calls with the same arguments are byte-identical.
+  static StatusOr<std::vector<uint64_t>> MaterializeOnce(PrngKind kind,
+                                                         uint64_t seed,
+                                                         int bits, int64_t n);
+
   /// The paper's `R = 2^bits - 1`.
   uint64_t max_value() const { return MaxRandomForBits(bits_); }
 

@@ -9,6 +9,18 @@
 
 namespace scaddar {
 
+/// How the round scheduler resolves each stream request to a disk.
+enum class ServingPath {
+  /// Production path: per-stream `LocationCursor` prefetch windows filled
+  /// by the batch engine and invalidated by revision compares.
+  kBatchCursor,
+  /// Original per-block store hash lookups (the materialized-truth oracle).
+  kStoreScalar,
+  /// Per-block virtual `Locate` chain replays. Valid only while no
+  /// migration is pending; exists as the bench baseline.
+  kPolicyScalar,
+};
+
 /// Configuration of the simulated continuous media server. The simulation
 /// is round-based: one round is the playback time of one block, each active
 /// stream consumes one block per round, and each disk retrieves
@@ -41,6 +53,13 @@ struct ServerConfig {
   /// Upper bound on migration transfers charged to any single disk per
   /// round *in addition to* leftover service bandwidth (0 = only leftover).
   int64_t migration_extra_budget = 0;
+
+  /// Serving-path implementation the scheduler uses each Tick.
+  ServingPath serving_path = ServingPath::kBatchCursor;
+
+  /// Worker threads for reconciliation scans after scaling operations
+  /// (1 = serial; the queue is byte-identical for any value).
+  int reconcile_threads = 1;
 };
 
 }  // namespace scaddar

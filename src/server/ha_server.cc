@@ -44,6 +44,28 @@ PhysicalDiskId HaCmServer::TargetOf(BlockRef ref, int64_t replica) const {
   return policy_->log().physical_disks()[static_cast<size_t>(slot)];
 }
 
+void HaCmServer::TargetsOf(
+    ObjectId id, int64_t replicas,
+    std::vector<std::vector<PhysicalDiskId>>& out) const {
+  const int64_t n = policy_->current_disks();
+  const std::vector<PhysicalDiskId>& physical =
+      policy_->log().physical_disks();
+  std::vector<DiskSlot> slots;
+  policy_->LocateAllSlots(id, slots);
+  out.assign(static_cast<size_t>(replicas), {});
+  for (int64_t r = 0; r < replicas; ++r) {
+    const int64_t offset =
+        replicas >= 2
+            ? ReplicatedPlacement::ReplicaOffset(n, replicas, r)
+            : 0;
+    std::vector<PhysicalDiskId>& row = out[static_cast<size_t>(r)];
+    row.resize(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      row[i] = physical[static_cast<size_t>((slots[i] + offset) % n)];
+    }
+  }
+}
+
 StatusOr<PhysicalDiskId> HaCmServer::CopyLocation(BlockRef ref,
                                                   int64_t replica) const {
   const auto it = copies_.find(ref.object);
@@ -76,17 +98,18 @@ Status HaCmServer::AddObject(ObjectId id, int64_t num_blocks,
   SCADDAR_ASSIGN_OR_RETURN(std::vector<uint64_t> x0,
                            catalog_.MaterializeX0(id));
   SCADDAR_RETURN_IF_ERROR(policy_->AddObject(id, std::move(x0)));
+  // Resolve all copies' targets in one batch pass, then charge occupancy
+  // with one counter update per disk instead of per block.
   std::vector<std::vector<PhysicalDiskId>>& object_copies = copies_[id];
-  object_copies.resize(static_cast<size_t>(replicas));
-  for (int64_t r = 0; r < replicas; ++r) {
-    std::vector<PhysicalDiskId>& locations =
-        object_copies[static_cast<size_t>(r)];
-    locations.reserve(static_cast<size_t>(num_blocks));
-    for (BlockIndex i = 0; i < num_blocks; ++i) {
-      const PhysicalDiskId disk = TargetOf({id, i}, r);
-      locations.push_back(disk);
-      disks_.GetDisk(disk).value()->AddBlocks(1);
+  TargetsOf(id, replicas, object_copies);
+  std::unordered_map<PhysicalDiskId, int64_t> added;
+  for (const std::vector<PhysicalDiskId>& locations : object_copies) {
+    for (const PhysicalDiskId disk : locations) {
+      ++added[disk];
     }
+  }
+  for (const auto& [disk, count] : added) {
+    disks_.GetDisk(disk).value()->AddBlocks(count);
   }
   return OkStatus();
 }
@@ -148,16 +171,20 @@ Status HaCmServer::FailDisk(PhysicalDiskId disk) {
 }
 
 void HaCmServer::EnqueueReconciliation() {
+  std::vector<std::vector<PhysicalDiskId>> targets;
   for (const auto& [id, object_copies] : copies_) {
     const auto replicas = static_cast<int64_t>(object_copies.size());
+    TargetsOf(id, replicas, targets);
     for (int64_t r = 0; r < replicas; ++r) {
       const std::vector<PhysicalDiskId>& locations =
           object_copies[static_cast<size_t>(r)];
+      const std::vector<PhysicalDiskId>& target_row =
+          targets[static_cast<size_t>(r)];
       for (size_t i = 0; i < locations.size(); ++i) {
-        const BlockRef ref{id, static_cast<BlockIndex>(i)};
-        if (locations[i] != TargetOf(ref, r) ||
+        if (locations[i] != target_row[i] ||
             failed_.contains(locations[i])) {
-          repair_queue_.push_back(CopyRef{ref, r});
+          repair_queue_.push_back(
+              CopyRef{BlockRef{id, static_cast<BlockIndex>(i)}, r});
         }
       }
     }
@@ -195,6 +222,9 @@ HaRoundMetrics HaCmServer::Tick() {
     if (stream.finished() || stream.paused()) {
       continue;
     }
+    // One copy-table lookup per stream, not per request.
+    const auto& object_copies = copies_.at(stream.object());
+    const auto replicas = static_cast<int64_t>(object_copies.size());
     for (int64_t k = 0; k < stream.rate() && !stream.finished(); ++k) {
       ++metrics.requests;
       const BlockRef ref = stream.NextBlockRef();
@@ -202,8 +232,6 @@ HaRoundMetrics HaCmServer::Tick() {
       // *materialized* disk is healthy and has budget left.
       bool served = false;
       bool degraded = false;
-      const auto& object_copies = copies_.at(ref.object);
-      const auto replicas = static_cast<int64_t>(object_copies.size());
       for (int64_t r = 0; r < replicas; ++r) {
         const PhysicalDiskId disk =
             object_copies[static_cast<size_t>(r)]
@@ -294,14 +322,17 @@ Status HaCmServer::VerifyRedundancy() const {
   if (!repairs_idle()) {
     return FailedPreconditionError("repairs pending");
   }
+  std::vector<std::vector<PhysicalDiskId>> targets;
   for (const auto& [id, object_copies] : copies_) {
     const auto replicas = static_cast<int64_t>(object_copies.size());
+    TargetsOf(id, replicas, targets);
     for (int64_t r = 0; r < replicas; ++r) {
       const std::vector<PhysicalDiskId>& locations =
           object_copies[static_cast<size_t>(r)];
+      const std::vector<PhysicalDiskId>& target_row =
+          targets[static_cast<size_t>(r)];
       for (size_t i = 0; i < locations.size(); ++i) {
-        const BlockRef ref{id, static_cast<BlockIndex>(i)};
-        if (locations[i] != TargetOf(ref, r)) {
+        if (locations[i] != target_row[i]) {
           return InternalError("copy not at its replication target");
         }
         if (failed_.contains(locations[i])) {

@@ -127,6 +127,12 @@ class HaCmServer {
   /// The disk that should hold copy `r` of the block now.
   PhysicalDiskId TargetOf(BlockRef ref, int64_t replica) const;
 
+  /// Batch form of `TargetOf`: one slot-batch pass over the object plus a
+  /// per-replica offset rotation fills `out[r][i]` for every copy `r` of
+  /// every block `i`. Equivalent to calling `TargetOf` per copy.
+  void TargetsOf(ObjectId id, int64_t replicas,
+                 std::vector<std::vector<PhysicalDiskId>>& out) const;
+
   /// A healthy disk currently holding *some* copy of the block, or error.
   StatusOr<PhysicalDiskId> HealthySource(BlockRef ref) const;
 

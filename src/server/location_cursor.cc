@@ -1,0 +1,73 @@
+#include "server/location_cursor.h"
+
+#include <algorithm>
+
+#include "server/migration.h"
+
+namespace scaddar {
+
+LocationCursor::LocationCursor(ObjectId object, int64_t num_blocks,
+                               int64_t window)
+    : object_(object),
+      num_blocks_(num_blocks),
+      window_size_(std::max<int64_t>(window, 1)) {
+  SCADDAR_CHECK(num_blocks > 0);
+}
+
+bool LocationCursor::WindowCovers(BlockIndex block,
+                                  const PlacementPolicy& policy,
+                                  const BlockStore& store) const {
+  if (block < window_start_ ||
+      block >= window_start_ + static_cast<BlockIndex>(window_.size())) {
+    return false;
+  }
+  if (policy_revision_ != policy.log().revision()) {
+    return false;
+  }
+  // Global store compare first (the idle common case); on a miss, the
+  // window is still good if *this object's* row is untouched — foreign
+  // objects' migration moves must not evict a clean window.
+  return store_revision_ == store.mutation_revision() ||
+         row_revision_ == store.RowRevision(object_);
+}
+
+PhysicalDiskId LocationCursor::Get(BlockIndex block,
+                                   const PlacementPolicy& policy,
+                                   const BlockStore& store,
+                                   const MigrationExecutor& migration) {
+  SCADDAR_CHECK(block >= 0 && block < num_blocks_);
+  if (migration.pending_for(object_) != 0) {
+    // The object's locations are volatile mid-migration: any round may land
+    // a move, so a cached window would be invalidated every round. Serve
+    // from the materialized row directly and keep the window out of it.
+    const StatusOr<std::span<const PhysicalDiskId>> row =
+        store.LocationsOf(object_);
+    SCADDAR_CHECK(row.ok());
+    return (*row)[static_cast<size_t>(block)];
+  }
+  if (!WindowCovers(block, policy, store)) {
+    Refill(block, policy, store);
+  } else {
+    // Re-arm the cheap global compare: the row check just proved this
+    // window survived whatever moved the global counter.
+    store_revision_ = store.mutation_revision();
+  }
+  return window_[static_cast<size_t>(block - window_start_)];
+}
+
+void LocationCursor::Refill(BlockIndex start, const PlacementPolicy& policy,
+                            const BlockStore& store) {
+  const BlockIndex end = std::min(start + window_size_, num_blocks_);
+  window_.resize(static_cast<size_t>(end - start));
+  window_start_ = start;
+  // Only reached with no pending moves for the object, which means the
+  // store already agrees with AF() for it — the placement batch kernel
+  // *is* the materialized truth, with no per-block hash lookups.
+  policy.LocateRange(object_, start, end, std::span<PhysicalDiskId>(window_));
+  policy_revision_ = policy.log().revision();
+  store_revision_ = store.mutation_revision();
+  row_revision_ = store.RowRevision(object_);
+  ++refills_;
+}
+
+}  // namespace scaddar

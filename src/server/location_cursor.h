@@ -1,0 +1,87 @@
+#ifndef SCADDAR_SERVER_LOCATION_CURSOR_H_
+#define SCADDAR_SERVER_LOCATION_CURSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "placement/policy.h"
+#include "storage/block_store.h"
+
+namespace scaddar {
+
+class MigrationExecutor;
+
+/// Per-stream sliding window over one object's *serving* locations — the
+/// batch engine pushed onto the request path. A stream consumes its blocks
+/// in order; instead of resolving each one with a per-block lookup, the
+/// cursor prefetches the next `window` locations in a single batch call and
+/// serves subsequent requests from the window with a few integer compares.
+///
+/// Correctness contract: `Get(i)` always equals `store.LocationOf({object,
+/// i})` — reads route to the disk that *materially* holds the block, which
+/// is what keeps the server serving mid-reorganization. Two serving modes:
+///
+///  - **Windowed fast path** — when the migration executor has no pending
+///    moves for the object, the store agrees with `AF()` (every divergence
+///    an op creates is immediately enqueued), so the window comes from
+///    `PlacementPolicy::LocateRange`: one pinned compiled-snapshot batch
+///    pass per `window` requests, no per-block hash lookups at all.
+///  - **Store-row bypass** — while moves are pending for the object its
+///    locations are volatile (any round may land a move), so caching them
+///    would invalidate every round. `Get` instead reads the store's
+///    materialized row directly (one hash lookup per request) and leaves
+///    the window untouched; the moment the object drains, serving snaps
+///    back to the windowed path.
+///
+/// Invalidation is revision-based, the same contract the compiled-log cache
+/// uses: the cursor remembers `OpLog::revision()`,
+/// `BlockStore::mutation_revision()` and `BlockStore::RowRevision(object)`
+/// at refill time. A window is valid while the policy revision matches and
+/// the store is unchanged — either globally (one compare, the common idle
+/// case) or, when the global counter moved, for this object's row
+/// specifically (so other objects' migration traffic never evicts a clean
+/// window). A scaling op bumps the policy revision and redirects the very
+/// next read to post-op locations.
+class LocationCursor {
+ public:
+  static constexpr int64_t kDefaultWindow = 256;
+
+  LocationCursor(ObjectId object, int64_t num_blocks,
+                 int64_t window = kDefaultWindow);
+
+  /// Serving location of `block` (bounds-checked against the object).
+  /// Reads the store row directly while the object has pending moves;
+  /// otherwise serves from the window, refilling it if `block` falls
+  /// outside it or a relevant revision moved since the last refill.
+  PhysicalDiskId Get(BlockIndex block, const PlacementPolicy& policy,
+                     const BlockStore& store,
+                     const MigrationExecutor& migration);
+
+  ObjectId object() const { return object_; }
+
+  /// True iff `block` would be served from the current window without a
+  /// refill, assuming no pending moves for the object (exposed for tests).
+  bool WindowCovers(BlockIndex block, const PlacementPolicy& policy,
+                    const BlockStore& store) const;
+
+  int64_t refills() const { return refills_; }
+
+ private:
+  void Refill(BlockIndex start, const PlacementPolicy& policy,
+              const BlockStore& store);
+
+  ObjectId object_;
+  int64_t num_blocks_;
+  int64_t window_size_;
+  BlockIndex window_start_ = 0;
+  std::vector<PhysicalDiskId> window_;  // Empty until the first refill.
+  int64_t policy_revision_ = -1;
+  int64_t store_revision_ = -1;
+  int64_t row_revision_ = -1;
+  int64_t refills_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_LOCATION_CURSOR_H_

@@ -1,28 +1,148 @@
 #include "server/migration.h"
 
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
 namespace scaddar {
+
+void MigrationExecutor::PushRef(BlockRef ref) {
+  queue_.push_back(ref);
+  ++pending_per_object_[ref.object];
+}
+
+BlockRef MigrationExecutor::PopFront() {
+  const BlockRef ref = queue_.front();
+  queue_.pop_front();
+  const auto it = pending_per_object_.find(ref.object);
+  SCADDAR_CHECK(it != pending_per_object_.end());
+  if (--it->second == 0) {
+    pending_per_object_.erase(it);
+  }
+  return ref;
+}
+
+int64_t MigrationExecutor::pending_for(ObjectId object) const {
+  const auto it = pending_per_object_.find(object);
+  return it == pending_per_object_.end() ? 0 : it->second;
+}
+
+std::vector<BlockRef> MigrationExecutor::QueueSnapshot() const {
+  return std::vector<BlockRef>(queue_.begin(), queue_.end());
+}
 
 void MigrationExecutor::EnqueuePlan(const MovePlan& plan) {
   for (const BlockMove& move : plan.moves()) {
-    queue_.push_back(move.block);
+    PushRef(move.block);
   }
 }
 
-void MigrationExecutor::EnqueueReconciliation(const BlockStore& store,
-                                              const PlacementPolicy& policy) {
-  // Targets come from the per-object batch AF(): under SCADDAR that is one
-  // compiled step-major pass per object instead of a virtual call plus a
-  // full chain replay per block.
+namespace {
+
+/// One object's slice of the flattened (object, block) scan space.
+struct ScanEntry {
+  ObjectId object = 0;
+  int64_t blocks = 0;
+  int64_t offset = 0;  // Flattened index of this object's block 0.
+};
+
+/// Appends every block in flattened range [lo, hi) whose store row disagrees
+/// with the batch AF() to `out`. Read-only over store/policy, so shards can
+/// run it concurrently; scanning contiguous flattened ranges in order keeps
+/// the merged result identical to a single [0, total) scan.
+void ScanRange(const std::vector<ScanEntry>& entries, int64_t lo, int64_t hi,
+               const BlockStore& store, const PlacementPolicy& policy,
+               std::vector<BlockRef>& out) {
+  // First entry overlapping `lo`.
+  auto it = std::upper_bound(
+      entries.begin(), entries.end(), lo,
+      [](int64_t v, const ScanEntry& e) { return v < e.offset; });
+  SCADDAR_CHECK(it != entries.begin());
+  --it;
   std::vector<PhysicalDiskId> targets;
-  for (const auto& [id, x0] : policy.objects_view()) {
-    policy.LocateAllBlocks(id, targets);
-    for (size_t i = 0; i < x0.size(); ++i) {
-      const BlockRef ref{id, static_cast<BlockIndex>(i)};
-      const StatusOr<PhysicalDiskId> current = store.LocationOf(ref);
-      SCADDAR_CHECK(current.ok());
-      if (*current != targets[i]) {
-        queue_.push_back(ref);
+  for (; it != entries.end() && it->offset < hi; ++it) {
+    const BlockIndex begin =
+        static_cast<BlockIndex>(std::max<int64_t>(lo - it->offset, 0));
+    const BlockIndex end =
+        static_cast<BlockIndex>(std::min<int64_t>(hi - it->offset, it->blocks));
+    if (begin >= end) {
+      continue;
+    }
+    targets.resize(static_cast<size_t>(end - begin));
+    policy.LocateRange(it->object, begin, end,
+                       std::span<PhysicalDiskId>(targets));
+    const StatusOr<std::span<const PhysicalDiskId>> row =
+        store.LocationsOf(it->object);
+    SCADDAR_CHECK(row.ok());
+    for (BlockIndex i = begin; i < end; ++i) {
+      if ((*row)[static_cast<size_t>(i)] !=
+          targets[static_cast<size_t>(i - begin)]) {
+        out.push_back(BlockRef{it->object, i});
       }
+    }
+  }
+}
+
+}  // namespace
+
+void MigrationExecutor::EnqueueReconciliation(
+    const BlockStore& store, const PlacementPolicy& policy,
+    const ParallelPlanOptions& options) {
+  std::vector<ScanEntry> entries;
+  entries.reserve(policy.objects_view().size());
+  int64_t total = 0;
+  for (const auto& [id, x0] : policy.objects_view()) {
+    entries.push_back(
+        ScanEntry{id, static_cast<int64_t>(x0.size()), total});
+    total += static_cast<int64_t>(x0.size());
+  }
+  if (total == 0) {
+    return;
+  }
+  policy.PrepareForBatch();
+
+  const int threads =
+      options.pool != nullptr ? options.pool->num_threads()
+                              : options.num_threads;
+  if (threads <= 1 || total < options.min_blocks_to_shard) {
+    std::vector<BlockRef> divergent;
+    ScanRange(entries, 0, total, store, policy, divergent);
+    for (const BlockRef ref : divergent) {
+      PushRef(ref);
+    }
+    return;
+  }
+
+  // Contiguous flattened shards, one per worker, merged in shard order —
+  // identical to the serial scan for any thread count (the PR-1 planner
+  // discipline).
+  const int64_t chunk = (total + threads - 1) / threads;
+  std::vector<std::vector<BlockRef>> shards(static_cast<size_t>(threads));
+  auto scan_shard = [&](int t) {
+    const int64_t lo = static_cast<int64_t>(t) * chunk;
+    const int64_t hi = std::min<int64_t>(lo + chunk, total);
+    if (lo < hi) {
+      ScanRange(entries, lo, hi, store, policy,
+                shards[static_cast<size_t>(t)]);
+    }
+  };
+  if (options.pool != nullptr) {
+    options.pool->ParallelFor(0, threads, [&](int64_t lo, int64_t hi) {
+      for (int64_t t = lo; t < hi; ++t) {
+        scan_shard(static_cast<int>(t));
+      }
+    });
+  } else {
+    ThreadPool transient(threads);
+    transient.ParallelFor(0, threads, [&](int64_t lo, int64_t hi) {
+      for (int64_t t = lo; t < hi; ++t) {
+        scan_shard(static_cast<int>(t));
+      }
+    });
+  }
+  for (const std::vector<BlockRef>& shard : shards) {
+    for (const BlockRef ref : shard) {
+      PushRef(ref);
     }
   }
 }
@@ -30,13 +150,117 @@ void MigrationExecutor::EnqueueReconciliation(const BlockStore& store,
 int64_t MigrationExecutor::RunRound(
     std::unordered_map<PhysicalDiskId, int64_t>& leftover, BlockStore& store,
     DiskArray& disks, const PlacementPolicy& policy) {
+  const size_t round_items = queue_.size();
+  if (round_items == 0) {
+    return 0;
+  }
+  policy.PrepareForBatch();
+
+  // Dequeue this round's entries; bandwidth-starved ones requeue behind any
+  // entries enqueued mid-round, exactly like the scalar single pass.
+  std::vector<BlockRef> items;
+  items.reserve(round_items);
+  for (size_t i = 0; i < round_items; ++i) {
+    items.push_back(PopFront());
+  }
+
+  // Group by object and resolve each object's queued targets with one batch
+  // pass. Current locations are *not* prefetched: they are read from the
+  // live store row at decision time, so duplicate queue entries observe
+  // earlier moves of the same round just as the scalar pass does.
+  struct ObjectRound {
+    std::span<const PhysicalDiskId> row;
+    std::vector<BlockIndex> blocks;
+    std::vector<size_t> item_index;
+    std::vector<PhysicalDiskId> targets;
+  };
+  std::unordered_map<ObjectId, size_t> slot_of;
+  std::vector<ObjectRound> rounds;
+  constexpr size_t kSkipped = static_cast<size_t>(-1);
+  std::vector<size_t> item_slot(items.size(), kSkipped);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const BlockRef ref = items[i];
+    const auto [it, inserted] = slot_of.try_emplace(ref.object, rounds.size());
+    if (inserted) {
+      rounds.emplace_back();
+      const StatusOr<std::span<const PhysicalDiskId>> row =
+          store.LocationsOf(ref.object);
+      // Object deleted while its moves were queued: every entry skips.
+      rounds.back().row = row.ok() ? *row
+                                   : std::span<const PhysicalDiskId>();
+    }
+    ObjectRound& object_round = rounds[it->second];
+    if (object_round.row.empty() || ref.block < 0 ||
+        ref.block >= static_cast<BlockIndex>(object_round.row.size())) {
+      continue;  // Mirrors the scalar LocationOf error path.
+    }
+    item_slot[i] = it->second;
+    object_round.blocks.push_back(ref.block);
+    object_round.item_index.push_back(i);
+  }
+  std::vector<PhysicalDiskId> item_target(items.size(), 0);
+  for (ObjectRound& object_round : rounds) {
+    if (object_round.blocks.empty()) {
+      continue;
+    }
+    object_round.targets.resize(object_round.blocks.size());
+    const ObjectId object =
+        items[object_round.item_index.front()].object;
+    policy.LocateMany(object,
+                      std::span<const BlockIndex>(object_round.blocks),
+                      std::span<PhysicalDiskId>(object_round.targets));
+    for (size_t k = 0; k < object_round.item_index.size(); ++k) {
+      item_target[object_round.item_index[k]] = object_round.targets[k];
+    }
+  }
+
+  // Spend bandwidth in queue order with the precomputed targets.
+  int64_t moved = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (item_slot[i] == kSkipped) {
+      continue;
+    }
+    const BlockRef ref = items[i];
+    const PhysicalDiskId current =
+        rounds[item_slot[i]].row[static_cast<size_t>(ref.block)];
+    const PhysicalDiskId target = item_target[i];
+    if (current == target) {
+      continue;  // Already in place (duplicate or superseded entry).
+    }
+    auto src = leftover.find(current);
+    auto dst = leftover.find(target);
+    if (src == leftover.end() || dst == leftover.end() || src->second <= 0 ||
+        dst->second <= 0) {
+      PushRef(ref);  // No bandwidth this round; retry later.
+      continue;
+    }
+    --src->second;
+    --dst->second;
+    const Status applied = store.ApplyMove(BlockMove{
+        .block = ref,
+        .from_slot = 0,
+        .to_slot = 0,
+        .from_physical = current,
+        .to_physical = target,
+    });
+    SCADDAR_CHECK(applied.ok());
+    disks.GetDisk(current).value()->RecordMigrationTransfers(1);
+    disks.GetDisk(target).value()->RecordMigrationTransfers(1);
+    ++moved;
+    ++total_moved_;
+  }
+  return moved;
+}
+
+int64_t MigrationExecutor::RunRoundScalar(
+    std::unordered_map<PhysicalDiskId, int64_t>& leftover, BlockStore& store,
+    DiskArray& disks, const PlacementPolicy& policy) {
   int64_t moved = 0;
   // One pass over the queue: move what bandwidth permits, requeue the rest
   // in order.
   size_t remaining = queue_.size();
   while (remaining-- > 0) {
-    const BlockRef ref = queue_.front();
-    queue_.pop_front();
+    const BlockRef ref = PopFront();
     const StatusOr<PhysicalDiskId> current = store.LocationOf(ref);
     if (!current.ok()) {
       continue;  // Object deleted while its move was queued.
@@ -49,7 +273,7 @@ int64_t MigrationExecutor::RunRound(
     auto dst = leftover.find(target);
     if (src == leftover.end() || dst == leftover.end() || src->second <= 0 ||
         dst->second <= 0) {
-      queue_.push_back(ref);  // No bandwidth this round; retry later.
+      PushRef(ref);  // No bandwidth this round; retry later.
       continue;
     }
     --src->second;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "core/redistribution.h"
 #include "core/types.h"
@@ -20,6 +21,14 @@ namespace scaddar {
 /// is to the placement layer's *latest* target, so overlapping scaling
 /// operations and full redistributions compose correctly — stale queue
 /// entries become no-ops instead of moving blocks to outdated locations.
+///
+/// Both ends of the executor run through the batch engine: reconciliation
+/// scans resolve targets with one step-major pass per object and can shard
+/// the scan across a thread pool (byte-identical queue for any thread
+/// count, like the PR-1 planners), and `RunRound` resolves each round's
+/// targets with one batch pass per queued object instead of a chain replay
+/// per block. `RunRoundScalar` keeps the original per-block implementation
+/// as the equivalence oracle.
 class MigrationExecutor {
  public:
   MigrationExecutor() = default;
@@ -29,23 +38,53 @@ class MigrationExecutor {
 
   /// Queues every block whose materialized location diverges from
   /// `policy.Locate` — reconciliation after one or more scaling operations.
+  /// Targets come from the per-object batch AF(); with `options` requesting
+  /// threads the flattened (object, block) scan is cut into contiguous
+  /// shards compared concurrently and merged in shard order, so the queue
+  /// is byte-identical to the serial scan for any thread count.
   void EnqueueReconciliation(const BlockStore& store,
-                             const PlacementPolicy& policy);
+                             const PlacementPolicy& policy,
+                             const ParallelPlanOptions& options = {});
 
   /// Spends leftover bandwidth: each transfer consumes one unit on the
-  /// source and one on the destination disk. Returns blocks moved this
-  /// round. Blocks already at their current target retire from the queue
-  /// for free.
+  /// source and one on the destination disk (per-destination in-flight
+  /// moves are bounded by that disk's remaining budget, so bandwidth
+  /// accounting stays exact). Returns blocks moved this round. Blocks
+  /// already at their current target retire from the queue for free.
+  /// Targets for the whole round resolve in one batch pass per queued
+  /// object; decisions are made in queue order against the live store row,
+  /// so the moves are identical to `RunRoundScalar`'s.
   int64_t RunRound(std::unordered_map<PhysicalDiskId, int64_t>& leftover,
                    BlockStore& store, DiskArray& disks,
                    const PlacementPolicy& policy);
 
+  /// The original per-block implementation (one store hash lookup plus one
+  /// virtual `Locate` chain replay per queued block per round), retained as
+  /// the equivalence oracle for `RunRound` and the bench baseline.
+  int64_t RunRoundScalar(
+      std::unordered_map<PhysicalDiskId, int64_t>& leftover,
+      BlockStore& store, DiskArray& disks, const PlacementPolicy& policy);
+
   int64_t pending() const { return static_cast<int64_t>(queue_.size()); }
+
+  /// Queued entries referencing `object` — O(1). The serving-path cursors
+  /// use this to pick their refill source: zero pending moves for an object
+  /// means its store row agrees with AF().
+  int64_t pending_for(ObjectId object) const;
+
   bool idle() const { return queue_.empty(); }
   int64_t total_moved() const { return total_moved_; }
 
+  /// The queue contents in order (test introspection for the sharding and
+  /// equivalence proofs).
+  std::vector<BlockRef> QueueSnapshot() const;
+
  private:
+  void PushRef(BlockRef ref);
+  BlockRef PopFront();
+
   std::deque<BlockRef> queue_;
+  std::unordered_map<ObjectId, int64_t> pending_per_object_;
   int64_t total_moved_ = 0;
 };
 

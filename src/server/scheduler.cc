@@ -1,6 +1,16 @@
 #include "server/scheduler.h"
 
+#include <algorithm>
+
 namespace scaddar {
+
+namespace {
+
+/// Sentinel marking a physical id with no live disk in the dense budget
+/// array (budgets are never negative for live disks).
+constexpr int64_t kNotLive = -1;
+
+}  // namespace
 
 RoundServiceResult RoundScheduler::Run(
     std::vector<Stream>& streams, const BlockStore& store, DiskArray& disks,
@@ -34,6 +44,104 @@ RoundServiceResult RoundScheduler::Run(
         --it->second;
         stream.DeliverBlock();
         disks.GetDisk(*location).value()->RecordServedRequests(1);
+        ++result.served;
+      } else {
+        stream.RecordHiccup();
+        ++result.hiccups;
+        break;
+      }
+    }
+  }
+  if (leftover != nullptr) {
+    *leftover = std::move(budget);
+  }
+  return result;
+}
+
+RoundServiceResult RoundScheduler::RunBatched(
+    std::vector<Stream>& streams, const PlacementPolicy& policy,
+    const MigrationExecutor& migration, const BlockStore& store,
+    DiskArray& disks,
+    std::unordered_map<PhysicalDiskId, int64_t>* leftover) const {
+  RoundServiceResult result;
+  // Physical ids are small dense integers (monotonic, never reused), so the
+  // per-round budget and served counters live in flat arrays: one indexed
+  // load per request instead of a hash lookup.
+  const std::vector<PhysicalDiskId> live = disks.live_ids();
+  PhysicalDiskId max_id = 0;
+  for (const PhysicalDiskId id : live) {
+    max_id = std::max(max_id, id);
+  }
+  std::vector<int64_t> budget(static_cast<size_t>(max_id + 1), kNotLive);
+  std::vector<int64_t> served_on(static_cast<size_t>(max_id + 1), 0);
+  for (const PhysicalDiskId id : live) {
+    budget[static_cast<size_t>(id)] =
+        disks.GetDisk(id).value()->spec().bandwidth_blocks_per_round;
+  }
+  for (Stream& stream : streams) {
+    if (stream.finished() || stream.paused()) {
+      continue;
+    }
+    LocationCursor& cursor = stream.cursor();
+    for (int64_t r = 0; r < stream.rate() && !stream.finished(); ++r) {
+      ++result.requests;
+      const PhysicalDiskId location =
+          cursor.Get(stream.next_block(), policy, store, migration);
+      // Same invariant as the scalar path: the serving disk must be in the
+      // live set (possibly retiring, but not yet drained).
+      SCADDAR_CHECK(location >= 0 && location <= max_id &&
+                    budget[static_cast<size_t>(location)] != kNotLive);
+      int64_t& remaining = budget[static_cast<size_t>(location)];
+      if (remaining > 0) {
+        --remaining;
+        stream.DeliverBlock();
+        ++served_on[static_cast<size_t>(location)];
+        ++result.served;
+      } else {
+        stream.RecordHiccup();
+        ++result.hiccups;
+        break;
+      }
+    }
+  }
+  for (const PhysicalDiskId id : live) {
+    const int64_t served = served_on[static_cast<size_t>(id)];
+    if (served > 0) {
+      disks.GetDisk(id).value()->RecordServedRequests(served);
+    }
+  }
+  if (leftover != nullptr) {
+    leftover->clear();
+    for (const PhysicalDiskId id : live) {
+      (*leftover)[id] = budget[static_cast<size_t>(id)];
+    }
+  }
+  return result;
+}
+
+RoundServiceResult RoundScheduler::RunScalarLocate(
+    std::vector<Stream>& streams, const PlacementPolicy& policy,
+    DiskArray& disks,
+    std::unordered_map<PhysicalDiskId, int64_t>* leftover) const {
+  RoundServiceResult result;
+  std::unordered_map<PhysicalDiskId, int64_t> budget;
+  for (const PhysicalDiskId id : disks.live_ids()) {
+    budget[id] = disks.GetDisk(id).value()->spec().bandwidth_blocks_per_round;
+  }
+  for (Stream& stream : streams) {
+    if (stream.finished() || stream.paused()) {
+      continue;
+    }
+    for (int64_t r = 0; r < stream.rate() && !stream.finished(); ++r) {
+      ++result.requests;
+      const PhysicalDiskId location =
+          policy.Locate(stream.object(), stream.next_block());
+      const auto it = budget.find(location);
+      SCADDAR_CHECK(it != budget.end());
+      if (it->second > 0) {
+        --it->second;
+        stream.DeliverBlock();
+        disks.GetDisk(location).value()->RecordServedRequests(1);
         ++result.served;
       } else {
         stream.RecordHiccup();

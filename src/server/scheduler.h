@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "placement/policy.h"
+#include "server/migration.h"
 #include "server/stream.h"
 #include "storage/block_store.h"
 #include "storage/disk_array.h"
@@ -27,10 +29,34 @@ struct RoundServiceResult {
 /// `leftover` (if non-null) receives each live disk's unused bandwidth,
 /// which the migration executor spends afterwards — this is how online
 /// reorganization shares the array with normal service.
+///
+/// Three paths compute the same rounds:
+///  - `RunBatched` — the production path: streams consume locations from
+///    their `LocationCursor` sliding windows (batch-prefetched, revision-
+///    invalidated), per-disk budgets live in a dense array indexed by
+///    physical id, and served-request counters flush once per disk per
+///    round.
+///  - `Run` — per-block store hash lookups; the original implementation,
+///    kept as the materialized-truth oracle for the equivalence tests.
+///  - `RunScalarLocate` — per-block virtual `policy.Locate` chain
+///    evaluation; the baseline `bench_serving` measures the batch path
+///    against. Routing equals the other two only while no migration is
+///    pending (store == AF); use it for measurement, not for serving.
 class RoundScheduler {
  public:
   RoundServiceResult Run(
       std::vector<Stream>& streams, const BlockStore& store, DiskArray& disks,
+      std::unordered_map<PhysicalDiskId, int64_t>* leftover) const;
+
+  RoundServiceResult RunBatched(
+      std::vector<Stream>& streams, const PlacementPolicy& policy,
+      const MigrationExecutor& migration, const BlockStore& store,
+      DiskArray& disks,
+      std::unordered_map<PhysicalDiskId, int64_t>* leftover) const;
+
+  RoundServiceResult RunScalarLocate(
+      std::vector<Stream>& streams, const PlacementPolicy& policy,
+      DiskArray& disks,
       std::unordered_map<PhysicalDiskId, int64_t>* leftover) const;
 };
 

@@ -70,11 +70,9 @@ Status CmServer::AddObject(ObjectId id, int64_t num_blocks,
     SCADDAR_CHECK(catalog_.RemoveObject(id).ok());
     return registered;
   }
+  // One batch pass resolves the whole initial placement.
   std::vector<PhysicalDiskId> locations;
-  locations.reserve(static_cast<size_t>(num_blocks));
-  for (BlockIndex i = 0; i < num_blocks; ++i) {
-    locations.push_back(policy_->Locate(id, i));
-  }
+  policy_->LocateAllBlocks(id, locations);
   const Status placed = store_.PlaceObject(id, locations);
   if (!placed.ok()) {
     SCADDAR_CHECK(policy_->RemoveObject(id).ok());
@@ -87,11 +85,9 @@ Status CmServer::RemoveObject(ObjectId id) {
   if (!catalog_.Contains(id)) {
     return NotFoundError("object not in catalog");
   }
-  for (const Stream& stream : streams_) {
-    if (stream.object() == id) {
-      return FailedPreconditionError(
-          "object has active streams; stop them first");
-    }
+  if (ActiveStreamsFor(id) > 0) {
+    return FailedPreconditionError(
+        "object has active streams; stop them first");
   }
   SCADDAR_RETURN_IF_ERROR(policy_->RemoveObject(id));
   SCADDAR_RETURN_IF_ERROR(store_.DropObject(id));
@@ -102,7 +98,7 @@ Status CmServer::ScaleAdd(int64_t count) {
   SCADDAR_ASSIGN_OR_RETURN(const ScalingOp op, ScalingOp::Add(count));
   SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(op));
   SCADDAR_RETURN_IF_ERROR(SyncDisks());
-  migration_.EnqueueReconciliation(store_, *policy_);
+  migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
   return OkStatus();
 }
 
@@ -125,7 +121,7 @@ Status CmServer::ScaleRemove(std::vector<DiskSlot> slots) {
     retiring_.push_back(id);
   }
   SCADDAR_RETURN_IF_ERROR(SyncDisks());
-  migration_.EnqueueReconciliation(store_, *policy_);
+  migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
   return OkStatus();
 }
 
@@ -155,7 +151,7 @@ Status CmServer::FullRedistribution() {
   }
   policy_ = std::move(fresh);
   // 3. Converge materialized state onto the new placement, online.
-  migration_.EnqueueReconciliation(store_, *policy_);
+  migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
   return OkStatus();
 }
 
@@ -168,7 +164,19 @@ StatusOr<int64_t> CmServer::StartStream(ObjectId object) {
   const int64_t id = next_stream_id_++;
   streams_.emplace_back(id, object, meta.num_blocks, round_,
                         meta.bitrate_weight);
+  ++streams_per_object_[object];
   return id;
+}
+
+int64_t CmServer::ActiveStreamsFor(ObjectId object) const {
+  const auto it = streams_per_object_.find(object);
+  return it == streams_per_object_.end() ? 0 : it->second;
+}
+
+ParallelPlanOptions CmServer::ReconcileOptions() const {
+  ParallelPlanOptions options;
+  options.num_threads = config_.reconcile_threads;
+  return options;
 }
 
 int64_t CmServer::ActiveLoad() const {
@@ -185,8 +193,20 @@ RoundMetrics CmServer::Tick() {
   metrics.active_streams = active_streams();
 
   std::unordered_map<PhysicalDiskId, int64_t> leftover;
-  const RoundServiceResult service =
-      scheduler_.Run(streams_, store_, disks_, &leftover);
+  RoundServiceResult service;
+  switch (config_.serving_path) {
+    case ServingPath::kBatchCursor:
+      service = scheduler_.RunBatched(streams_, *policy_, migration_, store_,
+                                      disks_, &leftover);
+      break;
+    case ServingPath::kStoreScalar:
+      service = scheduler_.Run(streams_, store_, disks_, &leftover);
+      break;
+    case ServingPath::kPolicyScalar:
+      service = scheduler_.RunScalarLocate(streams_, *policy_, disks_,
+                                           &leftover);
+      break;
+  }
   metrics.requests = service.requests;
   metrics.served = service.served;
   metrics.hiccups = service.hiccups;
@@ -216,7 +236,18 @@ RoundMetrics CmServer::Tick() {
   }
   metrics.retiring_disks = static_cast<int64_t>(retiring_.size());
 
-  // Drop finished streams.
+  // Drop finished streams (refcounts first: remove_if leaves moved-from
+  // values in the tail, so the objects must be read before compaction).
+  for (const Stream& stream : streams_) {
+    if (!stream.finished()) {
+      continue;
+    }
+    const auto count = streams_per_object_.find(stream.object());
+    SCADDAR_CHECK(count != streams_per_object_.end());
+    if (--count->second == 0) {
+      streams_per_object_.erase(count);
+    }
+  }
   const auto finished = std::remove_if(
       streams_.begin(), streams_.end(),
       [](const Stream& stream) { return stream.finished(); });
@@ -383,13 +414,9 @@ StatusOr<std::unique_ptr<CmServer>> CmServer::Restore(
   SCADDAR_RETURN_IF_ERROR(server->SyncDisks());
   // Materialize the store from AF() — valid because the snapshot was
   // taken with an idle migration (store == placement).
+  std::vector<PhysicalDiskId> locations;
   for (const ObjectId id : server->catalog_.object_ids()) {
-    const int64_t blocks = server->catalog_.GetObject(id)->num_blocks;
-    std::vector<PhysicalDiskId> locations;
-    locations.reserve(static_cast<size_t>(blocks));
-    for (BlockIndex i = 0; i < blocks; ++i) {
-      locations.push_back(server->policy_->Locate(id, i));
-    }
+    server->policy_->LocateAllBlocks(id, locations);
     SCADDAR_RETURN_IF_ERROR(server->store_.PlaceObject(id, locations));
   }
   return server;

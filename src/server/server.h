@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/scaling_op.h"
@@ -136,6 +137,11 @@ class CmServer {
     return static_cast<int64_t>(streams_.size());
   }
 
+  /// Active streams playing `object` — O(1) via a refcount maintained by
+  /// `StartStream`/`Tick` (this is what makes `RemoveObject` O(1) in the
+  /// stream count).
+  int64_t ActiveStreamsFor(ObjectId object) const;
+
   /// Aggregate committed stream bandwidth (sum of rates, blocks/round).
   int64_t ActiveLoad() const;
   int64_t completed_streams() const { return completed_streams_; }
@@ -153,6 +159,9 @@ class CmServer {
   /// retiring disks.
   Status SyncDisks();
 
+  /// Sharding options for reconciliation scans, from the config knob.
+  ParallelPlanOptions ReconcileOptions() const;
+
   ServerConfig config_;
   Catalog catalog_;
   std::unique_ptr<PlacementPolicy> policy_;
@@ -162,6 +171,7 @@ class CmServer {
   MigrationExecutor migration_;
   AdmissionController admission_;
   std::vector<Stream> streams_;
+  std::unordered_map<ObjectId, int64_t> streams_per_object_;
   std::vector<PhysicalDiskId> retiring_;
 
   int64_t round_ = 0;

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/types.h"
+#include "server/location_cursor.h"
 
 namespace scaddar {
 
@@ -11,6 +12,10 @@ namespace scaddar {
 /// order, one per round; a round in which the scheduled disk could not
 /// deliver the block is a *hiccup* (the display glitch CM servers exist to
 /// avoid) and the stream stalls at the same block.
+///
+/// Sequential consumption is what makes the batch serving path work: each
+/// stream owns a `LocationCursor` whose prefetched window the scheduler
+/// reads instead of resolving every block individually.
 class Stream {
  public:
   /// `rate` is the stream's bandwidth in blocks per round (>= 1): a
@@ -21,7 +26,8 @@ class Stream {
         object_(object),
         num_blocks_(num_blocks),
         start_round_(start_round),
-        rate_(rate) {}
+        rate_(rate),
+        cursor_(object, num_blocks) {}
 
   int64_t id() const { return id_; }
   ObjectId object() const { return object_; }
@@ -57,6 +63,10 @@ class Stream {
   /// Blocks this stream must receive per round to avoid a hiccup.
   int64_t rate() const { return rate_; }
 
+  /// The stream's prefetch window over its object's serving locations.
+  LocationCursor& cursor() { return cursor_; }
+  const LocationCursor& cursor() const { return cursor_; }
+
  private:
   int64_t id_;
   ObjectId object_;
@@ -66,6 +76,7 @@ class Stream {
   BlockIndex next_block_ = 0;
   int64_t hiccups_ = 0;
   bool paused_ = false;
+  LocationCursor cursor_;
 };
 
 }  // namespace scaddar

@@ -15,6 +15,8 @@ Status BlockStore::PlaceObject(ObjectId id,
   for (const PhysicalDiskId disk : locations) {
     AdjustDisk(disk, 1);
   }
+  ++mutation_revision_;
+  ++row_revisions_[id];
   return OkStatus();
 }
 
@@ -28,7 +30,23 @@ Status BlockStore::DropObject(ObjectId id) {
   }
   total_blocks_ -= static_cast<int64_t>(it->second.size());
   locations_.erase(it);
+  ++mutation_revision_;
+  ++row_revisions_[id];
   return OkStatus();
+}
+
+StatusOr<std::span<const PhysicalDiskId>> BlockStore::LocationsOf(
+    ObjectId id) const {
+  const auto it = locations_.find(id);
+  if (it == locations_.end()) {
+    return NotFoundError("object not materialized");
+  }
+  return std::span<const PhysicalDiskId>(it->second);
+}
+
+int64_t BlockStore::RowRevision(ObjectId id) const {
+  const auto it = row_revisions_.find(id);
+  return it == row_revisions_.end() ? 0 : it->second;
 }
 
 StatusOr<PhysicalDiskId> BlockStore::LocationOf(BlockRef ref) const {
@@ -60,6 +78,8 @@ Status BlockStore::ApplyMove(const BlockMove& move) {
   location = move.to_physical;
   AdjustDisk(move.from_physical, -1);
   AdjustDisk(move.to_physical, 1);
+  ++mutation_revision_;
+  ++row_revisions_[move.block.object];
   return OkStatus();
 }
 

@@ -2,6 +2,7 @@
 #define SCADDAR_STORAGE_BLOCK_STORE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,25 @@ class BlockStore {
   /// Where block `ref` currently resides.
   StatusOr<PhysicalDiskId> LocationOf(BlockRef ref) const;
 
+  /// Row view of an object's materialized locations: `row[i]` is block `i`'s
+  /// physical disk. The span stays valid until the object is dropped;
+  /// entries change in place as moves apply (batch consumers — cursors,
+  /// migration rounds — pay one hash lookup per object instead of per
+  /// block).
+  StatusOr<std::span<const PhysicalDiskId>> LocationsOf(ObjectId id) const;
+
+  /// Monotonic counter bumped by every successful mutation (`PlaceObject`,
+  /// `DropObject`, `ApplyMove`). Holders of cached location windows
+  /// (`LocationCursor`) detect staleness with one integer compare, the same
+  /// contract as `OpLog::revision()` on the placement side.
+  int64_t mutation_revision() const { return mutation_revision_; }
+
+  /// Monotonic counter bumped only by mutations touching `id`'s row (0 for
+  /// unknown objects). Lets a cached window survive other objects' moves:
+  /// a cursor that sees the global revision advance re-checks just its own
+  /// row before paying a refill.
+  int64_t RowRevision(ObjectId id) const;
+
   /// Executes one relocation; fails (without side effects) if the block is
   /// not currently on `move.from_physical`.
   Status ApplyMove(const BlockMove& move);
@@ -60,8 +80,10 @@ class BlockStore {
 
   DiskArray* disks_;  // Not owned; may be null.
   std::unordered_map<ObjectId, std::vector<PhysicalDiskId>> locations_;
+  std::unordered_map<ObjectId, int64_t> row_revisions_;
   std::unordered_map<PhysicalDiskId, int64_t> per_disk_counts_;
   int64_t total_blocks_ = 0;
+  int64_t mutation_revision_ = 0;
 };
 
 }  // namespace scaddar

@@ -64,9 +64,20 @@ StatusOr<uint64_t> Catalog::SeedOf(ObjectId id) const {
 
 StatusOr<std::vector<uint64_t>> Catalog::MaterializeX0(ObjectId id) const {
   SCADDAR_ASSIGN_OR_RETURN(const uint64_t seed, SeedOf(id));
-  SCADDAR_ASSIGN_OR_RETURN(X0Sequence seq,
-                           X0Sequence::Create(kind_, seed, bits_));
-  return seq.Materialize(objects_.at(id).num_blocks);
+  SCADDAR_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> values,
+      X0Sequence::MaterializeOnce(kind_, seed, bits_,
+                                  objects_.at(id).num_blocks));
+#ifndef NDEBUG
+  // Everything downstream (placement, snapshots, restores) assumes X0 is a
+  // pure function of (kind, seed, bits): re-materializing must be
+  // byte-identical.
+  SCADDAR_DCHECK(
+      X0Sequence::MaterializeOnce(kind_, seed, bits_,
+                                  objects_.at(id).num_blocks)
+          .value() == values);
+#endif
+  return values;
 }
 
 Status Catalog::SetGeneration(ObjectId id, int64_t generation) {
