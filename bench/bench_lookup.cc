@@ -11,15 +11,25 @@
 //    scales linearly with reader threads, while a centralized directory
 //    serializes behind a mutex.
 
+// Usage: bench_lookup [--json-only] [google-benchmark flags]
+// After the google-benchmark suite, the binary measures the 4096-block
+// batch lookup with the SIMD backend pinned on vs. off (plus the per-call
+// loop) and writes BENCH_lookup.json (schema shared with
+// BENCH_serving.json; see bench_util.h). --json-only skips the suite.
+
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <span>
 
+#include "bench/bench_util.h"
 #include "core/compiled_log.h"
 #include "core/mapper.h"
 #include "placement/registry.h"
 #include "random/sequence.h"
+#include "util/simd.h"
 
 namespace scaddar {
 namespace {
@@ -177,7 +187,121 @@ void BM_ConcurrentLockedDirectory(benchmark::State& state) {
 }
 BENCHMARK(BM_ConcurrentLockedDirectory)->Threads(1)->Threads(4)->Threads(8);
 
+// --- BENCH_lookup.json: SIMD vs. scalar vs. per-call AF() lookups. ---
+
+struct LookupResult {
+  int64_t blocks = 0;
+  double seconds = 0;
+
+  double BlocksPerSecond() const {
+    return seconds > 0 ? static_cast<double>(blocks) / seconds : 0;
+  }
+};
+
+/// Best-of-5 of `passes` runs of `work()` over a span of `span_blocks`
+/// blocks (one warmup pass first).
+template <typename WorkFn>
+LookupResult MeasureLookup(int64_t span_blocks, int64_t passes,
+                           WorkFn&& work) {
+  const auto one_rep = [&] {
+    LookupResult result;
+    result.blocks = span_blocks * passes;
+    result.seconds = bench::TimeSeconds([&] {
+      for (int64_t p = 0; p < passes; ++p) {
+        work();
+      }
+    });
+    return result;
+  };
+  work();
+  return bench::BestOf(5, one_rep,
+                       [](const LookupResult& r) { return r.seconds; });
+}
+
+void WriteLookupJson() {
+  const SimdLevel simd_level = DetectedSimdLevel();
+  const std::string level_name(SimdLevelName(simd_level));
+  constexpr int64_t kSpan = 4096;
+  constexpr int64_t kPasses = 256;
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 5, 64).value();
+  const std::vector<uint64_t> x0 = seq.Materialize(kSpan);
+  std::vector<PhysicalDiskId> out(x0.size());
+  bench::PrintRule();
+  std::printf("%lld-block span lookups: batch (%s/scalar) vs. per-call\n",
+              static_cast<long long>(kSpan), level_name.c_str());
+  std::printf("%-6s %-10s %-16s %-10s\n", "ops", "path", "blocks/s",
+              "speedup");
+  bench::BenchJson json("bench_lookup");
+  for (const int64_t ops : {0, 8, 32, 64}) {
+    const OpLog log = LogWithOps(8, ops);
+    const CompiledLog compiled(log);
+    const auto batch_pass = [&] {
+      compiled.LocatePhysicalBatch(std::span<const uint64_t>(x0),
+                                   std::span<PhysicalDiskId>(out));
+      benchmark::DoNotOptimize(out.data());
+    };
+    SetActiveSimdLevel(simd_level);
+    const LookupResult simd = MeasureLookup(kSpan, kPasses, batch_pass);
+    SetActiveSimdLevel(SimdLevel::kScalar);
+    const LookupResult scalar = MeasureLookup(kSpan, kPasses, batch_pass);
+    ResetActiveSimdLevel();
+    const LookupResult per_call = MeasureLookup(kSpan, kPasses, [&] {
+      for (size_t i = 0; i < x0.size(); ++i) {
+        out[i] = compiled.LocatePhysical(x0[i]);
+      }
+      benchmark::DoNotOptimize(out.data());
+    });
+    const double speedup =
+        simd.seconds > 0 ? scalar.seconds / simd.seconds : 0;
+    std::printf("%-6lld %-10s %-16.0f %-10s\n",
+                static_cast<long long>(ops), level_name.c_str(),
+                simd.BlocksPerSecond(), "");
+    std::printf("%-6lld %-10s %-16.0f %-10.2f\n",
+                static_cast<long long>(ops), "scalar",
+                scalar.BlocksPerSecond(), speedup);
+    std::printf("%-6lld %-10s %-16.0f %-10s\n",
+                static_cast<long long>(ops), "per-call",
+                per_call.BlocksPerSecond(), "");
+    json.BeginTier(ops);
+    json.TierLabel("simd_level", SimdLevelName(simd_level));
+    json.TierMetric("speedup_simd_vs_scalar", speedup);
+    const auto path = [&](const char* name, const LookupResult& result) {
+      json.Path(name,
+                {{"blocks", static_cast<double>(result.blocks), 0},
+                 {"seconds", result.seconds, 6},
+                 {"blocks_per_second", result.BlocksPerSecond(), 0}});
+    };
+    path("simd", simd);
+    path("scalar", scalar);
+    path("per_call", per_call);
+    json.EndTier();
+  }
+  SCADDAR_CHECK(json.WriteFile("BENCH_lookup.json"));
+  std::printf("wrote BENCH_lookup.json\n");
+}
+
 }  // namespace
 }  // namespace scaddar
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  if (!json_only) {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  scaddar::WriteLookupJson();
+  return 0;
+}

@@ -3,7 +3,6 @@
 // headroom left for reorganization. This exercises the paper's core
 // motivation: scaling without taking the server down.
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 
@@ -51,21 +50,25 @@ Outcome RunScenario(double utilization_cap, int64_t extra_budget,
   SCADDAR_CHECK(server->ScaleAdd(2).ok());
   Outcome outcome;
   constexpr int kHorizon = 4000;
-  const auto start = std::chrono::steady_clock::now();
-  for (int round = 0; round < kHorizon; ++round) {
-    const RoundMetrics metrics = server->Tick();
-    outcome.served += metrics.served;
-    outcome.hiccups += metrics.hiccups;
-    // Keep the stream population topped up (VoD arrivals continue).
-    while (server->StartStream(1 + round % 10).ok()) {
-    }
-    if (metrics.pending_migration == 0 && outcome.migration_rounds < 0) {
-      outcome.migration_rounds = round + 1;
-    }
-  }
-  outcome.wall_seconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
+  int round = 0;
+  const bench::RoundTiming timing = bench::MeasureRounds(
+      /*warmup_rounds=*/0, kHorizon,
+      [&] {
+        const RoundMetrics metrics = server->Tick();
+        // Keep the stream population topped up (VoD arrivals continue).
+        while (server->StartStream(1 + round % 10).ok()) {
+        }
+        ++round;
+        return metrics;
+      },
+      [&](const RoundMetrics& metrics) {
+        outcome.served += metrics.served;
+        outcome.hiccups += metrics.hiccups;
+        if (metrics.pending_migration == 0 && outcome.migration_rounds < 0) {
+          outcome.migration_rounds = round;
+        }
+      });
+  outcome.wall_seconds = timing.total_seconds;
   outcome.moved = server->migration().total_moved();
   return outcome;
 }

@@ -11,11 +11,25 @@
 //    thread;
 //  - *Parallel variants: the batch kernels sharded across a ThreadPool
 //    (on a single-core host these show pool overhead, not speedup).
+//
+// Usage: bench_remap_throughput [--json-only] [google-benchmark flags]
+// After the google-benchmark suite, the binary measures the batch kernel
+// with the SIMD backend pinned on vs. off and writes BENCH_remap.json
+// (schema shared with BENCH_serving.json; see bench_util.h). --json-only
+// skips the google-benchmark suite.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/compiled_log.h"
 #include "core/redistribution.h"
 #include "random/sequence.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace scaddar {
@@ -128,7 +142,128 @@ void BM_PlanAfterLongHistoryMapper(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanAfterLongHistoryMapper)->Arg(1)->Arg(8)->Arg(32);
 
+// --- BENCH_remap.json: SIMD vs. scalar batch-kernel throughput. ---
+
+/// Mixed-churn log matching bench_lookup's shape: two adds, then a removal.
+OpLog MixedHistory(int64_t ops) {
+  OpLog log = OpLog::Create(8).value();
+  for (int64_t j = 0; j < ops; ++j) {
+    const ScalingOp op = (j % 3 == 2)
+                             ? ScalingOp::Remove({j % log.current_disks()})
+                                   .value()
+                             : ScalingOp::Add(1).value();
+    SCADDAR_CHECK(log.Append(op).ok());
+  }
+  return log;
+}
+
+struct KernelResult {
+  int64_t blocks = 0;
+  double seconds = 0;
+
+  double BlocksPerSecond() const {
+    return seconds > 0 ? static_cast<double>(blocks) / seconds : 0;
+  }
+};
+
+/// Best-of-5 single pass of LocatePhysicalBatch over `x0` with the
+/// dispatched backend pinned to `level` (one warmup pass first).
+KernelResult MeasureKernel(const CompiledLog& compiled,
+                           const std::vector<uint64_t>& x0, SimdLevel level) {
+  SetActiveSimdLevel(level);
+  std::vector<PhysicalDiskId> out(x0.size());
+  const auto one_pass = [&] {
+    KernelResult result;
+    result.blocks = static_cast<int64_t>(x0.size());
+    result.seconds = bench::TimeSeconds([&] {
+      compiled.LocatePhysicalBatch(std::span<const uint64_t>(x0),
+                                   std::span<PhysicalDiskId>(out));
+    });
+    benchmark::DoNotOptimize(out.data());
+    return result;
+  };
+  one_pass();
+  const KernelResult best = bench::BestOf(
+      5, one_pass, [](const KernelResult& r) { return r.seconds; });
+  ResetActiveSimdLevel();
+  return best;
+}
+
+void WriteRemapJson() {
+  // On non-AVX2 hosts the "simd" path dispatches to the scalar backend
+  // (speedup ~1.0); the tier records which level actually ran.
+  const SimdLevel simd_level = DetectedSimdLevel();
+  const std::string level_name(SimdLevelName(simd_level));
+  constexpr int64_t kBlocks = 1'000'000;
+  auto seq = X0Sequence::Create(PrngKind::kSplitMix64, 4, 64).value();
+  const std::vector<uint64_t> x0 = seq.Materialize(kBlocks);
+  bench::PrintRule();
+  std::printf("batch kernel, %lld blocks: %s vs. scalar\n",
+              static_cast<long long>(kBlocks), level_name.c_str());
+  std::printf("%-6s %-8s %-10s %-16s %-16s %-10s\n", "ops", "history",
+              "backend", "blocks/s", "seconds", "speedup");
+  bench::BenchJson json("bench_remap_throughput");
+  struct Tier {
+    int64_t ops;
+    const char* history;
+  };
+  for (const Tier tier : {Tier{1, "adds"}, Tier{8, "adds"}, Tier{32, "adds"},
+                          Tier{32, "mixed"}}) {
+    const OpLog log = std::strcmp(tier.history, "adds") == 0
+                          ? LongAddHistory(tier.ops)
+                          : MixedHistory(tier.ops);
+    const CompiledLog compiled(log);
+    const KernelResult simd = MeasureKernel(compiled, x0, simd_level);
+    const KernelResult scalar =
+        MeasureKernel(compiled, x0, SimdLevel::kScalar);
+    const double speedup =
+        simd.seconds > 0 ? scalar.seconds / simd.seconds : 0;
+    std::printf("%-6lld %-8s %-10s %-16.0f %-16.6f %-10s\n",
+                static_cast<long long>(tier.ops), tier.history,
+                level_name.c_str(), simd.BlocksPerSecond(), simd.seconds,
+                "");
+    std::printf("%-6lld %-8s %-10s %-16.0f %-16.6f %-10.2f\n",
+                static_cast<long long>(tier.ops), tier.history, "scalar",
+                scalar.BlocksPerSecond(), scalar.seconds, speedup);
+    json.BeginTier(tier.ops);
+    json.TierLabel("history", tier.history);
+    json.TierLabel("simd_level", SimdLevelName(simd_level));
+    json.TierMetric("speedup_simd_vs_scalar", speedup);
+    json.Path("simd", {{"blocks", static_cast<double>(simd.blocks), 0},
+                       {"seconds", simd.seconds, 6},
+                       {"blocks_per_second", simd.BlocksPerSecond(), 0}});
+    json.Path("scalar",
+              {{"blocks", static_cast<double>(scalar.blocks), 0},
+               {"seconds", scalar.seconds, 6},
+               {"blocks_per_second", scalar.BlocksPerSecond(), 0}});
+    json.EndTier();
+  }
+  SCADDAR_CHECK(json.WriteFile("BENCH_remap.json"));
+  std::printf("wrote BENCH_remap.json\n");
+}
+
 }  // namespace
 }  // namespace scaddar
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  if (!json_only) {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  scaddar::WriteRemapJson();
+  return 0;
+}

@@ -8,11 +8,8 @@
 //   --smoke   tiny sizes, no BENCH_serving.json (CI wiring check only).
 // The full run writes BENCH_serving.json to the working directory.
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -43,13 +40,12 @@ struct Sizes {
 struct PathResult {
   int64_t requests = 0;
   int64_t served = 0;
-  double total_seconds = 0;
-  double p50_us = 0;
-  double p99_us = 0;
+  bench::RoundTiming timing;
 
   double RequestsPerSecond() const {
-    return total_seconds > 0 ? static_cast<double>(requests) / total_seconds
-                             : 0;
+    return timing.total_seconds > 0
+               ? static_cast<double>(requests) / timing.total_seconds
+               : 0;
   }
 };
 
@@ -96,46 +92,25 @@ struct Fixture {
 
 template <typename RoundFn>
 PathResult Measure(Fixture& fx, const Sizes& sizes, RoundFn&& run_round) {
-  for (int64_t round = 0; round < sizes.warmup_rounds; ++round) {
-    run_round(fx);
-  }
-  const int64_t rounds = sizes.rounds;
   PathResult result;
-  std::vector<double> round_us;
-  round_us.reserve(static_cast<size_t>(rounds));
-  for (int64_t round = 0; round < rounds; ++round) {
-    const auto start = std::chrono::steady_clock::now();
-    const RoundServiceResult service = run_round(fx);
-    const auto stop = std::chrono::steady_clock::now();
-    const double us =
-        std::chrono::duration<double, std::micro>(stop - start).count();
-    round_us.push_back(us);
-    result.requests += service.requests;
-    result.served += service.served;
-    result.total_seconds += us * 1e-6;
-  }
-  std::sort(round_us.begin(), round_us.end());
-  const auto percentile = [&](double p) {
-    const auto index = static_cast<size_t>(
-        p * static_cast<double>(round_us.size() - 1));
-    return round_us[index];
-  };
-  result.p50_us = percentile(0.50);
-  result.p99_us = percentile(0.99);
+  result.timing = bench::MeasureRounds(
+      sizes.warmup_rounds, sizes.rounds, [&] { return run_round(fx); },
+      [&](const RoundServiceResult& service) {
+        result.requests += service.requests;
+        result.served += service.served;
+      });
   return result;
 }
 
 template <typename RoundFn>
 PathResult MeasureBest(int64_t ops, const Sizes& sizes, RoundFn&& run_round) {
-  PathResult best;
-  for (int64_t rep = 0; rep < sizes.repetitions; ++rep) {
-    Fixture fx(ops, sizes);
-    const PathResult result = Measure(fx, sizes, run_round);
-    if (rep == 0 || result.total_seconds < best.total_seconds) {
-      best = result;
-    }
-  }
-  return best;
+  return bench::BestOf(
+      sizes.repetitions,
+      [&] {
+        Fixture fx(ops, sizes);
+        return Measure(fx, sizes, run_round);
+      },
+      [](const PathResult& result) { return result.timing.total_seconds; });
 }
 
 PathResult MeasureBatched(int64_t ops, const Sizes& sizes) {
@@ -157,17 +132,14 @@ PathResult MeasureStore(int64_t ops, const Sizes& sizes) {
   });
 }
 
-void AppendPathJson(std::string& json, const char* name,
-                    const PathResult& result, bool last) {
-  char buffer[256];
-  std::snprintf(buffer, sizeof(buffer),
-                "      \"%s\": {\"requests\": %lld, \"seconds\": %.6f, "
-                "\"requests_per_second\": %.0f, \"p50_us\": %.2f, "
-                "\"p99_us\": %.2f}%s\n",
-                name, static_cast<long long>(result.requests),
-                result.total_seconds, result.RequestsPerSecond(),
-                result.p50_us, result.p99_us, last ? "" : ",");
-  json += buffer;
+void AppendPathJson(bench::BenchJson& json, const char* name,
+                    const PathResult& result) {
+  json.Path(name,
+            {{"requests", static_cast<double>(result.requests), 0},
+             {"seconds", result.timing.total_seconds, 6},
+             {"requests_per_second", result.RequestsPerSecond(), 0},
+             {"p50_us", result.timing.p50_us, 2},
+             {"p99_us", result.timing.p99_us, 2}});
 }
 
 }  // namespace
@@ -190,41 +162,34 @@ int main(int argc, char** argv) {
   }
   std::printf("%-6s %-12s %-14s %-12s %-12s %-10s\n", "ops", "path",
               "requests/s", "p50-us", "p99-us", "speedup");
-  std::string json = "{\n  \"experiment\": \"bench_serving\",\n  \"tiers\": [\n";
-  const std::vector<int64_t> tiers = {0, 8, 32};
-  for (size_t t = 0; t < tiers.size(); ++t) {
-    const int64_t ops = tiers[t];
+  bench::BenchJson json("bench_serving");
+  for (const int64_t ops : {0, 8, 32}) {
     const PathResult batched = MeasureBatched(ops, sizes);
     const PathResult scalar = MeasureScalar(ops, sizes);
     const PathResult store = MeasureStore(ops, sizes);
     const double speedup =
-        scalar.total_seconds > 0 && batched.total_seconds > 0
-            ? scalar.total_seconds / batched.total_seconds
+        scalar.timing.total_seconds > 0 && batched.timing.total_seconds > 0
+            ? scalar.timing.total_seconds / batched.timing.total_seconds
             : 0;
     std::printf("%-6lld %-12s %-14.0f %-12.2f %-12.2f %-10s\n",
                 static_cast<long long>(ops), "batch",
-                batched.RequestsPerSecond(), batched.p50_us, batched.p99_us,
-                "");
+                batched.RequestsPerSecond(), batched.timing.p50_us,
+                batched.timing.p99_us, "");
     std::printf("%-6lld %-12s %-14.0f %-12.2f %-12.2f %-10.2f\n",
                 static_cast<long long>(ops), "scalar",
-                scalar.RequestsPerSecond(), scalar.p50_us, scalar.p99_us,
-                speedup);
+                scalar.RequestsPerSecond(), scalar.timing.p50_us,
+                scalar.timing.p99_us, speedup);
     std::printf("%-6lld %-12s %-14.0f %-12.2f %-12.2f %-10s\n",
                 static_cast<long long>(ops), "store",
-                store.RequestsPerSecond(), store.p50_us, store.p99_us, "");
-    char head[128];
-    std::snprintf(head, sizeof(head),
-                  "    {\"ops\": %lld, \"speedup_batch_vs_scalar\": %.2f,\n",
-                  static_cast<long long>(ops), speedup);
-    json += head;
-    json += "     \"paths\": {\n";
-    AppendPathJson(json, "batch", batched, false);
-    AppendPathJson(json, "scalar", scalar, false);
-    AppendPathJson(json, "store", store, true);
-    json += "     }}";
-    json += (t + 1 < tiers.size()) ? ",\n" : "\n";
+                store.RequestsPerSecond(), store.timing.p50_us,
+                store.timing.p99_us, "");
+    json.BeginTier(ops);
+    json.TierMetric("speedup_batch_vs_scalar", speedup);
+    AppendPathJson(json, "batch", batched);
+    AppendPathJson(json, "scalar", scalar);
+    AppendPathJson(json, "store", store);
+    json.EndTier();
   }
-  json += "  ]\n}\n";
   bench::PrintRule();
   std::printf(
       "Expected shape: the scalar path replays the object's REMAP chain per\n"
@@ -235,10 +200,7 @@ int main(int argc, char** argv) {
       "placement snapshot when the store is clean.\n",
       static_cast<long long>(LocationCursor::kDefaultWindow));
   if (!smoke) {
-    std::FILE* out = std::fopen("BENCH_serving.json", "w");
-    SCADDAR_CHECK(out != nullptr);
-    std::fputs(json.c_str(), out);
-    std::fclose(out);
+    SCADDAR_CHECK(json.WriteFile("BENCH_serving.json"));
     std::printf("wrote BENCH_serving.json\n");
   }
   return 0;

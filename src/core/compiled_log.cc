@@ -2,13 +2,81 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
+
 namespace scaddar {
+
+namespace internal {
+namespace {
+
+// Portable step-major kernel; the oracle every vector backend must match
+// bit-for-bit. The renumber-table index `r` is mathematically < n_prev
+// (FastDiv64 is exact), so the in-range DCHECK only fires on a corrupted
+// program — it is what keeps the unchecked table load (and the vector
+// backends' gathered twin) from silently reading out of bounds.
+void AdvanceScalar(const CompiledStep* steps, const int32_t* renumber,
+                   uint64_t* xs, size_t count, size_t from, size_t to) {
+  for (size_t j = from; j < to; ++j) {
+    const CompiledStep& step = steps[j];
+    const FastDiv64 div_prev = step.div_prev;
+    const FastDiv64 div_cur = step.div_cur;
+    const uint64_t n_prev = static_cast<uint64_t>(step.n_prev);
+    const uint64_t n_cur = static_cast<uint64_t>(step.n_cur);
+    if (step.is_add) {
+      for (size_t i = 0; i < count; ++i) {
+        const auto [q, r] = div_prev.DivMod(xs[i]);
+        const auto [q_hi, target] = div_cur.DivMod(q);
+        xs[i] = q_hi * n_cur + (target < n_prev ? r : target);
+      }
+    } else {
+      const int32_t* table = renumber + step.renumber_offset;
+      for (size_t i = 0; i < count; ++i) {
+        const auto [q, r] = div_prev.DivMod(xs[i]);
+        SCADDAR_DCHECK(r < n_prev);
+        const int32_t renumbered = table[r];
+        xs[i] = renumbered == kRemovedSlot
+                    ? q
+                    : q * n_cur + static_cast<uint64_t>(renumbered);
+      }
+    }
+  }
+}
+
+void ModScalar(const FastDiv64& div, uint64_t* xs, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    xs[i] = div.Mod(xs[i]);
+  }
+}
+
+}  // namespace
+
+const KernelBackend& ScalarBackend() {
+  static const KernelBackend backend{"scalar", &AdvanceScalar, &ModScalar};
+  return backend;
+}
+
+const KernelBackend& ActiveBackend() {
+  const SimdLevel level = ActiveSimdLevel();
+  if (level >= SimdLevel::kAvx512) {
+    if (const KernelBackend* avx512 = Avx512Backend()) {
+      return *avx512;
+    }
+  }
+  if (level >= SimdLevel::kAvx2) {
+    if (const KernelBackend* avx2 = Avx2Backend()) {
+      return *avx2;
+    }
+  }
+  return ScalarBackend();
+}
+
+}  // namespace internal
 
 CompiledLog::CompiledLog(const OpLog& log) {
   steps_.reserve(static_cast<size_t>(log.num_ops()));
   for (Epoch j = 1; j <= log.num_ops(); ++j) {
     const ScalingOp& op = log.op(j);
-    Step step;
+    internal::CompiledStep step;
     step.n_prev = log.disks_after(j - 1);
     step.n_cur = log.disks_after(j);
     step.div_prev = FastDiv64(static_cast<uint64_t>(step.n_prev));
@@ -18,7 +86,7 @@ CompiledLog::CompiledLog(const OpLog& log) {
       step.renumber_offset = static_cast<int32_t>(renumber_.size());
       for (DiskSlot slot = 0; slot < step.n_prev; ++slot) {
         renumber_.push_back(op.Removes(slot)
-                                ? kRemovedSlot
+                                ? internal::kRemovedSlot
                                 : static_cast<int32_t>(op.NewSlot(slot)));
       }
     }
@@ -40,7 +108,7 @@ uint64_t CompiledLog::FinalX(uint64_t x0, Epoch from) const {
   SCADDAR_CHECK(from >= 0 && from <= num_ops());
   uint64_t x = x0;
   for (size_t j = static_cast<size_t>(from); j < steps_.size(); ++j) {
-    const Step& step = steps_[j];
+    const internal::CompiledStep& step = steps_[j];
     const auto [q, r] = step.div_prev.DivMod(x);
     if (step.is_add) {
       // Eq. 5: stay on r if (q mod n_cur) < n_prev, else move to it.
@@ -49,10 +117,11 @@ uint64_t CompiledLog::FinalX(uint64_t x0, Epoch from) const {
           (target < static_cast<uint64_t>(step.n_prev) ? r : target);
     } else {
       // Eq. 3 with the precompiled new() table.
+      SCADDAR_DCHECK(r < static_cast<uint64_t>(step.n_prev));
       const int32_t renumbered =
           renumber_[static_cast<size_t>(step.renumber_offset) +
                     static_cast<size_t>(r)];
-      x = renumbered == kRemovedSlot
+      x = renumbered == internal::kRemovedSlot
               ? q
               : q * static_cast<uint64_t>(step.n_cur) +
                     static_cast<uint64_t>(renumbered);
@@ -64,31 +133,13 @@ uint64_t CompiledLog::FinalX(uint64_t x0, Epoch from) const {
 void CompiledLog::AdvanceXBatch(std::span<uint64_t> xs, Epoch from,
                                 Epoch to) const {
   SCADDAR_CHECK(from >= 0 && from <= to && to <= num_ops());
-  for (size_t j = static_cast<size_t>(from); j < static_cast<size_t>(to);
-       ++j) {
-    const Step& step = steps_[j];
-    const FastDiv64 div_prev = step.div_prev;
-    const FastDiv64 div_cur = step.div_cur;
-    const uint64_t n_prev = static_cast<uint64_t>(step.n_prev);
-    const uint64_t n_cur = static_cast<uint64_t>(step.n_cur);
-    if (step.is_add) {
-      for (uint64_t& x : xs) {
-        const auto [q, r] = div_prev.DivMod(x);
-        const auto [q_hi, target] = div_cur.DivMod(q);
-        x = q_hi * n_cur + (target < n_prev ? r : target);
-      }
-    } else {
-      const int32_t* renumber =
-          renumber_.data() + static_cast<size_t>(step.renumber_offset);
-      for (uint64_t& x : xs) {
-        const auto [q, r] = div_prev.DivMod(x);
-        const int32_t renumbered = renumber[r];
-        x = renumbered == kRemovedSlot
-                ? q
-                : q * n_cur + static_cast<uint64_t>(renumbered);
-      }
-    }
+  if (xs.empty() || from == to) {
+    return;
   }
+  internal::ActiveBackend().advance(steps_.data(), renumber_.data(),
+                                    xs.data(), xs.size(),
+                                    static_cast<size_t>(from),
+                                    static_cast<size_t>(to));
 }
 
 DiskSlot CompiledLog::LocateSlot(uint64_t x0, Epoch from) const {
@@ -102,15 +153,16 @@ PhysicalDiskId CompiledLog::LocatePhysical(uint64_t x0, Epoch from) const {
 void CompiledLog::LocateSlotBatch(std::span<const uint64_t> x0,
                                   std::span<DiskSlot> out, Epoch from) const {
   SCADDAR_CHECK(x0.size() == out.size());
+  if (out.empty()) {
+    return;
+  }
   // DiskSlot is int64_t, the signed twin of the chain's uint64_t — the
   // output buffer doubles as evaluation scratch (signed/unsigned aliasing
   // of the same width is well-defined).
   uint64_t* scratch = reinterpret_cast<uint64_t*>(out.data());
   std::copy(x0.begin(), x0.end(), scratch);
   AdvanceXBatch(std::span<uint64_t>(scratch, out.size()), from, num_ops());
-  for (size_t i = 0; i < out.size(); ++i) {
-    scratch[i] = div_current_.Mod(scratch[i]);
-  }
+  internal::ActiveBackend().mod(div_current_, scratch, out.size());
 }
 
 void CompiledLog::LocatePhysicalBatch(std::span<const uint64_t> x0,

@@ -11,6 +11,80 @@
 
 namespace scaddar {
 
+namespace internal {
+
+/// One compiled scaling operation: the flattened step layout every kernel
+/// backend consumes. Plain data so a backend can be a free function over
+/// raw arrays (the AVX2 backend lives in its own -mavx2 translation unit
+/// and cannot be a member of `CompiledLog`).
+struct CompiledStep {
+  int64_t n_prev = 0;
+  int64_t n_cur = 0;
+  FastDiv64 div_prev;  // Reciprocal of n_prev.
+  FastDiv64 div_cur;   // Reciprocal of n_cur.
+  bool is_add = false;
+  // For removals: dense renumbering, size n_prev; kRemovedSlot for slots
+  // the op removes (their blocks take the q-path).
+  int32_t renumber_offset = -1;  // Index into the renumber array, -1 for adds.
+};
+
+inline constexpr int32_t kRemovedSlot = -1;
+
+/// One kernel backend of the batch REMAP engine. Every backend is bit-exact
+/// with every other: `advance` replays compiled steps [from, to) over
+/// `xs[0, count)` step-major, `mod` reduces each element modulo the
+/// divisor. The scalar backend is always available; vector backends are
+/// present only when the binary was built with their instruction set and
+/// execute only when the CPU reports it at runtime (`ActiveSimdLevel`).
+struct KernelBackend {
+  using AdvanceFn = void (*)(const CompiledStep* steps,
+                             const int32_t* renumber, uint64_t* xs,
+                             size_t count, size_t from, size_t to);
+  using ModFn = void (*)(const FastDiv64& div, uint64_t* xs, size_t count);
+
+  const char* name = "";
+  AdvanceFn advance = nullptr;
+  ModFn mod = nullptr;
+};
+
+/// The portable backend (compiled_log.cc).
+const KernelBackend& ScalarBackend();
+
+/// The AVX2 backend (compiled_log_simd.cc), or nullptr when the binary was
+/// built without AVX2 codegen (non-x86 target, or a compiler without
+/// -mavx2). Null here is a build property; whether the host CPU can run it
+/// is `DetectedSimdLevel()`.
+const KernelBackend* Avx2Backend();
+
+/// The AVX-512 backend (compiled_log_simd512.cc), or nullptr when the
+/// binary was built without AVX-512F/DQ codegen. Same build-vs-runtime
+/// split as `Avx2Backend`.
+const KernelBackend* Avx512Backend();
+
+/// The backend matching `ActiveSimdLevel()` right now, falling back to
+/// the best lower level whose backend is present in this binary.
+const KernelBackend& ActiveBackend();
+
+/// Conservative upper bound on any chain value after `step`, given that
+/// every value was <= `bound` before it. Kernels track this per step to
+/// switch to narrow (32-bit-value) lane math once the whole span must fit
+/// in 32 bits: each step divides by the disk count, so after a handful of
+/// steps every x is small no matter how large X_0 was. The bound never
+/// underestimates, so the narrow path is only taken when exact.
+inline uint64_t AdvanceValueBound(const CompiledStep& step, uint64_t bound) {
+  const uint64_t n_prev = static_cast<uint64_t>(step.n_prev);
+  const uint64_t n_cur = static_cast<uint64_t>(step.n_cur);
+  const uint64_t q = bound / n_prev;
+  // Add: x' = (q div n_cur)*n_cur + slot, slot < n_cur. Remove: x' is q
+  // (removed slot) or q*n_cur + renumbered with renumbered < n_cur; the
+  // moved form dominates. Neither multiply can overflow: both products are
+  // <= the pre-division value.
+  const uint64_t base = step.is_add ? (q / n_cur) * n_cur : q * n_cur;
+  return base + (n_cur - 1);
+}
+
+}  // namespace internal
+
 /// A snapshot of an `OpLog` compiled into a flat remap program for fast
 /// `AF()` evaluation. Three optimizations over replaying through `Mapper`:
 ///
@@ -42,6 +116,17 @@ namespace scaddar {
 /// already do); this is the same-epoch fast path: no per-element epoch
 /// check anywhere in the hot loop. `bench_remap_throughput` measures the
 /// step-major speedup over per-call replay.
+///
+/// The batch entry points are backed by interchangeable kernel backends
+/// (`internal::KernelBackend`) selected at runtime by CPU feature detection
+/// (`util/simd.h`): an AVX2 backend evaluates 4 chains per 64-bit lane
+/// group, an AVX-512 backend 8, and the portable scalar backend is both the
+/// fallback and the equivalence oracle. The vector backends additionally
+/// switch to cheaper narrow lane math once a per-step value bound
+/// (`internal::AdvanceValueBound`) proves every chain value fits in 32
+/// bits. All backends are bit-identical (`tests/simd_kernel_test.cc`);
+/// `SCADDAR_FORCE_SCALAR_KERNELS=1` pins the scalar backend for testing.
+/// Empty spans are no-ops.
 class CompiledLog {
  public:
   /// Compiles a snapshot of `log`. O(sum of N over removal ops) time/space.
@@ -90,20 +175,7 @@ class CompiledLog {
   int64_t source_revision() const { return source_revision_; }
 
  private:
-  struct Step {
-    int64_t n_prev = 0;
-    int64_t n_cur = 0;
-    FastDiv64 div_prev;  // Reciprocal of n_prev.
-    FastDiv64 div_cur;   // Reciprocal of n_cur.
-    bool is_add = false;
-    // For removals: dense renumbering, size n_prev; kRemovedSlot for slots
-    // the op removes (their blocks take the q-path).
-    int32_t renumber_offset = -1;  // Index into renumber_ or -1 for adds.
-  };
-
-  static constexpr int32_t kRemovedSlot = -1;
-
-  std::vector<Step> steps_;
+  std::vector<internal::CompiledStep> steps_;
   std::vector<int32_t> renumber_;  // Concatenated renumber tables.
   std::vector<PhysicalDiskId> physical_;  // Final slot -> physical id.
   int64_t initial_disks_ = 0;

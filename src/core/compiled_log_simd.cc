@@ -1,0 +1,161 @@
+// The AVX2 kernel backend of the batch REMAP engine: 4 chains per 64-bit
+// lane group, step-major like the scalar backend, bit-identical results.
+//
+// This is the only core translation unit compiled with -mavx2 (set per-file
+// in src/CMakeLists.txt), so the rest of the binary stays runnable on any
+// x86-64; whether these kernels execute is decided at runtime by
+// `ActiveSimdLevel()`. On targets built without AVX2 codegen the backend
+// compiles to `Avx2Backend() == nullptr` and the dispatcher never leaves
+// scalar.
+
+#include "core/compiled_log.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "util/simd_avx2.h"
+
+namespace scaddar::internal {
+namespace {
+
+/// True when a step may use the narrow lane math: every chain value is
+/// proven < 2^32 (so quotients are too) and both divisors fit 32 bits (so
+/// the remainder/rebase products are single `_mm256_mul_epu32`s).
+bool NarrowStep(const CompiledStep& step, uint64_t bound) {
+  constexpr uint64_t kNarrowLimit = uint64_t{1} << 32;
+  return bound < kNarrowLimit &&
+         static_cast<uint64_t>(step.n_prev) < kNarrowLimit &&
+         static_cast<uint64_t>(step.n_cur) < kNarrowLimit;
+}
+
+// One compiled ADD step over the leading 4-lane groups. Lane math notes:
+//  - divisions are `avx2::Div4`, the exact lane-wise `FastDiv64`;
+//  - products (`q * N_j`) use `MulLo64`, which wraps mod 2^64 exactly like
+//    the scalar multiply — or a single 32x32 multiply in narrow mode;
+//  - `target < n_prev` uses the signed 64-bit compare: both sides are disk
+//    counts / slot numbers far below 2^63, so signed and unsigned agree.
+template <bool kNarrow>
+void AddStepAvx2(const CompiledStep& step, uint64_t* xs, size_t vec_count) {
+  const avx2::Div4 div_prev(step.div_prev);
+  const avx2::Div4 div_cur(step.div_cur);
+  const __m256i n_prev = _mm256_set1_epi64x(step.n_prev);
+  const __m256i n_cur = _mm256_set1_epi64x(step.n_cur);
+  for (size_t i = 0; i < vec_count; i += 4) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + i));
+    const __m256i q = kNarrow ? div_prev.DivNarrow(x) : div_prev.Div(x);
+    const __m256i r =
+        kNarrow ? div_prev.ModNarrow(x, q) : div_prev.Mod(x, q);
+    const __m256i q_hi = kNarrow ? div_cur.DivNarrow(q) : div_cur.Div(q);
+    const __m256i target =
+        kNarrow ? div_cur.ModNarrow(q, q_hi) : div_cur.Mod(q, q_hi);
+    // Eq. 5 select: stay on r when (q mod n_cur) < n_prev.
+    const __m256i stays = _mm256_cmpgt_epi64(n_prev, target);
+    const __m256i slot = _mm256_blendv_epi8(target, r, stays);
+    const __m256i rebased = kNarrow ? _mm256_mul_epu32(q_hi, n_cur)
+                                    : avx2::MulLo64(q_hi, n_cur);
+    x = _mm256_add_epi64(rebased, slot);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(xs + i), x);
+  }
+}
+
+// One compiled REMOVE step over the leading 4-lane groups. The renumber
+// table is read with a 32-bit gather indexed by the 64-bit remainder
+// lanes, then sign-extended, so the removed-slot sentinel (-1) survives as
+// an all-ones lane for the select.
+template <bool kNarrow>
+void RemoveStepAvx2(const CompiledStep& step, const int32_t* renumber,
+                    uint64_t* xs, size_t vec_count) {
+  const avx2::Div4 div_prev(step.div_prev);
+  const int32_t* table = renumber + step.renumber_offset;
+  const __m256i n_cur = _mm256_set1_epi64x(step.n_cur);
+  const __m256i removed = _mm256_set1_epi64x(kRemovedSlot);
+  for (size_t i = 0; i < vec_count; i += 4) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + i));
+    const __m256i q = kNarrow ? div_prev.DivNarrow(x) : div_prev.Div(x);
+    const __m256i r =
+        kNarrow ? div_prev.ModNarrow(x, q) : div_prev.Mod(x, q);
+#ifndef NDEBUG
+    // The gather below is unchecked; a corrupted program (bad n_prev /
+    // truncated renumber table) must die here, not read out of bounds.
+    alignas(32) uint64_t r_lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(r_lanes), r);
+    for (const uint64_t lane : r_lanes) {
+      SCADDAR_CHECK(lane < static_cast<uint64_t>(step.n_prev));
+    }
+#endif
+    const __m256i renumbered =
+        _mm256_cvtepi32_epi64(_mm256_i64gather_epi32(table, r, 4));
+    const __m256i moved = _mm256_add_epi64(
+        kNarrow ? _mm256_mul_epu32(q, n_cur) : avx2::MulLo64(q, n_cur),
+        renumbered);
+    const __m256i is_removed = _mm256_cmpeq_epi64(renumbered, removed);
+    x = _mm256_blendv_epi8(moved, q, is_removed);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(xs + i), x);
+  }
+}
+
+// Replays compiled steps [from, to) over xs[0, count) — the vector twin of
+// `AdvanceScalar`. The leading 4-lane groups go through AVX2; the trailing
+// `count mod 4` elements take the scalar kernel over the same step range
+// (elements are independent, so order between the two sweeps is
+// irrelevant). A per-step value bound (`AdvanceValueBound`) switches each
+// step to the narrow variants once every chain value provably fits 32
+// bits — for deep op logs that is most steps, since every step divides by
+// the disk count.
+void AdvanceAvx2(const CompiledStep* steps, const int32_t* renumber,
+                 uint64_t* xs, size_t count, size_t from, size_t to) {
+  const size_t vec_count = count & ~size_t{3};
+  uint64_t bound = std::numeric_limits<uint64_t>::max();
+  for (size_t j = from; j < to && vec_count != 0; ++j) {
+    const CompiledStep& step = steps[j];
+    const bool narrow = NarrowStep(step, bound);
+    if (step.is_add) {
+      narrow ? AddStepAvx2<true>(step, xs, vec_count)
+             : AddStepAvx2<false>(step, xs, vec_count);
+    } else {
+      narrow ? RemoveStepAvx2<true>(step, renumber, xs, vec_count)
+             : RemoveStepAvx2<false>(step, renumber, xs, vec_count);
+    }
+    bound = AdvanceValueBound(step, bound);
+  }
+  if (vec_count < count) {
+    ScalarBackend().advance(steps, renumber, xs + vec_count,
+                            count - vec_count, from, to);
+  }
+}
+
+void ModAvx2(const FastDiv64& div, uint64_t* xs, size_t count) {
+  const size_t vec_count = count & ~size_t{3};
+  const avx2::Div4 div4(div);
+  for (size_t i = 0; i < vec_count; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + i));
+    const __m256i q = div4.Div(x);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(xs + i), div4.Mod(x, q));
+  }
+  for (size_t i = vec_count; i < count; ++i) {
+    xs[i] = div.Mod(xs[i]);
+  }
+}
+
+}  // namespace
+
+const KernelBackend* Avx2Backend() {
+  static const KernelBackend backend{"avx2", &AdvanceAvx2, &ModAvx2};
+  return &backend;
+}
+
+}  // namespace scaddar::internal
+
+#else  // !defined(__AVX2__)
+
+namespace scaddar::internal {
+
+const KernelBackend* Avx2Backend() { return nullptr; }
+
+}  // namespace scaddar::internal
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,157 @@
+// The AVX-512 kernel backend of the batch REMAP engine: 8 chains per
+// 64-bit lane group, step-major like the other backends, bit-identical
+// results. Structure mirrors compiled_log_simd.cc (the AVX2 backend) with
+// twice the lanes, native 64-bit low multiplies (vpmullq, AVX-512DQ) and
+// mask-register selects.
+//
+// This is the only core translation unit compiled with -mavx512f
+// -mavx512dq (set per-file in src/CMakeLists.txt); whether these kernels
+// execute is decided at runtime by `ActiveSimdLevel()`. On targets built
+// without AVX-512 codegen the backend compiles to
+// `Avx512Backend() == nullptr` and the dispatcher falls back to AVX2 or
+// scalar.
+
+#include "core/compiled_log.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "util/simd_avx512.h"
+
+namespace scaddar::internal {
+namespace {
+
+/// True when a step may use the narrow lane math: every chain value is
+/// proven < 2^32 (so quotients are too) and both divisors fit 32 bits.
+bool NarrowStep(const CompiledStep& step, uint64_t bound) {
+  constexpr uint64_t kNarrowLimit = uint64_t{1} << 32;
+  return bound < kNarrowLimit &&
+         static_cast<uint64_t>(step.n_prev) < kNarrowLimit &&
+         static_cast<uint64_t>(step.n_cur) < kNarrowLimit;
+}
+
+// One compiled ADD step over the leading 8-lane groups. Same lane math as
+// the AVX2 backend (see compiled_log_simd.cc); the Eq. 5 select uses a
+// mask compare + masked blend.
+template <bool kNarrow>
+void AddStepAvx512(const CompiledStep& step, uint64_t* xs, size_t vec_count) {
+  const avx512::Div8 div_prev(step.div_prev);
+  const avx512::Div8 div_cur(step.div_cur);
+  const __m512i n_prev = _mm512_set1_epi64(step.n_prev);
+  const __m512i n_cur = _mm512_set1_epi64(step.n_cur);
+  for (size_t i = 0; i < vec_count; i += 8) {
+    __m512i x = _mm512_loadu_si512(xs + i);
+    const __m512i q = kNarrow ? div_prev.DivNarrow(x) : div_prev.Div(x);
+    const __m512i r =
+        kNarrow ? div_prev.ModNarrow(x, q) : div_prev.Mod(x, q);
+    const __m512i q_hi = kNarrow ? div_cur.DivNarrow(q) : div_cur.Div(q);
+    const __m512i target =
+        kNarrow ? div_cur.ModNarrow(q, q_hi) : div_cur.Mod(q, q_hi);
+    // Eq. 5 select: stay on r when (q mod n_cur) < n_prev.
+    const __mmask8 stays = _mm512_cmpgt_epi64_mask(n_prev, target);
+    const __m512i slot = _mm512_mask_blend_epi64(stays, target, r);
+    const __m512i rebased = kNarrow ? _mm512_mul_epu32(q_hi, n_cur)
+                                    : _mm512_mullo_epi64(q_hi, n_cur);
+    x = _mm512_add_epi64(rebased, slot);
+    _mm512_storeu_si512(xs + i, x);
+  }
+}
+
+// One compiled REMOVE step over the leading 8-lane groups. The renumber
+// table is read with a 32-bit gather indexed by the 64-bit remainder
+// lanes, then sign-extended, so the removed-slot sentinel (-1) survives as
+// an all-ones lane for the masked select.
+template <bool kNarrow>
+void RemoveStepAvx512(const CompiledStep& step, const int32_t* renumber,
+                      uint64_t* xs, size_t vec_count) {
+  const avx512::Div8 div_prev(step.div_prev);
+  const int32_t* table = renumber + step.renumber_offset;
+  const __m512i n_cur = _mm512_set1_epi64(step.n_cur);
+  const __m512i removed = _mm512_set1_epi64(kRemovedSlot);
+  for (size_t i = 0; i < vec_count; i += 8) {
+    __m512i x = _mm512_loadu_si512(xs + i);
+    const __m512i q = kNarrow ? div_prev.DivNarrow(x) : div_prev.Div(x);
+    const __m512i r =
+        kNarrow ? div_prev.ModNarrow(x, q) : div_prev.Mod(x, q);
+#ifndef NDEBUG
+    // The gather below is unchecked; a corrupted program (bad n_prev /
+    // truncated renumber table) must die here, not read out of bounds.
+    alignas(64) uint64_t r_lanes[8];
+    _mm512_store_si512(r_lanes, r);
+    for (const uint64_t lane : r_lanes) {
+      SCADDAR_CHECK(lane < static_cast<uint64_t>(step.n_prev));
+    }
+#endif
+    const __m512i renumbered =
+        _mm512_cvtepi32_epi64(_mm512_i64gather_epi32(r, table, 4));
+    const __m512i moved = _mm512_add_epi64(
+        kNarrow ? _mm512_mul_epu32(q, n_cur) : _mm512_mullo_epi64(q, n_cur),
+        renumbered);
+    const __mmask8 is_removed = _mm512_cmpeq_epi64_mask(renumbered, removed);
+    x = _mm512_mask_blend_epi64(is_removed, moved, q);
+    _mm512_storeu_si512(xs + i, x);
+  }
+}
+
+// Replays compiled steps [from, to) over xs[0, count) — the vector twin of
+// `AdvanceScalar`. The leading 8-lane groups go through AVX-512; the
+// trailing `count mod 8` elements take the scalar kernel over the same
+// step range. A per-step value bound (`AdvanceValueBound`) switches each
+// step to the narrow variants once every chain value provably fits 32
+// bits.
+void AdvanceAvx512(const CompiledStep* steps, const int32_t* renumber,
+                   uint64_t* xs, size_t count, size_t from, size_t to) {
+  const size_t vec_count = count & ~size_t{7};
+  uint64_t bound = std::numeric_limits<uint64_t>::max();
+  for (size_t j = from; j < to && vec_count != 0; ++j) {
+    const CompiledStep& step = steps[j];
+    const bool narrow = NarrowStep(step, bound);
+    if (step.is_add) {
+      narrow ? AddStepAvx512<true>(step, xs, vec_count)
+             : AddStepAvx512<false>(step, xs, vec_count);
+    } else {
+      narrow ? RemoveStepAvx512<true>(step, renumber, xs, vec_count)
+             : RemoveStepAvx512<false>(step, renumber, xs, vec_count);
+    }
+    bound = AdvanceValueBound(step, bound);
+  }
+  if (vec_count < count) {
+    ScalarBackend().advance(steps, renumber, xs + vec_count,
+                            count - vec_count, from, to);
+  }
+}
+
+void ModAvx512(const FastDiv64& div, uint64_t* xs, size_t count) {
+  const size_t vec_count = count & ~size_t{7};
+  const avx512::Div8 div8(div);
+  for (size_t i = 0; i < vec_count; i += 8) {
+    const __m512i x = _mm512_loadu_si512(xs + i);
+    const __m512i q = div8.Div(x);
+    _mm512_storeu_si512(xs + i, div8.Mod(x, q));
+  }
+  for (size_t i = vec_count; i < count; ++i) {
+    xs[i] = div.Mod(xs[i]);
+  }
+}
+
+}  // namespace
+
+const KernelBackend* Avx512Backend() {
+  static const KernelBackend backend{"avx512", &AdvanceAvx512, &ModAvx512};
+  return &backend;
+}
+
+}  // namespace scaddar::internal
+
+#else  // !(defined(__AVX512F__) && defined(__AVX512DQ__))
+
+namespace scaddar::internal {
+
+const KernelBackend* Avx512Backend() { return nullptr; }
+
+}  // namespace scaddar::internal
+
+#endif  // defined(__AVX512F__) && defined(__AVX512DQ__)

@@ -43,10 +43,18 @@ void X0Sequence::Reset() { prng_ = MakePrng(kind_, seed_); }
 
 namespace {
 
-std::vector<uint64_t> FillFromStart(Prng& prng, uint64_t mask, int64_t n) {
+std::vector<uint64_t> FillFromStart(PrngKind kind, uint64_t seed,
+                                    uint64_t mask, int64_t n) {
   std::vector<uint64_t> values(static_cast<size_t>(n));
+  if (kind == PrngKind::kSplitMix64) {
+    // The counter-based default generator fills through the SIMD dispatch
+    // (lane = counter) — byte-identical to the sequential loop below.
+    internal::FillSplitMix64(seed, mask, values.data(), values.size());
+    return values;
+  }
+  const std::unique_ptr<Prng> prng = MakePrng(kind, seed);
   for (int64_t i = 0; i < n; ++i) {
-    values[static_cast<size_t>(i)] = prng.Next() & mask;
+    values[static_cast<size_t>(i)] = prng->Next() & mask;
   }
   return values;
 }
@@ -55,8 +63,7 @@ std::vector<uint64_t> FillFromStart(Prng& prng, uint64_t mask, int64_t n) {
 
 std::vector<uint64_t> X0Sequence::Materialize(int64_t n) const {
   SCADDAR_CHECK(n >= 0);
-  const std::unique_ptr<Prng> fresh = MakePrng(kind_, seed_);
-  return FillFromStart(*fresh, max_value(), n);
+  return FillFromStart(kind_, seed_, max_value(), n);
 }
 
 StatusOr<std::vector<uint64_t>> X0Sequence::MaterializeOnce(PrngKind kind,
@@ -69,11 +76,10 @@ StatusOr<std::vector<uint64_t>> X0Sequence::MaterializeOnce(PrngKind kind,
   if (n < 0) {
     return InvalidArgumentError("block count must be >= 0");
   }
-  const std::unique_ptr<Prng> prng = MakePrng(kind, seed);
-  if (bits > prng->bits()) {
+  if (bits > MakePrng(kind, seed)->bits()) {
     return InvalidArgumentError("bits exceeds generator output width");
   }
-  return FillFromStart(*prng, MaxRandomForBits(bits), n);
+  return FillFromStart(kind, seed, MaxRandomForBits(bits), n);
 }
 
 CounterSequence::CounterSequence(uint64_t seed, int bits)

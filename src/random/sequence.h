@@ -45,7 +45,10 @@ class X0Sequence {
   /// output up front. The ingest path (`Catalog::MaterializeX0`) uses this to
   /// skip the extra per-ingest generator allocation that `Create` +
   /// `Materialize` pays for position independence. Deterministic: repeated
-  /// calls with the same arguments are byte-identical.
+  /// calls with the same arguments are byte-identical. For the counter-based
+  /// default generator (`kSplitMix64`) the fill is routed through the
+  /// runtime SIMD dispatch (`util/simd.h`) with identical output, so ingest
+  /// feeds the batch REMAP kernels with no scalar stage in front.
   static StatusOr<std::vector<uint64_t>> MaterializeOnce(PrngKind kind,
                                                          uint64_t seed,
                                                          int bits, int64_t n);

@@ -1,5 +1,7 @@
 #include "random/splitmix64.h"
 
+#include "util/simd.h"
+
 namespace scaddar {
 
 uint64_t Mix64(uint64_t x) {
@@ -28,5 +30,22 @@ std::unique_ptr<Prng> SplitMix64::Clone() const {
   clone->state_ = state_;
   return clone;
 }
+
+namespace internal {
+
+void FillSplitMix64(uint64_t seed, uint64_t mask, uint64_t* out, size_t n) {
+  if (ActiveSimdLevel() >= SimdLevel::kAvx2) {
+    if (const FillSplitMix64Fn fill = Avx2FillSplitMix64()) {
+      fill(seed, mask, out, n);
+      return;
+    }
+  }
+  SplitMix64 prng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = prng.Next() & mask;
+  }
+}
+
+}  // namespace internal
 
 }  // namespace scaddar

@@ -33,6 +33,26 @@ class SplitMix64 final : public Prng {
   uint64_t state_;
 };
 
+namespace internal {
+
+/// Fills `out[0, n)` with the first `n` outputs of `SplitMix64(seed)`, each
+/// masked to `mask` — byte-identical to n calls of `Next() & mask`, but
+/// routed through the best available SIMD backend. SplitMix64's state after
+/// i steps is the closed form `seed + (i+1)*gamma`, i.e. the stream is
+/// counter-based, so lanes evaluate independent counters and the finalizer
+/// (xor-shift-multiply, all exact lane ops) vectorizes without any
+/// cross-lane dependency. This is what makes `X0Sequence::MaterializeOnce`
+/// the last scalar-free stage in front of the batch REMAP kernels.
+void FillSplitMix64(uint64_t seed, uint64_t mask, uint64_t* out, size_t n);
+
+/// The AVX2 fill kernel (splitmix64_simd.cc), or nullptr when the binary
+/// was built without AVX2 codegen. Exposed for the differential test.
+using FillSplitMix64Fn = void (*)(uint64_t seed, uint64_t mask, uint64_t* out,
+                                  size_t n);
+FillSplitMix64Fn Avx2FillSplitMix64();
+
+}  // namespace internal
+
 }  // namespace scaddar
 
 #endif  // SCADDAR_RANDOM_SPLITMIX64_H_

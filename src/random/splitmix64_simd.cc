@@ -1,0 +1,70 @@
+// AVX2 SplitMix64 stream fill: lane = counter. The generator's state after
+// i steps is `seed + (i+1)*gamma`, so four consecutive stream positions are
+// four independent counters; the finalizer is xor-shift-multiply, exact
+// lane-wise with `MulLo64`. Output is byte-identical to the sequential
+// generator (proven in tests/simd_kernel_test.cc).
+//
+// Compiled with -mavx2 per-file (src/CMakeLists.txt), like
+// core/compiled_log_simd.cc; runtime dispatch decides whether it runs.
+
+#include "random/splitmix64.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "util/simd_avx2.h"
+
+namespace scaddar::internal {
+namespace {
+
+constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ull;
+
+__m256i Finalize(__m256i z) {
+  z = avx2::MulLo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+                    _mm256_set1_epi64x(
+                        static_cast<int64_t>(0xbf58476d1ce4e5b9ull)));
+  z = avx2::MulLo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+                    _mm256_set1_epi64x(
+                        static_cast<int64_t>(0x94d049bb133111ebull)));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+void FillAvx2(uint64_t seed, uint64_t mask, uint64_t* out, size_t n) {
+  const size_t vec_count = n & ~size_t{3};
+  // States for positions i..i+3 are seed + (i+1)*gamma .. seed + (i+4)*gamma
+  // (unsigned wrap-around matches the scalar generator exactly).
+  __m256i state = _mm256_add_epi64(
+      _mm256_set1_epi64x(static_cast<int64_t>(seed)),
+      _mm256_setr_epi64x(static_cast<int64_t>(kGamma),
+                         static_cast<int64_t>(2 * kGamma),
+                         static_cast<int64_t>(3 * kGamma),
+                         static_cast<int64_t>(4 * kGamma)));
+  const __m256i step = _mm256_set1_epi64x(static_cast<int64_t>(4 * kGamma));
+  const __m256i mask4 = _mm256_set1_epi64x(static_cast<int64_t>(mask));
+  for (size_t i = 0; i < vec_count; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(Finalize(state), mask4));
+    state = _mm256_add_epi64(state, step);
+  }
+  // Mix64(x) is finalize(x + gamma), so output i is Mix64(seed + i*gamma).
+  for (size_t i = vec_count; i < n; ++i) {
+    out[i] = Mix64(seed + static_cast<uint64_t>(i) * kGamma) & mask;
+  }
+}
+
+}  // namespace
+
+FillSplitMix64Fn Avx2FillSplitMix64() { return &FillAvx2; }
+
+}  // namespace scaddar::internal
+
+#else  // !defined(__AVX2__)
+
+namespace scaddar::internal {
+
+FillSplitMix64Fn Avx2FillSplitMix64() { return nullptr; }
+
+}  // namespace scaddar::internal
+
+#endif  // defined(__AVX2__)

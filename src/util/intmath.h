@@ -93,6 +93,15 @@ class FastDiv64 {
 
   uint64_t divisor() const { return d_; }
 
+  /// The raw reciprocal parameters, exposed for vector kernel backends that
+  /// re-implement `Div` lane-wise (util/simd_avx2.h). `magic() == 0` flags a
+  /// power-of-two divisor (plain shift); otherwise the quotient is
+  /// `mulhi(x, magic()) >> shift()`, with the add-and-halve fixup first when
+  /// `rounding_add()` is set.
+  uint64_t magic() const { return magic_; }
+  int shift() const { return shift_; }
+  bool rounding_add() const { return add_; }
+
  private:
   uint64_t d_ = 1;
   uint64_t magic_ = 0;

@@ -1,0 +1,129 @@
+#ifndef SCADDAR_UTIL_SIMD_AVX2_H_
+#define SCADDAR_UTIL_SIMD_AVX2_H_
+
+// 4x64-bit AVX2 lane primitives shared by the vector kernel backends
+// (core/compiled_log_simd.cc, random/splitmix64_simd.cc).
+//
+// Include ONLY from translation units compiled with -mavx2: the helpers use
+// AVX2 intrinsics unconditionally, and the surrounding build adds the flag
+// per-file so the rest of the binary stays portable (runtime dispatch, not
+// compile-time, decides whether these paths execute).
+//
+// AVX2 has no 64x64-bit multiply. Both halves of the product are composed
+// from `_mm256_mul_epu32` (32x32 -> 64) partial products: with
+// a = aH*2^32 + aL and b = bH*2^32 + bL,
+//
+//   a*b = (aH*bH)*2^64 + (aL*bH + aH*bL)*2^32 + aL*bL
+//
+// `MulLo64` needs only the low halves of the cross terms; `MulHi64` sums the
+// carries exactly (the mid-sum is split so no intermediate overflows 64
+// bits), which is what makes the `FastDiv64` reciprocal bit-exact lane-wise.
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "util/intmath.h"
+
+namespace scaddar::avx2 {
+
+/// Low 64 bits of the lane-wise product `a * b`.
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// High 64 bits of the lane-wise product `a * b`, exact for all inputs.
+inline __m256i MulHi64(__m256i a, __m256i b) {
+  const __m256i lo_mask = _mm256_set1_epi64x(0xffffffffll);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);        // aL*bL
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);     // aL*bH
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);     // aH*bL
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);  // aH*bH
+  // Carry out of bits [32, 64): each addend is < 2^32, so the sum is < 3*2^32
+  // and cannot overflow a 64-bit lane.
+  const __m256i mid =
+      _mm256_add_epi64(_mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                                        _mm256_and_si256(lh, lo_mask)),
+                       _mm256_and_si256(hl, lo_mask));
+  return _mm256_add_epi64(
+      _mm256_add_epi64(hh, _mm256_srli_epi64(mid, 32)),
+      _mm256_add_epi64(_mm256_srli_epi64(lh, 32), _mm256_srli_epi64(hl, 32)));
+}
+
+/// A `FastDiv64` broadcast over 4 lanes: the same multiply-shift reciprocal,
+/// evaluated with `MulHi64`/`MulLo64`. Bit-exact with the scalar `Div`/`Mod`
+/// for every x (both implement the same Granlund–Montgomery schedule).
+class Div4 {
+ public:
+  explicit Div4(const FastDiv64& div)
+      : magic_(_mm256_set1_epi64x(static_cast<int64_t>(div.magic()))),
+        divisor_(_mm256_set1_epi64x(static_cast<int64_t>(div.divisor()))),
+        shift_(_mm_cvtsi32_si128(div.shift())),
+        power_of_two_(div.magic() == 0),
+        rounding_add_(div.rounding_add()) {}
+
+  /// Lane-wise `x / divisor()`.
+  __m256i Div(__m256i x) const {
+    if (power_of_two_) {
+      return _mm256_srl_epi64(x, shift_);
+    }
+    return Reduce(x, MulHi64(x, magic_));
+  }
+
+  /// Lane-wise `x / divisor()` for x < 2^32 in every lane (caller-proven
+  /// via `AdvanceValueBound`). With the high operand half zero, two of the
+  /// four `MulHi64` partial products vanish: hi64(x * magic) is just
+  /// (x*magicH + (x*magicL >> 32)) >> 32, and x*magicH <= (2^32-1)^2 leaves
+  /// room for the < 2^32 carry, so nothing overflows. Bit-identical to
+  /// `Div` on narrow inputs — it computes the same high word.
+  __m256i DivNarrow(__m256i x) const {
+    if (power_of_two_) {
+      return _mm256_srl_epi64(x, shift_);
+    }
+    const __m256i magic_hi = _mm256_srli_epi64(magic_, 32);
+    const __m256i hi = _mm256_srli_epi64(
+        _mm256_add_epi64(_mm256_mul_epu32(x, magic_hi),
+                         _mm256_srli_epi64(_mm256_mul_epu32(x, magic_), 32)),
+        32);
+    return Reduce(x, hi);
+  }
+
+  /// Lane-wise `x mod divisor()` given `q = Div(x)`.
+  __m256i Mod(__m256i x, __m256i q) const {
+    return _mm256_sub_epi64(x, MulLo64(q, divisor_));
+  }
+
+  /// `Mod` for q and divisor both < 2^32: the product fits one
+  /// `_mm256_mul_epu32`.
+  __m256i ModNarrow(__m256i x, __m256i q) const {
+    return _mm256_sub_epi64(x, _mm256_mul_epu32(q, divisor_));
+  }
+
+ private:
+  // The post-mulhi schedule shared by Div/DivNarrow.
+  __m256i Reduce(__m256i x, __m256i hi) const {
+    if (rounding_add_) {
+      const __m256i fixup =
+          _mm256_add_epi64(_mm256_srli_epi64(_mm256_sub_epi64(x, hi), 1), hi);
+      return _mm256_srl_epi64(fixup, shift_);
+    }
+    return _mm256_srl_epi64(hi, shift_);
+  }
+
+  __m256i magic_;
+  __m256i divisor_;
+  __m128i shift_;
+  bool power_of_two_;
+  bool rounding_add_;
+};
+
+}  // namespace scaddar::avx2
+
+#endif  // SCADDAR_UTIL_SIMD_AVX2_H_

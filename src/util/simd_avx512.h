@@ -1,0 +1,111 @@
+#ifndef SCADDAR_UTIL_SIMD_AVX512_H_
+#define SCADDAR_UTIL_SIMD_AVX512_H_
+
+// 8x64-bit AVX-512 lane primitives for the vector kernel backends
+// (core/compiled_log_simd512.cc).
+//
+// Include ONLY from translation units compiled with -mavx512f -mavx512dq:
+// the helpers use the intrinsics unconditionally, and the surrounding build
+// adds the flags per-file so the rest of the binary stays portable (runtime
+// dispatch decides whether these paths execute).
+//
+// Unlike AVX2, AVX-512DQ has a native 64-bit low multiply (vpmullq), so
+// only the high half of a product needs composing from `_mm512_mul_epu32`
+// partials — the same carry-exact schedule as `avx2::MulHi64`, twice as
+// wide. Comparisons produce mask registers, so the Eq. 3/5 selects are a
+// compare + masked blend instead of a full-width vector select.
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "util/intmath.h"
+
+namespace scaddar::avx512 {
+
+/// High 64 bits of the lane-wise product `a * b`, exact for all inputs.
+inline __m512i MulHi64(__m512i a, __m512i b) {
+  const __m512i lo_mask = _mm512_set1_epi64(0xffffffffll);
+  const __m512i a_hi = _mm512_srli_epi64(a, 32);
+  const __m512i b_hi = _mm512_srli_epi64(b, 32);
+  const __m512i ll = _mm512_mul_epu32(a, b);        // aL*bL
+  const __m512i lh = _mm512_mul_epu32(a, b_hi);     // aL*bH
+  const __m512i hl = _mm512_mul_epu32(a_hi, b);     // aH*bL
+  const __m512i hh = _mm512_mul_epu32(a_hi, b_hi);  // aH*bH
+  // Carry out of bits [32, 64): each addend is < 2^32, so the sum is < 3*2^32
+  // and cannot overflow a 64-bit lane.
+  const __m512i mid =
+      _mm512_add_epi64(_mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                                        _mm512_and_si512(lh, lo_mask)),
+                       _mm512_and_si512(hl, lo_mask));
+  return _mm512_add_epi64(
+      _mm512_add_epi64(hh, _mm512_srli_epi64(mid, 32)),
+      _mm512_add_epi64(_mm512_srli_epi64(lh, 32), _mm512_srli_epi64(hl, 32)));
+}
+
+/// A `FastDiv64` broadcast over 8 lanes — the AVX-512 twin of `avx2::Div4`,
+/// bit-exact with the scalar `Div`/`Mod` for every x.
+class Div8 {
+ public:
+  explicit Div8(const FastDiv64& div)
+      : magic_(_mm512_set1_epi64(static_cast<int64_t>(div.magic()))),
+        divisor_(_mm512_set1_epi64(static_cast<int64_t>(div.divisor()))),
+        shift_(_mm_cvtsi32_si128(div.shift())),
+        power_of_two_(div.magic() == 0),
+        rounding_add_(div.rounding_add()) {}
+
+  /// Lane-wise `x / divisor()`.
+  __m512i Div(__m512i x) const {
+    if (power_of_two_) {
+      return _mm512_srl_epi64(x, shift_);
+    }
+    return Reduce(x, MulHi64(x, magic_));
+  }
+
+  /// Lane-wise `x / divisor()` for x < 2^32 in every lane (caller-proven
+  /// via `AdvanceValueBound`); see `avx2::Div4::DivNarrow` for why the
+  /// two-partial high word is exact.
+  __m512i DivNarrow(__m512i x) const {
+    if (power_of_two_) {
+      return _mm512_srl_epi64(x, shift_);
+    }
+    const __m512i magic_hi = _mm512_srli_epi64(magic_, 32);
+    const __m512i hi = _mm512_srli_epi64(
+        _mm512_add_epi64(_mm512_mul_epu32(x, magic_hi),
+                         _mm512_srli_epi64(_mm512_mul_epu32(x, magic_), 32)),
+        32);
+    return Reduce(x, hi);
+  }
+
+  /// Lane-wise `x mod divisor()` given `q = Div(x)`.
+  __m512i Mod(__m512i x, __m512i q) const {
+    return _mm512_sub_epi64(x, _mm512_mullo_epi64(q, divisor_));
+  }
+
+  /// `Mod` for q and divisor both < 2^32: the product fits one
+  /// `_mm512_mul_epu32`.
+  __m512i ModNarrow(__m512i x, __m512i q) const {
+    return _mm512_sub_epi64(x, _mm512_mul_epu32(q, divisor_));
+  }
+
+ private:
+  // The post-mulhi schedule shared by Div/DivNarrow.
+  __m512i Reduce(__m512i x, __m512i hi) const {
+    if (rounding_add_) {
+      const __m512i fixup =
+          _mm512_add_epi64(_mm512_srli_epi64(_mm512_sub_epi64(x, hi), 1), hi);
+      return _mm512_srl_epi64(fixup, shift_);
+    }
+    return _mm512_srl_epi64(hi, shift_);
+  }
+
+  __m512i magic_;
+  __m512i divisor_;
+  __m128i shift_;
+  bool power_of_two_;
+  bool rounding_add_;
+};
+
+}  // namespace scaddar::avx512
+
+#endif  // SCADDAR_UTIL_SIMD_AVX512_H_
