@@ -19,7 +19,7 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR}
-          --target thread_pool_test parallel_plan_test
+          --target thread_pool_test parallel_plan_test fault_injection_test
   RESULT_VARIABLE build_result)
 if(build_result)
   message(FATAL_ERROR "TSan build failed: ${build_result}")
@@ -27,7 +27,8 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_CTEST_COMMAND} --test-dir ${BINARY_DIR}
-          -R "thread_pool_test|parallel_plan_test" --output-on-failure
+          -R "thread_pool_test|parallel_plan_test|^fault_injection_test$"
+          --output-on-failure
   RESULT_VARIABLE test_result)
 if(test_result)
   message(FATAL_ERROR "TSan smoke tests failed: ${test_result}")

@@ -53,6 +53,8 @@ int main(int argc, char** argv) {
   scaddar::ServerConfig config;
   config.initial_disks = 8;
   config.master_seed = 0x5ce11ull;
+  // Journaled migration so scripts may use the `crash` command.
+  config.journal_migration = true;
   auto server = std::move(scaddar::CmServer::Create(config)).value();
   const scaddar::StatusOr<scaddar::ScenarioResult> result =
       scaddar::RunScenario(*server, script);
@@ -74,6 +76,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(result->hiccups));
   std::printf("  blocks migrated   : %lld\n",
               static_cast<long long>(result->migrated));
+  if (result->crashes > 0) {
+    std::printf("  crashes survived  : %lld\n",
+                static_cast<long long>(result->crashes));
+  }
   std::printf("  final disks       : %lld, op log \"%s\"\n",
               static_cast<long long>(server->policy().current_disks()),
               server->policy().log().Serialize().c_str());

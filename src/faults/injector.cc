@@ -1,0 +1,284 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "random/distributions.h"
+
+namespace scaddar {
+
+namespace {
+
+constexpr std::string_view kHeader = "faults-v1";
+
+const char* KindToken(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kDiskFail:
+      return "fail";
+    case FaultKind::kTransientError:
+      return "transient";
+    case FaultKind::kHook:
+      return "hook";
+  }
+  return "?";
+}
+
+StatusOr<int64_t> ParseInt(std::string_view token) {
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError("malformed integer in fault schedule");
+  }
+  return value;
+}
+
+StatusOr<double> ParseDouble(std::string_view token) {
+  const std::string copy(token);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) {
+    return InvalidArgumentError("malformed probability in fault schedule");
+  }
+  return value;
+}
+
+std::vector<std::string_view> Split(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') {
+      ++pos;
+    }
+    const size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') {
+      ++pos;
+    }
+    if (pos > start) {
+      tokens.push_back(line.substr(start, pos - start));
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::Random(uint64_t seed,
+                                    const RandomScheduleOptions& options) {
+  auto prng = MakePrng(PrngKind::kSplitMix64, seed);
+  FaultSchedule schedule;
+  for (int64_t i = 0; i < options.crashes; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kCrash;
+    event.round = -1;
+    event.move = static_cast<int64_t>(UniformUint64(
+        *prng, static_cast<uint64_t>(std::max<int64_t>(
+                   options.max_crash_move, 1))));
+    event.phase = static_cast<MovePhase>(
+        UniformUint64(*prng, static_cast<uint64_t>(kNumMovePhases)));
+    schedule.Add(event);
+  }
+  int64_t next_round = 1;
+  for (int64_t i = 0; i < options.disk_failures; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kDiskFail;
+    event.round =
+        next_round + static_cast<int64_t>(UniformUint64(
+                         *prng, static_cast<uint64_t>(std::max<int64_t>(
+                                    options.max_round, 2))));
+    next_round = event.round + options.failure_spacing;
+    event.disk = static_cast<PhysicalDiskId>(UniformUint64(
+        *prng,
+        static_cast<uint64_t>(std::max<int64_t>(options.max_disk_id, 1))));
+    schedule.Add(event);
+  }
+  if (options.transient_probability > 0.0) {
+    FaultEvent event;
+    event.kind = FaultKind::kTransientError;
+    event.round = -1;
+    event.disk = -1;
+    event.probability = options.transient_probability;
+    schedule.Add(event);
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::Serialize() const {
+  std::string out(kHeader);
+  out += '\n';
+  char buffer[160];
+  for (const FaultEvent& event : events_) {
+    switch (event.kind) {
+      case FaultKind::kCrash:
+        std::snprintf(buffer, sizeof(buffer), "crash %lld %lld %d\n",
+                      static_cast<long long>(event.round),
+                      static_cast<long long>(event.move),
+                      static_cast<int>(event.phase));
+        break;
+      case FaultKind::kDiskFail:
+        std::snprintf(buffer, sizeof(buffer), "fail %lld %lld\n",
+                      static_cast<long long>(event.round),
+                      static_cast<long long>(event.disk));
+        break;
+      case FaultKind::kTransientError:
+        std::snprintf(buffer, sizeof(buffer), "transient %lld %lld %.17g\n",
+                      static_cast<long long>(event.round),
+                      static_cast<long long>(event.disk), event.probability);
+        break;
+      case FaultKind::kHook:
+        std::snprintf(buffer, sizeof(buffer), "hook %lld %lld\n",
+                      static_cast<long long>(event.round),
+                      static_cast<long long>(event.move));
+        break;
+    }
+    out += buffer;
+  }
+  return out;
+}
+
+StatusOr<FaultSchedule> FaultSchedule::Deserialize(std::string_view text) {
+  FaultSchedule schedule;
+  bool header_seen = false;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const size_t eol = rest.find('\n');
+    std::string_view line = rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 1);
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string_view> tokens = Split(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (!header_seen) {
+      if (tokens.size() != 1 || tokens[0] != kHeader) {
+        return InvalidArgumentError("unrecognized fault schedule header");
+      }
+      header_seen = true;
+      continue;
+    }
+    FaultEvent event;
+    if (tokens[0] == "crash" && tokens.size() == 4) {
+      event.kind = FaultKind::kCrash;
+      SCADDAR_ASSIGN_OR_RETURN(event.round, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(event.move, ParseInt(tokens[2]));
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t phase, ParseInt(tokens[3]));
+      if (phase < 0 || phase >= kNumMovePhases) {
+        return InvalidArgumentError("crash phase out of range");
+      }
+      event.phase = static_cast<MovePhase>(phase);
+    } else if (tokens[0] == "fail" && tokens.size() == 3) {
+      event.kind = FaultKind::kDiskFail;
+      SCADDAR_ASSIGN_OR_RETURN(event.round, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(event.disk, ParseInt(tokens[2]));
+    } else if (tokens[0] == "transient" && tokens.size() == 4) {
+      event.kind = FaultKind::kTransientError;
+      SCADDAR_ASSIGN_OR_RETURN(event.round, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(event.disk, ParseInt(tokens[2]));
+      SCADDAR_ASSIGN_OR_RETURN(event.probability, ParseDouble(tokens[3]));
+      if (event.probability < 0.0 || event.probability > 1.0) {
+        return InvalidArgumentError("transient probability outside [0, 1]");
+      }
+    } else if (tokens[0] == "hook" && tokens.size() == 3) {
+      event.kind = FaultKind::kHook;
+      SCADDAR_ASSIGN_OR_RETURN(event.round, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(event.move, ParseInt(tokens[2]));
+    } else {
+      return InvalidArgumentError("unrecognized fault schedule line");
+    }
+    schedule.Add(event);
+  }
+  if (!header_seen) {
+    return InvalidArgumentError("empty fault schedule");
+  }
+  return schedule;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, uint64_t seed)
+    : schedule_(std::move(schedule)),
+      fired_(schedule_.events().size(), false),
+      prng_(MakePrng(PrngKind::kSplitMix64, seed ^ 0xfa17ull)) {}
+
+void FaultInjector::BeginRound(int64_t round) { round_ = round; }
+
+std::vector<PhysicalDiskId> FaultInjector::TakeDiskFailures() {
+  std::vector<PhysicalDiskId> disks;
+  const std::vector<FaultEvent>& events = schedule_.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.kind != FaultKind::kDiskFail || fired_[i] ||
+        !RoundMatches(event)) {
+      continue;
+    }
+    fired_[i] = true;
+    ++disk_failures_fired_;
+    disks.push_back(event.disk);
+  }
+  return disks;
+}
+
+void FaultInjector::BeginMove() {
+  ++move_;
+  const std::vector<FaultEvent>& events = schedule_.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.kind != FaultKind::kHook || fired_[i] || !RoundMatches(event) ||
+        event.move != move_) {
+      continue;
+    }
+    fired_[i] = true;
+    ++hooks_fired_;
+    if (hook_) {
+      hook_();
+    }
+  }
+}
+
+bool FaultInjector::CrashAt(MovePhase phase) {
+  const std::vector<FaultEvent>& events = schedule_.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.kind != FaultKind::kCrash || fired_[i] || !RoundMatches(event) ||
+        event.move != move_ || event.phase != phase) {
+      continue;
+    }
+    fired_[i] = true;
+    ++crashes_fired_;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::TransientHits(PhysicalDiskId a, PhysicalDiskId b) {
+  const std::vector<FaultEvent>& events = schedule_.events();
+  for (const FaultEvent& event : events) {
+    if (event.kind != FaultKind::kTransientError || !RoundMatches(event)) {
+      continue;
+    }
+    if (event.disk >= 0 && event.disk != a && event.disk != b) {
+      continue;
+    }
+    if (Bernoulli(*prng_, event.probability)) {
+      ++transient_errors_fired_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::FailTransfer(PhysicalDiskId from, PhysicalDiskId to) {
+  return TransientHits(from, to);
+}
+
+bool FaultInjector::FailRead(PhysicalDiskId disk) {
+  return TransientHits(disk, disk);
+}
+
+}  // namespace scaddar

@@ -1,5 +1,7 @@
 #include "faults/recovery.h"
 
+#include <algorithm>
+
 #include "core/mapper.h"
 
 namespace scaddar {
@@ -93,6 +95,16 @@ StatusOr<RecoveryPlan> PlanMirrorRecovery(const ScaddarPolicy& policy) {
     }
   }
   return plan;
+}
+
+int64_t RetryBackoff::DelayFor(int64_t attempt) const {
+  const int64_t shift = std::max<int64_t>(attempt, 1) - 1;
+  // 2^shift without overflow: saturate once the doubling passes the cap.
+  int64_t delay = std::max<int64_t>(base_delay_rounds, 1);
+  for (int64_t k = 0; k < shift && delay < max_delay_rounds; ++k) {
+    delay *= 2;
+  }
+  return std::min(delay, std::max<int64_t>(max_delay_rounds, 1));
 }
 
 }  // namespace scaddar

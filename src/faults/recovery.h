@@ -58,6 +58,18 @@ struct RecoveryPlan {
 /// disks, so every block has a surviving source and the plan is complete.
 StatusOr<RecoveryPlan> PlanMirrorRecovery(const ScaddarPolicy& policy);
 
+/// Capped exponential backoff for transfers refused by transient I/O
+/// errors: attempt k waits `base_delay_rounds * 2^(k-1)` rounds, capped at
+/// `max_delay_rounds`. Rounds are the natural clock here — one round is one
+/// block's playback time, and repair bandwidth is granted per round.
+struct RetryBackoff {
+  int64_t base_delay_rounds = 1;
+  int64_t max_delay_rounds = 8;
+
+  /// Rounds to wait before retry number `attempt` (1-based; clamped >= 1).
+  int64_t DelayFor(int64_t attempt) const;
+};
+
 }  // namespace scaddar
 
 #endif  // SCADDAR_FAULTS_RECOVERY_H_

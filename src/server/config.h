@@ -60,6 +60,12 @@ struct ServerConfig {
   /// Worker threads for reconciliation scans after scaling operations
   /// (1 = serial; the queue is byte-identical for any value).
   int reconcile_threads = 1;
+
+  /// Run every migration transfer through the crash-consistent write-ahead
+  /// move journal (intent -> copy -> commit). Off by default: the journal
+  /// only matters when crashes are possible (fault-injection runs), and the
+  /// plain path is the established bench baseline.
+  bool journal_migration = false;
 };
 
 }  // namespace scaddar

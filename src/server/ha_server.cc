@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "faults/injector.h"
+
 namespace scaddar {
 
 HaCmServer::HaCmServer(const HaServerConfig& config)
@@ -208,6 +210,19 @@ HaRoundMetrics HaCmServer::Tick() {
   metrics.round = round_;
   metrics.active_streams = active_streams();
 
+  FaultInjector* const injector = disks_.fault_injector();
+  if (injector != nullptr) {
+    injector->BeginRound(round_);
+    // Consume unplanned failures scheduled for this round. A refusal
+    // (unknown disk, already dead, too few survivors) means the scheduled
+    // failure hit nothing — tolerated, the schedule is random.
+    for (const PhysicalDiskId disk : injector->TakeDiskFailures()) {
+      if (FailDisk(disk).ok()) {
+        ++metrics.disks_failed;
+      }
+    }
+  }
+
   // Per-disk bandwidth budgets (failed disks serve nothing).
   std::unordered_map<PhysicalDiskId, int64_t> budget;
   for (const PhysicalDiskId id : disks_.live_ids()) {
@@ -240,6 +255,14 @@ HaRoundMetrics HaCmServer::Tick() {
           degraded = true;
           continue;
         }
+        if (injector != nullptr && injector->FailRead(disk)) {
+          // Transient read error: degrade to the next replica this round.
+          disks_.GetDisk(disk).value()->RecordTransientError();
+          ++metrics.transient_errors;
+          ++total_transient_errors_;
+          degraded = true;
+          continue;
+        }
         const auto it = budget.find(disk);
         if (it == budget.end() || it->second <= 0) {
           continue;  // Busy disk; try the next replica.
@@ -267,6 +290,10 @@ HaRoundMetrics HaCmServer::Tick() {
   while (remaining-- > 0) {
     const CopyRef item = repair_queue_.front();
     repair_queue_.pop_front();
+    if (item.not_before_round > round_) {
+      repair_queue_.push_back(item);  // Still backing off; no budget spent.
+      continue;
+    }
     std::vector<PhysicalDiskId>& locations =
         copies_.at(item.block.object)[static_cast<size_t>(item.replica)];
     PhysicalDiskId& current =
@@ -288,6 +315,20 @@ HaRoundMetrics HaCmServer::Tick() {
     }
     --src_budget->second;
     --dst_budget->second;
+    if (injector != nullptr && injector->FailTransfer(*source, target)) {
+      // Transient transfer error: the attempt burned its bandwidth; retry
+      // after a capped exponential backoff.
+      disks_.GetDisk(*source).value()->RecordTransientError();
+      disks_.GetDisk(target).value()->RecordTransientError();
+      ++metrics.transient_errors;
+      ++total_transient_errors_;
+      CopyRef retry = item;
+      ++retry.attempts;
+      retry.not_before_round = round_ + backoff_.DelayFor(retry.attempts);
+      repair_queue_.push_back(retry);
+      ++metrics.deferred_repairs;
+      continue;
+    }
     if (!failed_.contains(current)) {
       disks_.GetDisk(current).value()->RemoveBlocks(1);
     }

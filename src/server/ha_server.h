@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "faults/recovery.h"
 #include "faults/replication.h"
 #include "placement/scaddar_policy.h"
 #include "server/admission.h"
@@ -18,6 +19,8 @@
 #include "util/statusor.h"
 
 namespace scaddar {
+
+class FaultInjector;
 
 /// Configuration of the high-availability server.
 struct HaServerConfig {
@@ -35,6 +38,9 @@ struct HaRoundMetrics {
   int64_t hiccups = 0;
   int64_t repaired = 0;         // Copies (re)materialized this round.
   int64_t pending_repairs = 0;
+  int64_t disks_failed = 0;      // Injected unplanned failures this round.
+  int64_t transient_errors = 0;  // Injected I/O errors hit this round.
+  int64_t deferred_repairs = 0;  // Repairs pushed out by retry backoff.
 };
 
 /// Section 6 made operational: a continuous media server that keeps every
@@ -90,6 +96,15 @@ class HaCmServer {
   /// than R−1 overlapping failures occurred).
   int64_t UnreadableBlocks() const;
 
+  /// Attaches (or detaches, with null) the fault engine. Each `Tick` then
+  /// consumes scheduled unplanned disk failures, degrades reads hit by
+  /// transient errors to the next replica, and retries refused repair
+  /// transfers with capped exponential backoff. The caller owns the
+  /// injector.
+  void AttachFaultInjector(FaultInjector* injector) {
+    disks_.set_fault_injector(injector);
+  }
+
   // --- Accessors ---------------------------------------------------------
   const ScaddarPolicy& policy() const { return *policy_; }
   const ReplicatedPlacement& replication() const { return *replication_; }
@@ -107,6 +122,7 @@ class HaCmServer {
   int64_t total_hiccups() const { return total_hiccups_; }
   int64_t total_served() const { return total_served_; }
   int64_t total_repaired() const { return total_repaired_; }
+  int64_t total_transient_errors() const { return total_transient_errors_; }
   const Catalog& catalog() const { return catalog_; }
 
   /// Where copy `r` of the block currently *is* (materialized truth).
@@ -118,6 +134,8 @@ class HaCmServer {
   struct CopyRef {
     BlockRef block;
     int64_t replica;
+    int64_t attempts = 0;          // Transfers refused by injected errors.
+    int64_t not_before_round = 0;  // Backoff: hold the retry until then.
   };
 
   /// Queues every copy whose materialized location diverges from its
@@ -150,12 +168,14 @@ class HaCmServer {
   std::vector<Stream> streams_;
   std::unordered_set<PhysicalDiskId> failed_;
   std::deque<CopyRef> repair_queue_;
+  RetryBackoff backoff_;
 
   int64_t round_ = 0;
   int64_t next_stream_id_ = 0;
   int64_t total_hiccups_ = 0;
   int64_t total_served_ = 0;
   int64_t total_repaired_ = 0;
+  int64_t total_transient_errors_ = 0;
 };
 
 }  // namespace scaddar

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "faults/injector.h"
+#include "storage/move_journal.h"
 #include "util/thread_pool.h"
 
 namespace scaddar {
@@ -29,6 +31,12 @@ int64_t MigrationExecutor::pending_for(ObjectId object) const {
 
 std::vector<BlockRef> MigrationExecutor::QueueSnapshot() const {
   return std::vector<BlockRef>(queue_.begin(), queue_.end());
+}
+
+void MigrationExecutor::Reset() {
+  queue_.clear();
+  pending_per_object_.clear();
+  crashed_ = false;
 }
 
 void MigrationExecutor::EnqueuePlan(const MovePlan& plan) {
@@ -150,11 +158,14 @@ void MigrationExecutor::EnqueueReconciliation(
 int64_t MigrationExecutor::RunRound(
     std::unordered_map<PhysicalDiskId, int64_t>& leftover, BlockStore& store,
     DiskArray& disks, const PlacementPolicy& policy) {
+  if (crashed_) {
+    return 0;  // The process is "dead" until SimulateCrashRestart.
+  }
   const size_t round_items = queue_.size();
   if (round_items == 0) {
     return 0;
   }
-  policy.PrepareForBatch();
+  FaultInjector* const injector = disks.fault_injector();
 
   // Dequeue this round's entries; bandwidth-starved ones requeue behind any
   // entries enqueued mid-round, exactly like the scalar single pass.
@@ -164,55 +175,73 @@ int64_t MigrationExecutor::RunRound(
     items.push_back(PopFront());
   }
 
-  // Group by object and resolve each object's queued targets with one batch
-  // pass. Current locations are *not* prefetched: they are read from the
-  // live store row at decision time, so duplicate queue entries observe
-  // earlier moves of the same round just as the scalar pass does.
-  struct ObjectRound {
-    std::span<const PhysicalDiskId> row;
-    std::vector<BlockIndex> blocks;
-    std::vector<size_t> item_index;
-    std::vector<PhysicalDiskId> targets;
-  };
-  std::unordered_map<ObjectId, size_t> slot_of;
-  std::vector<ObjectRound> rounds;
+  // Group by object once: store rows are stable spans for the whole round
+  // (moves mutate entries in place), so current locations are read from the
+  // live row at decision time and duplicate queue entries observe earlier
+  // moves of the same round just as the scalar pass does.
+  std::unordered_map<ObjectId, std::span<const PhysicalDiskId>> rows;
   constexpr size_t kSkipped = static_cast<size_t>(-1);
-  std::vector<size_t> item_slot(items.size(), kSkipped);
+  std::vector<size_t> item_slot(items.size(), 0);
+  std::vector<std::span<const PhysicalDiskId>> item_row(items.size());
   for (size_t i = 0; i < items.size(); ++i) {
     const BlockRef ref = items[i];
-    const auto [it, inserted] = slot_of.try_emplace(ref.object, rounds.size());
+    const auto [it, inserted] = rows.try_emplace(ref.object);
     if (inserted) {
-      rounds.emplace_back();
       const StatusOr<std::span<const PhysicalDiskId>> row =
           store.LocationsOf(ref.object);
       // Object deleted while its moves were queued: every entry skips.
-      rounds.back().row = row.ok() ? *row
-                                   : std::span<const PhysicalDiskId>();
+      it->second = row.ok() ? *row : std::span<const PhysicalDiskId>();
     }
-    ObjectRound& object_round = rounds[it->second];
-    if (object_round.row.empty() || ref.block < 0 ||
-        ref.block >= static_cast<BlockIndex>(object_round.row.size())) {
-      continue;  // Mirrors the scalar LocationOf error path.
-    }
-    item_slot[i] = it->second;
-    object_round.blocks.push_back(ref.block);
-    object_round.item_index.push_back(i);
-  }
-  std::vector<PhysicalDiskId> item_target(items.size(), 0);
-  for (ObjectRound& object_round : rounds) {
-    if (object_round.blocks.empty()) {
+    if (it->second.empty() || ref.block < 0 ||
+        ref.block >= static_cast<BlockIndex>(it->second.size())) {
+      item_slot[i] = kSkipped;  // Mirrors the scalar LocationOf error path.
       continue;
     }
-    object_round.targets.resize(object_round.blocks.size());
-    const ObjectId object =
-        items[object_round.item_index.front()].object;
-    policy.LocateMany(object,
-                      std::span<const BlockIndex>(object_round.blocks),
-                      std::span<PhysicalDiskId>(object_round.targets));
-    for (size_t k = 0; k < object_round.item_index.size(); ++k) {
-      item_target[object_round.item_index[k]] = object_round.targets[k];
-    }
+    item_row[i] = it->second;
   }
+
+  // Batch-resolve targets for items [first, end): one step-major pass per
+  // object. Re-invoked mid-round by the epoch guard when a scaling op lands
+  // while the round is executing — the remaining items re-plan against the
+  // new epoch's AF() so no move chases a stale target.
+  std::vector<PhysicalDiskId> item_target(items.size(), 0);
+  const auto resolve_targets = [&](size_t first) {
+    policy.PrepareForBatch();
+    std::unordered_map<ObjectId,
+                       std::pair<std::vector<BlockIndex>, std::vector<size_t>>>
+        groups;
+    for (size_t i = first; i < items.size(); ++i) {
+      if (item_slot[i] == kSkipped) {
+        continue;
+      }
+      auto& [blocks, indices] = groups[items[i].object];
+      blocks.push_back(items[i].block);
+      indices.push_back(i);
+    }
+    std::vector<PhysicalDiskId> targets;
+    for (auto& [object, group] : groups) {
+      auto& [blocks, indices] = group;
+      targets.resize(blocks.size());
+      policy.LocateMany(object, std::span<const BlockIndex>(blocks),
+                        std::span<PhysicalDiskId>(targets));
+      for (size_t k = 0; k < indices.size(); ++k) {
+        item_target[indices[k]] = targets[k];
+      }
+    }
+  };
+  int64_t epoch_revision = policy.log().revision();
+  resolve_targets(0);
+
+  // An injected crash abandons the round: only durably-written state (the
+  // journal and the store) survives; queued work is rebuilt by the
+  // post-restart reconciliation scan.
+  const auto crash_at = [&](MovePhase phase) {
+    if (injector != nullptr && injector->CrashAt(phase)) {
+      crashed_ = true;
+      return true;
+    }
+    return false;
+  };
 
   // Spend bandwidth in queue order with the precomputed targets.
   int64_t moved = 0;
@@ -221,12 +250,24 @@ int64_t MigrationExecutor::RunRound(
       continue;
     }
     const BlockRef ref = items[i];
-    const PhysicalDiskId current =
-        rounds[item_slot[i]].row[static_cast<size_t>(ref.block)];
-    const PhysicalDiskId target = item_target[i];
-    if (current == target) {
+    const PhysicalDiskId current = item_row[i][static_cast<size_t>(ref.block)];
+    if (current == item_target[i]) {
       continue;  // Already in place (duplicate or superseded entry).
     }
+    if (injector != nullptr) {
+      injector->BeginMove();  // May fire a hook that applies a scaling op.
+    }
+    // Epoch guard: if a scaling operation was applied since the round's
+    // targets were resolved (a hook racing the round, or any reentrant
+    // caller), re-plan the remaining items against the new epoch.
+    if (policy.log().revision() != epoch_revision) {
+      epoch_revision = policy.log().revision();
+      resolve_targets(i);
+      if (current == item_target[i]) {
+        continue;  // The new epoch wants this block where it already is.
+      }
+    }
+    const PhysicalDiskId target = item_target[i];
     auto src = leftover.find(current);
     auto dst = leftover.find(target);
     if (src == leftover.end() || dst == leftover.end() || src->second <= 0 ||
@@ -236,14 +277,49 @@ int64_t MigrationExecutor::RunRound(
     }
     --src->second;
     --dst->second;
-    const Status applied = store.ApplyMove(BlockMove{
-        .block = ref,
-        .from_slot = 0,
-        .to_slot = 0,
-        .from_physical = current,
-        .to_physical = target,
-    });
-    SCADDAR_CHECK(applied.ok());
+    if (injector != nullptr && injector->FailTransfer(current, target)) {
+      // Transient I/O error: the attempt burned its bandwidth; re-queue the
+      // block and retry in a later round (the executor's backoff).
+      disks.GetDisk(current).value()->RecordTransientError();
+      disks.GetDisk(target).value()->RecordTransientError();
+      ++transient_errors_;
+      PushRef(ref);
+      continue;
+    }
+    if (journal_ == nullptr) {
+      const Status applied = store.ApplyMove(BlockMove{
+          .block = ref,
+          .from_slot = 0,
+          .to_slot = 0,
+          .from_physical = current,
+          .to_physical = target,
+      });
+      SCADDAR_CHECK(applied.ok());
+    } else {
+      // The write-ahead protocol. Each `crash_at` is the boundary right
+      // after a durable write; dying at any of them leaves a state
+      // `MoveJournal::Recover` replays to the same final placement.
+      const int64_t entry = journal_->Begin(ref, current, target);
+      if (crash_at(MovePhase::kIntentLogged)) {
+        return moved;
+      }
+      SCADDAR_CHECK(store.StageCopy(ref, target).ok());
+      if (crash_at(MovePhase::kCopyStaged)) {
+        return moved;
+      }
+      journal_->MarkCopied(entry);
+      if (crash_at(MovePhase::kCopyLogged)) {
+        return moved;
+      }
+      SCADDAR_CHECK(store.CommitStagedMove(ref, current, target).ok());
+      if (crash_at(MovePhase::kLocationFlipped)) {
+        return moved;
+      }
+      journal_->MarkCommitted(entry);
+      if (crash_at(MovePhase::kCommitLogged)) {
+        return moved;
+      }
+    }
     disks.GetDisk(current).value()->RecordMigrationTransfers(1);
     disks.GetDisk(target).value()->RecordMigrationTransfers(1);
     ++moved;

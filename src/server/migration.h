@@ -14,6 +14,9 @@
 
 namespace scaddar {
 
+class FaultInjector;
+class MoveJournal;
+
 /// Executes block redistribution *online*, using only bandwidth left over
 /// after stream service (Section 1: scaling must not interrupt the CM
 /// server). The queue holds block references, not (source, destination)
@@ -29,9 +32,32 @@ namespace scaddar {
 /// targets with one batch pass per queued object instead of a chain replay
 /// per block. `RunRoundScalar` keeps the original per-block implementation
 /// as the equivalence oracle.
+///
+/// With a `MoveJournal` attached, every transfer runs the crash-consistent
+/// write-ahead protocol (intent -> stage -> copied -> flip -> commit), and
+/// the fault injector hanging off the `DiskArray` can kill the executor at
+/// any phase boundary or fail individual transfers. Without a journal the
+/// behavior is byte-identical to the pre-journal executor.
 class MigrationExecutor {
  public:
   MigrationExecutor() = default;
+
+  /// Attaches (or detaches, with null) the write-ahead journal. Journaled
+  /// moves survive crashes: `MoveJournal::Recover` replays the journal
+  /// against the store to a state where every move is fully applied or
+  /// fully undone, and a reconciliation scan re-queues the undone ones.
+  void AttachJournal(MoveJournal* journal) { journal_ = journal; }
+  MoveJournal* journal() const { return journal_; }
+
+  /// True after an injected crash killed a round mid-move. A crashed
+  /// executor refuses further rounds until `Reset` — the in-memory process
+  /// is dead; only `CmServer::SimulateCrashRestart` revives it.
+  bool crashed() const { return crashed_; }
+
+  /// Drops all volatile state (queue, per-object counts, crash latch) —
+  /// exactly what a process restart loses. Durable state (journal, store)
+  /// is untouched; callers re-seed the queue with a reconciliation scan.
+  void Reset();
 
   /// Queues every block of an RF() plan.
   void EnqueuePlan(const MovePlan& plan);
@@ -75,6 +101,10 @@ class MigrationExecutor {
   bool idle() const { return queue_.empty(); }
   int64_t total_moved() const { return total_moved_; }
 
+  /// Transfers refused by injected transient errors (each burned its round
+  /// bandwidth and was re-queued — retry in a later round is the backoff).
+  int64_t transient_errors() const { return transient_errors_; }
+
   /// The queue contents in order (test introspection for the sharding and
   /// equivalence proofs).
   std::vector<BlockRef> QueueSnapshot() const;
@@ -85,7 +115,10 @@ class MigrationExecutor {
 
   std::deque<BlockRef> queue_;
   std::unordered_map<ObjectId, int64_t> pending_per_object_;
+  MoveJournal* journal_ = nullptr;  // Not owned; may be null.
+  bool crashed_ = false;
   int64_t total_moved_ = 0;
+  int64_t transient_errors_ = 0;
 };
 
 }  // namespace scaddar

@@ -169,6 +169,13 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
           return LineError(line_number, "drain did not converge");
         }
       }
+    } else if (command == "crash" && tokens.size() == 1) {
+      const StatusOr<JournalRecoveryStats> stats =
+          server.SimulateCrashRestart();
+      if (!stats.ok()) {
+        return LineError(line_number, stats.status().message());
+      }
+      ++result.crashes;
     } else if (command == "verify" && tokens.size() == 1) {
       const Status status = server.VerifyIntegrity();
       if (!status.ok()) {

@@ -19,6 +19,7 @@ struct ScenarioResult {
   int64_t migrated = 0;
   int64_t streams_started = 0;
   int64_t streams_rejected = 0;
+  int64_t crashes = 0;
 };
 
 /// Drives a `CmServer` from a small line-oriented script — the repeatable
@@ -35,6 +36,8 @@ struct ScenarioResult {
 ///   rebase                               full redistribution
 ///   tick <rounds>                        run scheduling rounds
 ///   drain                                tick until migration idle
+///   crash                                kill the process and restart it
+///                                        (journal recovery; streams die)
 ///   verify                               assert store matches AF()
 ///
 /// Execution stops at the first failing command; the error names the line.

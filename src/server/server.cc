@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <charconv>
 
+#include "faults/injector.h"
+
 namespace scaddar {
 
 namespace {
@@ -41,6 +43,9 @@ StatusOr<std::unique_ptr<CmServer>> CmServer::Create(
       server->policy_,
       MakePolicy(config.policy, config.initial_disks, options));
   SCADDAR_RETURN_IF_ERROR(server->SyncDisks());
+  if (config.journal_migration) {
+    server->migration_.AttachJournal(&server->journal_);
+  }
   return server;
 }
 
@@ -191,6 +196,12 @@ RoundMetrics CmServer::Tick() {
   RoundMetrics metrics;
   metrics.round = round_;
   metrics.active_streams = active_streams();
+  if (migration_.crashed()) {
+    return metrics;  // Dead process; only SimulateCrashRestart revives it.
+  }
+  if (FaultInjector* const injector = disks_.fault_injector()) {
+    injector->BeginRound(round_);
+  }
 
   std::unordered_map<PhysicalDiskId, int64_t> leftover;
   RoundServiceResult service;
@@ -220,6 +231,9 @@ RoundMetrics CmServer::Tick() {
   }
   metrics.migrated = migration_.RunRound(leftover, store_, disks_, *policy_);
   metrics.pending_migration = migration_.pending();
+  if (migration_.crashed()) {
+    return metrics;  // Died mid-round; the rest of the round never ran.
+  }
 
   // Retire drained disks.
   if (!retiring_.empty()) {
@@ -419,7 +433,43 @@ StatusOr<std::unique_ptr<CmServer>> CmServer::Restore(
     server->policy_->LocateAllBlocks(id, locations);
     SCADDAR_RETURN_IF_ERROR(server->store_.PlaceObject(id, locations));
   }
+  if (config.journal_migration) {
+    server->migration_.AttachJournal(&server->journal_);
+  }
   return server;
+}
+
+StatusOr<JournalRecoveryStats> CmServer::SimulateCrashRestart() {
+  // Volatile state dies with the process: the migration queue, the active
+  // streams and this round's budgets.
+  migration_.Reset();
+  streams_.clear();
+  streams_per_object_.clear();
+  // The journal is the durable WAL a real server would fsync: round-trip it
+  // through its text form so recovery provably runs off the serialized
+  // bytes alone.
+  SCADDAR_ASSIGN_OR_RETURN(journal_,
+                           MoveJournal::Deserialize(journal_.Serialize()));
+  SCADDAR_ASSIGN_OR_RETURN(const JournalRecoveryStats stats,
+                           journal_.Recover(store_));
+  journal_.Compact();
+  // Recompute the retiring set from durable state: a disk still holding
+  // blocks but absent from the placement live set is mid-drain.
+  retiring_.clear();
+  const std::vector<PhysicalDiskId>& live = policy_->log().physical_disks();
+  for (const auto& [disk, count] : store_.per_disk_counts()) {
+    if (count > 0 &&
+        std::find(live.begin(), live.end(), disk) == live.end()) {
+      retiring_.push_back(disk);
+    }
+  }
+  std::sort(retiring_.begin(), retiring_.end());
+  SCADDAR_RETURN_IF_ERROR(SyncDisks());
+  // Re-seed the migration queue: the divergence scan re-discovers every
+  // block AF() wants elsewhere, including moves whose journal intents were
+  // discarded — idempotent re-execution instead of replaying stale plans.
+  migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
+  return stats;
 }
 
 Status CmServer::VerifyIntegrity() const {

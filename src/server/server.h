@@ -17,9 +17,12 @@
 #include "storage/block_store.h"
 #include "storage/catalog.h"
 #include "storage/disk_array.h"
+#include "storage/move_journal.h"
 #include "util/statusor.h"
 
 namespace scaddar {
+
+class FaultInjector;
 
 /// Per-round server metrics.
 struct RoundMetrics {
@@ -120,6 +123,29 @@ class CmServer {
   /// migration is pending — otherwise reports FailedPrecondition).
   Status VerifyIntegrity() const;
 
+  // --- Fault injection & crash recovery. --------------------------------
+  /// Attaches (or detaches, with null) the fault engine; it reaches every
+  /// hook site through the disk array. The caller owns the injector.
+  void AttachFaultInjector(FaultInjector* injector) {
+    disks_.set_fault_injector(injector);
+  }
+
+  /// True after an injected crash killed the server mid-round. A crashed
+  /// server ignores `Tick` until `SimulateCrashRestart`.
+  bool crashed() const { return migration_.crashed(); }
+
+  /// Simulates a process crash + restart. Volatile state dies: the
+  /// migration queue, active streams and round budgets are dropped.
+  /// Durable state survives: the store (disk contents), the move journal
+  /// (round-tripped through its text form, proving the serialized WAL
+  /// carries everything recovery needs), and the policy/catalog metadata.
+  /// Recovery then (1) replays the journal so every in-flight move is
+  /// fully applied or fully undone, (2) recomputes the retiring-disk set
+  /// from store occupancy vs. the placement live set, and (3) re-seeds the
+  /// migration queue with a reconciliation scan. Returns what the journal
+  /// replay found. Callable at any point, crashed or not.
+  StatusOr<JournalRecoveryStats> SimulateCrashRestart();
+
   // --- Accessors -----------------------------------------------------
   const ServerConfig& config() const { return config_; }
   const Catalog& catalog() const { return catalog_; }
@@ -129,6 +155,7 @@ class CmServer {
   const DiskArray& disks() const { return disks_; }
   DiskArray& disks() { return disks_; }
   const MigrationExecutor& migration() const { return migration_; }
+  const MoveJournal& journal() const { return journal_; }
   const std::vector<Stream>& streams() const { return streams_; }
   const AdmissionController& admission() const { return admission_; }
 
@@ -169,6 +196,7 @@ class CmServer {
   BlockStore store_;
   RoundScheduler scheduler_;
   MigrationExecutor migration_;
+  MoveJournal journal_;
   AdmissionController admission_;
   std::vector<Stream> streams_;
   std::unordered_map<ObjectId, int64_t> streams_per_object_;

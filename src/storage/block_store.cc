@@ -1,5 +1,7 @@
 #include "storage/block_store.h"
 
+#include <algorithm>
+
 namespace scaddar {
 
 Status BlockStore::PlaceObject(ObjectId id,
@@ -27,6 +29,15 @@ Status BlockStore::DropObject(ObjectId id) {
   }
   for (const PhysicalDiskId disk : it->second) {
     AdjustDisk(disk, -1);
+  }
+  // Staged copies of a dropped object are garbage: release their space.
+  const auto staged = staged_.find(id);
+  if (staged != staged_.end()) {
+    for (const auto& [block, disk] : staged->second) {
+      AdjustDisk(disk, -1);
+      --staged_count_;
+    }
+    staged_.erase(staged);
   }
   total_blocks_ -= static_cast<int64_t>(it->second.size());
   locations_.erase(it);
@@ -83,6 +94,112 @@ Status BlockStore::ApplyMove(const BlockMove& move) {
   return OkStatus();
 }
 
+Status BlockStore::StageCopy(BlockRef ref, PhysicalDiskId to) {
+  const auto it = locations_.find(ref.object);
+  if (it == locations_.end()) {
+    return NotFoundError("object not materialized");
+  }
+  if (ref.block < 0 ||
+      ref.block >= static_cast<BlockIndex>(it->second.size())) {
+    return OutOfRangeError("block index out of range");
+  }
+  if (it->second[static_cast<size_t>(ref.block)] == to) {
+    return InvalidArgumentError("block already resides on the target disk");
+  }
+  auto& object_staged = staged_[ref.object];
+  const auto [entry, inserted] = object_staged.try_emplace(ref.block, to);
+  if (!inserted) {
+    return FailedPreconditionError("block already has a staged copy");
+  }
+  AdjustDisk(to, 1);
+  ++staged_count_;
+  ++mutation_revision_;
+  return OkStatus();
+}
+
+Status BlockStore::CommitStagedMove(BlockRef ref, PhysicalDiskId from,
+                                    PhysicalDiskId to) {
+  const auto it = locations_.find(ref.object);
+  if (it == locations_.end()) {
+    return NotFoundError("object not materialized");
+  }
+  if (ref.block < 0 ||
+      ref.block >= static_cast<BlockIndex>(it->second.size())) {
+    return OutOfRangeError("block index out of range");
+  }
+  const auto staged = staged_.find(ref.object);
+  if (staged == staged_.end() || !staged->second.contains(ref.block)) {
+    return FailedPreconditionError("block has no staged copy");
+  }
+  if (staged->second.at(ref.block) != to) {
+    return FailedPreconditionError("staged copy is on a different disk");
+  }
+  PhysicalDiskId& location = it->second[static_cast<size_t>(ref.block)];
+  if (location != from) {
+    return FailedPreconditionError("block is not on the expected source disk");
+  }
+  // The staged copy becomes the authoritative one (no occupancy change on
+  // `to`); the source copy is released.
+  location = to;
+  staged->second.erase(ref.block);
+  if (staged->second.empty()) {
+    staged_.erase(staged);
+  }
+  --staged_count_;
+  AdjustDisk(from, -1);
+  ++mutation_revision_;
+  ++row_revisions_[ref.object];
+  return OkStatus();
+}
+
+Status BlockStore::AbortStagedCopy(BlockRef ref) {
+  const auto staged = staged_.find(ref.object);
+  if (staged == staged_.end()) {
+    return NotFoundError("block has no staged copy");
+  }
+  const auto entry = staged->second.find(ref.block);
+  if (entry == staged->second.end()) {
+    return NotFoundError("block has no staged copy");
+  }
+  AdjustDisk(entry->second, -1);
+  staged->second.erase(entry);
+  if (staged->second.empty()) {
+    staged_.erase(staged);
+  }
+  --staged_count_;
+  ++mutation_revision_;
+  return OkStatus();
+}
+
+StatusOr<PhysicalDiskId> BlockStore::StagedTarget(BlockRef ref) const {
+  const auto staged = staged_.find(ref.object);
+  if (staged == staged_.end()) {
+    return NotFoundError("block has no staged copy");
+  }
+  const auto entry = staged->second.find(ref.block);
+  if (entry == staged->second.end()) {
+    return NotFoundError("block has no staged copy");
+  }
+  return entry->second;
+}
+
+std::vector<std::pair<BlockRef, PhysicalDiskId>> BlockStore::StagedCopies()
+    const {
+  std::vector<std::pair<BlockRef, PhysicalDiskId>> out;
+  out.reserve(static_cast<size_t>(staged_count_));
+  for (const auto& [object, blocks] : staged_) {
+    for (const auto& [block, disk] : blocks) {
+      out.emplace_back(BlockRef{object, block}, disk);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first.object != b.first.object
+               ? a.first.object < b.first.object
+               : a.first.block < b.first.block;
+  });
+  return out;
+}
+
 Status BlockStore::ApplyPlan(const MovePlan& plan) {
   for (const BlockMove& move : plan.moves()) {
     SCADDAR_RETURN_IF_ERROR(ApplyMove(move));
@@ -91,6 +208,9 @@ Status BlockStore::ApplyPlan(const MovePlan& plan) {
 }
 
 Status BlockStore::VerifyAgainstPolicy(const PlacementPolicy& policy) const {
+  if (staged_count_ > 0) {
+    return InternalError("staged copies outstanding; a move is mid-protocol");
+  }
   for (const auto& [id, locations] : locations_) {
     for (size_t i = 0; i < locations.size(); ++i) {
       const PhysicalDiskId expected =

@@ -58,11 +58,43 @@ class BlockStore {
   /// not currently on `move.from_physical`.
   Status ApplyMove(const BlockMove& move);
 
+  // --- Staged copies (the journaled move protocol's middle state). -------
+  // A staged copy models the durable bytes a migration has written to the
+  // target disk *before* the location flip makes them authoritative: the
+  // block is still served from its current disk, but the target's occupancy
+  // is charged. A crash between stage and commit leaves the staged copy
+  // behind for `MoveJournal::Recover` to roll forward or release.
+
+  /// Charges a durable copy of `ref`'s bytes to `to`. Fails if the block is
+  /// unknown, already on `to`, or already staged somewhere.
+  Status StageCopy(BlockRef ref, PhysicalDiskId to);
+
+  /// Promotes the staged copy to the authoritative location: the block now
+  /// lives on `to` and `from`'s occupancy is released. Fails (without side
+  /// effects) unless the block is on `from` and staged exactly to `to`.
+  Status CommitStagedMove(BlockRef ref, PhysicalDiskId from,
+                          PhysicalDiskId to);
+
+  /// Releases a staged copy without flipping the location (crash recovery
+  /// rollback of a torn or orphaned copy).
+  Status AbortStagedCopy(BlockRef ref);
+
+  /// Where `ref` is currently staged to, or NotFound.
+  StatusOr<PhysicalDiskId> StagedTarget(BlockRef ref) const;
+
+  /// Every outstanding staged copy in deterministic (object, block) order —
+  /// the recovery sweep enumerates these to release orphans.
+  std::vector<std::pair<BlockRef, PhysicalDiskId>> StagedCopies() const;
+
+  /// Outstanding staged copies (0 whenever no move is mid-protocol).
+  int64_t staged_blocks() const { return staged_count_; }
+
   /// Executes a whole plan; stops at the first failing move.
   Status ApplyPlan(const MovePlan& plan);
 
   /// Verifies that every stored block is exactly where `policy.Locate` says
-  /// it should be — the RF()/AF() agreement check.
+  /// it should be — the RF()/AF() agreement check. Also fails while staged
+  /// copies are outstanding: a converged store has no move mid-protocol.
   Status VerifyAgainstPolicy(const PlacementPolicy& policy) const;
 
   int64_t total_blocks() const { return total_blocks_; }
@@ -82,6 +114,10 @@ class BlockStore {
   std::unordered_map<ObjectId, std::vector<PhysicalDiskId>> locations_;
   std::unordered_map<ObjectId, int64_t> row_revisions_;
   std::unordered_map<PhysicalDiskId, int64_t> per_disk_counts_;
+  // staged_[object][block] = disk holding the not-yet-committed copy.
+  std::unordered_map<ObjectId, std::unordered_map<BlockIndex, PhysicalDiskId>>
+      staged_;
+  int64_t staged_count_ = 0;
   int64_t total_blocks_ = 0;
   int64_t mutation_revision_ = 0;
 };

@@ -37,8 +37,11 @@ class SimDisk {
   void RecordMigrationTransfers(int64_t count) {
     migration_transfers_ += count;
   }
+  /// Injected transient I/O errors observed on this disk (fault harness).
+  void RecordTransientError() { ++transient_errors_; }
   int64_t served_requests() const { return served_requests_; }
   int64_t migration_transfers() const { return migration_transfers_; }
+  int64_t transient_errors() const { return transient_errors_; }
 
  private:
   PhysicalDiskId id_;
@@ -46,6 +49,7 @@ class SimDisk {
   int64_t num_blocks_ = 0;
   int64_t served_requests_ = 0;
   int64_t migration_transfers_ = 0;
+  int64_t transient_errors_ = 0;
 };
 
 }  // namespace scaddar

@@ -10,6 +10,8 @@
 
 namespace scaddar {
 
+class FaultInjector;
+
 /// The physical disk farm. Disks are keyed by their stable `PhysicalDiskId`;
 /// the placement layer's op log decides *which* ids are live, and the array
 /// tracks the hardware-side state (specs, occupancy, service counters).
@@ -45,8 +47,16 @@ class DiskArray {
   /// Occupancy of live disks in `live_ids()` order.
   std::vector<int64_t> LiveOccupancy() const;
 
+  /// Attaches (or detaches, with null) the fault engine. The array is the
+  /// rendezvous point: the migration executor and the servers read the
+  /// injector from here, so one attachment covers every hook site. Detached
+  /// — the default — each hook costs a single null-pointer branch.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
  private:
   DiskSpec default_spec_;
+  FaultInjector* injector_ = nullptr;  // Not owned; may be null.
   std::unordered_map<PhysicalDiskId, SimDisk> disks_;
   std::unordered_map<PhysicalDiskId, bool> live_;
   int64_t num_live_ = 0;

@@ -6,6 +6,7 @@
 
 #include "core/compiled_log.h"
 #include "core/mapper.h"
+#include "faults/injector.h"
 #include "random/distributions.h"
 #include "random/sequence.h"
 #include "server/ha_server.h"
@@ -158,6 +159,99 @@ TEST_P(FuzzTest, HaServerNeverLosesDataUnderSingleFailures) {
     server->Tick();
     ASSERT_LT(++rounds, 100000);
   }
+  EXPECT_TRUE(server->VerifyRedundancy().ok());
+}
+
+TEST_P(FuzzTest, ServerNeverLosesBlocksUnderRandomFaultSchedules) {
+  const uint64_t seed = GetParam() ^ 0x44;
+  auto prng = MakePrng(PrngKind::kSplitMix64, seed);
+  ServerConfig config;
+  config.initial_disks = 6;
+  config.master_seed = seed;
+  config.journal_migration = true;
+  auto server = std::move(CmServer::Create(config)).value();
+  ObjectId next_object = 1;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server->AddObject(next_object++, 250).ok());
+  }
+  RandomScheduleOptions schedule_options;
+  schedule_options.crashes = 6;
+  schedule_options.max_crash_move = 64;
+  schedule_options.transient_probability = 0.05;
+  FaultInjector injector(FaultSchedule::Random(seed, schedule_options), seed);
+  server->AttachFaultInjector(&injector);
+  int64_t recoveries = 0;
+  for (int round = 0; round < 300; ++round) {
+    const double dice = UniformDouble(*prng);
+    if (server->crashed()) {
+      // The dead process loses its volatile state; restart and recover.
+      ASSERT_TRUE(server->SimulateCrashRestart().ok());
+      ++recoveries;
+    } else if (dice < 0.04) {
+      const ScalingOp op = RandomOp(*prng, server->policy().current_disks());
+      if (op.is_add()) {
+        ASSERT_TRUE(server->ScaleAdd(op.add_count()).ok());
+      } else if (server->policy().current_disks() -
+                     static_cast<int64_t>(op.removed_slots().size()) >=
+                 2) {
+        ASSERT_TRUE(server->ScaleRemove(op.removed_slots()).ok());
+      }
+    } else if (dice < 0.2) {
+      (void)server->StartStream(1 + static_cast<ObjectId>(
+                                        UniformUint64(*prng, 3)));
+    }
+    server->Tick();
+    // No block is ever lost or duplicated, crashed or not: the durable
+    // store always carries exactly the cataloged block population.
+    ASSERT_EQ(server->store().total_blocks(),
+              server->catalog().total_blocks());
+  }
+  // Drain to convergence through any remaining crash events.
+  int rounds = 0;
+  while (!server->migration().idle() || server->crashed()) {
+    if (server->crashed()) {
+      ASSERT_TRUE(server->SimulateCrashRestart().ok());
+      ++recoveries;
+    }
+    server->Tick();
+    ASSERT_LT(++rounds, 100000);
+  }
+  EXPECT_EQ(recoveries, injector.crashes_fired());
+  EXPECT_EQ(server->store().staged_blocks(), 0);
+  EXPECT_TRUE(server->VerifyIntegrity().ok());
+}
+
+TEST_P(FuzzTest, HaServerSurvivesRandomFaultSchedules) {
+  const uint64_t seed = GetParam() ^ 0x55;
+  HaServerConfig config;
+  config.base.initial_disks = 10;
+  config.base.master_seed = seed;
+  config.replicas = 2;
+  auto server = std::move(HaCmServer::Create(config)).value();
+  ASSERT_TRUE(server->AddObject(1, 800).ok());
+  (void)server->StartStream(1);
+  // Scheduled disk deaths (spaced wider than a rebuild takes, preserving
+  // the single-overlapping-failure guarantee) plus transient read/transfer
+  // errors that the retry/backoff path must absorb.
+  RandomScheduleOptions schedule_options;
+  schedule_options.crashes = 0;
+  schedule_options.disk_failures = 2;
+  schedule_options.max_round = 100;
+  schedule_options.failure_spacing = 400;
+  schedule_options.max_disk_id = config.base.initial_disks;
+  schedule_options.transient_probability = 0.02;
+  FaultInjector injector(FaultSchedule::Random(seed, schedule_options), seed);
+  server->AttachFaultInjector(&injector);
+  for (int round = 0; round < 900; ++round) {
+    server->Tick();
+    ASSERT_EQ(server->UnreadableBlocks(), 0);
+  }
+  int rounds = 0;
+  while (!server->repairs_idle()) {
+    server->Tick();
+    ASSERT_LT(++rounds, 100000);
+  }
+  EXPECT_EQ(injector.disk_failures_fired(), 2);
   EXPECT_TRUE(server->VerifyRedundancy().ok());
 }
 

@@ -1,0 +1,214 @@
+// Statistical regression tests for the paper's two reorganization
+// objectives, over random scaling chains bounded by the Section 4.3
+// tolerance:
+//   RO1 — move as few blocks as possible: structurally, additions move
+//         blocks only onto new disks and removals only off removed disks;
+//         quantitatively, the moved fraction tracks Eq. 1's minimum z_j.
+//   RO2 — end uniformly distributed: per-disk counts pass a chi-square
+//         uniformity test after every operation, including failure-driven
+//         single-slot removals.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "placement/analysis.h"
+#include "placement/registry.h"
+#include "random/distributions.h"
+#include "random/sequence.h"
+#include "stats/chi_square.h"
+#include "stats/movement.h"
+
+namespace scaddar {
+namespace {
+
+// b = 32 keeps R0 small enough that tolerance-bounded chains terminate
+// quickly; eps is the server default.
+constexpr int kBits = 32;
+constexpr double kEps = 0.05;
+constexpr uint64_t kR0 = (uint64_t{1} << kBits) - 1;
+// Per-op false-alarm guards: the movement z-test runs at z = 5 and the
+// uniformity test at alpha = 1e-4, both far into the tail so hundreds of
+// op applications across seeds stay deterministic-in-practice.
+constexpr double kZ = 5.0;
+constexpr double kAlpha = 1e-4;
+
+ScalingOp RandomOp(Prng& prng, int64_t current_disks) {
+  if (current_disks <= 3 || Bernoulli(prng, 0.6)) {
+    return ScalingOp::Add(1 + static_cast<int64_t>(UniformUint64(prng, 3)))
+        .value();
+  }
+  const int64_t max_remove = std::min<int64_t>(current_disks - 2, 3);
+  const int64_t count =
+      1 + static_cast<int64_t>(
+              UniformUint64(prng, static_cast<uint64_t>(max_remove)));
+  return ScalingOp::Remove(
+             SampleWithoutReplacement(prng, current_disks, count))
+      .value();
+}
+
+std::unique_ptr<PlacementPolicy> MakeScaddar(int64_t n0, uint64_t seed,
+                                             int64_t blocks_per_object) {
+  auto policy = std::move(MakePolicy("scaddar", n0)).value();
+  for (ObjectId id = 1; id <= 2; ++id) {
+    auto seq =
+        X0Sequence::Create(PrngKind::kSplitMix64, seed ^ (0xab << id), kBits)
+            .value();
+    std::vector<uint64_t> x0(static_cast<size_t>(blocks_per_object));
+    for (uint64_t& value : x0) {
+      value = seq.Next();
+    }
+    SCADDAR_CHECK(policy->AddObject(id, std::move(x0)).ok());
+  }
+  return policy;
+}
+
+// Applies `op` and checks both objectives on the transition.
+void CheckOneOp(PlacementPolicy& policy, const ScalingOp& op) {
+  const int64_t n_prev = policy.current_disks();
+  const std::vector<PhysicalDiskId> disks_before =
+      policy.log().physical_disks();
+  const std::vector<int64_t> before = policy.AssignmentSnapshot();
+  ASSERT_TRUE(policy.ApplyOp(op).ok());
+  const int64_t n_cur = policy.current_disks();
+  const std::vector<PhysicalDiskId> disks_after =
+      policy.log().physical_disks();
+  const std::vector<int64_t> after = policy.AssignmentSnapshot();
+  ASSERT_EQ(before.size(), after.size());
+
+  // RO1 structural: moves go only where the operation demands. For an
+  // addition, a moved block must land on a newly added physical disk; for
+  // a removal, a moved block must have lived on a removed physical disk.
+  const std::unordered_set<PhysicalDiskId> old_disks(disks_before.begin(),
+                                                     disks_before.end());
+  const std::unordered_set<PhysicalDiskId> new_disks(disks_after.begin(),
+                                                     disks_after.end());
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] == after[i]) {
+      continue;
+    }
+    if (op.is_add()) {
+      EXPECT_FALSE(old_disks.contains(after[i]))
+          << "addition moved block " << i << " onto pre-existing disk "
+          << after[i];
+    } else {
+      EXPECT_FALSE(new_disks.contains(before[i]))
+          << "removal moved block " << i << " off surviving disk "
+          << before[i];
+    }
+  }
+
+  // RO1 quantitative: the moved fraction is a sum of independent per-block
+  // indicators with success probability z_j (Eq. 1), so it must sit within
+  // kZ binomial standard errors of the theoretical minimum.
+  const MovementStats stats =
+      CompareAssignments(before, after, n_prev, n_cur);
+  const double z_j = stats.theoretical_fraction;
+  ASSERT_GT(z_j, 0.0);
+  const double std_error =
+      std::sqrt(z_j * (1.0 - z_j) /
+                static_cast<double>(stats.total_blocks));
+  EXPECT_TRUE(WithinStdError(stats.moved_fraction, z_j, std_error, kZ))
+      << "moved " << stats.moved_fraction << " vs z_j " << z_j
+      << " (std error " << std_error << ") for " << op.ToString();
+
+  // RO2: the post-op distribution over live disks is uniform.
+  const ChiSquareResult uniformity =
+      ChiSquareUniform(policy.PerDiskCounts());
+  EXPECT_TRUE(uniformity.IsUniform(kAlpha))
+      << "post-op distribution non-uniform: p = " << uniformity.p_value
+      << " after " << op.ToString();
+}
+
+class ReorgObjectivesTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Random mixed chains, stopped exactly where Section 4.3 says to rebase:
+// the next op would push the remaining random range past R0*eps/(1+eps).
+TEST_P(ReorgObjectivesTest, RandomChainsMeetBothObjectivesUntilTolerance) {
+  auto prng = MakePrng(PrngKind::kSplitMix64, GetParam());
+  auto policy = MakeScaddar(/*n0=*/6, GetParam(), /*blocks_per_object=*/4000);
+  int64_t ops_applied = 0;
+  for (int step = 0; step < 64; ++step) {
+    const ScalingOp op = RandomOp(*prng, policy->current_disks());
+    if (policy->log().WouldExceedTolerance(op, kR0, kEps)) {
+      break;
+    }
+    CheckOneOp(*policy, op);
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+    ++ops_applied;
+    // The invariant the chain is bounded by must itself keep holding.
+    ASSERT_TRUE(policy->log().SatisfiesTolerance(kR0, kEps));
+  }
+  // The chain must do real work before the bound (or the 64-op guard)
+  // stops it.
+  EXPECT_GE(ops_applied, 3);
+}
+
+// Failure-driven reorganization: disks die one at a time (the Section 5
+// failure model — a single-slot removal with no drain time), interleaved
+// with capacity adds so the array survives. Both objectives must hold for
+// every failure transition.
+TEST_P(ReorgObjectivesTest, FailureRemovalsMeetBothObjectives) {
+  auto prng = MakePrng(PrngKind::kSplitMix64, GetParam() ^ 0x5e1f);
+  auto policy = MakeScaddar(/*n0=*/8, GetParam(), /*blocks_per_object=*/4000);
+  int64_t failures = 0;
+  for (int step = 0; step < 12; ++step) {
+    const bool fail_one = (step % 2) == 0 && policy->current_disks() > 4;
+    const ScalingOp op =
+        fail_one
+            ? ScalingOp::Remove({static_cast<DiskSlot>(UniformUint64(
+                                    *prng, static_cast<uint64_t>(
+                                               policy->current_disks())))})
+                  .value()
+            : ScalingOp::Add(1).value();
+    if (policy->log().WouldExceedTolerance(op, kR0, kEps)) {
+      break;
+    }
+    CheckOneOp(*policy, op);
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+    failures += fail_one ? 1 : 0;
+  }
+  EXPECT_GE(failures, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorgObjectivesTest,
+                         ::testing::Values(0xa001, 0xa002, 0xa003, 0xa004,
+                                           0xa005, 0xa006));
+
+// Monte-Carlo cross-check against the closed form: across independent
+// trials SCADDAR's mean moved fraction matches Definition 3.4's expected
+// minimum for both operation kinds.
+TEST(ReorgObjectivesMonteCarloTest, MeanMovedFractionMatchesClosedForm) {
+  const auto factory = [](int64_t trial) {
+    PolicyOptions options;
+    options.seed = static_cast<uint64_t>(0x90 + trial);
+    return std::move(MakePolicy("scaddar", 8, options)).value();
+  };
+  const struct {
+    ScalingOp op;
+    int64_t n_cur;
+  } cases[] = {
+      {ScalingOp::Add(2).value(), 10},
+      {ScalingOp::Remove({1, 5}).value(), 6},
+  };
+  for (const auto& test_case : cases) {
+    const MovedFractionEstimate estimate = EstimateMovedFraction(
+        factory, test_case.op, /*trials=*/24, /*blocks=*/4000,
+        /*seed=*/0xe571);
+    const double expected = ExpectedMoveFractionScaddar(8, test_case.n_cur);
+    EXPECT_TRUE(WithinStdError(estimate.mean, expected, estimate.std_error,
+                               /*z=*/4.0))
+        << "mean " << estimate.mean << " vs expected " << expected
+        << " (std error " << estimate.std_error << ") for "
+        << test_case.op.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace scaddar
