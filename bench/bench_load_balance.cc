@@ -5,8 +5,13 @@
 // complete-redistribution baseline stays flat; the naive scheme degrades
 // fastest. The op at which Lemma 4.3 recommends full redistribution is
 // marked with '*'.
+//
+// Usage: bench_load_balance [--json-only]
+//   --json-only  suppress the console table, still write the JSON.
+// Every run writes BENCH_load_balance.json to the working directory.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -26,21 +31,23 @@ constexpr int64_t kBlocksPerObject = 5000;
 constexpr int64_t kInitialDisks = 8;    // Paper: average of 8 disks.
 constexpr int kOps = 10;                // Paper threshold is ~8; overshoot.
 
-void Run() {
+void Run(bool json_only) {
   const std::vector<std::vector<uint64_t>> objects = bench::MakeObjects(
       0x5ec5aull, kNumObjects, kBlocksPerObject, PrngKind::kPcg32, kBits);
   const std::vector<std::string_view> policies = {"scaddar", "naive", "mod",
                                                   "directory"};
-  std::printf("setting: %lld objects x %lld blocks, b=%d, eps=%.0f%%, "
-              "N0=%lld, +1 disk per op\n\n",
-              static_cast<long long>(kNumObjects),
-              static_cast<long long>(kBlocksPerObject), kBits, kEps * 100,
-              static_cast<long long>(kInitialDisks));
-  std::printf("%-4s %-6s", "op", "disks");
-  for (const std::string_view name : policies) {
-    std::printf("  %12.*s", static_cast<int>(name.size()), name.data());
+  if (!json_only) {
+    std::printf("setting: %lld objects x %lld blocks, b=%d, eps=%.0f%%, "
+                "N0=%lld, +1 disk per op\n\n",
+                static_cast<long long>(kNumObjects),
+                static_cast<long long>(kBlocksPerObject), kBits, kEps * 100,
+                static_cast<long long>(kInitialDisks));
+    std::printf("%-4s %-6s", "op", "disks");
+    for (const std::string_view name : policies) {
+      std::printf("  %12.*s", static_cast<int>(name.size()), name.data());
+    }
+    std::printf("  lemma4.3\n");
   }
-  std::printf("  lemma4.3\n");
 
   std::vector<std::unique_ptr<PlacementPolicy>> instances;
   for (const std::string_view name : policies) {
@@ -52,37 +59,71 @@ void Run() {
     instances.push_back(std::move(policy));
   }
   const uint64_t r0 = MaxRandomForBits(kBits);
+  bench::BenchJson json("bench_load_balance");
   for (int op = 0; op <= kOps; ++op) {
+    double apply_seconds = 0;
     if (op > 0) {
-      for (auto& policy : instances) {
-        SCADDAR_CHECK(policy->ApplyOp(ScalingOp::Add(1).value()).ok());
-      }
+      apply_seconds = bench::TimeSeconds([&] {
+        for (auto& policy : instances) {
+          SCADDAR_CHECK(policy->ApplyOp(ScalingOp::Add(1).value()).ok());
+        }
+      });
     }
-    std::printf("%-4d %-6lld", op,
-                static_cast<long long>(instances[0]->current_disks()));
-    for (auto& policy : instances) {
-      const LoadMetrics metrics =
-          ComputeLoadMetrics(policy->PerDiskCounts());
-      std::printf("  %12.5f", metrics.coefficient_of_variation);
+    if (!json_only) {
+      std::printf("%-4d %-6lld", op,
+                  static_cast<long long>(instances[0]->current_disks()));
     }
+    json.BeginTier(op);
+    json.TierMetric("disks",
+                    static_cast<double>(instances[0]->current_disks()), 0);
+    json.TierMetric("apply_all_us", apply_seconds * 1e6, 1);
     const bool ok = instances[0]->log().SatisfiesTolerance(r0, kEps);
-    std::printf("  %s\n", ok ? "ok" : "* redistribute-all recommended");
+    json.TierLabel("lemma_4_3", ok ? "ok" : "redistribute-all");
+    for (size_t p = 0; p < policies.size(); ++p) {
+      const LoadMetrics metrics =
+          ComputeLoadMetrics(instances[p]->PerDiskCounts());
+      if (!json_only) {
+        std::printf("  %12.5f", metrics.coefficient_of_variation);
+      }
+      json.Path(std::string(policies[p]).c_str(),
+                {{"cov", metrics.coefficient_of_variation, 5},
+                 {"stddev", metrics.stddev, 3}});
+    }
+    json.EndTier();
+    if (!json_only) {
+      std::printf("  %s\n", ok ? "ok" : "* redistribute-all recommended");
+    }
   }
-  bench::PrintRule();
-  std::printf(
-      "Expected shape (paper, Section 5): SCADDAR's CoV grows slowly with\n"
-      "each op (shrinking range) and crosses the recommended-redistribution\n"
-      "threshold near op %lld; 'mod' and 'directory' (full/true fresh\n"
-      "randomness) stay flat; 'naive' degrades fastest.\n",
-      static_cast<long long>(RuleOfThumbMaxOps(kBits, kEps, 8.0)));
+  if (!json_only) {
+    bench::PrintRule();
+    std::printf(
+        "Expected shape (paper, Section 5): SCADDAR's CoV grows slowly with\n"
+        "each op (shrinking range) and crosses the recommended-"
+        "redistribution\n"
+        "threshold near op %lld; 'mod' and 'directory' (full/true fresh\n"
+        "randomness) stay flat; 'naive' degrades fastest.\n",
+        static_cast<long long>(RuleOfThumbMaxOps(kBits, kEps, 8.0)));
+  }
+  SCADDAR_CHECK(json.WriteFile("BENCH_load_balance.json"));
+  if (!json_only) {
+    std::printf("wrote BENCH_load_balance.json\n");
+  }
 }
 
 }  // namespace
 }  // namespace scaddar
 
-int main() {
-  scaddar::bench::PrintHeader(
-      "EXP-A", "CoV of blocks/disk vs. scaling operations (Section 5)");
-  scaddar::Run();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    }
+  }
+  if (!json_only) {
+    scaddar::bench::PrintHeader(
+        "EXP-A", "CoV of blocks/disk vs. scaling operations (Section 5)");
+  }
+  scaddar::Run(json_only);
   return 0;
 }

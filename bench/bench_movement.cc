@@ -2,8 +2,13 @@
 // (Definition 3.4 Eq. 1) for disk additions and removals, across all
 // placement policies. SCADDAR, directory, jump (additions) and chash sit
 // at overhead ~1.0x; mod and roundrobin move nearly everything.
+//
+// Usage: bench_movement [--json-only]
+//   --json-only  suppress the console tables, still write the JSON.
+// Every run writes BENCH_movement.json to the working directory.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -23,7 +28,7 @@ struct Scenario {
   const char* op;
 };
 
-void Run() {
+void Run(bool json_only) {
   const std::vector<Scenario> scenarios = {
       {"add 1 disk to 8", 8, "A1"},
       {"add 4 disks to 8", 8, "A4"},
@@ -32,42 +37,63 @@ void Run() {
       {"remove 1 of 8 (last)", 8, "R7"},
       {"remove 4 of 16", 16, "R2,7,9,14"},
   };
-  std::printf("%-26s %-8s", "scenario", "z_j");
-  for (const std::string_view name : KnownPolicyNames()) {
-    std::printf(" %10.*s", static_cast<int>(name.size()), name.data());
+  if (!json_only) {
+    std::printf("%-26s %-8s", "scenario", "z_j");
+    for (const std::string_view name : KnownPolicyNames()) {
+      std::printf(" %10.*s", static_cast<int>(name.size()), name.data());
+    }
+    std::printf("\n");
+    std::printf("%-26s %-8s", "", "");
+    for (size_t i = 0; i < KnownPolicyNames().size(); ++i) {
+      std::printf(" %10s", "overhead");
+    }
+    std::printf("\n");
   }
-  std::printf("\n");
-  std::printf("%-26s %-8s", "", "");
-  for (size_t i = 0; i < KnownPolicyNames().size(); ++i) {
-    std::printf(" %10s", "overhead");
-  }
-  std::printf("\n");
 
+  bench::BenchJson json("bench_movement");
+  int64_t tier = 0;
   for (const Scenario& scenario : scenarios) {
     const ScalingOp op = ScalingOp::Parse(scenario.op).value();
     const int64_t n_cur = scenario.n0 + op.delta();
-    std::printf("%-26s %-8.4f", scenario.label,
-                TheoreticalMoveFraction(scenario.n0, n_cur));
+    const double z_j = TheoreticalMoveFraction(scenario.n0, n_cur);
+    if (!json_only) {
+      std::printf("%-26s %-8.4f", scenario.label, z_j);
+    }
+    json.BeginTier(tier++);
+    json.TierLabel("scenario", scenario.label);
+    json.TierMetric("z_j", z_j, 4);
     for (const std::string_view name : KnownPolicyNames()) {
       auto policy = MakePolicy(name, scenario.n0).value();
       const std::vector<std::vector<uint64_t>> objects = bench::MakeObjects(
           0x30feull, 1, kBlocks, PrngKind::kSplitMix64, 64);
       SCADDAR_CHECK(policy->AddObject(1, objects[0]).ok());
       const std::vector<PhysicalDiskId> before = policy->AssignmentSnapshot();
-      SCADDAR_CHECK(policy->ApplyOp(op).ok());
+      const double apply_seconds =
+          bench::TimeSeconds([&] { SCADDAR_CHECK(policy->ApplyOp(op).ok()); });
       const std::vector<PhysicalDiskId> after = policy->AssignmentSnapshot();
       const MovementStats stats =
           CompareAssignments(before, after, scenario.n0, n_cur);
-      std::printf(" %9.2fx", stats.overhead_ratio);
+      if (!json_only) {
+        std::printf(" %9.2fx", stats.overhead_ratio);
+      }
+      json.Path(std::string(name).c_str(),
+                {{"overhead_ratio", stats.overhead_ratio, 3},
+                 {"moved_fraction", stats.moved_fraction, 4},
+                 {"apply_us", apply_seconds * 1e6, 1}});
     }
-    std::printf("\n");
+    json.EndTier();
+    if (!json_only) {
+      std::printf("\n");
+    }
   }
-  bench::PrintRule();
-  // EXP-M closure: measured vs. closed-form movement for the analytic
-  // policies (scaddar: z_j; mod/roundrobin: 1 - min*gcd/(a*b) by CRT).
-  std::printf("\nanalytic cross-check (moved fraction, additions):\n");
-  std::printf("%-16s %-10s %-10s %-12s %-12s\n", "transition", "z_j",
-              "mod-analytic", "mod-measured", "scaddar-meas");
+  if (!json_only) {
+    bench::PrintRule();
+    // EXP-M closure: measured vs. closed-form movement for the analytic
+    // policies (scaddar: z_j; mod/roundrobin: 1 - min*gcd/(a*b) by CRT).
+    std::printf("\nanalytic cross-check (moved fraction, additions):\n");
+    std::printf("%-16s %-10s %-10s %-12s %-12s\n", "transition", "z_j",
+                "mod-analytic", "mod-measured", "scaddar-meas");
+  }
   for (const auto& [a, b] : std::vector<std::pair<int64_t, int64_t>>{
            {8, 9}, {8, 12}, {4, 8}, {16, 17}}) {
     const ScalingOp op = ScalingOp::Add(b - a).value();
@@ -82,25 +108,53 @@ void Run() {
                  op, /*trials=*/4, /*blocks=*/50000, 0x117u)
           .mean;
     };
-    std::printf("%2lld -> %-10lld %-10.4f %-10.4f %-12.4f %-12.4f\n",
-                static_cast<long long>(a), static_cast<long long>(b),
-                TheoreticalMoveFraction(a, b), ExpectedMoveFractionMod(a, b),
-                measure("mod"), measure("scaddar"));
+    const double mod_measured = measure("mod");
+    const double scaddar_measured = measure("scaddar");
+    if (!json_only) {
+      std::printf("%2lld -> %-10lld %-10.4f %-10.4f %-12.4f %-12.4f\n",
+                  static_cast<long long>(a), static_cast<long long>(b),
+                  TheoreticalMoveFraction(a, b),
+                  ExpectedMoveFractionMod(a, b), mod_measured,
+                  scaddar_measured);
+    }
+    json.BeginTier(tier++);
+    json.TierLabel("scenario", "analytic cross-check");
+    json.TierMetric("n0", static_cast<double>(a), 0);
+    json.TierMetric("n1", static_cast<double>(b), 0);
+    json.TierMetric("z_j", TheoreticalMoveFraction(a, b), 4);
+    json.TierMetric("mod_analytic", ExpectedMoveFractionMod(a, b), 4);
+    json.Path("mod", {{"moved_fraction", mod_measured, 4}});
+    json.Path("scaddar", {{"moved_fraction", scaddar_measured, 4}});
+    json.EndTier();
   }
-  bench::PrintRule();
-  std::printf(
-      "Expected shape: scaddar/directory ~1.0x everywhere (RO1 optimal);\n"
-      "naive ~1.0x (it satisfies RO1, only RO2 breaks); jump ~1.0x on adds\n"
-      "and tail removals but ~2x on middle removals; chash ~1.0x with ring\n"
-      "noise; mod and roundrobin pay 5-10x (near-total reshuffles).\n");
+  if (!json_only) {
+    bench::PrintRule();
+    std::printf(
+        "Expected shape: scaddar/directory ~1.0x everywhere (RO1 optimal);\n"
+        "naive ~1.0x (it satisfies RO1, only RO2 breaks); jump ~1.0x on adds\n"
+        "and tail removals but ~2x on middle removals; chash ~1.0x with ring\n"
+        "noise; mod and roundrobin pay 5-10x (near-total reshuffles).\n");
+  }
+  SCADDAR_CHECK(json.WriteFile("BENCH_movement.json"));
+  if (!json_only) {
+    std::printf("wrote BENCH_movement.json\n");
+  }
 }
 
 }  // namespace
 }  // namespace scaddar
 
-int main() {
-  scaddar::bench::PrintHeader(
-      "EXP-D", "block movement vs. theoretical minimum z_j (RO1)");
-  scaddar::Run();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    }
+  }
+  if (!json_only) {
+    scaddar::bench::PrintHeader(
+        "EXP-D", "block movement vs. theoretical minimum z_j (RO1)");
+  }
+  scaddar::Run(json_only);
   return 0;
 }

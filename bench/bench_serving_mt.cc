@@ -1,0 +1,370 @@
+// EXP-MT (extension) — the thread-per-core sharded serving runtime:
+// aggregate round throughput at 1/2/4/8 shards on uniform traffic, p50/p99
+// round latency, and a Zipf + flash-crowd scenario with hiccup rate and
+// per-disk served-load CoV while a scale-up migration runs concurrently.
+//
+// Two throughput figures per shard count:
+//  - "wall"  — real worker threads on this host. On a machine with fewer
+//    cores than shards this measures the host, not the design.
+//  - "model" — the critical path of the two-phase round: the slowest
+//    shard's resolve time (shards run one-at-a-time on the calling thread
+//    so each is timed unpolluted) plus the serial commit. This is the
+//    round time a machine with >= N free cores would see, in keeping with
+//    the repo's every-bench-number-is-a-model-number convention for
+//    hardware-dependent figures.
+//
+// Usage: bench_serving_mt [--smoke] [--json-only]
+//   --smoke      tiny sizes, no BENCH_serving_mt.json (CI wiring check).
+//   --json-only  suppress the console tables, still write the JSON.
+// The full run writes BENCH_serving_mt.json to the working directory.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "placement/scaddar_policy.h"
+#include "server/migration.h"
+#include "server/server.h"
+#include "server/sharded_scheduler.h"
+#include "server/workload/traffic_engine.h"
+#include "stats/load_metrics.h"
+#include "storage/block_store.h"
+
+namespace scaddar {
+namespace {
+
+struct Sizes {
+  int64_t objects = 24;
+  int64_t blocks_each = 20'000;
+  int64_t streams = 1024;
+  int64_t rounds = 300;
+  int64_t warmup_rounds = 48;
+  int64_t repetitions = 3;
+  // Zipf scale-up scenario.
+  int64_t scenario_rounds = 400;
+  int64_t scenario_objects = 16;
+  int64_t scenario_blocks = 4'000;
+};
+
+/// Same fixture discipline as bench_serving: ops applied, store == AF(),
+/// stream population that never finishes inside the horizon.
+struct Fixture {
+  explicit Fixture(const Sizes& sizes)
+      : policy(8),
+        disks(DiskSpec{.capacity_blocks = 10'000'000,
+                       .bandwidth_blocks_per_round = 64}),
+        store(&disks) {
+    const auto x0s = bench::MakeObjects(0x5e71ull, sizes.objects,
+                                        sizes.blocks_each,
+                                        PrngKind::kSplitMix64, 64);
+    for (ObjectId id = 1; id <= sizes.objects; ++id) {
+      SCADDAR_CHECK(
+          policy.AddObject(id, x0s[static_cast<size_t>(id - 1)]).ok());
+    }
+    // 8 -> 32 disks: a farm sized so the steady-state population (1024
+    // rate-1 streams vs 32*64 blocks/round of budget) serves hiccup-free at
+    // ~50% utilization — saturation behavior belongs to the scenario tier.
+    for (int64_t j = 0; j < 24; ++j) {
+      SCADDAR_CHECK(policy.ApplyOp(ScalingOp::Add(1).value()).ok());
+    }
+    SCADDAR_CHECK(disks.SyncLiveSet(policy.log().physical_disks()).ok());
+    std::vector<PhysicalDiskId> locations;
+    for (ObjectId id = 1; id <= sizes.objects; ++id) {
+      policy.LocateAllBlocks(id, locations);
+      SCADDAR_CHECK(store.PlaceObject(id, locations).ok());
+    }
+    for (int64_t s = 0; s < sizes.streams; ++s) {
+      const ObjectId object = 1 + s % sizes.objects;
+      streams.emplace_back(s, object, sizes.blocks_each, 0);
+      streams.back().SeekTo((s * 977) % (sizes.blocks_each / 2));
+    }
+  }
+
+  ScaddarPolicy policy;
+  DiskArray disks;
+  BlockStore store;
+  MigrationExecutor migration;
+  std::vector<Stream> streams;
+};
+
+struct ShardResult {
+  int shards = 1;
+  int64_t requests = 0;
+  // Median per-round critical path (max shard resolve + commit) scaled to
+  // the full horizon. The median — not the sum — is the model: rounds are
+  // single-digit microseconds, so one scheduler preemption inside any
+  // round would otherwise dominate the whole measurement on a busy host.
+  double model_seconds = 0;
+  bench::RoundTiming wall;   // Real threads.
+
+  double WallRps() const {
+    return wall.total_seconds > 0
+               ? static_cast<double>(requests) / wall.total_seconds
+               : 0;
+  }
+  double ModelRps() const {
+    return model_seconds > 0
+               ? static_cast<double>(requests) / model_seconds
+               : 0;
+  }
+};
+
+/// One model pass: shards run serialized so each shard's resolve time is
+/// its own critical path, not this host's core contention.
+ShardResult MeasureModelOnce(int shards, const Sizes& sizes) {
+  ShardResult result;
+  result.shards = shards;
+  Fixture fx(sizes);
+  ShardedScheduler scheduler(shards, 0xbe9cull);
+  ShardedRunOptions options;
+  options.serialize_shards = true;
+  ShardedRoundStats stats;
+  const auto round = [&] {
+    return scheduler.Run(fx.streams, fx.policy, fx.migration, fx.store,
+                         fx.disks, nullptr, options, &stats);
+  };
+  std::vector<double> round_model;
+  round_model.reserve(static_cast<size_t>(sizes.rounds));
+  bench::MeasureRounds(sizes.warmup_rounds, sizes.rounds, round,
+                       [&](const RoundServiceResult& service) {
+                         result.requests += service.requests;
+                         double slowest = 0;
+                         for (const ShardStats& shard : stats.shards) {
+                           slowest = std::max(slowest, shard.seconds);
+                         }
+                         round_model.push_back(slowest +
+                                               stats.commit_seconds);
+                       });
+  std::sort(round_model.begin(), round_model.end());
+  result.model_seconds =
+      round_model[round_model.size() / 2] * static_cast<double>(sizes.rounds);
+  return result;
+}
+
+/// One wall pass: real worker threads, one per shard.
+bench::RoundTiming MeasureWallOnce(int shards, const Sizes& sizes) {
+  Fixture fx(sizes);
+  ShardedScheduler scheduler(shards, 0xbe9cull);
+  const auto round = [&] {
+    return scheduler.Run(fx.streams, fx.policy, fx.migration, fx.store,
+                         fx.disks, nullptr);
+  };
+  return bench::MeasureRounds(sizes.warmup_rounds, sizes.rounds, round,
+                              [](const RoundServiceResult&) {});
+}
+
+/// Measures every shard count, interleaving the repetitions — rep 0 of all
+/// shard counts, then rep 1, ... — so a slow patch on a shared host (CPU
+/// steal, frequency dips) degrades every tier's candidate equally instead
+/// of sinking whichever tier it happened to overlap. Best (fastest) rep
+/// per tier wins; wall passes run as a second interleaved block so their
+/// thread oversubscription never pollutes a model pass.
+std::vector<ShardResult> MeasureAllShardCounts(const std::vector<int>& counts,
+                                               const Sizes& sizes) {
+  std::vector<ShardResult> results(counts.size());
+  for (int64_t rep = 0; rep < sizes.repetitions; ++rep) {
+    for (size_t t = 0; t < counts.size(); ++t) {
+      ShardResult candidate = MeasureModelOnce(counts[t], sizes);
+      if (rep == 0 ||
+          candidate.model_seconds < results[t].model_seconds) {
+        candidate.wall = results[t].wall;
+        results[t] = candidate;
+      }
+    }
+  }
+  for (int64_t rep = 0; rep < sizes.repetitions; ++rep) {
+    for (size_t t = 0; t < counts.size(); ++t) {
+      const bench::RoundTiming wall = MeasureWallOnce(counts[t], sizes);
+      if (rep == 0 || wall.total_seconds < results[t].wall.total_seconds) {
+        results[t].wall = wall;
+      }
+    }
+  }
+  return results;
+}
+
+/// The concurrent-reorganization scenario: 8 shards serving Zipf traffic
+/// with a flash crowd while the array scales up mid-run and migration
+/// spends the leftover bandwidth every round.
+struct ScenarioResultMt {
+  int64_t requests = 0;
+  int64_t served = 0;
+  int64_t hiccups = 0;
+  int64_t migrated = 0;
+  int64_t streams_peak = 0;
+  double served_cov = 0;  // Per-disk served-request CoV over the run.
+
+  double HiccupRate() const {
+    return requests > 0
+               ? static_cast<double>(hiccups) / static_cast<double>(requests)
+               : 0;
+  }
+};
+
+ScenarioResultMt RunZipfScaleUpScenario(const Sizes& sizes, int shards) {
+  ServerConfig config;
+  config.initial_disks = 8;
+  config.disk_spec = {.capacity_blocks = 1'000'000,
+                      .bandwidth_blocks_per_round = 16};
+  config.serving_path = ServingPath::kShardedCursor;
+  config.serving_shards = shards;
+  auto server_or = CmServer::Create(config);
+  SCADDAR_CHECK(server_or.ok());
+  CmServer& server = **server_or;
+  for (ObjectId id = 1; id <= sizes.scenario_objects; ++id) {
+    SCADDAR_CHECK(server.AddObject(id, sizes.scenario_blocks).ok());
+  }
+  TrafficConfig traffic_config;
+  traffic_config.seed = 0x21bfull;
+  traffic_config.arrivals_per_round = 1.5;
+  traffic_config.zipf_theta = 0.729;
+  traffic_config.seek_probability = 0.02;
+  traffic_config.flash_crowds.push_back(
+      FlashCrowd{.start_round = sizes.scenario_rounds / 4,
+                 .duration = sizes.scenario_rounds / 10,
+                 .rank = 0,
+                 .boost = 4});
+  TrafficEngine traffic(traffic_config);
+  traffic.SetObjects(server.catalog().object_ids());
+
+  ScenarioResultMt result;
+  for (int64_t round = 0; round < sizes.scenario_rounds; ++round) {
+    // Scale up right as the flash crowd peaks: serving, migration and the
+    // crowd all compete for the same disks.
+    if (round == sizes.scenario_rounds / 4) {
+      SCADDAR_CHECK(server.ScaleAdd(4).ok());
+    }
+    const RoundMetrics metrics = traffic.DriveRound(server);
+    result.requests += metrics.requests;
+    result.served += metrics.served;
+    result.hiccups += metrics.hiccups;
+    result.migrated += metrics.migrated;
+    result.streams_peak = std::max(result.streams_peak,
+                                   metrics.active_streams);
+  }
+  std::vector<int64_t> served_per_disk;
+  for (const PhysicalDiskId id : server.disks().live_ids()) {
+    served_per_disk.push_back(
+        server.disks().GetDisk(id).value()->served_requests());
+  }
+  result.served_cov =
+      ComputeLoadMetrics(served_per_disk).coefficient_of_variation;
+  return result;
+}
+
+}  // namespace
+}  // namespace scaddar
+
+int main(int argc, char** argv) {
+  using namespace scaddar;
+  bool smoke = false;
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    }
+  }
+  Sizes sizes;
+  if (smoke) {
+    sizes = Sizes{.objects = 4,
+                  .blocks_each = 600,
+                  .streams = 16,
+                  .rounds = 12,
+                  .warmup_rounds = 4,
+                  .repetitions = 1,
+                  .scenario_rounds = 40,
+                  .scenario_objects = 4,
+                  .scenario_blocks = 300};
+  }
+  if (!json_only) {
+    bench::PrintHeader("EXP-MT",
+                       "sharded serving runtime: throughput vs. shards");
+    std::printf("%-7s %-13s %-13s %-9s %-10s %-10s\n", "shards",
+                "model-req/s", "wall-req/s", "speedup", "p50-us", "p99-us");
+  }
+  bench::BenchJson json("bench_serving_mt");
+  double base_model_rps = 0;
+  double speedup8 = 0;
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  const std::vector<ShardResult> results =
+      MeasureAllShardCounts(shard_counts, sizes);
+  for (size_t t = 0; t < shard_counts.size(); ++t) {
+    const int shards = shard_counts[t];
+    const ShardResult& result = results[t];
+    if (shards == 1) {
+      base_model_rps = result.ModelRps();
+    }
+    const double speedup =
+        base_model_rps > 0 ? result.ModelRps() / base_model_rps : 0;
+    if (shards == 8) {
+      speedup8 = speedup;
+    }
+    if (!json_only) {
+      std::printf("%-7d %-13.0f %-13.0f %-9.2f %-10.2f %-10.2f\n", shards,
+                  result.ModelRps(), result.WallRps(), speedup,
+                  result.wall.p50_us, result.wall.p99_us);
+    }
+    json.BeginTier(shards);
+    json.TierMetric("model_speedup_vs_1", speedup);
+    json.Path("model",
+              {{"requests", static_cast<double>(result.requests), 0},
+               {"seconds", result.model_seconds, 6},
+               {"requests_per_second", result.ModelRps(), 0}});
+    json.Path("wall",
+              {{"requests", static_cast<double>(result.requests), 0},
+               {"seconds", result.wall.total_seconds, 6},
+               {"requests_per_second", result.WallRps(), 0},
+               {"p50_us", result.wall.p50_us, 2},
+               {"p99_us", result.wall.p99_us, 2}});
+    json.EndTier();
+  }
+
+  const ScenarioResultMt scenario = RunZipfScaleUpScenario(sizes, 8);
+  if (!json_only) {
+    bench::PrintRule();
+    std::printf(
+        "Zipf + flash crowd + concurrent scale-up (8 shards):\n"
+        "  requests=%lld served=%lld hiccup-rate=%.4f migrated=%lld\n"
+        "  peak-streams=%lld per-disk served CoV=%.4f\n",
+        static_cast<long long>(scenario.requests),
+        static_cast<long long>(scenario.served), scenario.HiccupRate(),
+        static_cast<long long>(scenario.migrated),
+        static_cast<long long>(scenario.streams_peak), scenario.served_cov);
+    bench::PrintRule();
+    std::printf(
+        "Expected shape: model throughput scales with shards until the\n"
+        "serial commit dominates (Amdahl); wall throughput tracks it only\n"
+        "when the host has as many free cores as shards. The scale-up\n"
+        "scenario's served CoV stays moderate because random placement\n"
+        "spreads the Zipf head across disks while migration fills the new\n"
+        "ones with leftover bandwidth.\n");
+  }
+  // One scenario tier rides along in the same document (ops = 0 marks it;
+  // the label tells readers what it is).
+  json.BeginTier(0);
+  json.TierLabel("scenario", "zipf_flash_crowd_scale_up");
+  json.TierMetric("hiccup_rate", scenario.HiccupRate(), 4);
+  json.TierMetric("served_cov", scenario.served_cov, 4);
+  json.TierMetric("requests", static_cast<double>(scenario.requests), 0);
+  json.TierMetric("served", static_cast<double>(scenario.served), 0);
+  json.TierMetric("migrated", static_cast<double>(scenario.migrated), 0);
+  json.TierMetric("peak_streams",
+                  static_cast<double>(scenario.streams_peak), 0);
+  json.EndTier();
+  if (!smoke) {
+    SCADDAR_CHECK(json.WriteFile("BENCH_serving_mt.json"));
+    if (!json_only) {
+      std::printf("wrote BENCH_serving_mt.json\n");
+    }
+  }
+  if (speedup8 < 3.0 && !smoke) {
+    std::fprintf(stderr,
+                 "WARNING: 8-shard model speedup %.2fx below the 3x target\n",
+                 speedup8);
+  }
+  return 0;
+}

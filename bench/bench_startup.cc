@@ -5,8 +5,13 @@
 // stream can only begin when the retrieval phase matching its object's
 // first block has a free service slot; with random placement any round
 // works — admission is by aggregate load alone.
+//
+// Usage: bench_startup [--json-only]
+//   --json-only  suppress the console table, still write the JSON.
+// Every run writes BENCH_startup.json to the working directory.
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -14,6 +19,7 @@
 #include "random/prng.h"
 #include "stats/accumulator.h"
 #include "stats/histogram.h"
+#include "util/status.h"
 
 namespace scaddar {
 namespace {
@@ -93,38 +99,76 @@ LatencyResult SimulateRandom(double arrivals_per_round, uint64_t seed) {
   return LatencyResult{latency.mean(), 0.0, latency.count()};
 }
 
-void Run() {
-  std::printf("%lld disks x %lld streams/disk, %lld-round streams\n\n",
-              static_cast<long long>(kDisks),
-              static_cast<long long>(kBandwidthPerDisk),
-              static_cast<long long>(kStreamLength));
-  std::printf("%-12s %-12s %-14s %-14s %-14s\n", "utilization",
-              "arrivals/rd", "rr-mean-wait", "rr-p95-wait", "random-wait");
+void Run(bool json_only) {
+  if (!json_only) {
+    std::printf("%lld disks x %lld streams/disk, %lld-round streams\n\n",
+                static_cast<long long>(kDisks),
+                static_cast<long long>(kBandwidthPerDisk),
+                static_cast<long long>(kStreamLength));
+    std::printf("%-12s %-12s %-14s %-14s %-14s\n", "utilization",
+                "arrivals/rd", "rr-mean-wait", "rr-p95-wait", "random-wait");
+  }
   const double capacity_per_round =
       static_cast<double>(kDisks * kBandwidthPerDisk) /
       static_cast<double>(kStreamLength);
+  bench::BenchJson json("bench_startup");
+  int64_t tier = 0;
   for (const double utilization : {0.5, 0.7, 0.9, 0.98}) {
     const double arrivals = utilization * capacity_per_round;
-    const LatencyResult rr = SimulateRoundRobin(arrivals, 0x5107ull);
-    const LatencyResult random = SimulateRandom(arrivals, 0x5107ull);
-    std::printf("%-12.2f %-12.3f %-14.3f %-14.3f %-14.3f\n", utilization,
-                arrivals, rr.mean, rr.p95, random.mean);
+    LatencyResult rr;
+    const double rr_seconds = bench::TimeSeconds(
+        [&] { rr = SimulateRoundRobin(arrivals, 0x5107ull); });
+    LatencyResult random;
+    const double random_seconds = bench::TimeSeconds(
+        [&] { random = SimulateRandom(arrivals, 0x5107ull); });
+    if (!json_only) {
+      std::printf("%-12.2f %-12.3f %-14.3f %-14.3f %-14.3f\n", utilization,
+                  arrivals, rr.mean, rr.p95, random.mean);
+    }
+    json.BeginTier(tier++);
+    json.TierMetric("utilization", utilization);
+    json.TierMetric("arrivals_per_round", arrivals, 3);
+    json.Path("roundrobin",
+              {{"mean_wait_rounds", rr.mean, 3},
+               {"p95_wait_rounds", rr.p95, 3},
+               {"streams_started", static_cast<double>(rr.started), 0},
+               {"sim_us", rr_seconds * 1e6, 1}});
+    json.Path("random",
+              {{"mean_wait_rounds", random.mean, 3},
+               {"p95_wait_rounds", random.p95, 3},
+               {"streams_started", static_cast<double>(random.started), 0},
+               {"sim_us", random_seconds * 1e6, 1}});
+    json.EndTier();
   }
-  bench::PrintRule();
-  std::printf(
-      "Expected shape: with round-robin striping the mean startup wait\n"
-      "grows with utilization (a stream must catch a retrieval phase with\n"
-      "a free slot; p95 approaches the disk count near saturation), while\n"
-      "random placement starts every admitted stream immediately at any\n"
-      "utilization — Section 1's 'no synchronous access cycles' benefit.\n");
+  if (!json_only) {
+    bench::PrintRule();
+    std::printf(
+        "Expected shape: with round-robin striping the mean startup wait\n"
+        "grows with utilization (a stream must catch a retrieval phase with\n"
+        "a free slot; p95 approaches the disk count near saturation), while\n"
+        "random placement starts every admitted stream immediately at any\n"
+        "utilization — Section 1's 'no synchronous access cycles' benefit.\n");
+  }
+  SCADDAR_CHECK(json.WriteFile("BENCH_startup.json"));
+  if (!json_only) {
+    std::printf("wrote BENCH_startup.json\n");
+  }
 }
 
 }  // namespace
 }  // namespace scaddar
 
-int main() {
-  scaddar::bench::PrintHeader(
-      "EXP-N", "stream startup latency: random vs. constrained placement");
-  scaddar::Run();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    }
+  }
+  if (!json_only) {
+    scaddar::bench::PrintHeader(
+        "EXP-N", "stream startup latency: random vs. constrained placement");
+  }
+  scaddar::Run(json_only);
   return 0;
 }

@@ -5,9 +5,16 @@
 //   ./build/examples/scenario_runner path/to/script.scn
 //   ./build/examples/scenario_runner            # runs the built-in demo
 //
+// `--sharded[=N]` serves through the thread-per-core sharded runtime
+// (N shards, default 4) instead of the serial batch-cursor path; every
+// summary number must come out identical either way — the sharded round
+// is byte-identical to the serial one by contract.
+//
 // See src/server/scenario.h for the command reference.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -34,17 +41,32 @@ verify
 }  // namespace
 
 int main(int argc, char** argv) {
+  int sharded = 0;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sharded") == 0) {
+      sharded = 4;
+    } else if (std::strncmp(argv[i], "--sharded=", 10) == 0) {
+      sharded = std::atoi(argv[i] + 10);
+      if (sharded < 1) {
+        std::fprintf(stderr, "bad shard count in %s\n", argv[i]);
+        return 1;
+      }
+    } else {
+      path = argv[i];
+    }
+  }
   std::string script;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  if (path != nullptr) {
+    std::ifstream file(path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", path);
       return 1;
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
     script = buffer.str();
-    std::printf("running scenario %s\n", argv[1]);
+    std::printf("running scenario %s\n", path);
   } else {
     script = kDemoScript;
     std::printf("running the built-in demo scenario:\n%s\n", kDemoScript);
@@ -55,6 +77,11 @@ int main(int argc, char** argv) {
   config.master_seed = 0x5ce11ull;
   // Journaled migration so scripts may use the `crash` command.
   config.journal_migration = true;
+  if (sharded > 0) {
+    config.serving_path = scaddar::ServingPath::kShardedCursor;
+    config.serving_shards = sharded;
+    std::printf("serving path: sharded cursor, %d shards\n", sharded);
+  }
   auto server = std::move(scaddar::CmServer::Create(config)).value();
   const scaddar::StatusOr<scaddar::ScenarioResult> result =
       scaddar::RunScenario(*server, script);

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and fail on throughput regressions.
+
+The bench binaries (bench_serving, bench_serving_mt, bench_remap_throughput,
+bench_lookup, bench_movement, ...) all emit the standardized `BenchJson`
+schema:
+
+    {"experiment": "...",
+     "tiers": [{"ops": N, ..., "paths": {"<path>": {"<metric>": v, ...}}}]}
+
+This script compares a baseline document against a candidate and exits
+non-zero when any *throughput* metric (a key ending in `_per_second`, or
+`rps`) regresses by more than the threshold (default 15%). Non-throughput
+metrics are reported for context but never fail the run — latency and CoV
+figures are noisy on shared hosts; throughput is the tracked contract.
+
+Usage:
+    bench_regress.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+                     [--verbose]
+
+Tiers are matched by their position-independent identity: the `ops` value
+plus every string-valued label in the tier (e.g. `scenario`). Tiers or
+paths present on only one side are reported but don't fail the diff (a new
+PR may add paths; the driver compares like against like).
+"""
+
+import argparse
+import json
+import sys
+
+
+def tier_key(tier):
+    """Identity of a tier: ops plus all string labels, order-insensitive."""
+    labels = tuple(sorted(
+        (k, v) for k, v in tier.items() if isinstance(v, str)))
+    return (tier.get("ops"), labels)
+
+
+def is_throughput_metric(name):
+    return name.endswith("_per_second") or name.endswith("rps")
+
+
+def iter_metrics(tier):
+    """Yields (path, metric, value) for every numeric path metric."""
+    for path, metrics in tier.get("paths", {}).items():
+        for name, value in metrics.items():
+            if isinstance(value, (int, float)):
+                yield path, name, float(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when a candidate BENCH_*.json regresses "
+                    "throughput vs. a baseline.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed fractional throughput drop "
+                             "(default: 0.15 = 15%%)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every compared metric, not just "
+                             "regressions")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.candidate) as f:
+        candidate = json.load(f)
+
+    if baseline.get("experiment") != candidate.get("experiment"):
+        print(f"warning: comparing different experiments "
+              f"({baseline.get('experiment')!r} vs. "
+              f"{candidate.get('experiment')!r})", file=sys.stderr)
+
+    base_tiers = {tier_key(t): t for t in baseline.get("tiers", [])}
+    cand_tiers = {tier_key(t): t for t in candidate.get("tiers", [])}
+
+    regressions = []
+    compared = 0
+    for key, base_tier in base_tiers.items():
+        cand_tier = cand_tiers.get(key)
+        tier_name = f"ops={key[0]}" + "".join(
+            f" {k}={v}" for k, v in key[1])
+        if cand_tier is None:
+            print(f"note: tier [{tier_name}] missing from candidate",
+                  file=sys.stderr)
+            continue
+        cand_metrics = {(p, m): v for p, m, v in iter_metrics(cand_tier)}
+        for path, metric, base_value in iter_metrics(base_tier):
+            cand_value = cand_metrics.get((path, metric))
+            if cand_value is None:
+                continue
+            throughput = is_throughput_metric(metric)
+            if throughput and base_value > 0:
+                compared += 1
+                drop = (base_value - cand_value) / base_value
+                status = "REGRESSION" if drop > args.threshold else "ok"
+                if drop > args.threshold:
+                    regressions.append(
+                        (tier_name, path, metric, base_value, cand_value,
+                         drop))
+                if args.verbose or drop > args.threshold:
+                    print(f"[{tier_name}] {path}.{metric}: "
+                          f"{base_value:.0f} -> {cand_value:.0f} "
+                          f"({-drop:+.1%}) {status}")
+            elif args.verbose:
+                delta = cand_value - base_value
+                print(f"[{tier_name}] {path}.{metric}: "
+                      f"{base_value:g} -> {cand_value:g} ({delta:+g}) "
+                      f"(informational)")
+
+    if compared == 0:
+        print("error: no throughput metrics (*_per_second, *rps) in common "
+              "between the two documents", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} throughput metric(s) regressed "
+              f"more than {args.threshold:.0%}:", file=sys.stderr)
+        for tier_name, path, metric, base_value, cand_value, drop in \
+                regressions:
+            print(f"  [{tier_name}] {path}.{metric}: {base_value:.0f} -> "
+                  f"{cand_value:.0f} ({-drop:+.1%})", file=sys.stderr)
+        return 1
+    print(f"OK: {compared} throughput metric(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,12 @@ enum class ServingPath {
   /// Per-block virtual `Locate` chain replays. Valid only while no
   /// migration is pending; exists as the bench baseline.
   kPolicyScalar,
+  /// Thread-per-core sharded runtime: streams are partitioned across
+  /// worker shards (jump-hash on the stream id) that resolve locations in
+  /// parallel with no locks, then a serial commit applies budgets in the
+  /// oracle's order — byte-identical results to `kBatchCursor` for any
+  /// shard count.
+  kShardedCursor,
 };
 
 /// Configuration of the simulated continuous media server. The simulation
@@ -56,6 +62,10 @@ struct ServerConfig {
 
   /// Serving-path implementation the scheduler uses each Tick.
   ServingPath serving_path = ServingPath::kBatchCursor;
+
+  /// Worker shards for `ServingPath::kShardedCursor` (ignored otherwise).
+  /// 0 = one shard per hardware core.
+  int serving_shards = 0;
 
   /// Worker threads for reconciliation scans after scaling operations
   /// (1 = serial; the queue is byte-identical for any value).

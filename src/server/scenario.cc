@@ -1,7 +1,10 @@
 #include "server/scenario.h"
 
 #include <charconv>
+#include <memory>
 #include <vector>
+
+#include "server/workload/traffic_engine.h"
 
 namespace scaddar {
 
@@ -35,6 +38,16 @@ StatusOr<int64_t> ParseInt(std::string_view token) {
   return value;
 }
 
+StatusOr<double> ParseDouble(std::string_view token) {
+  double value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError("malformed number");
+  }
+  return value;
+}
+
 StatusOr<std::vector<DiskSlot>> ParseSlotList(std::string_view token) {
   std::vector<DiskSlot> slots;
   while (!token.empty()) {
@@ -61,6 +74,11 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
                                      std::string_view script) {
   ScenarioResult result;
   int64_t line_number = 0;
+  // Traffic-engine state: settings accumulate into `traffic_config`; the
+  // engine itself is (re)built lazily by `ticktraffic`, over the catalog's
+  // objects in registration order.
+  TrafficConfig traffic_config;
+  std::unique_ptr<TrafficEngine> traffic;
   std::string_view rest = script;
   while (!rest.empty()) {
     const size_t eol = rest.find('\n');
@@ -168,6 +186,81 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
         if (++guard > 1'000'000) {
           return LineError(line_number, "drain did not converge");
         }
+      }
+    } else if (command == "traffic" && tokens.size() >= 3) {
+      const std::string_view key = tokens[1];
+      // Any settings change invalidates the running engine; the next
+      // `ticktraffic` rebuilds it (a fresh deterministic trace).
+      traffic.reset();
+      if (key == "seed" && tokens.size() == 3) {
+        SCADDAR_ASSIGN_OR_RETURN(const int64_t seed, ParseInt(tokens[2]));
+        traffic_config.seed = static_cast<uint64_t>(seed);
+      } else if (key == "arrivals" && tokens.size() == 3) {
+        SCADDAR_ASSIGN_OR_RETURN(traffic_config.arrivals_per_round,
+                                 ParseDouble(tokens[2]));
+      } else if (key == "zipf" && tokens.size() == 3) {
+        SCADDAR_ASSIGN_OR_RETURN(traffic_config.zipf_theta,
+                                 ParseDouble(tokens[2]));
+      } else if (key == "diurnal" && tokens.size() == 4) {
+        SCADDAR_ASSIGN_OR_RETURN(traffic_config.diurnal_amplitude,
+                                 ParseDouble(tokens[2]));
+        SCADDAR_ASSIGN_OR_RETURN(traffic_config.diurnal_period,
+                                 ParseInt(tokens[3]));
+      } else if (key == "vcr" && tokens.size() == 5) {
+        SCADDAR_ASSIGN_OR_RETURN(traffic_config.pause_probability,
+                                 ParseDouble(tokens[2]));
+        SCADDAR_ASSIGN_OR_RETURN(traffic_config.resume_probability,
+                                 ParseDouble(tokens[3]));
+        SCADDAR_ASSIGN_OR_RETURN(traffic_config.seek_probability,
+                                 ParseDouble(tokens[4]));
+      } else if (key == "flash" && tokens.size() == 6) {
+        FlashCrowd crowd;
+        SCADDAR_ASSIGN_OR_RETURN(crowd.start_round, ParseInt(tokens[2]));
+        SCADDAR_ASSIGN_OR_RETURN(crowd.duration, ParseInt(tokens[3]));
+        SCADDAR_ASSIGN_OR_RETURN(crowd.rank, ParseInt(tokens[4]));
+        SCADDAR_ASSIGN_OR_RETURN(crowd.boost, ParseInt(tokens[5]));
+        traffic_config.flash_crowds.push_back(crowd);
+      } else {
+        return LineError(line_number, "unrecognized traffic setting");
+      }
+    } else if (command == "ticktraffic" && tokens.size() == 2) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t rounds, ParseInt(tokens[1]));
+      if (rounds < 0) {
+        return LineError(line_number, "ticktraffic count must be >= 0");
+      }
+      if (traffic == nullptr) {
+        std::vector<ObjectId> objects = server.catalog().object_ids();
+        if (objects.empty()) {
+          return LineError(line_number,
+                           "ticktraffic needs at least one object");
+        }
+        traffic = std::make_unique<TrafficEngine>(traffic_config);
+        traffic->SetObjects(std::move(objects));
+      }
+      for (int64_t i = 0; i < rounds; ++i) {
+        const RoundTraffic round_traffic =
+            traffic->NextRound(server.round(), server.streams());
+        for (const ObjectId object : round_traffic.arrivals) {
+          const StatusOr<int64_t> id = server.StartStream(object);
+          if (id.ok()) {
+            ++result.streams_started;
+          } else if (id.status().code() ==
+                     StatusCode::kResourceExhausted) {
+            ++result.streams_rejected;
+          } else {
+            return LineError(line_number, id.status().message());
+          }
+        }
+        for (const int64_t id : round_traffic.pauses) {
+          SCADDAR_CHECK(server.PauseStream(id).ok());
+        }
+        for (const int64_t id : round_traffic.resumes) {
+          SCADDAR_CHECK(server.ResumeStream(id).ok());
+        }
+        for (const SeekEvent& seek : round_traffic.seeks) {
+          SCADDAR_CHECK(server.SeekStream(seek.stream_id, seek.block).ok());
+        }
+        tick_once();
       }
     } else if (command == "crash" && tokens.size() == 1) {
       const StatusOr<JournalRecoveryStats> stats =

@@ -40,6 +40,23 @@ struct ScenarioResult {
 ///                                        (journal recovery; streams die)
 ///   verify                               assert store matches AF()
 ///
+/// Traffic-engine hooks (seeded, replayable synthetic load — see
+/// `server/workload/traffic_engine.h`):
+///
+///   traffic seed <n>                     engine seed (default fixed)
+///   traffic arrivals <mean>              Poisson arrivals per round
+///   traffic zipf <theta>                 popularity skew (0 = uniform)
+///   traffic diurnal <amplitude> <period> sinusoidal load modulation
+///   traffic vcr <pause> <resume> <seek>  per-stream event probabilities
+///   traffic flash <start> <dur> <rank> <boost>   schedule a flash crowd
+///   ticktraffic <rounds>                 run rounds driven by the engine
+///                                        (arrivals + VCR events + Tick)
+///
+/// `traffic` settings take effect at the next `ticktraffic`, which
+/// (re)builds the engine over the catalog's objects in registration order
+/// (= popularity rank). Changing settings between `ticktraffic` runs starts
+/// a fresh deterministic trace.
+///
 /// Execution stops at the first failing command; the error names the line.
 StatusOr<ScenarioResult> RunScenario(CmServer& server,
                                      std::string_view script);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <thread>
 
 #include "faults/injector.h"
 
@@ -217,6 +218,21 @@ RoundMetrics CmServer::Tick() {
       service = scheduler_.RunScalarLocate(streams_, *policy_, disks_,
                                            &leftover);
       break;
+    case ServingPath::kShardedCursor: {
+      if (sharded_scheduler_ == nullptr) {
+        int shards = config_.serving_shards;
+        if (shards <= 0) {
+          shards = static_cast<int>(std::thread::hardware_concurrency());
+        }
+        sharded_scheduler_ = std::make_unique<ShardedScheduler>(
+            std::max(shards, 1), config_.master_seed ^ 0x5aa2dull);
+      }
+      service = sharded_scheduler_->Run(streams_, *policy_, migration_,
+                                        store_, disks_, &leftover,
+                                        ShardedRunOptions{},
+                                        &last_sharded_round_);
+      break;
+    }
   }
   metrics.requests = service.requests;
   metrics.served = service.served;

@@ -1,0 +1,58 @@
+#include "server/shard_router.h"
+
+#include <algorithm>
+
+#include "placement/jump_hash_policy.h"
+#include "util/status.h"
+
+namespace scaddar {
+
+ShardRouter::ShardRouter(int num_shards, uint64_t seed) {
+  const int count = std::max(num_shards, 1);
+  shards_.resize(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    shards_[static_cast<size_t>(s)].shard = s;
+    // Golden-ratio stride keeps per-shard seeds decorrelated even for
+    // adjacent shard numbers (the finalizer's mixing does the rest).
+    shards_[static_cast<size_t>(s)].prng.state =
+        seed ^ (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(s + 1));
+  }
+}
+
+int ShardRouter::ShardOf(int64_t stream_id) const {
+  return static_cast<int>(JumpBucket(static_cast<uint64_t>(stream_id),
+                                     num_shards()));
+}
+
+bool ShardRouter::Route(const std::vector<Stream>& streams) {
+  // Steady-state fast path: the population is unchanged (same ids in the
+  // same positions), so the cached shard lists are still exact.
+  if (streams.size() == routed_ids_.size()) {
+    bool unchanged = true;
+    for (size_t i = 0; i < streams.size(); ++i) {
+      if (streams[i].id() != routed_ids_[i]) {
+        unchanged = false;
+        break;
+      }
+    }
+    if (unchanged) {
+      return false;
+    }
+  }
+  routed_ids_.resize(streams.size());
+  shard_of_index_.resize(streams.size());
+  for (ServingShard& shard : shards_) {
+    shard.streams.clear();
+  }
+  for (size_t i = 0; i < streams.size(); ++i) {
+    const int64_t id = streams[i].id();
+    const int shard = ShardOf(id);
+    routed_ids_[i] = id;
+    shard_of_index_[i] = shard;
+    shards_[static_cast<size_t>(shard)].streams.push_back(i);
+  }
+  ++rebuilds_;
+  return true;
+}
+
+}  // namespace scaddar

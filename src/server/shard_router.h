@@ -1,0 +1,92 @@
+#ifndef SCADDAR_SERVER_SHARD_ROUTER_H_
+#define SCADDAR_SERVER_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/splitmix64.h"
+#include "server/stream.h"
+
+namespace scaddar {
+
+/// Per-shard accumulators for one serving round. Each worker writes only its
+/// own shard's struct during the parallel phase — no shared counters, no
+/// locks, no false sharing worth caring about at per-round granularity (the
+/// structs are merged once per round by the coordinator).
+struct ShardStats {
+  int64_t streams = 0;        // Active streams this shard resolved.
+  int64_t resolved = 0;       // Block locations resolved (window or bypass).
+  int64_t bypass_reads = 0;   // Resolved via the store-row bypass.
+  int64_t served = 0;         // Attributed back by the commit phase.
+  int64_t hiccups = 0;        // Attributed back by the commit phase.
+  int64_t audit_checks = 0;   // Spot-checks this shard's PRNG sampled.
+  int64_t audit_failures = 0; // Spot-checks that disagreed with the store.
+  double seconds = 0;         // Wall time of this shard's resolve phase.
+};
+
+/// A copyable, counter-based SplitMix64-family generator for shard-local
+/// randomness (the `Prng` class hierarchy is deliberately non-copyable, and
+/// shards live in vectors). Counter-based means the stream is a pure
+/// function of `(seed, i)` — replayable and order-independent.
+struct ShardPrng {
+  uint64_t state = 0;
+  uint64_t Next() { return Mix64(state++); }
+};
+
+/// One serving shard: the stream indices it owns, its private PRNG (for
+/// shard-local randomized decisions — e.g. audit sampling — without
+/// contending on a shared generator) and its stats block. `streams` holds
+/// indices into the server's stream vector; the shards partition it, so
+/// workers touch disjoint `Stream` objects (and thereby disjoint
+/// `LocationCursor`s — each shard owns its cursor pool by owning its
+/// streams).
+struct ServingShard {
+  int shard = 0;
+  std::vector<size_t> streams;
+  ShardPrng prng;
+  ShardStats stats;
+};
+
+/// Routes streams to shards with Lamping & Veach's jump consistent hash on
+/// the stream id (the same router the placement layer uses for blocks):
+/// stable — a stream stays on its shard for its whole life regardless of
+/// churn around it — and uniform, so shards stay balanced without any
+/// rebalancing machinery.
+///
+/// The routing table is rebuilt only when the stream population changes
+/// (`Route` revalidates the cached ids with one linear compare pass); in
+/// steady state a round pays O(streams) loads, not O(streams) hashes.
+class ShardRouter {
+ public:
+  /// `num_shards` >= 1 (clamped); `seed` derives each shard's private PRNG.
+  ShardRouter(int num_shards, uint64_t seed);
+
+  /// Ensures the shard lists match `streams` (same ids, same order),
+  /// rebuilding them if the population changed. Returns true iff a rebuild
+  /// happened (exposed for tests and stats).
+  bool Route(const std::vector<Stream>& streams);
+
+  /// Shard owning stream `id`.
+  int ShardOf(int64_t stream_id) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::vector<ServingShard>& shards() { return shards_; }
+  const std::vector<ServingShard>& shards() const { return shards_; }
+
+  /// stream index (position in the routed vector) -> owning shard; parallel
+  /// to the routed stream vector. The commit phase uses it to attribute
+  /// served/hiccup counts back to shards.
+  const std::vector<int>& shard_of_index() const { return shard_of_index_; }
+
+  int64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  std::vector<ServingShard> shards_;
+  std::vector<int64_t> routed_ids_;   // Cache key: ids in vector order.
+  std::vector<int> shard_of_index_;
+  int64_t rebuilds_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_SHARD_ROUTER_H_

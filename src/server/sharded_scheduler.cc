@@ -1,0 +1,262 @@
+#include "server/sharded_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+namespace {
+
+/// Same sentinel as the serial scheduler: a physical id with no live disk.
+constexpr int64_t kNotLive = -1;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(int num_shards, uint64_t seed)
+    : router_(num_shards, seed) {}
+
+void ShardedScheduler::ResolveShard(ServingShard& shard,
+                                    const PlacementPolicy& policy,
+                                    const MigrationExecutor& migration,
+                                    const BlockStore& store,
+                                    uint64_t epoch_token,
+                                    const RoundEpoch& expected,
+                                    const ShardedRunOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  // Validate the published epoch before touching any shared state: the
+  // coordinator's publication is the happens-before edge that makes the
+  // policy/store revisions (and the data behind them) visible to this
+  // worker. A mismatch means a writer ran while workers were live.
+  const RoundEpoch seen = epoch_.Read();
+  SCADDAR_CHECK(seen.round == expected.round);
+  SCADDAR_CHECK(seen.policy_revision == expected.policy_revision);
+  SCADDAR_CHECK(seen.store_revision == expected.store_revision);
+
+  const uint64_t audit_mask =
+      options.audit_sample_bits > 0
+          ? ((uint64_t{1} << options.audit_sample_bits) - 1)
+          : ~uint64_t{0};
+  ShardStats& stats = shard.stats;
+  for (const size_t i : shard.streams) {
+    Stream& stream = (*round_streams_)[i];
+    if (stream.finished() || stream.paused()) {
+      resolved_count_[i] = 0;
+      continue;
+    }
+    ++stats.streams;
+    // Resolve the whole round's worth of locations up front. The serial
+    // oracle stops calling the cursor after a hiccup; resolving the tail
+    // anyway is harmless — `Get` is a pure read of the serving state, so
+    // the values the commit phase consumes are identical either way.
+    const int32_t count = static_cast<int32_t>(
+        std::min(stream.rate(), stream.num_blocks() - stream.next_block()));
+    const BlockIndex first = stream.next_block();
+    LocationCursor& cursor = stream.cursor();
+    PhysicalDiskId* slots = resolved_.data() + offset_[i];
+    for (int32_t k = 0; k < count; ++k) {
+      slots[k] = cursor.Get(first + k, policy, store, migration);
+    }
+    resolved_count_[i] = count;
+    stats.resolved += count;
+    if (migration.pending_for(stream.object()) != 0) {
+      stats.bypass_reads += count;
+    }
+    if (options.audit_sample_bits > 0) {
+      // Shard-local spot check: sample resolved locations with this shard's
+      // private PRNG and compare against the store's materialized truth. A
+      // disagreement is a stale window that survived invalidation.
+      for (int32_t k = 0; k < count; ++k) {
+        if ((shard.prng.Next() & audit_mask) != 0) {
+          continue;
+        }
+        ++stats.audit_checks;
+        const StatusOr<PhysicalDiskId> truth =
+            store.LocationOf(BlockRef{stream.object(), first + k});
+        if (!truth.ok() || *truth != slots[k]) {
+          ++stats.audit_failures;
+        }
+      }
+    }
+  }
+  // No publication may have overlapped the resolve: the sequence token
+  // pinned at fan-out must still be current (and even).
+  SCADDAR_CHECK(epoch_.sequence() == epoch_token);
+  stats.seconds = SecondsSince(start);
+}
+
+RoundServiceResult ShardedScheduler::Run(
+    std::vector<Stream>& streams, const PlacementPolicy& policy,
+    const MigrationExecutor& migration, const BlockStore& store,
+    DiskArray& disks, std::unordered_map<PhysicalDiskId, int64_t>* leftover,
+    const ShardedRunOptions& options, ShardedRoundStats* stats) {
+  RoundServiceResult result;
+
+  // --- Coordinator: route, size the scratch, publish the epoch. ---------
+  const bool rerouted = router_.Route(streams);
+  if (rerouted || offset_.size() != streams.size()) {
+    // Offsets stride by each stream's (immutable) rate, so they only need
+    // rebuilding when the population changes — the same condition that
+    // rebuilds the routing table.
+    offset_.resize(streams.size());
+    int64_t total = 0;
+    for (size_t i = 0; i < streams.size(); ++i) {
+      offset_[i] = total;
+      total += streams[i].rate();
+    }
+    resolved_.resize(static_cast<size_t>(total));
+  }
+  resolved_count_.assign(streams.size(), 0);
+  for (ServingShard& shard : router_.shards()) {
+    shard.stats = ShardStats{};
+  }
+
+  // Warm the policy's lazily built lookup state on this thread so the
+  // workers' `Locate*` calls are read-only.
+  policy.PrepareForBatch();
+
+  ++round_;
+  RoundEpoch epoch;
+  epoch.round = round_;
+  epoch.policy_revision = policy.log().revision();
+  epoch.store_revision = store.mutation_revision();
+  epoch_.Publish(epoch);
+  const uint64_t token = epoch_.sequence();
+  round_streams_ = &streams;
+
+  // --- Phase 1: parallel lock-free resolve, one worker per shard. -------
+  const auto resolve_start = std::chrono::steady_clock::now();
+  std::vector<ServingShard>& shards = router_.shards();
+  const int n = router_.num_shards();
+  if (n > 1 && !options.serialize_shards) {
+    if (!pool_) {
+      pool_ = std::make_unique<ThreadPool>(n);
+    }
+    pool_->ParallelFor(0, n, [&](int64_t begin, int64_t end) {
+      for (int64_t s = begin; s < end; ++s) {
+        ResolveShard(shards[static_cast<size_t>(s)], policy, migration, store,
+                     token, epoch, options);
+      }
+    });
+  } else {
+    for (ServingShard& shard : shards) {
+      ResolveShard(shard, policy, migration, store, token, epoch, options);
+    }
+  }
+  const double resolve_seconds = SecondsSince(resolve_start);
+  round_streams_ = nullptr;
+
+  // --- Phase 2: serial deterministic commit (mirrors `RunBatched`). -----
+  // Streams are walked in vector order with the same per-disk budget
+  // accounting and the same hiccup-break discipline as the serial
+  // scheduler, so budget contention resolves identically: same served/
+  // hiccup counts, same stream progress, same leftover — for any shard
+  // count and any phase-1 interleaving.
+  const auto commit_start = std::chrono::steady_clock::now();
+  if (disks_cache_key_ != &disks || disks_generation_ != disks.generation()) {
+    live_ = disks.live_ids();
+    live_disks_.clear();
+    live_disks_.reserve(live_.size());
+    max_disk_id_ = 0;
+    for (const PhysicalDiskId id : live_) {
+      max_disk_id_ = std::max(max_disk_id_, id);
+      live_disks_.push_back(disks.GetDisk(id).value());
+    }
+    budget_template_.assign(static_cast<size_t>(max_disk_id_ + 1), kNotLive);
+    for (size_t d = 0; d < live_.size(); ++d) {
+      budget_template_[static_cast<size_t>(live_[d])] =
+          live_disks_[d]->spec().bandwidth_blocks_per_round;
+    }
+    disks_generation_ = disks.generation();
+    disks_cache_key_ = &disks;
+  }
+  const PhysicalDiskId max_id = max_disk_id_;
+  budget_ = budget_template_;
+  const std::vector<int>& shard_of = router_.shard_of_index();
+  // A large stream population spills L1, and the walk below touches each
+  // Stream exactly once — prefetching a few iterations ahead hides that
+  // per-stream miss behind the budget arithmetic.
+  constexpr size_t kPrefetchAhead = 8;
+  for (size_t i = 0; i < streams.size(); ++i) {
+    if (i + kPrefetchAhead < streams.size()) {
+      __builtin_prefetch(&streams[i + kPrefetchAhead], 1 /*write*/);
+    }
+    // `count` doubles as the liveness flag: the resolve phase writes 0 for
+    // finished/paused streams and otherwise min(rate, blocks left), so the
+    // serial oracle's `r < rate && !finished` loop runs exactly `count`
+    // iterations when no hiccup strikes — re-deriving that from stream
+    // state here would just re-touch the cold Stream cachelines.
+    const int32_t count = resolved_count_[i];
+    if (count == 0) {
+      continue;
+    }
+    const PhysicalDiskId* slots = resolved_.data() + offset_[i];
+    int32_t k = 0;
+    bool hiccup = false;
+    for (; k < count; ++k) {
+      const PhysicalDiskId location = slots[k];
+      SCADDAR_CHECK(location >= 0 && location <= max_id &&
+                    budget_[static_cast<size_t>(location)] != kNotLive);
+      int64_t& remaining = budget_[static_cast<size_t>(location)];
+      if (remaining > 0) {
+        --remaining;
+      } else {
+        hiccup = true;
+        break;
+      }
+    }
+    // Stream state and counters update once per stream, not per block —
+    // the hiccup-breaking attempt counts as a request (FIFO discipline:
+    // the stream asked, the disk was out of budget), same accounting as
+    // the serial path's per-iteration increments, batched.
+    Stream& stream = streams[i];
+    stream.DeliverBlocks(k);
+    ShardStats& owner = shards[static_cast<size_t>(shard_of[i])].stats;
+    result.requests += k + (hiccup ? 1 : 0);
+    result.served += k;
+    owner.served += k;
+    if (hiccup) {
+      stream.RecordHiccup();
+      ++result.hiccups;
+      ++owner.hiccups;
+    }
+  }
+  // Per-disk served counts fall out of the budget delta (hiccups never
+  // decrement), so the hot loop needs no served[] side array at all.
+  for (size_t d = 0; d < live_.size(); ++d) {
+    const size_t id = static_cast<size_t>(live_[d]);
+    const int64_t served = budget_template_[id] - budget_[id];
+    if (served > 0) {
+      live_disks_[d]->RecordServedRequests(served);
+    }
+  }
+  if (leftover != nullptr) {
+    leftover->clear();
+    for (const PhysicalDiskId id : live_) {
+      (*leftover)[id] = budget_[static_cast<size_t>(id)];
+    }
+  }
+  if (stats != nullptr) {
+    // Snapshot the commit clock before copying the introspection stats out:
+    // the copy is observer overhead the stats-free production path never
+    // pays, so it must not inflate the commit-phase figure.
+    stats->commit_seconds = SecondsSince(commit_start);
+    stats->shards.clear();
+    stats->shards.reserve(shards.size());
+    for (const ServingShard& shard : shards) {
+      stats->shards.push_back(shard.stats);
+    }
+    stats->resolve_seconds = resolve_seconds;
+    stats->routed = rerouted;
+  }
+  return result;
+}
+
+}  // namespace scaddar

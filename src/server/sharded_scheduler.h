@@ -1,0 +1,155 @@
+#ifndef SCADDAR_SERVER_SHARDED_SCHEDULER_H_
+#define SCADDAR_SERVER_SHARDED_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "server/scheduler.h"
+#include "server/shard_router.h"
+#include "util/epoch.h"
+#include "util/thread_pool.h"
+
+namespace scaddar {
+
+/// Per-round introspection of a sharded round (benchmarking/tests): how the
+/// work split, what each phase cost, and the audit outcome. Filled only when
+/// a caller passes it in — the production Tick path pays nothing for it.
+struct ShardedRoundStats {
+  std::vector<ShardStats> shards;  // Per-shard resolve-phase stats.
+  double resolve_seconds = 0;      // Wall time of the whole resolve phase.
+  double commit_seconds = 0;       // Wall time of the serial commit phase.
+  bool routed = false;             // Whether the router rebuilt this round.
+};
+
+/// Tuning/testing knobs for `ShardedScheduler::Run`.
+struct ShardedRunOptions {
+  /// Run the resolve phase on the calling thread, one shard at a time,
+  /// instead of fanning out across the pool. Used by the scalability bench
+  /// to measure each shard's critical path unpolluted by host core count
+  /// (per-shard `ShardStats::seconds` is exact either way, but on a machine
+  /// with fewer cores than shards the parallel wall time measures the
+  /// host, not the design).
+  bool serialize_shards = false;
+
+  /// When > 0, each shard spot-checks roughly 1 / 2^audit_sample_bits of
+  /// its resolved locations against the store's materialized row (sampled
+  /// by the shard's private PRNG, so shards never contend). A failed check
+  /// means a stale window survived invalidation — the lost/duplicate-serve
+  /// bug class — and is counted in `ShardStats::audit_failures`.
+  int audit_sample_bits = 0;
+};
+
+/// The thread-per-core serving runtime: one scheduling round fanned out
+/// across N stream shards. Byte-identical to `RoundScheduler::RunBatched` —
+/// same served/hiccup metrics, same stream progress, same leftover budgets,
+/// for any shard count and any thread interleaving — which is what lets the
+/// serial path stay as the oracle.
+///
+/// A round runs in two phases:
+///
+///  1. **Resolve (parallel, lock-free).** Streams are partitioned across
+///     shards by jump consistent hash on the stream id (`ShardRouter`).
+///     Each worker walks only its shard's streams and resolves the round's
+///     block locations through the per-stream `LocationCursor`s its shard
+///     owns, writing into a disjoint slice of a flat scratch array. All
+///     shared state (policy, store, migration queue) is read-only during
+///     the phase — `PlacementPolicy::PrepareForBatch` is called first so
+///     even the compiled-log cache is warm — and the round context arrives
+///     through a `SeqLock`-published epoch the workers validate, so readers
+///     never block on writers and a mid-round mutation is a checked bug.
+///  2. **Commit (serial, deterministic).** The coordinator walks streams in
+///     id order — the exact order the serial scheduler uses — applying
+///     per-disk budget accounting to the pre-resolved locations. Budget
+///     contention (who hiccups when a disk saturates) is resolved by the
+///     same FIFO discipline as the serial path, which is why the metrics
+///     are identical rather than merely statistically equivalent. The
+///     commit is a few array ops per request; the cache-missing work
+///     (cursor windows, batch refills, store-row bypass hashing) all
+///     happened in phase 1.
+///
+/// Cross-shard coordination — scaling ops, migration rounds, revision bumps
+/// — happens between rounds, while workers are quiesced at the fork/join
+/// barrier; the epoch publication makes that hand-off explicit and
+/// assertable rather than implicit in the pool's synchronization.
+class ShardedScheduler {
+ public:
+  /// `num_shards` >= 1 (one worker thread per shard is spawned lazily on
+  /// the first parallel round). `seed` feeds the per-shard PRNGs.
+  explicit ShardedScheduler(int num_shards, uint64_t seed = 0x5ca99edull);
+
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  /// One scheduling round over `streams`; drop-in equivalent of
+  /// `RoundScheduler::RunBatched` (same contract, same results).
+  RoundServiceResult Run(
+      std::vector<Stream>& streams, const PlacementPolicy& policy,
+      const MigrationExecutor& migration, const BlockStore& store,
+      DiskArray& disks,
+      std::unordered_map<PhysicalDiskId, int64_t>* leftover,
+      const ShardedRunOptions& options = {},
+      ShardedRoundStats* stats = nullptr);
+
+  int num_shards() const { return router_.num_shards(); }
+  const ShardRouter& router() const { return router_; }
+
+  /// Completed epoch publications (two sequence steps each).
+  uint64_t epochs_published() const { return epoch_.sequence() / 2; }
+
+ private:
+  /// The epoch descriptor workers validate: which round they are serving
+  /// and the revisions the coordinator saw when it published. Small and
+  /// trivially copyable, as `Published` requires.
+  struct RoundEpoch {
+    int64_t round = 0;
+    int64_t policy_revision = 0;
+    int64_t store_revision = 0;
+  };
+
+  /// Phase 1 for one shard: resolve every owned stream's round locations
+  /// into the scratch slices. Runs concurrently with other shards.
+  void ResolveShard(ServingShard& shard, const PlacementPolicy& policy,
+                    const MigrationExecutor& migration,
+                    const BlockStore& store, uint64_t epoch_token,
+                    const RoundEpoch& expected,
+                    const ShardedRunOptions& options);
+
+  ShardRouter router_;
+  std::unique_ptr<ThreadPool> pool_;  // Lazy: only parallel rounds need it.
+  Published<RoundEpoch> epoch_;
+  int64_t round_ = 0;
+
+  // Flat per-round scratch, indexed by stream position: stream `i`'s
+  // resolved locations live in `resolved_[offset_[i], offset_[i] +
+  // resolved_count_[i])`. Offsets stride by each stream's rate and are
+  // rebuilt only when the router reroutes; shards write disjoint slices.
+  std::vector<PhysicalDiskId> resolved_;
+  std::vector<int64_t> offset_;
+  std::vector<int32_t> resolved_count_;
+
+  // Dense per-disk budget array reused across rounds (commit phase). The
+  // per-disk served counts are the delta against `budget_template_`.
+  std::vector<int64_t> budget_;
+
+  // Live-disk cache keyed on `DiskArray::generation()`: the id list, the
+  // resolved `SimDisk` pointers (stable — the array never erases disks) and
+  // a prefilled budget template (`kNotLive` holes, per-round bandwidth at
+  // live ids). Rebuilt only when a scaling op changes the live set, so the
+  // steady-state commit does no hashing and no allocation.
+  const DiskArray* disks_cache_key_ = nullptr;
+  uint64_t disks_generation_ = 0;
+  std::vector<PhysicalDiskId> live_;
+  std::vector<SimDisk*> live_disks_;
+  std::vector<int64_t> budget_template_;
+  PhysicalDiskId max_disk_id_ = 0;
+
+  // Mutable cursor access happens through the shard that owns the stream;
+  // the const stream vector reference workers get is a lie we confine here.
+  std::vector<Stream>* round_streams_ = nullptr;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_SHARDED_SCHEDULER_H_

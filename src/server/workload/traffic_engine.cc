@@ -1,0 +1,126 @@
+#include "server/workload/traffic_engine.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+TrafficEngine::TrafficEngine(const TrafficConfig& config)
+    : config_(config),
+      prng_(MakePrng(PrngKind::kSplitMix64, config.seed)) {
+  SCADDAR_CHECK(config.arrivals_per_round >= 0.0);
+  SCADDAR_CHECK(config.zipf_theta >= 0.0);
+  SCADDAR_CHECK(config.diurnal_amplitude >= 0.0 &&
+                config.diurnal_amplitude < 1.0);
+  if (config.diurnal_amplitude > 0.0) {
+    SCADDAR_CHECK(config.diurnal_period > 0);
+  }
+  for (const FlashCrowd& crowd : config.flash_crowds) {
+    SCADDAR_CHECK(crowd.duration >= 0 && crowd.boost >= 0 &&
+                  crowd.rank >= 0);
+  }
+  SCADDAR_CHECK(config.pause_probability >= 0.0 &&
+                config.pause_probability <= 1.0);
+  SCADDAR_CHECK(config.resume_probability >= 0.0 &&
+                config.resume_probability <= 1.0);
+  SCADDAR_CHECK(config.seek_probability >= 0.0 &&
+                config.seek_probability <= 1.0);
+}
+
+void TrafficEngine::SetObjects(std::vector<ObjectId> objects) {
+  SCADDAR_CHECK(!objects.empty());
+  objects_ = std::move(objects);
+  popularity_ = std::make_unique<ZipfDistribution>(
+      static_cast<int64_t>(objects_.size()), config_.zipf_theta);
+}
+
+double TrafficEngine::ModulatedArrivalMean(int64_t round) const {
+  double mean = config_.arrivals_per_round;
+  if (config_.diurnal_amplitude > 0.0) {
+    constexpr double kTau = 6.283185307179586;
+    mean *= 1.0 + config_.diurnal_amplitude *
+                      std::sin(kTau * static_cast<double>(round) /
+                               static_cast<double>(config_.diurnal_period));
+  }
+  return mean;
+}
+
+RoundTraffic TrafficEngine::NextRound(int64_t round,
+                                      const std::vector<Stream>& active) {
+  SCADDAR_CHECK(popularity_ != nullptr);
+  RoundTraffic traffic;
+  traffic.round = round;
+
+  // Background arrivals: Poisson around the diurnally modulated mean,
+  // objects drawn by Zipf rank.
+  const int64_t background = PoissonSample(*prng_, ModulatedArrivalMean(round));
+  traffic.arrivals.reserve(static_cast<size_t>(background));
+  for (int64_t i = 0; i < background; ++i) {
+    const int64_t rank = popularity_->Sample(*prng_);
+    traffic.arrivals.push_back(objects_[static_cast<size_t>(rank)]);
+  }
+
+  // Flash crowds: a deterministic burst aimed at one rank. The *count* is
+  // exact (the premiere starts on schedule whatever the dice say); only
+  // which background clients it displaces is random.
+  for (const FlashCrowd& crowd : config_.flash_crowds) {
+    if (round < crowd.start_round || round >= crowd.start_round + crowd.duration) {
+      continue;
+    }
+    const size_t rank = static_cast<size_t>(
+        std::min(crowd.rank,
+                 static_cast<int64_t>(objects_.size()) - 1));
+    for (int64_t i = 0; i < crowd.boost; ++i) {
+      traffic.arrivals.push_back(objects_[rank]);
+    }
+  }
+
+  // VCR events, rolled per active stream in vector order (deterministic).
+  for (const Stream& stream : active) {
+    if (stream.finished()) {
+      continue;
+    }
+    if (stream.paused()) {
+      if (Bernoulli(*prng_, config_.resume_probability)) {
+        traffic.resumes.push_back(stream.id());
+      }
+      continue;
+    }
+    if (config_.pause_probability > 0.0 &&
+        Bernoulli(*prng_, config_.pause_probability)) {
+      traffic.pauses.push_back(stream.id());
+      continue;
+    }
+    if (config_.seek_probability > 0.0 &&
+        Bernoulli(*prng_, config_.seek_probability)) {
+      traffic.seeks.push_back(SeekEvent{
+          stream.id(),
+          static_cast<BlockIndex>(UniformUint64(
+              *prng_, static_cast<uint64_t>(stream.num_blocks())))});
+    }
+  }
+  return traffic;
+}
+
+RoundMetrics TrafficEngine::DriveRound(CmServer& server) {
+  const RoundTraffic traffic = NextRound(server.round(), server.streams());
+  for (const ObjectId object : traffic.arrivals) {
+    if (!server.StartStream(object).ok()) {
+      ++rejected_arrivals_;
+    }
+  }
+  for (const int64_t id : traffic.pauses) {
+    SCADDAR_CHECK(server.PauseStream(id).ok());
+  }
+  for (const int64_t id : traffic.resumes) {
+    SCADDAR_CHECK(server.ResumeStream(id).ok());
+  }
+  for (const SeekEvent& seek : traffic.seeks) {
+    SCADDAR_CHECK(server.SeekStream(seek.stream_id, seek.block).ok());
+  }
+  return server.Tick();
+}
+
+}  // namespace scaddar

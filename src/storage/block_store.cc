@@ -17,8 +17,8 @@ Status BlockStore::PlaceObject(ObjectId id,
   for (const PhysicalDiskId disk : locations) {
     AdjustDisk(disk, 1);
   }
-  ++mutation_revision_;
-  ++row_revisions_[id];
+  mutation_revision_.Bump();
+  row_revisions_[id].Bump();
   return OkStatus();
 }
 
@@ -41,8 +41,8 @@ Status BlockStore::DropObject(ObjectId id) {
   }
   total_blocks_ -= static_cast<int64_t>(it->second.size());
   locations_.erase(it);
-  ++mutation_revision_;
-  ++row_revisions_[id];
+  mutation_revision_.Bump();
+  row_revisions_[id].Bump();
   return OkStatus();
 }
 
@@ -57,7 +57,7 @@ StatusOr<std::span<const PhysicalDiskId>> BlockStore::LocationsOf(
 
 int64_t BlockStore::RowRevision(ObjectId id) const {
   const auto it = row_revisions_.find(id);
-  return it == row_revisions_.end() ? 0 : it->second;
+  return it == row_revisions_.end() ? 0 : it->second.Load();
 }
 
 StatusOr<PhysicalDiskId> BlockStore::LocationOf(BlockRef ref) const {
@@ -89,8 +89,8 @@ Status BlockStore::ApplyMove(const BlockMove& move) {
   location = move.to_physical;
   AdjustDisk(move.from_physical, -1);
   AdjustDisk(move.to_physical, 1);
-  ++mutation_revision_;
-  ++row_revisions_[move.block.object];
+  mutation_revision_.Bump();
+  row_revisions_[move.block.object].Bump();
   return OkStatus();
 }
 
@@ -113,7 +113,7 @@ Status BlockStore::StageCopy(BlockRef ref, PhysicalDiskId to) {
   }
   AdjustDisk(to, 1);
   ++staged_count_;
-  ++mutation_revision_;
+  mutation_revision_.Bump();
   return OkStatus();
 }
 
@@ -147,8 +147,8 @@ Status BlockStore::CommitStagedMove(BlockRef ref, PhysicalDiskId from,
   }
   --staged_count_;
   AdjustDisk(from, -1);
-  ++mutation_revision_;
-  ++row_revisions_[ref.object];
+  mutation_revision_.Bump();
+  row_revisions_[ref.object].Bump();
   return OkStatus();
 }
 
@@ -167,7 +167,7 @@ Status BlockStore::AbortStagedCopy(BlockRef ref) {
     staged_.erase(staged);
   }
   --staged_count_;
-  ++mutation_revision_;
+  mutation_revision_.Bump();
   return OkStatus();
 }
 

@@ -1,0 +1,161 @@
+#ifndef SCADDAR_UTIL_EPOCH_H_
+#define SCADDAR_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace scaddar {
+
+/// Copyable acquire/release change-detection counter — the concurrency-safe
+/// form of the plain `int64_t revision_` fields the caches key on. The
+/// sharded serving runtime reads these counters from worker threads while
+/// the coordinator is quiesced; publishing every bump with release order and
+/// reading with acquire order makes the counter itself the happens-before
+/// edge, so a reader that observes revision `r` also observes every write
+/// that produced it.
+///
+/// Copy/assign read relaxed: copies only happen on single-threaded paths
+/// (snapshot restore, op-log replay scripts) where no publication is racing.
+class RevisionCounter {
+ public:
+  RevisionCounter() = default;
+  explicit RevisionCounter(int64_t value) : value_(value) {}
+
+  RevisionCounter(const RevisionCounter& other) noexcept
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  RevisionCounter& operator=(const RevisionCounter& other) noexcept {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Acquire-load of the current revision (pairs with `Bump`).
+  int64_t Load() const { return value_.load(std::memory_order_acquire); }
+
+  /// Release-publishes the next revision. Single-writer: callers bump only
+  /// from the mutation path, which the runtime serializes between rounds.
+  void Bump() {
+    value_.store(value_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Sequence lock: the epoch-publication primitive the sharded runtime's
+/// cross-shard coordination goes through. A writer wraps its update in
+/// `WriteBegin`/`WriteEnd` (sequence odd while the update is in flight);
+/// readers snapshot with `ReadBegin`, copy the protected data, and validate
+/// with `ReadRetry` — they spin past an in-flight writer but never block it,
+/// and a writer never waits for readers. One writer at a time (the round
+/// coordinator); any number of readers (the shard workers).
+class SeqLock {
+ public:
+  /// Marks a publication in flight; returns the (odd) in-flight sequence.
+  uint64_t WriteBegin() {
+    const uint64_t seq = sequence_.load(std::memory_order_relaxed) + 1;
+    sequence_.store(seq, std::memory_order_release);
+    // Order the data writes after the odd marker so a concurrent reader
+    // that misses the marker cannot also see the half-written data.
+    std::atomic_thread_fence(std::memory_order_release);
+    return seq;
+  }
+
+  /// Completes the publication begun by `WriteBegin`.
+  void WriteEnd() {
+    const uint64_t seq = sequence_.load(std::memory_order_relaxed) + 1;
+    sequence_.store(seq, std::memory_order_release);
+  }
+
+  /// Returns a stable (even) sequence token, spinning past in-flight writes.
+  uint64_t ReadBegin() const {
+    uint64_t seq = sequence_.load(std::memory_order_acquire);
+    while (seq & 1) {
+      seq = sequence_.load(std::memory_order_acquire);
+    }
+    return seq;
+  }
+
+  /// True iff a write overlapped the read section opened with `token` — the
+  /// reader must retry its copy.
+  bool ReadRetry(uint64_t token) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return sequence_.load(std::memory_order_acquire) != token;
+  }
+
+  /// The current raw sequence (even = quiescent); exposed for tests and the
+  /// runtime's epoch asserts.
+  uint64_t sequence() const { return sequence_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> sequence_{0};
+};
+
+/// A value published wholesale through a `SeqLock`: `Publish` replaces the
+/// value (writer side, one at a time), `Read` returns a torn-free copy
+/// (reader side, lock-free, retries past concurrent publishes). `T` must be
+/// trivially copyable; keep it small — this is for epoch descriptors, not
+/// bulk data.
+///
+/// The payload is stored as relaxed-atomic words rather than a raw `T`:
+/// the classic seqlock copies the value non-atomically and relies on the
+/// retry to discard torn reads, but that overlapping access is still a
+/// data race in the C++ memory model (and TSan reports it). Word-wise
+/// relaxed atomics keep the fast path — no ordering beyond the seqlock's
+/// own fences — while making the retry-discarded reads defined behavior.
+template <typename T>
+class Published {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Published<T> copies T as raw words");
+
+ public:
+  Published() = default;
+  explicit Published(const T& initial) { Store(initial); }
+
+  void Publish(const T& value) {
+    lock_.WriteBegin();
+    Store(value);
+    lock_.WriteEnd();
+  }
+
+  T Read() const {
+    uint64_t buffer[kWords];
+    uint64_t token;
+    do {
+      token = lock_.ReadBegin();
+      for (size_t w = 0; w < kWords; ++w) {
+        buffer[w] = words_[w].load(std::memory_order_relaxed);
+      }
+    } while (lock_.ReadRetry(token));
+    T copy;
+    std::memcpy(&copy, buffer, sizeof(T));
+    return copy;
+  }
+
+  /// Sequence token of the last completed publication (even); workers pin
+  /// this at fan-out and assert it unchanged at join to prove no writer ran
+  /// during the round.
+  uint64_t sequence() const { return lock_.sequence(); }
+
+ private:
+  static constexpr size_t kWords =
+      (sizeof(T) + sizeof(uint64_t) - 1) / sizeof(uint64_t);
+
+  void Store(const T& value) {
+    uint64_t buffer[kWords] = {};
+    std::memcpy(buffer, &value, sizeof(T));
+    for (size_t w = 0; w < kWords; ++w) {
+      words_[w].store(buffer[w], std::memory_order_relaxed);
+    }
+  }
+
+  SeqLock lock_;
+  std::atomic<uint64_t> words_[kWords] = {};
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_UTIL_EPOCH_H_

@@ -1,0 +1,337 @@
+// The sharded serving runtime's correctness contract: byte-identical
+// results to the serial oracle (`RoundScheduler::RunBatched`) for any shard
+// count, any thread interleaving, and any mix of scaling operations and
+// migration traffic — plus the router's stability and the epoch/audit
+// machinery. The stress test at the bottom runs 8 real worker threads
+// under concurrent scale-up and is part of the tsan_smoke target list.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "placement/scaddar_policy.h"
+#include "random/sequence.h"
+#include "server/migration.h"
+#include "server/scheduler.h"
+#include "server/server.h"
+#include "server/shard_router.h"
+#include "server/sharded_scheduler.h"
+#include "server/workload/traffic_engine.h"
+
+namespace scaddar {
+namespace {
+
+std::vector<uint64_t> MakeX0(uint64_t seed, int64_t n) {
+  return X0Sequence::Create(PrngKind::kSplitMix64, seed, 64)
+      .value()
+      .Materialize(n);
+}
+
+/// Clonable-by-construction serving stack (same idiom as
+/// serving_equivalence_test): two instances built with the same arguments
+/// are bit-identical, including their stream vectors.
+struct Fixture {
+  Fixture(int64_t n0, const std::vector<int64_t>& object_blocks,
+          int64_t num_streams)
+      : policy(n0),
+        disks(DiskSpec{.capacity_blocks = 1'000'000,
+                       .bandwidth_blocks_per_round = 8}),
+        store(&disks) {
+    ObjectId id = 1;
+    for (const int64_t blocks : object_blocks) {
+      SCADDAR_CHECK(
+          policy.AddObject(id, MakeX0(static_cast<uint64_t>(id), blocks))
+              .ok());
+      ++id;
+    }
+    SCADDAR_CHECK(disks.SyncLiveSet(policy.log().physical_disks()).ok());
+    std::vector<PhysicalDiskId> locations;
+    for (id = 1; id <= static_cast<ObjectId>(object_blocks.size()); ++id) {
+      policy.LocateAllBlocks(id, locations);
+      SCADDAR_CHECK(store.PlaceObject(id, locations).ok());
+    }
+    // Streams over the objects round-robin, rates cycling 1..3 so some
+    // rounds saturate disks (hiccup-path coverage).
+    const int64_t num_objects = static_cast<int64_t>(object_blocks.size());
+    for (int64_t s = 0; s < num_streams; ++s) {
+      const ObjectId object = 1 + (s % num_objects);
+      streams.emplace_back(s, object,
+                           object_blocks[static_cast<size_t>(object - 1)],
+                           /*start_round=*/0, /*rate=*/1 + (s % 3));
+    }
+  }
+
+  void Apply(const ScalingOp& op) {
+    SCADDAR_CHECK(policy.ApplyOp(op).ok());
+    std::vector<PhysicalDiskId> live = policy.log().physical_disks();
+    for (const PhysicalDiskId id : disks.live_ids()) {
+      if (store.CountOn(id) > 0) {
+        live.push_back(id);
+      }
+    }
+    std::sort(live.begin(), live.end());
+    live.erase(std::unique(live.begin(), live.end()), live.end());
+    SCADDAR_CHECK(disks.SyncLiveSet(live).ok());
+    migration.EnqueueReconciliation(store, policy);
+  }
+
+  ScaddarPolicy policy;
+  DiskArray disks;
+  BlockStore store;
+  MigrationExecutor migration;
+  std::vector<Stream> streams;
+};
+
+const std::vector<int64_t> kObjects = {900, 500, 1400};
+
+void ExpectStreamsEqual(const std::vector<Stream>& a,
+                        const std::vector<Stream>& b, int round) {
+  ASSERT_EQ(a.size(), b.size()) << "round " << round;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].next_block(), b[i].next_block())
+        << "round " << round << " stream " << a[i].id();
+    ASSERT_EQ(a[i].hiccups(), b[i].hiccups())
+        << "round " << round << " stream " << a[i].id();
+  }
+}
+
+/// The tentpole contract: the sharded scheduler's served/hiccup metrics,
+/// leftover budgets, stream progress AND migration-queue evolution are
+/// byte-identical to the serial oracle through a scale-up, for 1, 2 and 8
+/// shards, with the per-shard audit sampling turned on (and never firing).
+TEST(ShardedServingTest, MatchesSerialOracleThroughScaleUp) {
+  for (const int shards : {1, 2, 8}) {
+    Fixture serial(4, kObjects, 24);
+    Fixture sharded(4, kObjects, 24);
+    RoundScheduler oracle;
+    ShardedScheduler scheduler(shards, /*seed=*/0xfeedull);
+    ShardedRunOptions options;
+    options.audit_sample_bits = 2;  // ~1/4 of resolves spot-checked.
+    ShardedRoundStats stats;
+    int64_t audit_checks = 0;
+    for (int round = 0; round < 120; ++round) {
+      if (round == 15) {
+        serial.Apply(ScalingOp::Add(2).value());
+        sharded.Apply(ScalingOp::Add(2).value());
+        ASSERT_EQ(serial.migration.QueueSnapshot(),
+                  sharded.migration.QueueSnapshot());
+      }
+      std::unordered_map<PhysicalDiskId, int64_t> leftover_serial;
+      std::unordered_map<PhysicalDiskId, int64_t> leftover_sharded;
+      const RoundServiceResult a =
+          oracle.RunBatched(serial.streams, serial.policy, serial.migration,
+                            serial.store, serial.disks, &leftover_serial);
+      const RoundServiceResult b = scheduler.Run(
+          sharded.streams, sharded.policy, sharded.migration, sharded.store,
+          sharded.disks, &leftover_sharded, options, &stats);
+      ASSERT_EQ(a.requests, b.requests) << "shards=" << shards
+                                        << " round " << round;
+      ASSERT_EQ(a.served, b.served) << "shards=" << shards
+                                    << " round " << round;
+      ASSERT_EQ(a.hiccups, b.hiccups) << "shards=" << shards
+                                      << " round " << round;
+      ASSERT_EQ(leftover_serial, leftover_sharded)
+          << "shards=" << shards << " round " << round;
+      ExpectStreamsEqual(serial.streams, sharded.streams, round);
+      // Spend the identical leftover on migration on both sides: the queue
+      // must evolve identically too.
+      serial.migration.RunRound(leftover_serial, serial.store, serial.disks,
+                                serial.policy);
+      sharded.migration.RunRound(leftover_sharded, sharded.store,
+                                 sharded.disks, sharded.policy);
+      ASSERT_EQ(serial.migration.QueueSnapshot(),
+                sharded.migration.QueueSnapshot())
+          << "shards=" << shards << " round " << round;
+      // The audit never fires: every resolved location agrees with the
+      // store's materialized truth, even mid-migration.
+      int64_t shard_served = 0;
+      for (const ShardStats& shard : stats.shards) {
+        audit_checks += shard.audit_checks;
+        ASSERT_EQ(shard.audit_failures, 0)
+            << "shards=" << shards << " round " << round;
+        shard_served += shard.served;
+      }
+      ASSERT_EQ(shard_served, b.served)
+          << "per-shard attribution must partition the round's serves";
+    }
+    EXPECT_GT(audit_checks, 0) << "audit sampling never ran";
+  }
+}
+
+/// serialize_shards (the bench's critical-path measurement mode) must not
+/// change results — determinism is a property of the algorithm, not of the
+/// execution mode.
+TEST(ShardedServingTest, SerializedModeIdenticalToParallel) {
+  Fixture parallel(4, kObjects, 18);
+  Fixture serialized(4, kObjects, 18);
+  ShardedScheduler a(6, 1);
+  ShardedScheduler b(6, 1);
+  ShardedRunOptions serialize;
+  serialize.serialize_shards = true;
+  for (int round = 0; round < 40; ++round) {
+    const RoundServiceResult ra =
+        a.Run(parallel.streams, parallel.policy, parallel.migration,
+              parallel.store, parallel.disks, nullptr);
+    const RoundServiceResult rb =
+        b.Run(serialized.streams, serialized.policy, serialized.migration,
+              serialized.store, serialized.disks, nullptr, serialize);
+    ASSERT_EQ(ra.served, rb.served) << "round " << round;
+    ASSERT_EQ(ra.hiccups, rb.hiccups) << "round " << round;
+    ExpectStreamsEqual(parallel.streams, serialized.streams, round);
+  }
+}
+
+TEST(ShardRouterTest, RoutingIsStableAndCached) {
+  Fixture fx(4, kObjects, 30);
+  ShardRouter router(4, 99);
+  EXPECT_TRUE(router.Route(fx.streams));
+  EXPECT_EQ(router.rebuilds(), 1);
+  // Same population: the cache holds, no rebuild.
+  EXPECT_FALSE(router.Route(fx.streams));
+  EXPECT_EQ(router.rebuilds(), 1);
+  // A stream's shard never changes while it lives.
+  const int before = router.ShardOf(7);
+  fx.streams.pop_back();
+  EXPECT_TRUE(router.Route(fx.streams));
+  EXPECT_EQ(router.ShardOf(7), before);
+  // The shard lists partition the stream indices exactly.
+  std::vector<size_t> seen;
+  for (const ServingShard& shard : router.shards()) {
+    for (const size_t i : shard.streams) {
+      seen.push_back(i);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), fx.streams.size());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i);
+  }
+}
+
+TEST(ShardRouterTest, ShardPrngIsReplayable) {
+  ShardRouter a(3, 1234);
+  ShardRouter b(3, 1234);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(a.shards()[static_cast<size_t>(s)].prng.Next(),
+                b.shards()[static_cast<size_t>(s)].prng.Next());
+    }
+  }
+  // Distinct shards draw decorrelated streams.
+  EXPECT_NE(ShardRouter(2, 5).shards()[0].prng.Next(),
+            ShardRouter(2, 5).shards()[1].prng.Next());
+}
+
+ServerConfig ShardedConfig(ServingPath path, int shards = 0) {
+  ServerConfig config;
+  config.initial_disks = 6;
+  config.disk_spec = {.capacity_blocks = 100'000,
+                      .bandwidth_blocks_per_round = 6};
+  config.serving_path = path;
+  config.serving_shards = shards;
+  return config;
+}
+
+std::unique_ptr<CmServer> MakeServer(const ServerConfig& config) {
+  auto server = CmServer::Create(config);
+  SCADDAR_CHECK(server.ok());
+  return std::move(server).value();
+}
+
+/// Full-server twin test: a sharded server and a batch-cursor server fed
+/// the same script report identical metrics every round through scaling
+/// operations — the `kShardedCursor` Tick path is a drop-in.
+TEST(ShardedServingTest, ServerPathMatchesBatchCursorThroughScaling) {
+  auto sharded =
+      MakeServer(ShardedConfig(ServingPath::kShardedCursor, /*shards=*/4));
+  auto batch = MakeServer(ShardedConfig(ServingPath::kBatchCursor));
+  for (CmServer* server : {sharded.get(), batch.get()}) {
+    ASSERT_TRUE(server->AddObject(1, 400).ok());
+    ASSERT_TRUE(server->AddObject(2, 250).ok());
+    for (int s = 0; s < 6; ++s) {
+      ASSERT_TRUE(server->StartStream(1 + (s % 2)).ok());
+    }
+  }
+  for (int round = 0; round < 300; ++round) {
+    if (round == 20) {
+      ASSERT_TRUE(sharded->ScaleAdd(2).ok());
+      ASSERT_TRUE(batch->ScaleAdd(2).ok());
+    }
+    if (round == 60) {
+      ASSERT_TRUE(sharded->ScaleRemove({3}).ok());
+      ASSERT_TRUE(batch->ScaleRemove({3}).ok());
+    }
+    const RoundMetrics a = sharded->Tick();
+    const RoundMetrics b = batch->Tick();
+    ASSERT_EQ(a.requests, b.requests) << "round " << round;
+    ASSERT_EQ(a.served, b.served) << "round " << round;
+    ASSERT_EQ(a.hiccups, b.hiccups) << "round " << round;
+    ASSERT_EQ(a.migrated, b.migrated) << "round " << round;
+    ASSERT_EQ(a.pending_migration, b.pending_migration) << "round " << round;
+  }
+  EXPECT_EQ(sharded->total_served(), batch->total_served());
+  EXPECT_EQ(sharded->total_hiccups(), batch->total_hiccups());
+  EXPECT_GT(sharded->total_served(), 0);
+  ASSERT_NE(sharded->sharded_scheduler(), nullptr);
+  EXPECT_EQ(sharded->sharded_scheduler()->num_shards(), 4);
+  EXPECT_GT(sharded->sharded_scheduler()->epochs_published(), 0u);
+}
+
+/// The stress test: 8 real worker shards serving seeded Zipf traffic with
+/// VCR churn while the array scales up and migration rounds interleave —
+/// raced against a serial store-oracle server fed the identical traffic
+/// trace. Identical per-round metrics prove no block serve was lost or
+/// duplicated by the concurrency. Runs under TSan via tsan_smoke.
+TEST(ShardedServingTest, StressConcurrentScaleUpMatchesOracle) {
+  TrafficConfig traffic_config;
+  traffic_config.seed = 0x57e55ull;
+  traffic_config.arrivals_per_round = 2.0;
+  traffic_config.zipf_theta = 0.729;
+  traffic_config.pause_probability = 0.02;
+  traffic_config.resume_probability = 0.3;
+  traffic_config.seek_probability = 0.03;
+  traffic_config.flash_crowds.push_back(
+      FlashCrowd{.start_round = 40, .duration = 10, .rank = 0, .boost = 3});
+
+  auto sharded =
+      MakeServer(ShardedConfig(ServingPath::kShardedCursor, /*shards=*/8));
+  auto oracle = MakeServer(ShardedConfig(ServingPath::kStoreScalar));
+  for (CmServer* server : {sharded.get(), oracle.get()}) {
+    for (ObjectId id = 1; id <= 8; ++id) {
+      ASSERT_TRUE(server->AddObject(id, 120 + 40 * id).ok());
+    }
+  }
+  // Twin engines with the same seed fed identically evolving servers emit
+  // identical traces (the replayability contract doing double duty).
+  TrafficEngine sharded_traffic(traffic_config);
+  TrafficEngine oracle_traffic(traffic_config);
+  sharded_traffic.SetObjects(sharded->catalog().object_ids());
+  oracle_traffic.SetObjects(oracle->catalog().object_ids());
+
+  for (int round = 0; round < 160; ++round) {
+    if (round == 30) {
+      ASSERT_TRUE(sharded->ScaleAdd(3).ok());
+      ASSERT_TRUE(oracle->ScaleAdd(3).ok());
+    }
+    if (round == 90) {
+      ASSERT_TRUE(sharded->ScaleRemove({2}).ok());
+      ASSERT_TRUE(oracle->ScaleRemove({2}).ok());
+    }
+    const RoundMetrics a = sharded_traffic.DriveRound(*sharded);
+    const RoundMetrics b = oracle_traffic.DriveRound(*oracle);
+    ASSERT_EQ(a.requests, b.requests) << "round " << round;
+    ASSERT_EQ(a.served, b.served) << "round " << round;
+    ASSERT_EQ(a.hiccups, b.hiccups) << "round " << round;
+    ASSERT_EQ(a.migrated, b.migrated) << "round " << round;
+  }
+  EXPECT_EQ(sharded_traffic.rejected_arrivals(),
+            oracle_traffic.rejected_arrivals());
+  EXPECT_EQ(sharded->total_served(), oracle->total_served());
+  EXPECT_EQ(sharded->total_hiccups(), oracle->total_hiccups());
+  EXPECT_GT(sharded->total_served(), 0);
+}
+
+}  // namespace
+}  // namespace scaddar
