@@ -1,0 +1,408 @@
+// EXP-CL (extension) — scale-out cluster serving: jump-hash routed server
+// shards with coordinated scaling and cross-shard migration.
+//
+// Three questions, one per tier block:
+//  1. Throughput scaling — aggregate model round throughput at 1/2/4/8
+//     server shards, offered load scaled with capacity. "Model" follows the
+//     repo convention for hardware-dependent figures: shards are
+//     independent servers, so one cluster round costs the slowest shard's
+//     tick plus the serial tail (merge + cross-shard pump); each shard is
+//     timed unpolluted via `TickSerialized` and the median round's critical
+//     path is scaled to the horizon. A host with >= N free cores would see
+//     the model number on the wall clock.
+//  2. Migration cost — blocks copied between shards after `AddServerShard`
+//     (jump-hash delta, expected ~1/(N+1) of the catalog) vs. the naive
+//     rehash-everything baseline (`id mod N` routing, which strands
+//     ~N/(N+1) of all objects on the wrong shard after a grow).
+//  3. Scale-out under fire — a Zipf flash crowd slams the cluster exactly
+//     when a shard is added: hiccup rate, startup-latency p50/p99/p999 and
+//     handed-off-session rejects while the evacuation runs under the
+//     interconnect budget.
+//
+// Usage: bench_cluster [--smoke] [--json-only]
+//   --smoke      tiny sizes, no BENCH_cluster.json (CI wiring check).
+//   --json-only  suppress the console tables, still write the JSON.
+// The full run writes BENCH_cluster.json to the working directory.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster_server.h"
+#include "server/workload/traffic_engine.h"
+#include "stats/percentile.h"
+
+namespace scaddar {
+namespace {
+
+struct Sizes {
+  // Tier 1: throughput scaling.
+  int64_t objects_per_shard = 8;
+  int64_t blocks_each = 20'000;
+  int64_t streams_per_shard = 96;
+  int64_t rounds = 200;
+  int64_t warmup_rounds = 32;
+  int64_t repetitions = 3;
+  // Tier 2: migration cost.
+  int64_t catalog_objects = 128;
+  int64_t catalog_blocks = 2'000;
+  // Tier 3: scale-out under fire.
+  int64_t fire_rounds = 400;
+  int64_t fire_objects = 24;
+  int64_t fire_blocks = 4'000;
+};
+
+ClusterConfig BaseConfig() {
+  ClusterConfig config;
+  config.shard.initial_disks = 8;
+  config.shard.disk_spec = {.capacity_blocks = 10'000'000,
+                            .bandwidth_blocks_per_round = 16};
+  config.cross_shard_budget = 256;
+  return config;
+}
+
+// --- Tier 1: throughput scaling -----------------------------------------
+
+struct ScalingResult {
+  int shards = 1;
+  int64_t requests = 0;
+  double model_seconds = 0;
+
+  double ModelRps() const {
+    return model_seconds > 0 ? static_cast<double>(requests) / model_seconds
+                             : 0;
+  }
+};
+
+/// One model pass: a cluster of `shards` serving a steady population sized
+/// to its capacity, every round timed shard-serialized.
+ScalingResult MeasureScalingOnce(int shards, const Sizes& sizes) {
+  ScalingResult result;
+  result.shards = shards;
+  ClusterConfig config = BaseConfig();
+  config.initial_shards = shards;
+  // Streams must admit on their object's shard, and the jump hash spreads
+  // objects binomially, not exactly evenly: leave the admission cap
+  // headroom above the worst per-shard imbalance at these catalog sizes.
+  config.shard.disk_spec.bandwidth_blocks_per_round = 32;
+  auto cluster = ClusterServer::Create(config).value();
+  const int64_t objects = sizes.objects_per_shard * shards;
+  for (ObjectId id = 1; id <= objects; ++id) {
+    SCADDAR_CHECK(cluster->AddObject(id, sizes.blocks_each).ok());
+  }
+  const int64_t streams = sizes.streams_per_shard * shards;
+  for (int64_t s = 0; s < streams; ++s) {
+    const ObjectId object = 1 + s % objects;
+    const auto id = cluster->StartStream(object);
+    SCADDAR_CHECK(id.ok());
+    // Spread positions so the horizon never finishes a stream.
+    SCADDAR_CHECK(
+        cluster->SeekStream(id.value(), (s * 977) % (sizes.blocks_each / 2))
+            .ok());
+  }
+  for (int64_t i = 0; i < sizes.warmup_rounds; ++i) {
+    cluster->TickSerialized(nullptr);
+  }
+  std::vector<int64_t> round_ns;
+  round_ns.reserve(static_cast<size_t>(sizes.rounds));
+  ClusterTickTiming timing;
+  for (int64_t i = 0; i < sizes.rounds; ++i) {
+    const ClusterRoundMetrics metrics = cluster->TickSerialized(&timing);
+    result.requests += metrics.requests;
+    int64_t slowest = 0;
+    for (const int64_t ns : timing.shard_ns) {
+      slowest = std::max(slowest, ns);
+    }
+    round_ns.push_back(slowest + timing.serial_ns);
+  }
+  // Median round's critical path scaled to the horizon — the same
+  // preemption-robust model clock as bench_serving_mt.
+  std::sort(round_ns.begin(), round_ns.end());
+  result.model_seconds = static_cast<double>(round_ns[round_ns.size() / 2]) *
+                         1e-9 * static_cast<double>(sizes.rounds);
+  return result;
+}
+
+std::vector<ScalingResult> MeasureScaling(const std::vector<int>& counts,
+                                          const Sizes& sizes) {
+  std::vector<ScalingResult> results(counts.size());
+  // Interleave repetitions so a slow patch on a shared host degrades every
+  // tier's candidate equally; fastest rep per tier wins.
+  for (int64_t rep = 0; rep < sizes.repetitions; ++rep) {
+    for (size_t t = 0; t < counts.size(); ++t) {
+      const ScalingResult candidate = MeasureScalingOnce(counts[t], sizes);
+      if (rep == 0 || candidate.model_seconds < results[t].model_seconds) {
+        results[t] = candidate;
+      }
+    }
+  }
+  return results;
+}
+
+// --- Tier 2: migration cost vs naive rehash -----------------------------
+
+struct MigrationCost {
+  int64_t moved_objects = 0;
+  int64_t moved_blocks = 0;
+  int64_t naive_moved_objects = 0;
+  int64_t rounds_to_drain = 0;
+  double moved_fraction = 0;
+  double naive_fraction = 0;
+};
+
+MigrationCost MeasureMigrationCost(const Sizes& sizes) {
+  constexpr int kShards = 4;
+  ClusterConfig config = BaseConfig();
+  config.initial_shards = kShards;
+  auto cluster = ClusterServer::Create(config).value();
+  for (ObjectId id = 1; id <= sizes.catalog_objects; ++id) {
+    SCADDAR_CHECK(cluster->AddObject(id, sizes.catalog_blocks).ok());
+  }
+  SCADDAR_CHECK(cluster->AddServerShard().ok());
+  MigrationCost cost;
+  cost.moved_objects = cluster->migrator().pending_transfers();
+  while (!cluster->MigrationIdle()) {
+    cluster->Tick();
+    ++cost.rounds_to_drain;
+    SCADDAR_CHECK(cost.rounds_to_drain < 1'000'000);
+  }
+  SCADDAR_CHECK(cluster->VerifyIntegrity().ok());
+  cost.moved_blocks = cluster->migrator().total_blocks_copied();
+  // The naive baseline: route by `id mod N`. Growing N to N+1 reroutes
+  // every object whose residue changes — nearly the whole catalog.
+  for (ObjectId id = 1; id <= sizes.catalog_objects; ++id) {
+    if (id % kShards != id % (kShards + 1)) {
+      ++cost.naive_moved_objects;
+    }
+  }
+  cost.moved_fraction = static_cast<double>(cost.moved_objects) /
+                        static_cast<double>(sizes.catalog_objects);
+  cost.naive_fraction = static_cast<double>(cost.naive_moved_objects) /
+                        static_cast<double>(sizes.catalog_objects);
+  return cost;
+}
+
+// --- Tier 3: scale-out under a flash crowd ------------------------------
+
+struct FireResult {
+  int64_t requests = 0;
+  int64_t served = 0;
+  int64_t hiccups = 0;
+  int64_t cross_shard_blocks = 0;
+  int64_t handoff_rejects = 0;
+  int64_t rounds_to_idle = 0;  // From the add to cluster-wide idleness.
+  int64_t startup_p50 = 0;
+  int64_t startup_p99 = 0;
+  int64_t startup_p999 = 0;
+
+  double HiccupRate() const {
+    return requests > 0
+               ? static_cast<double>(hiccups) / static_cast<double>(requests)
+               : 0;
+  }
+};
+
+FireResult RunScaleOutUnderFire(const Sizes& sizes) {
+  ClusterConfig config = BaseConfig();
+  config.initial_shards = 2;
+  config.cross_shard_budget = 64;  // A deliberately narrow interconnect.
+  auto cluster = ClusterServer::Create(config).value();
+  for (ObjectId id = 1; id <= sizes.fire_objects; ++id) {
+    SCADDAR_CHECK(cluster->AddObject(id, sizes.fire_blocks).ok());
+  }
+  const int64_t add_round = sizes.fire_rounds / 4;
+  TrafficConfig traffic_config;
+  traffic_config.seed = 0xc1f5ull;
+  traffic_config.arrivals_per_round = 2.0;
+  traffic_config.zipf_theta = 0.729;
+  traffic_config.seek_probability = 0.02;
+  // The premiere lands exactly when the third shard comes up: arrivals
+  // spike onto the Zipf head while its blocks may be mid-evacuation.
+  traffic_config.flash_crowds.push_back(
+      FlashCrowd{.start_round = add_round,
+                 .duration = sizes.fire_rounds / 10,
+                 .rank = 0,
+                 .boost = 6});
+  TrafficEngine traffic(traffic_config);
+  traffic.SetObjects(cluster->objects());
+
+  FireResult result;
+  bool was_idle_after_add = false;
+  for (int64_t round = 0; round < sizes.fire_rounds; ++round) {
+    if (round == add_round) {
+      SCADDAR_CHECK(cluster->AddServerShard().ok());
+    }
+    const ClusterRoundMetrics metrics = cluster->DriveRound(traffic);
+    result.requests += metrics.requests;
+    result.served += metrics.served;
+    result.hiccups += metrics.hiccups;
+    result.cross_shard_blocks += metrics.cross_shard_blocks;
+    if (round >= add_round && !was_idle_after_add) {
+      ++result.rounds_to_idle;
+      was_idle_after_add = cluster->MigrationIdle();
+    }
+  }
+  SCADDAR_CHECK(cluster->VerifyIntegrity().ok());
+  result.handoff_rejects = cluster->handoff_rejects();
+  const std::vector<int64_t> latencies = cluster->StartupLatencies();
+  result.startup_p50 = PercentileOf(latencies, 0.50);
+  result.startup_p99 = PercentileOf(latencies, 0.99);
+  result.startup_p999 = PercentileOf(latencies, 0.999);
+  return result;
+}
+
+}  // namespace
+}  // namespace scaddar
+
+int main(int argc, char** argv) {
+  using namespace scaddar;
+  bool smoke = false;
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    }
+  }
+  Sizes sizes;
+  if (smoke) {
+    sizes = Sizes{.objects_per_shard = 3,
+                  .blocks_each = 600,
+                  .streams_per_shard = 8,
+                  .rounds = 10,
+                  .warmup_rounds = 3,
+                  .repetitions = 1,
+                  .catalog_objects = 24,
+                  .catalog_blocks = 120,
+                  .fire_rounds = 60,
+                  .fire_objects = 8,
+                  .fire_blocks = 400};
+  }
+
+  if (!json_only) {
+    bench::PrintHeader("EXP-CL",
+                       "cluster serving: shards, scaling and migration cost");
+    std::printf("%-7s %-9s %-13s %-13s %-9s\n", "shards", "streams",
+                "requests", "model-req/s", "speedup");
+  }
+  bench::BenchJson json("bench_cluster");
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  const std::vector<ScalingResult> scaling =
+      MeasureScaling(shard_counts, sizes);
+  double base_rps = 0;
+  double speedup8 = 0;
+  for (const ScalingResult& result : scaling) {
+    if (result.shards == 1) {
+      base_rps = result.ModelRps();
+    }
+    const double speedup = base_rps > 0 ? result.ModelRps() / base_rps : 0;
+    if (result.shards == 8) {
+      speedup8 = speedup;
+    }
+    if (!json_only) {
+      std::printf("%-7d %-9lld %-13lld %-13.0f %-9.2f\n", result.shards,
+                  static_cast<long long>(sizes.streams_per_shard *
+                                         result.shards),
+                  static_cast<long long>(result.requests), result.ModelRps(),
+                  speedup);
+    }
+    json.BeginTier(result.shards);
+    json.TierMetric("model_speedup_vs_1", speedup);
+    json.Path("model",
+              {{"requests", static_cast<double>(result.requests), 0},
+               {"seconds", result.model_seconds, 6},
+               {"requests_per_second", result.ModelRps(), 0}});
+    json.EndTier();
+  }
+
+  const MigrationCost cost = MeasureMigrationCost(sizes);
+  if (!json_only) {
+    bench::PrintRule();
+    std::printf(
+        "AddServerShard on a 4-shard cluster (%lld objects):\n"
+        "  jump-hash delta: %lld objects moved (%.1f%%), %lld blocks,\n"
+        "  drained in %lld rounds; naive mod-N rehash would move %lld\n"
+        "  objects (%.1f%%) — %.1fx the interconnect traffic.\n",
+        static_cast<long long>(sizes.catalog_objects),
+        static_cast<long long>(cost.moved_objects),
+        100.0 * cost.moved_fraction,
+        static_cast<long long>(cost.moved_blocks),
+        static_cast<long long>(cost.rounds_to_drain),
+        static_cast<long long>(cost.naive_moved_objects),
+        100.0 * cost.naive_fraction,
+        cost.moved_objects > 0
+            ? static_cast<double>(cost.naive_moved_objects) /
+                  static_cast<double>(cost.moved_objects)
+            : 0);
+  }
+  json.BeginTier(0);
+  json.TierLabel("scenario", "migration_cost_add_shard");
+  json.TierMetric("moved_objects", static_cast<double>(cost.moved_objects),
+                  0);
+  json.TierMetric("moved_fraction", cost.moved_fraction, 4);
+  json.TierMetric("moved_blocks", static_cast<double>(cost.moved_blocks), 0);
+  json.TierMetric("naive_moved_objects",
+                  static_cast<double>(cost.naive_moved_objects), 0);
+  json.TierMetric("naive_fraction", cost.naive_fraction, 4);
+  json.TierMetric("rounds_to_drain",
+                  static_cast<double>(cost.rounds_to_drain), 0);
+  json.EndTier();
+
+  const FireResult fire = RunScaleOutUnderFire(sizes);
+  if (!json_only) {
+    bench::PrintRule();
+    std::printf(
+        "Zipf flash crowd during AddServerShard (2 -> 3 shards):\n"
+        "  requests=%lld served=%lld hiccup-rate=%.4f\n"
+        "  cross-shard-blocks=%lld handoff-rejects=%lld idle-after=%lld"
+        " rounds\n"
+        "  startup latency p50/p99/p999 = %lld/%lld/%lld rounds\n",
+        static_cast<long long>(fire.requests),
+        static_cast<long long>(fire.served), fire.HiccupRate(),
+        static_cast<long long>(fire.cross_shard_blocks),
+        static_cast<long long>(fire.handoff_rejects),
+        static_cast<long long>(fire.rounds_to_idle),
+        static_cast<long long>(fire.startup_p50),
+        static_cast<long long>(fire.startup_p99),
+        static_cast<long long>(fire.startup_p999));
+    bench::PrintRule();
+    std::printf(
+        "Expected shape: model throughput scales near-linearly with shards\n"
+        "(the serial tail is a metric merge, not work proportional to\n"
+        "catalog size); the add-shard delta stays near 1/(N+1) of objects\n"
+        "while mod-N rehash strands ~N/(N+1); the flash crowd's hiccups\n"
+        "stay bounded because the source shard keeps serving every stream\n"
+        "until its object's copy commits.\n");
+  }
+  json.BeginTier(0);
+  json.TierLabel("scenario", "zipf_flash_crowd_add_shard");
+  json.TierMetric("hiccup_rate", fire.HiccupRate(), 4);
+  json.TierMetric("requests", static_cast<double>(fire.requests), 0);
+  json.TierMetric("served", static_cast<double>(fire.served), 0);
+  json.TierMetric("cross_shard_blocks",
+                  static_cast<double>(fire.cross_shard_blocks), 0);
+  json.TierMetric("handoff_rejects",
+                  static_cast<double>(fire.handoff_rejects), 0);
+  json.TierMetric("rounds_to_idle",
+                  static_cast<double>(fire.rounds_to_idle), 0);
+  json.TierMetric("startup_p50", static_cast<double>(fire.startup_p50), 0);
+  json.TierMetric("startup_p99", static_cast<double>(fire.startup_p99), 0);
+  json.TierMetric("startup_p999", static_cast<double>(fire.startup_p999), 0);
+  json.EndTier();
+
+  if (!smoke) {
+    SCADDAR_CHECK(json.WriteFile("BENCH_cluster.json"));
+    if (!json_only) {
+      std::printf("wrote BENCH_cluster.json\n");
+    }
+  }
+  if (speedup8 < 3.0 && !smoke) {
+    std::fprintf(stderr,
+                 "WARNING: 8-shard model speedup %.2fx below the 3x target\n",
+                 speedup8);
+  }
+  return 0;
+}

@@ -30,6 +30,7 @@
 #include "server/sharded_scheduler.h"
 #include "server/workload/traffic_engine.h"
 #include "stats/load_metrics.h"
+#include "stats/percentile.h"
 #include "storage/block_store.h"
 
 namespace scaddar {
@@ -195,6 +196,11 @@ struct ScenarioResultMt {
   int64_t migrated = 0;
   int64_t streams_peak = 0;
   double served_cov = 0;  // Per-disk served-request CoV over the run.
+  // Startup latency (rounds from arrival to first delivered block) of the
+  // serving round loop, nearest-rank percentiles.
+  int64_t startup_p50 = 0;
+  int64_t startup_p99 = 0;
+  int64_t startup_p999 = 0;
 
   double HiccupRate() const {
     return requests > 0
@@ -251,6 +257,9 @@ ScenarioResultMt RunZipfScaleUpScenario(const Sizes& sizes, int shards) {
   }
   result.served_cov =
       ComputeLoadMetrics(served_per_disk).coefficient_of_variation;
+  result.startup_p50 = PercentileOf(server.startup_latencies(), 0.50);
+  result.startup_p99 = PercentileOf(server.startup_latencies(), 0.99);
+  result.startup_p999 = PercentileOf(server.startup_latencies(), 0.999);
   return result;
 }
 
@@ -329,11 +338,15 @@ int main(int argc, char** argv) {
     std::printf(
         "Zipf + flash crowd + concurrent scale-up (8 shards):\n"
         "  requests=%lld served=%lld hiccup-rate=%.4f migrated=%lld\n"
-        "  peak-streams=%lld per-disk served CoV=%.4f\n",
+        "  peak-streams=%lld per-disk served CoV=%.4f\n"
+        "  startup latency p50/p99/p999 = %lld/%lld/%lld rounds\n",
         static_cast<long long>(scenario.requests),
         static_cast<long long>(scenario.served), scenario.HiccupRate(),
         static_cast<long long>(scenario.migrated),
-        static_cast<long long>(scenario.streams_peak), scenario.served_cov);
+        static_cast<long long>(scenario.streams_peak), scenario.served_cov,
+        static_cast<long long>(scenario.startup_p50),
+        static_cast<long long>(scenario.startup_p99),
+        static_cast<long long>(scenario.startup_p999));
     bench::PrintRule();
     std::printf(
         "Expected shape: model throughput scales with shards until the\n"
@@ -354,6 +367,12 @@ int main(int argc, char** argv) {
   json.TierMetric("migrated", static_cast<double>(scenario.migrated), 0);
   json.TierMetric("peak_streams",
                   static_cast<double>(scenario.streams_peak), 0);
+  json.TierMetric("startup_p50", static_cast<double>(scenario.startup_p50),
+                  0);
+  json.TierMetric("startup_p99", static_cast<double>(scenario.startup_p99),
+                  0);
+  json.TierMetric("startup_p999",
+                  static_cast<double>(scenario.startup_p999), 0);
   json.EndTier();
   if (!smoke) {
     SCADDAR_CHECK(json.WriteFile("BENCH_serving_mt.json"));

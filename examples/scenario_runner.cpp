@@ -10,6 +10,12 @@
 // summary number must come out identical either way — the sharded round
 // is byte-identical to the serial one by contract.
 //
+// `--cluster[=N]` runs the script against an N-server-shard ClusterServer
+// (default 2) through the cluster interpreter, which adds the `addshard`,
+// `removeshard` and `scaledisks` commands (see src/cluster/
+// cluster_scenario.h). With N=1 the summary is identical to the bare run
+// for any shared-command script — the cluster equivalence contract.
+//
 // See src/server/scenario.h for the command reference.
 
 #include <cstdio>
@@ -18,6 +24,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "cluster/cluster_scenario.h"
 #include "server/scenario.h"
 
 namespace {
@@ -38,10 +45,35 @@ drain
 verify
 )";
 
+void PrintSummary(const scaddar::ScenarioResult& result) {
+  std::printf("\nscenario complete:\n");
+  std::printf("  commands executed : %lld\n",
+              static_cast<long long>(result.lines_executed));
+  std::printf("  rounds simulated  : %lld\n",
+              static_cast<long long>(result.rounds));
+  std::printf("  streams started   : %lld (rejected %lld)\n",
+              static_cast<long long>(result.streams_started),
+              static_cast<long long>(result.streams_rejected));
+  std::printf("  blocks served     : %lld (hiccups %lld)\n",
+              static_cast<long long>(result.served),
+              static_cast<long long>(result.hiccups));
+  std::printf("  blocks migrated   : %lld\n",
+              static_cast<long long>(result.migrated));
+  std::printf("  startup p50/p99/p999 : %lld/%lld/%lld rounds\n",
+              static_cast<long long>(result.startup_p50),
+              static_cast<long long>(result.startup_p99),
+              static_cast<long long>(result.startup_p999));
+  if (result.crashes > 0) {
+    std::printf("  crashes survived  : %lld\n",
+                static_cast<long long>(result.crashes));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int sharded = 0;
+  int cluster_shards = 0;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sharded") == 0) {
@@ -50,6 +82,14 @@ int main(int argc, char** argv) {
       sharded = std::atoi(argv[i] + 10);
       if (sharded < 1) {
         std::fprintf(stderr, "bad shard count in %s\n", argv[i]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--cluster") == 0) {
+      cluster_shards = 2;
+    } else if (std::strncmp(argv[i], "--cluster=", 10) == 0) {
+      cluster_shards = std::atoi(argv[i] + 10);
+      if (cluster_shards < 1) {
+        std::fprintf(stderr, "bad cluster shard count in %s\n", argv[i]);
         return 1;
       }
     } else {
@@ -82,6 +122,35 @@ int main(int argc, char** argv) {
     config.serving_shards = sharded;
     std::printf("serving path: sharded cursor, %d shards\n", sharded);
   }
+
+  if (cluster_shards > 0) {
+    scaddar::ClusterConfig cluster_config;
+    cluster_config.shard = config;
+    cluster_config.shard.journal_migration = false;  // No `crash` command.
+    cluster_config.initial_shards = cluster_shards;
+    std::printf("cluster mode: %d server shards\n", cluster_shards);
+    auto cluster =
+        std::move(scaddar::ClusterServer::Create(cluster_config)).value();
+    const scaddar::StatusOr<scaddar::ScenarioResult> result =
+        scaddar::RunClusterScenario(*cluster, script);
+    if (!result.ok()) {
+      std::fprintf(stderr, "scenario failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PrintSummary(result.value());
+    std::printf("  final shards      : %d (", cluster->num_shards());
+    bool first = true;
+    for (const int member : cluster->members()) {
+      std::printf("%s%d:%lld disks", first ? "" : ", ", member,
+                  static_cast<long long>(
+                      cluster->shard(member)->disks().num_live()));
+      first = false;
+    }
+    std::printf(")\n");
+    return 0;
+  }
+
   auto server = std::move(scaddar::CmServer::Create(config)).value();
   const scaddar::StatusOr<scaddar::ScenarioResult> result =
       scaddar::RunScenario(*server, script);
@@ -90,23 +159,7 @@ int main(int argc, char** argv) {
                  result.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nscenario complete:\n");
-  std::printf("  commands executed : %lld\n",
-              static_cast<long long>(result->lines_executed));
-  std::printf("  rounds simulated  : %lld\n",
-              static_cast<long long>(result->rounds));
-  std::printf("  streams started   : %lld (rejected %lld)\n",
-              static_cast<long long>(result->streams_started),
-              static_cast<long long>(result->streams_rejected));
-  std::printf("  blocks served     : %lld (hiccups %lld)\n",
-              static_cast<long long>(result->served),
-              static_cast<long long>(result->hiccups));
-  std::printf("  blocks migrated   : %lld\n",
-              static_cast<long long>(result->migrated));
-  if (result->crashes > 0) {
-    std::printf("  crashes survived  : %lld\n",
-                static_cast<long long>(result->crashes));
-  }
+  PrintSummary(result.value());
   std::printf("  final disks       : %lld, op log \"%s\"\n",
               static_cast<long long>(server->policy().current_disks()),
               server->policy().log().Serialize().c_str());

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Diff two BENCH_*.json files and fail on throughput regressions.
 
-The bench binaries (bench_serving, bench_serving_mt, bench_remap_throughput,
-bench_lookup, bench_movement, ...) all emit the standardized `BenchJson`
-schema:
+The bench binaries (bench_serving, bench_serving_mt, bench_cluster,
+bench_remap_throughput, bench_lookup, bench_movement, ...) all emit the
+standardized `BenchJson` schema:
 
     {"experiment": "...",
      "tiers": [{"ops": N, ..., "paths": {"<path>": {"<metric>": v, ...}}}]}
@@ -19,9 +19,12 @@ Usage:
                      [--verbose]
 
 Tiers are matched by their position-independent identity: the `ops` value
-plus every string-valued label in the tier (e.g. `scenario`). Tiers or
-paths present on only one side are reported but don't fail the diff (a new
-PR may add paths; the driver compares like against like).
+plus every string-valued label in the tier (e.g. `scenario`). Tiers, paths
+or metric keys present on only one side are warned about but never fail
+the diff — a new PR may add paths or whole documents (BENCH_cluster.json's
+migration tiers, for instance, carry no throughput metrics at all), and
+the driver compares like against like. Having *zero* throughput metrics
+in common is likewise a warning, not an error.
 """
 
 import argparse
@@ -89,6 +92,9 @@ def main():
         for path, metric, base_value in iter_metrics(base_tier):
             cand_value = cand_metrics.get((path, metric))
             if cand_value is None:
+                if is_throughput_metric(metric):
+                    print(f"warning: [{tier_name}] {path}.{metric} present "
+                          f"only in the baseline", file=sys.stderr)
                 continue
             throughput = is_throughput_metric(metric)
             if throughput and base_value > 0:
@@ -108,11 +114,27 @@ def main():
                 print(f"[{tier_name}] {path}.{metric}: "
                       f"{base_value:g} -> {cand_value:g} ({delta:+g}) "
                       f"(informational)")
+        base_keys = {(p, m) for p, m, _ in iter_metrics(base_tier)}
+        for path, metric in cand_metrics:
+            if (path, metric) not in base_keys and \
+                    is_throughput_metric(metric):
+                print(f"warning: [{tier_name}] {path}.{metric} present "
+                      f"only in the candidate", file=sys.stderr)
+    for key in cand_tiers:
+        if key not in base_tiers:
+            tier_name = f"ops={key[0]}" + "".join(
+                f" {k}={v}" for k, v in key[1])
+            print(f"note: tier [{tier_name}] missing from baseline",
+                  file=sys.stderr)
 
     if compared == 0:
-        print("error: no throughput metrics (*_per_second, *rps) in common "
-              "between the two documents", file=sys.stderr)
-        return 2
+        # Not a failure: some documents (e.g. BENCH_cluster.json's
+        # migration-cost tiers) track movement or latency figures with no
+        # throughput key, and a brand-new bench has no overlap yet.
+        print("warning: no throughput metrics (*_per_second, *rps) in "
+              "common between the two documents; nothing to gate on",
+              file=sys.stderr)
+        return 0
     if regressions:
         print(f"\nFAIL: {len(regressions)} throughput metric(s) regressed "
               f"more than {args.threshold:.0%}:", file=sys.stderr)

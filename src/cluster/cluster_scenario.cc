@@ -1,4 +1,4 @@
-#include "server/scenario.h"
+#include "cluster/cluster_scenario.h"
 
 #include <memory>
 #include <vector>
@@ -15,13 +15,10 @@ using scenario::ParseInt;
 using scenario::ParseSlotList;
 using scenario::Tokenize;
 
-StatusOr<ScenarioResult> RunScenario(CmServer& server,
-                                     std::string_view script) {
+StatusOr<ScenarioResult> RunClusterScenario(ClusterServer& cluster,
+                                            std::string_view script) {
   ScenarioResult result;
   int64_t line_number = 0;
-  // Traffic-engine state: settings accumulate into `traffic_config`; the
-  // engine itself is (re)built lazily by `ticktraffic`, over the catalog's
-  // objects in registration order.
   TrafficConfig traffic_config;
   std::unique_ptr<TrafficEngine> traffic;
   std::string_view rest = script;
@@ -43,11 +40,11 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
     const std::string_view command = tokens[0];
 
     const auto tick_once = [&] {
-      const RoundMetrics metrics = server.Tick();
+      const ClusterRoundMetrics metrics = cluster.Tick();
       ++result.rounds;
       result.served += metrics.served;
       result.hiccups += metrics.hiccups;
-      result.migrated += metrics.migrated;
+      result.migrated += metrics.migrated + metrics.cross_shard_blocks;
     };
 
     if (command == "addobject" && (tokens.size() == 3 || tokens.size() == 4)) {
@@ -57,19 +54,19 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
       if (tokens.size() == 4) {
         SCADDAR_ASSIGN_OR_RETURN(weight, ParseInt(tokens[3]));
       }
-      const Status status = server.AddObject(id, blocks, weight);
+      const Status status = cluster.AddObject(id, blocks, weight);
       if (!status.ok()) {
         return LineError(line_number, status.message());
       }
     } else if (command == "removeobject" && tokens.size() == 2) {
       SCADDAR_ASSIGN_OR_RETURN(const int64_t id, ParseInt(tokens[1]));
-      const Status status = server.RemoveObject(id);
+      const Status status = cluster.RemoveObject(id);
       if (!status.ok()) {
         return LineError(line_number, status.message());
       }
     } else if (command == "stream" && tokens.size() == 2) {
       SCADDAR_ASSIGN_OR_RETURN(const int64_t object, ParseInt(tokens[1]));
-      const StatusOr<int64_t> id = server.StartStream(object);
+      const StatusOr<int64_t> id = cluster.StartStream(object);
       if (id.ok()) {
         ++result.streams_started;
       } else if (id.status().code() == StatusCode::kResourceExhausted) {
@@ -79,40 +76,50 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
       }
     } else if (command == "pause" && tokens.size() == 2) {
       SCADDAR_ASSIGN_OR_RETURN(const int64_t id, ParseInt(tokens[1]));
-      const Status status = server.PauseStream(id);
+      const Status status = cluster.PauseStream(id);
       if (!status.ok()) {
         return LineError(line_number, status.message());
       }
     } else if (command == "resume" && tokens.size() == 2) {
       SCADDAR_ASSIGN_OR_RETURN(const int64_t id, ParseInt(tokens[1]));
-      const Status status = server.ResumeStream(id);
+      const Status status = cluster.ResumeStream(id);
       if (!status.ok()) {
         return LineError(line_number, status.message());
       }
     } else if (command == "seek" && tokens.size() == 3) {
       SCADDAR_ASSIGN_OR_RETURN(const int64_t id, ParseInt(tokens[1]));
       SCADDAR_ASSIGN_OR_RETURN(const int64_t block, ParseInt(tokens[2]));
-      const Status status = server.SeekStream(id, block);
+      const Status status = cluster.SeekStream(id, block);
       if (!status.ok()) {
         return LineError(line_number, status.message());
       }
-    } else if (command == "scale" && tokens.size() == 3 &&
-               tokens[1] == "add") {
-      SCADDAR_ASSIGN_OR_RETURN(const int64_t count, ParseInt(tokens[2]));
-      const Status status = server.ScaleAdd(count);
+    } else if (command == "addshard" && tokens.size() == 1) {
+      const StatusOr<int> member = cluster.AddServerShard();
+      if (!member.ok()) {
+        return LineError(line_number, member.status().message());
+      }
+    } else if (command == "removeshard" && tokens.size() == 2) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t member, ParseInt(tokens[1]));
+      const Status status = cluster.RemoveServerShard(static_cast<int>(member));
       if (!status.ok()) {
         return LineError(line_number, status.message());
       }
-    } else if (command == "scale" && tokens.size() == 3 &&
-               tokens[1] == "remove") {
+    } else if (command == "scaledisks" && tokens.size() == 4 &&
+               tokens[2] == "add") {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t member, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t count, ParseInt(tokens[3]));
+      const Status status =
+          cluster.ScaleAddDisks(static_cast<int>(member), count);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "scaledisks" && tokens.size() == 4 &&
+               tokens[2] == "remove") {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t member, ParseInt(tokens[1]));
       SCADDAR_ASSIGN_OR_RETURN(const std::vector<DiskSlot> slots,
-                               ParseSlotList(tokens[2]));
-      const Status status = server.ScaleRemove(slots);
-      if (!status.ok()) {
-        return LineError(line_number, status.message());
-      }
-    } else if (command == "rebase" && tokens.size() == 1) {
-      const Status status = server.FullRedistribution();
+                               ParseSlotList(tokens[3]));
+      const Status status =
+          cluster.ScaleRemoveDisks(static_cast<int>(member), slots);
       if (!status.ok()) {
         return LineError(line_number, status.message());
       }
@@ -126,7 +133,7 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
       }
     } else if (command == "drain" && tokens.size() == 1) {
       int64_t guard = 0;
-      while (!server.migration().idle()) {
+      while (!cluster.MigrationIdle()) {
         tick_once();
         if (++guard > 1'000'000) {
           return LineError(line_number, "drain did not converge");
@@ -134,8 +141,6 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
       }
     } else if (command == "traffic" && tokens.size() >= 3) {
       const std::string_view key = tokens[1];
-      // Any settings change invalidates the running engine; the next
-      // `ticktraffic` rebuilds it (a fresh deterministic trace).
       traffic.reset();
       if (key == "seed" && tokens.size() == 3) {
         SCADDAR_ASSIGN_OR_RETURN(const int64_t seed, ParseInt(tokens[2]));
@@ -174,58 +179,62 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
         return LineError(line_number, "ticktraffic count must be >= 0");
       }
       if (traffic == nullptr) {
-        std::vector<ObjectId> objects = server.catalog().object_ids();
-        if (objects.empty()) {
+        if (cluster.objects().empty()) {
           return LineError(line_number,
                            "ticktraffic needs at least one object");
         }
         traffic = std::make_unique<TrafficEngine>(traffic_config);
-        traffic->SetObjects(std::move(objects));
+        traffic->SetObjects(cluster.objects());
       }
       for (int64_t i = 0; i < rounds; ++i) {
+        // Mirrors the bare interpreter's loop (and `ClusterServer::
+        // DriveRound`), with the started/rejected accounting the DSL
+        // reports: cluster-wide stream view in shard creation order, then
+        // arrivals through routed admission, then VCR events, then Tick.
+        std::vector<const Stream*> view;
+        for (const int member : cluster.members()) {
+          for (const Stream& stream : cluster.shard(member)->streams()) {
+            view.push_back(&stream);
+          }
+        }
         const RoundTraffic round_traffic =
-            traffic->NextRound(server.round(), server.streams());
+            traffic->NextRound(cluster.round(), view);
         for (const ObjectId object : round_traffic.arrivals) {
-          const StatusOr<int64_t> id = server.StartStream(object);
+          const StatusOr<int64_t> id = cluster.StartStream(object);
           if (id.ok()) {
             ++result.streams_started;
-          } else if (id.status().code() ==
-                     StatusCode::kResourceExhausted) {
+          } else if (id.status().code() == StatusCode::kResourceExhausted) {
             ++result.streams_rejected;
           } else {
             return LineError(line_number, id.status().message());
           }
         }
         for (const int64_t id : round_traffic.pauses) {
-          SCADDAR_CHECK(server.PauseStream(id).ok());
+          SCADDAR_CHECK(cluster.PauseStream(id).ok());
         }
         for (const int64_t id : round_traffic.resumes) {
-          SCADDAR_CHECK(server.ResumeStream(id).ok());
+          SCADDAR_CHECK(cluster.ResumeStream(id).ok());
         }
         for (const SeekEvent& seek : round_traffic.seeks) {
-          SCADDAR_CHECK(server.SeekStream(seek.stream_id, seek.block).ok());
+          SCADDAR_CHECK(cluster.SeekStream(seek.stream_id, seek.block).ok());
         }
         tick_once();
       }
-    } else if (command == "crash" && tokens.size() == 1) {
-      const StatusOr<JournalRecoveryStats> stats =
-          server.SimulateCrashRestart();
-      if (!stats.ok()) {
-        return LineError(line_number, stats.status().message());
-      }
-      ++result.crashes;
     } else if (command == "verify" && tokens.size() == 1) {
-      const Status status = server.VerifyIntegrity();
+      const Status status = cluster.VerifyIntegrity();
       if (!status.ok()) {
         return LineError(line_number, status.message());
       }
+    } else if (command == "rebase" || command == "crash") {
+      return LineError(line_number,
+                       "command is single-server-only (no cluster form)");
     } else {
       return LineError(line_number, "unrecognized command");
     }
   }
-  result.startup_p50 = PercentileOf(server.startup_latencies(), 0.50);
-  result.startup_p99 = PercentileOf(server.startup_latencies(), 0.99);
-  result.startup_p999 = PercentileOf(server.startup_latencies(), 0.999);
+  result.startup_p50 = PercentileOf(cluster.StartupLatencies(), 0.50);
+  result.startup_p99 = PercentileOf(cluster.StartupLatencies(), 0.99);
+  result.startup_p999 = PercentileOf(cluster.StartupLatencies(), 0.999);
   return result;
 }
 

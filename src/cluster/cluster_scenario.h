@@ -1,0 +1,37 @@
+#ifndef SCADDAR_CLUSTER_CLUSTER_SCENARIO_H_
+#define SCADDAR_CLUSTER_CLUSTER_SCENARIO_H_
+
+#include <string_view>
+
+#include "cluster/cluster_server.h"
+#include "server/scenario.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// Drives a `ClusterServer` from the same line-oriented script language as
+/// `RunScenario`, with object/stream commands routed through the cluster
+/// façade and three cluster-only commands layered on:
+///
+///   addshard                             add a server shard (jump-hash
+///                                        delta objects start migrating)
+///   removeshard <member>                 evacuate and retire a shard
+///   scaledisks <member> add <count>      disk scaling inside one shard
+///   scaledisks <member> remove <slot>[,<slot>...]
+///
+/// Shared commands (`addobject`, `removeobject`, `stream`, `pause`,
+/// `resume`, `seek`, `tick`, `drain`, `verify`, the `traffic *` settings
+/// and `ticktraffic`) behave exactly as documented in `server/scenario.h`;
+/// `drain` waits for cluster-wide idleness (cross-shard queue plus every
+/// shard's disk migration). `rebase` and `crash` are single-server-only and
+/// report an error here.
+///
+/// A 1-shard cluster runs any shared-command script to the same
+/// `ScenarioResult` as `RunScenario` on a bare server with the shard's
+/// config — the DSL-level face of the cluster equivalence contract.
+StatusOr<ScenarioResult> RunClusterScenario(ClusterServer& cluster,
+                                            std::string_view script);
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CLUSTER_CLUSTER_SCENARIO_H_

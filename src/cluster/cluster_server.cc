@@ -1,0 +1,471 @@
+#include "cluster/cluster_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/status.h"
+
+namespace scaddar {
+namespace {
+
+/// Stream ids carry their shard's member id above this bit. Member 0 keeps
+/// the range [0, 2^40), so a 1-shard cluster hands out exactly the ids a
+/// bare server would — part of the byte-identity contract.
+constexpr int kMemberShift = 40;
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ClusterServer>> ClusterServer::Create(
+    const ClusterConfig& config) {
+  if (config.initial_shards < 1) {
+    return InvalidArgumentError("cluster needs at least one shard");
+  }
+  if (config.cross_shard_budget < 0) {
+    return InvalidArgumentError("cross_shard_budget must be >= 0");
+  }
+  std::unique_ptr<ClusterServer> cluster(new ClusterServer(config));
+  for (int member = 0; member < config.initial_shards; ++member) {
+    auto shard = cluster->BuildShard(member);
+    if (!shard.ok()) {
+      return shard.status();
+    }
+    cluster->shards_.push_back(
+        Shard{member, std::move(shard).value(), /*retiring=*/false});
+  }
+  return cluster;
+}
+
+ClusterServer::ClusterServer(const ClusterConfig& config)
+    : config_(config), map_(config.initial_shards) {}
+
+StatusOr<std::unique_ptr<CmServer>> ClusterServer::BuildShard(
+    int member) const {
+  ServerConfig shard_config = config_.shard;
+  shard_config.first_stream_id = static_cast<int64_t>(member) << kMemberShift;
+  return CmServer::Create(shard_config);
+}
+
+int ClusterServer::ShardIndexOf(int member) const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].member == member) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ClusterServer::MemberOfStreamId(int64_t stream_id) {
+  return static_cast<int>(stream_id >> kMemberShift);
+}
+
+std::vector<int> ClusterServer::members() const {
+  std::vector<int> ids;
+  ids.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    ids.push_back(shard.member);
+  }
+  return ids;
+}
+
+const CmServer* ClusterServer::shard(int id) const {
+  const int index = ShardIndexOf(id);
+  return index < 0 ? nullptr : shards_[static_cast<size_t>(index)].server.get();
+}
+
+CmServer* ClusterServer::shard(int id) {
+  const int index = ShardIndexOf(id);
+  return index < 0 ? nullptr : shards_[static_cast<size_t>(index)].server.get();
+}
+
+int ClusterServer::OwnerOf(ObjectId object) const {
+  const auto it = owner_.find(object);
+  return it == owner_.end() ? -1 : it->second;
+}
+
+Status ClusterServer::AddObject(ObjectId id, int64_t num_blocks,
+                                int64_t bitrate_weight) {
+  if (owner_.contains(id)) {
+    return AlreadyExistsError("object already in the cluster");
+  }
+  const int target = map_.MemberOf(static_cast<uint64_t>(id));
+  CmServer* server = shard(target);
+  SCADDAR_CHECK(server != nullptr);
+  SCADDAR_RETURN_IF_ERROR(server->AddObject(id, num_blocks, bitrate_weight));
+  owner_[id] = target;
+  objects_.push_back(id);
+  return OkStatus();
+}
+
+Status ClusterServer::RemoveObject(ObjectId id) {
+  const auto it = owner_.find(id);
+  if (it == owner_.end()) {
+    return NotFoundError("object not in the cluster");
+  }
+  CmServer* server = shard(it->second);
+  SCADDAR_CHECK(server != nullptr);
+  SCADDAR_RETURN_IF_ERROR(server->RemoveObject(id));
+  migrator_.Cancel(id);
+  owner_.erase(it);
+  objects_.erase(std::find(objects_.begin(), objects_.end(), id));
+  return OkStatus();
+}
+
+StatusOr<int64_t> ClusterServer::StartStream(ObjectId object) {
+  const auto it = owner_.find(object);
+  if (it == owner_.end()) {
+    return NotFoundError("object not in the cluster");
+  }
+  CmServer* server = shard(it->second);
+  SCADDAR_CHECK(server != nullptr);
+  return server->StartStream(object);
+}
+
+Status ClusterServer::PauseStream(int64_t stream_id) {
+  CmServer* server = shard(MemberOfStreamId(stream_id));
+  if (server == nullptr) {
+    return NotFoundError("stream's shard is gone");
+  }
+  return server->PauseStream(stream_id);
+}
+
+Status ClusterServer::ResumeStream(int64_t stream_id) {
+  CmServer* server = shard(MemberOfStreamId(stream_id));
+  if (server == nullptr) {
+    return NotFoundError("stream's shard is gone");
+  }
+  return server->ResumeStream(stream_id);
+}
+
+Status ClusterServer::SeekStream(int64_t stream_id, BlockIndex block) {
+  CmServer* server = shard(MemberOfStreamId(stream_id));
+  if (server == nullptr) {
+    return NotFoundError("stream's shard is gone");
+  }
+  return server->SeekStream(stream_id, block);
+}
+
+ClusterRoundMetrics ClusterServer::Tick() {
+  return RunRound(/*serialize=*/false, nullptr);
+}
+
+ClusterRoundMetrics ClusterServer::TickSerialized(ClusterTickTiming* timing) {
+  return RunRound(/*serialize=*/true, timing);
+}
+
+ClusterRoundMetrics ClusterServer::RunRound(bool serialize,
+                                            ClusterTickTiming* timing) {
+  const int64_t n = static_cast<int64_t>(shards_.size());
+  published_.Publish(ClusterEpoch{round_, map_.epoch(),
+                                  static_cast<int32_t>(n), 0});
+  std::vector<RoundMetrics> per_shard(static_cast<size_t>(n));
+
+  if (serialize || n == 1) {
+    if (timing != nullptr) {
+      timing->shard_ns.assign(static_cast<size_t>(n), 0);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      per_shard[static_cast<size_t>(i)] =
+          shards_[static_cast<size_t>(i)].server->Tick();
+      if (timing != nullptr) {
+        timing->shard_ns[static_cast<size_t>(i)] = ElapsedNs(start);
+      }
+    }
+  } else {
+    if (pool_ == nullptr) {
+      const int hw = std::max(1u, std::thread::hardware_concurrency());
+      pool_ = std::make_unique<ThreadPool>(
+          std::min(static_cast<int>(n), hw));
+    }
+    const uint64_t pinned = published_.sequence();
+    pool_->ParallelFor(0, n, [this, pinned, &per_shard](int64_t begin,
+                                                        int64_t end) {
+      const ClusterEpoch epoch = published_.Read();
+      SCADDAR_CHECK(epoch.round == round_);
+      SCADDAR_CHECK(epoch.map_epoch == map_.epoch());
+      SCADDAR_CHECK(published_.sequence() == pinned);
+      for (int64_t i = begin; i < end; ++i) {
+        per_shard[static_cast<size_t>(i)] =
+            shards_[static_cast<size_t>(i)].server->Tick();
+      }
+    });
+    SCADDAR_CHECK(published_.sequence() == pinned);
+  }
+
+  // Serial tail, shard creation order throughout: merge, cross-shard pump,
+  // commits, retirement. This is the only section where shards interact, so
+  // the pooled and serialized paths cannot diverge.
+  const auto serial_start = std::chrono::steady_clock::now();
+  ClusterRoundMetrics metrics;
+  metrics.round = round_;
+  for (const RoundMetrics& m : per_shard) {
+    metrics.active_streams += m.active_streams;
+    metrics.requests += m.requests;
+    metrics.served += m.served;
+    metrics.hiccups += m.hiccups;
+    metrics.migrated += m.migrated;
+    metrics.pending_migration += m.pending_migration;
+    metrics.retiring_disks += m.retiring_disks;
+  }
+  const CrossShardRound pump = migrator_.AdvanceRound(config_.cross_shard_budget);
+  for (const ObjectTransfer& transfer : pump.ready_to_commit) {
+    CommitTransfer(transfer);
+  }
+  metrics.cross_shard_blocks = pump.blocks_copied;
+  metrics.cross_shard_commits =
+      static_cast<int64_t>(pump.ready_to_commit.size());
+  RetireDrainedShards();
+  metrics.pending_transfers = migrator_.pending_transfers();
+  if (timing != nullptr) {
+    timing->serial_ns = ElapsedNs(serial_start);
+  }
+  ++round_;
+  return metrics;
+}
+
+void ClusterServer::CommitTransfer(const ObjectTransfer& transfer) {
+  CmServer* source = shard(transfer.from);
+  CmServer* dest = shard(transfer.to);
+  SCADDAR_CHECK(source != nullptr && dest != nullptr);
+  const auto object = source->catalog().GetObject(transfer.object);
+  SCADDAR_CHECK(object.ok());
+
+  // The atomic flip: detach the sessions, materialize the replica, move
+  // ownership, resume the sessions, drop the source replica. All serial,
+  // all this round — no observer ever sees two owners or none.
+  const std::vector<StreamHandoff> handoffs =
+      source->DetachStreamsFor(transfer.object);
+  SCADDAR_CHECK(dest->AddObject(transfer.object, object.value().num_blocks,
+                                object.value().bitrate_weight)
+                    .ok());
+  owner_[transfer.object] = transfer.to;
+  for (const StreamHandoff& handoff : handoffs) {
+    const auto id = dest->StartStream(transfer.object);
+    if (!id.ok()) {
+      ++handoff_rejects_;  // Destination admission is full: session drops.
+      continue;
+    }
+    SCADDAR_CHECK(dest->SeekStream(id.value(), handoff.next_block).ok());
+    if (handoff.paused) {
+      SCADDAR_CHECK(dest->PauseStream(id.value()).ok());
+    }
+  }
+  SCADDAR_CHECK(source->RemoveObject(transfer.object).ok());
+}
+
+void ClusterServer::RetireDrainedShards() {
+  bool any_retiring = false;
+  for (const Shard& shard : shards_) {
+    any_retiring = any_retiring || shard.retiring;
+  }
+  if (!any_retiring) {
+    return;
+  }
+  std::unordered_map<int, int64_t> owned;
+  for (const auto& [object, member] : owner_) {
+    ++owned[member];
+  }
+  std::vector<Shard> keep;
+  keep.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    const bool drained = shard.retiring && owned[shard.member] == 0 &&
+                         shard.server->active_streams() == 0 &&
+                         shard.server->migration().idle();
+    if (!drained) {
+      keep.push_back(std::move(shard));
+    }
+  }
+  shards_.swap(keep);
+}
+
+StatusOr<int> ClusterServer::AddServerShard() {
+  const int member = map_.AddMember();
+  auto server = BuildShard(member);
+  if (!server.ok()) {
+    SCADDAR_CHECK(map_.RemoveMember(member).ok());
+    return server.status();
+  }
+  shards_.push_back(Shard{member, std::move(server).value(),
+                          /*retiring=*/false});
+  ReconcileRouting();
+  return member;
+}
+
+Status ClusterServer::RemoveServerShard(int shard_id) {
+  const int index = ShardIndexOf(shard_id);
+  if (index < 0 || !map_.HasMember(shard_id)) {
+    return NotFoundError("no such routed shard");
+  }
+  if (map_.num_seats() < 2) {
+    return FailedPreconditionError("cannot remove the last shard");
+  }
+  SCADDAR_RETURN_IF_ERROR(map_.RemoveMember(shard_id));
+  shards_[static_cast<size_t>(index)].retiring = true;
+  ReconcileRouting();
+  return OkStatus();
+}
+
+Status ClusterServer::ScaleAddDisks(int shard_id, int64_t count) {
+  CmServer* server = shard(shard_id);
+  if (server == nullptr) {
+    return NotFoundError("no such shard");
+  }
+  return server->ScaleAdd(count);
+}
+
+Status ClusterServer::ScaleRemoveDisks(int shard_id,
+                                       std::vector<DiskSlot> slots) {
+  CmServer* server = shard(shard_id);
+  if (server == nullptr) {
+    return NotFoundError("no such shard");
+  }
+  return server->ScaleRemove(std::move(slots));
+}
+
+void ClusterServer::ReconcileRouting() {
+  for (const ObjectId object : objects_) {
+    const int owner = owner_.at(object);
+    const int target = map_.MemberOf(static_cast<uint64_t>(object));
+    if (migrator_.HasTransfer(object)) {
+      // Point the queued intent at the latest target; a transfer retargeted
+      // back home cancels.
+      migrator_.Retarget(object, target);
+      continue;
+    }
+    if (target == owner) {
+      continue;
+    }
+    const CmServer* server = shard(owner);
+    SCADDAR_CHECK(server != nullptr);
+    const auto meta = server->catalog().GetObject(object);
+    SCADDAR_CHECK(meta.ok());
+    migrator_.Enqueue(ObjectTransfer{object, owner, target,
+                                     meta.value().num_blocks,
+                                     meta.value().bitrate_weight, 0});
+  }
+}
+
+Status ClusterServer::VerifyIntegrity() const {
+  for (const Shard& entry : shards_) {
+    if (map_.HasMember(entry.member) == entry.retiring) {
+      return InternalError("retiring flag disagrees with the shard map");
+    }
+  }
+  for (const ObjectId object : objects_) {
+    const int owner = owner_.at(object);
+    const CmServer* owner_server = shard(owner);
+    if (owner_server == nullptr) {
+      return InternalError("object owned by a destroyed shard");
+    }
+    if (!owner_server->catalog().Contains(object)) {
+      return InternalError("owner shard is missing the object");
+    }
+    for (const Shard& other : shards_) {
+      if (other.member != owner && other.server->catalog().Contains(object)) {
+        return InternalError("object replicated on a non-owner shard");
+      }
+    }
+    const int target = map_.MemberOf(static_cast<uint64_t>(object));
+    if (target != owner && migrator_.TargetOf(object) != target) {
+      return InternalError("route target diverges with no queued transfer");
+    }
+  }
+  for (const Shard& entry : shards_) {
+    if (entry.server->migration().idle()) {
+      SCADDAR_RETURN_IF_ERROR(entry.server->VerifyIntegrity());
+    }
+  }
+  return OkStatus();
+}
+
+bool ClusterServer::MigrationIdle() const {
+  if (!migrator_.idle()) {
+    return false;
+  }
+  for (const Shard& entry : shards_) {
+    // A retiring shard still alive means the scale-down has not finished,
+    // even with an empty transfer queue (its last round of bookkeeping —
+    // destruction — happens in a Tick's serial tail).
+    if (entry.retiring || !entry.server->migration().idle()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t ClusterServer::active_streams() const {
+  int64_t total = 0;
+  for (const Shard& entry : shards_) {
+    total += entry.server->active_streams();
+  }
+  return total;
+}
+
+int64_t ClusterServer::total_served() const {
+  int64_t total = 0;
+  for (const Shard& entry : shards_) {
+    total += entry.server->total_served();
+  }
+  return total;
+}
+
+int64_t ClusterServer::total_hiccups() const {
+  int64_t total = 0;
+  for (const Shard& entry : shards_) {
+    total += entry.server->total_hiccups();
+  }
+  return total;
+}
+
+int64_t ClusterServer::completed_streams() const {
+  int64_t total = 0;
+  for (const Shard& entry : shards_) {
+    total += entry.server->completed_streams();
+  }
+  return total;
+}
+
+std::vector<int64_t> ClusterServer::StartupLatencies() const {
+  std::vector<int64_t> all;
+  for (const Shard& entry : shards_) {
+    const std::vector<int64_t>& shard_latencies =
+        entry.server->startup_latencies();
+    all.insert(all.end(), shard_latencies.begin(), shard_latencies.end());
+  }
+  return all;
+}
+
+ClusterRoundMetrics ClusterServer::DriveRound(TrafficEngine& engine) {
+  std::vector<const Stream*> view;
+  for (const Shard& entry : shards_) {
+    for (const Stream& stream : entry.server->streams()) {
+      view.push_back(&stream);
+    }
+  }
+  const RoundTraffic traffic = engine.NextRound(round_, view);
+  for (const ObjectId object : traffic.arrivals) {
+    if (!StartStream(object).ok()) {
+      engine.RecordRejectedArrival();
+    }
+  }
+  for (const int64_t id : traffic.pauses) {
+    SCADDAR_CHECK(PauseStream(id).ok());
+  }
+  for (const int64_t id : traffic.resumes) {
+    SCADDAR_CHECK(ResumeStream(id).ok());
+  }
+  for (const SeekEvent& seek : traffic.seeks) {
+    SCADDAR_CHECK(SeekStream(seek.stream_id, seek.block).ok());
+  }
+  return Tick();
+}
+
+}  // namespace scaddar

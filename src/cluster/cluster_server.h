@@ -1,0 +1,255 @@
+#ifndef SCADDAR_CLUSTER_CLUSTER_SERVER_H_
+#define SCADDAR_CLUSTER_CLUSTER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cross_shard_migrator.h"
+#include "placement/shard_map.h"
+#include "server/config.h"
+#include "server/server.h"
+#include "server/workload/traffic_engine.h"
+#include "util/epoch.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+
+namespace scaddar {
+
+/// Configuration of the scale-out cluster: every server shard is built from
+/// the same `ServerConfig` template (same policy, same master seed — an
+/// object's X0 sequence is shard-independent, so a migrated object's
+/// placement is recomputed fresh on its destination, never shipped).
+struct ClusterConfig {
+  /// Per-shard server template. `first_stream_id` is overwritten per shard
+  /// (each shard hands out ids tagged with its member id in the high bits).
+  ServerConfig shard;
+
+  /// Server shards at creation (>= 1).
+  int initial_shards = 1;
+
+  /// Cross-shard interconnect budget: blocks any one shard may send — and,
+  /// independently, receive — per round while objects migrate between
+  /// shards. 0 freezes cross-shard copies (transfers queue but never
+  /// advance).
+  int64_t cross_shard_budget = 64;
+};
+
+/// Cluster-wide per-round metrics: the field-for-field sum of the member
+/// shards' `RoundMetrics` (merged serially in shard creation order) plus the
+/// cross-shard reorganization counters. For a 1-shard cluster the common
+/// fields are byte-identical to the bare server's metrics.
+struct ClusterRoundMetrics {
+  int64_t round = 0;
+  int64_t active_streams = 0;
+  int64_t requests = 0;
+  int64_t served = 0;
+  int64_t hiccups = 0;
+  int64_t migrated = 0;            // Disk-level moves inside shards.
+  int64_t pending_migration = 0;   // Disk-level, summed over shards.
+  int64_t retiring_disks = 0;
+  int64_t cross_shard_blocks = 0;  // Copied between shards this round.
+  int64_t cross_shard_commits = 0; // Objects that changed shards this round.
+  int64_t pending_transfers = 0;   // Cross-shard queue depth after the round.
+};
+
+/// Per-shard wall timings of one serialized round — the bench's model-time
+/// input on hosts with fewer cores than shards: shards are independent, so
+/// the modeled parallel round costs `max(shard_ns) + serial_ns`.
+struct ClusterTickTiming {
+  std::vector<int64_t> shard_ns;  // Tick cost per shard, creation order.
+  int64_t serial_ns = 0;          // Merge + cross-shard pump + retirement.
+};
+
+/// The epoch descriptor the coordinator publishes before fanning a round out
+/// to the pool; workers re-read and validate it, proving membership cannot
+/// change mid-round (same seqlock idiom as the sharded scheduler's
+/// `RoundEpoch`).
+struct ClusterEpoch {
+  int64_t round = 0;
+  int64_t map_epoch = 0;
+  int32_t num_shards = 0;
+  int32_t padding = 0;
+};
+
+/// A cluster of independent `CmServer` shards behind one façade — the
+/// scale-*out* axis to the shards' internal scale-*up* (disk scaling).
+///
+/// Layering mirrors a single server's placement/store split, one level up:
+///  - the `ShardMap` (jump hash over stable member ids) is where objects
+///    *should* live — the cluster's AF();
+///  - the owner directory is where objects *are* — materialized truth;
+///  - the `CrossShardMigrator` converges the two after `AddServerShard` /
+///    `RemoveServerShard`, under per-shard interconnect budgets, while the
+///    owning shard keeps serving every affected stream.
+///
+/// Determinism contract: shards interact only through the serial sections
+/// (merge, transfer commits, retirement), which run in shard creation
+/// order. A round's outcome is therefore identical whether shards tick on
+/// the pool or one-by-one (`Tick` vs `TickSerialized`), and a 1-shard
+/// cluster is byte-identical to a bare `CmServer` fed the same calls.
+class ClusterServer {
+ public:
+  static StatusOr<std::unique_ptr<ClusterServer>> Create(
+      const ClusterConfig& config);
+
+  ClusterServer(const ClusterServer&) = delete;
+  ClusterServer& operator=(const ClusterServer&) = delete;
+
+  // --- Object catalog (routed). ----------------------------------------
+  /// Ingests an object on the shard the map routes it to.
+  Status AddObject(ObjectId id, int64_t num_blocks, int64_t bitrate_weight = 1);
+
+  /// Deletes an object from its owning shard (refused while streamed, like
+  /// the bare server); any queued cross-shard transfer is cancelled.
+  Status RemoveObject(ObjectId id);
+
+  // --- Streaming (routed). ---------------------------------------------
+  /// Starts a stream on the object's *owning* shard (during a migration the
+  /// source serves until the commit flips ownership). Returns the
+  /// cluster-unique stream id: shard member in the high bits.
+  StatusOr<int64_t> StartStream(ObjectId object);
+
+  Status PauseStream(int64_t stream_id);
+  Status ResumeStream(int64_t stream_id);
+  Status SeekStream(int64_t stream_id, BlockIndex block);
+
+  // --- Rounds. ----------------------------------------------------------
+  /// One cluster round: publish the epoch, tick every shard in parallel on
+  /// the pool, merge metrics serially in shard order, pump cross-shard
+  /// copies and commit completed transfers, retire drained shards.
+  ClusterRoundMetrics Tick();
+
+  /// Identical outcome to `Tick`, but shards run one-by-one with per-shard
+  /// wall timings captured into `timing` (may be null). This is the model
+  /// clock for throughput benches on hosts narrower than the cluster.
+  ClusterRoundMetrics TickSerialized(ClusterTickTiming* timing);
+
+  /// Generates one round of traffic from `engine` over the cluster-wide
+  /// stream view (shards concatenated in creation order), applies it through
+  /// routing/admission (rejects are recorded on the engine), then `Tick`s.
+  ClusterRoundMetrics DriveRound(TrafficEngine& engine);
+
+  // --- Cluster scaling. -------------------------------------------------
+  /// Adds an empty server shard and reroutes: every object whose jump-hash
+  /// target moved (an expected ~1/(N+1) of the catalog — nothing else)
+  /// gets a queued cross-shard transfer. Returns the new stable member id.
+  StatusOr<int> AddServerShard();
+
+  /// Removes member `shard` from routing (swap-with-last renumbering, ~2/N
+  /// of objects reroute) and queues its evacuation. The shard keeps serving
+  /// until it owns nothing and drains, then its server is destroyed.
+  Status RemoveServerShard(int shard);
+
+  // --- Per-shard disk scaling (forwarded). ------------------------------
+  Status ScaleAddDisks(int shard, int64_t count);
+  Status ScaleRemoveDisks(int shard, std::vector<DiskSlot> slots);
+
+  // --- Invariants. -------------------------------------------------------
+  /// Cross-checks the cluster: every owned object lives in exactly its
+  /// owner's catalog, route targets diverge from owners only while a
+  /// transfer is queued, and every shard's own store matches its AF()
+  /// (shards with pending disk migration are skipped, as in the bare
+  /// server).
+  Status VerifyIntegrity() const;
+
+  /// True when no cross-shard transfer is queued and no shard has pending
+  /// disk-level migration.
+  bool MigrationIdle() const;
+
+  // --- Accessors. ---------------------------------------------------------
+  int64_t round() const { return round_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardMap& map() const { return map_; }
+  const CrossShardMigrator& migrator() const { return migrator_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Member ids in shard creation order (the serial-section order).
+  std::vector<int> members() const;
+
+  /// The shard serving member `id`, or null. Retiring members are still
+  /// returned until their server drains and is destroyed.
+  const CmServer* shard(int id) const;
+  CmServer* shard(int id);
+
+  /// Owning member of `object`, or -1. Diverges from `map().MemberOf` only
+  /// while the object's transfer is in flight.
+  int OwnerOf(ObjectId object) const;
+
+  int64_t num_objects() const { return static_cast<int64_t>(objects_.size()); }
+
+  /// Cluster catalog in ingestion order (= popularity rank for the traffic
+  /// engine, matching the bare server's registration order).
+  const std::vector<ObjectId>& objects() const { return objects_; }
+
+  /// Cluster-total stream counters (sums over live shards; streams detached
+  /// for handoff count in neither completed nor hiccups).
+  int64_t active_streams() const;
+  int64_t total_served() const;
+  int64_t total_hiccups() const;
+  int64_t completed_streams() const;
+
+  /// Handed-off streams the destination's admission control turned away
+  /// (the session drops instead of resuming — the cluster-level hiccup of
+  /// last resort).
+  int64_t handoff_rejects() const { return handoff_rejects_; }
+
+  /// Cluster-wide startup latencies (rounds to first delivered block),
+  /// concatenated over live shards in creation order.
+  std::vector<int64_t> StartupLatencies() const;
+
+  /// Last published epoch (tests assert workers saw a coherent view).
+  ClusterEpoch PublishedEpoch() const { return published_.Read(); }
+
+ private:
+  struct Shard {
+    int member = 0;
+    std::unique_ptr<CmServer> server;
+    bool retiring = false;
+  };
+
+  explicit ClusterServer(const ClusterConfig& config);
+
+  /// Index into `shards_` for member `id`, or -1.
+  int ShardIndexOf(int member) const;
+
+  /// The member encoded in a cluster stream id's high bits.
+  static int MemberOfStreamId(int64_t stream_id);
+
+  /// Builds a shard server for `member` from the config template.
+  StatusOr<std::unique_ptr<CmServer>> BuildShard(int member) const;
+
+  /// Requeues/retargets/cancels transfers so every object's queued
+  /// destination equals its *latest* route target. Walks `objects_` in
+  /// insertion order — the deterministic spine of the transfer queue.
+  void ReconcileRouting();
+
+  /// Runs the ticks for shards [0, n) either on the pool or serially with
+  /// timings, then the serial tail; the single implementation behind `Tick`
+  /// and `TickSerialized`.
+  ClusterRoundMetrics RunRound(bool serialize, ClusterTickTiming* timing);
+
+  /// Serial tail of a round: merge, transfer pump, commits, retirement.
+  void CommitTransfer(const ObjectTransfer& transfer);
+
+  /// Destroys retiring shards that own nothing, serve nothing and have no
+  /// pending disk migration.
+  void RetireDrainedShards();
+
+  ClusterConfig config_;
+  ShardMap map_;
+  std::vector<Shard> shards_;               // Creation order.
+  std::unordered_map<ObjectId, int> owner_; // Materialized truth.
+  std::vector<ObjectId> objects_;           // Insertion order (determinism).
+  CrossShardMigrator migrator_;
+  Published<ClusterEpoch> published_;
+  std::unique_ptr<ThreadPool> pool_;        // Lazy; >1 live shard only.
+
+  int64_t round_ = 0;
+  int64_t handoff_rejects_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CLUSTER_CLUSTER_SERVER_H_

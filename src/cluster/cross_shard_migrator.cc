@@ -1,0 +1,110 @@
+#include "cluster/cross_shard_migrator.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace scaddar {
+
+void CrossShardMigrator::Enqueue(const ObjectTransfer& transfer) {
+  SCADDAR_CHECK(transfer.from != transfer.to);
+  SCADDAR_CHECK(transfer.num_blocks > 0);
+  SCADDAR_CHECK(!HasTransfer(transfer.object));
+  queue_.push_back(transfer);
+  queue_.back().copied = 0;
+}
+
+bool CrossShardMigrator::HasTransfer(ObjectId object) const {
+  for (const ObjectTransfer& transfer : queue_) {
+    if (transfer.object == object) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int CrossShardMigrator::TargetOf(ObjectId object) const {
+  for (const ObjectTransfer& transfer : queue_) {
+    if (transfer.object == object) {
+      return transfer.to;
+    }
+  }
+  return -1;
+}
+
+void CrossShardMigrator::Retarget(ObjectId object, int to) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->object != object) {
+      continue;
+    }
+    if (it->to == to) {
+      return;  // Already pointed at the latest target.
+    }
+    ++retargets_;
+    if (to == it->from) {
+      queue_.erase(it);  // Back home: the intent cancels to a no-op.
+    } else {
+      it->to = to;
+      it->copied = 0;
+    }
+    return;
+  }
+}
+
+void CrossShardMigrator::Cancel(ObjectId object) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->object == object) {
+      queue_.erase(it);
+      return;
+    }
+  }
+}
+
+int64_t CrossShardMigrator::pending_blocks() const {
+  int64_t remaining = 0;
+  for (const ObjectTransfer& transfer : queue_) {
+    remaining += transfer.num_blocks - transfer.copied;
+  }
+  return remaining;
+}
+
+CrossShardRound CrossShardMigrator::AdvanceRound(int64_t budget) {
+  SCADDAR_CHECK(budget >= 0);
+  CrossShardRound round;
+  if (budget == 0 || queue_.empty()) {
+    return round;
+  }
+  // Remaining per-member budgets this round, filled lazily at `budget`.
+  std::unordered_map<int, int64_t> send_left;
+  std::unordered_map<int, int64_t> recv_left;
+  auto left = [budget](std::unordered_map<int, int64_t>& map, int member) {
+    auto [it, inserted] = map.try_emplace(member, budget);
+    (void)inserted;
+    return it;
+  };
+  std::deque<ObjectTransfer> still_pending;
+  for (ObjectTransfer& transfer : queue_) {
+    auto send_it = left(send_left, transfer.from);
+    auto recv_it = left(recv_left, transfer.to);
+    const int64_t step =
+        std::min({transfer.num_blocks - transfer.copied, send_it->second,
+                  recv_it->second});
+    if (step > 0) {
+      transfer.copied += step;
+      send_it->second -= step;
+      recv_it->second -= step;
+      round.blocks_copied += step;
+      total_blocks_copied_ += step;
+    }
+    if (transfer.copied == transfer.num_blocks) {
+      round.ready_to_commit.push_back(transfer);
+      ++total_commits_;
+    } else {
+      still_pending.push_back(transfer);
+    }
+  }
+  queue_.swap(still_pending);
+  return round;
+}
+
+}  // namespace scaddar

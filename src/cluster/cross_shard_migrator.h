@@ -1,0 +1,109 @@
+#ifndef SCADDAR_CLUSTER_CROSS_SHARD_MIGRATOR_H_
+#define SCADDAR_CLUSTER_CROSS_SHARD_MIGRATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace scaddar {
+
+/// One whole-object transfer between server shards. Identified by object;
+/// `from` is the owning (serving) shard, `to` the routing target. Mirrors
+/// the PR-5 move journal's phase structure at object granularity:
+///
+///   intent  — queued; the source still owns and serves the object.
+///   copy    — `copied` advances under per-shard bandwidth budgets; still
+///             wholly served by the source (the staged copy is invisible).
+///   commit  — atomic flip once `copied == num_blocks`: the destination
+///             materializes the object, streams hand off, the source drops
+///             its replica. Never partial — a crash mid-copy loses only
+///             staged bytes, never ownership.
+struct ObjectTransfer {
+  ObjectId object = 0;
+  int from = 0;  // Member id of the source shard.
+  int to = 0;    // Member id of the destination shard.
+  int64_t num_blocks = 0;
+  int64_t weight = 1;
+  int64_t copied = 0;
+};
+
+/// What one pump round decided: transfers whose copy completed (ready for
+/// the caller to commit, in queue order) and the blocks copied.
+struct CrossShardRound {
+  std::vector<ObjectTransfer> ready_to_commit;
+  int64_t blocks_copied = 0;
+};
+
+/// The cluster's cross-shard reorganization queue: a deterministic,
+/// bandwidth-budgeted planner over whole-object transfers. Pure
+/// bookkeeping — the `ClusterServer` executes the commits (destination
+/// materialization, stream handoff, source drop) so this class stays
+/// trivially testable and the execution stays in one place.
+///
+/// Budgets model the shard interconnect: per round each shard may send at
+/// most `budget` blocks and receive at most `budget` blocks; a transfer
+/// advances by the minimum of its remaining blocks and both endpoints'
+/// remaining budgets. The queue is FIFO but non-blocking: a transfer whose
+/// endpoints are exhausted is skipped this round, later transfers on idle
+/// shard pairs still make progress (per-shard-pair head-of-line order is
+/// preserved because transfers between the same endpoints drain in queue
+/// order).
+///
+/// Overlapping scaling operations compose the same way the disk-level
+/// `MigrationExecutor` composes: `Retarget` points a queued transfer at the
+/// *latest* routing target, and a transfer retargeted back to its source
+/// cancels to a no-op — stale intents never move an object to an outdated
+/// home.
+class CrossShardMigrator {
+ public:
+  /// Queues an intent. One live transfer per object (checked).
+  void Enqueue(const ObjectTransfer& transfer);
+
+  /// True iff `object` has a queued transfer.
+  bool HasTransfer(ObjectId object) const;
+
+  /// The queued transfer's destination member, or -1.
+  int TargetOf(ObjectId object) const;
+
+  /// Repoints a queued transfer at `to` (copy progress resets — the staged
+  /// bytes were for the old destination). If `to` equals the transfer's
+  /// source, the intent cancels.
+  void Retarget(ObjectId object, int to);
+
+  /// Drops the queued transfer for `object`, if any (object removed).
+  void Cancel(ObjectId object);
+
+  /// Advances copies under per-shard budgets of `budget` blocks sent and
+  /// `budget` received per shard per round; completed transfers leave the
+  /// queue and are returned for the caller to commit.
+  CrossShardRound AdvanceRound(int64_t budget);
+
+  bool idle() const { return queue_.empty(); }
+  int64_t pending_transfers() const {
+    return static_cast<int64_t>(queue_.size());
+  }
+  int64_t pending_blocks() const;
+
+  int64_t total_blocks_copied() const { return total_blocks_copied_; }
+  int64_t total_commits() const { return total_commits_; }
+  /// Intents cancelled or retargeted by overlapping scaling operations.
+  int64_t retargets() const { return retargets_; }
+
+  /// Queue contents in order (test introspection).
+  std::vector<ObjectTransfer> QueueSnapshot() const {
+    return std::vector<ObjectTransfer>(queue_.begin(), queue_.end());
+  }
+
+ private:
+  std::deque<ObjectTransfer> queue_;
+  int64_t total_blocks_copied_ = 0;
+  int64_t total_commits_ = 0;
+  int64_t retargets_ = 0;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_CLUSTER_CROSS_SHARD_MIGRATOR_H_

@@ -1,0 +1,69 @@
+#include "placement/shard_map.h"
+
+#include <algorithm>
+
+#include "placement/jump_hash_policy.h"
+#include "util/status.h"
+
+namespace scaddar {
+
+ShardMap::ShardMap(int initial_members) {
+  const int count = std::max(initial_members, 1);
+  seats_.resize(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    seats_[static_cast<size_t>(s)] = s;
+  }
+  next_member_ = count;
+}
+
+int ShardMap::MemberOf(uint64_t key) const {
+  const int64_t seat =
+      JumpBucket(key, static_cast<int64_t>(seats_.size()));
+  return seats_[static_cast<size_t>(seat)];
+}
+
+int ShardMap::SeatOf(int member) const {
+  for (size_t s = 0; s < seats_.size(); ++s) {
+    if (seats_[s] == member) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+int ShardMap::AddMember() {
+  const int member = next_member_++;
+  seats_.push_back(member);
+  ++epoch_;
+  return member;
+}
+
+Status ShardMap::RemoveMember(int member) {
+  const int seat = SeatOf(member);
+  if (seat < 0) {
+    return InvalidArgumentError("no such shard-map member");
+  }
+  if (seats_.size() == 1) {
+    return InvalidArgumentError("cannot remove the last member");
+  }
+  // Swap-with-last: the tail seat's member takes over the vacated seat,
+  // then jump hash shrinks from the tail as it natively supports.
+  seats_[static_cast<size_t>(seat)] = seats_.back();
+  seats_.pop_back();
+  ++epoch_;
+  return OkStatus();
+}
+
+std::vector<uint64_t> ChangedKeys(const ShardMap& before,
+                                  const ShardMap& after,
+                                  const std::vector<uint64_t>& keys) {
+  std::vector<uint64_t> changed;
+  for (const uint64_t key : keys) {
+    if (before.MemberOf(key) != after.MemberOf(key)) {
+      changed.push_back(key);
+    }
+  }
+  return changed;
+}
+
+}  // namespace scaddar

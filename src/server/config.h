@@ -67,6 +67,12 @@ struct ServerConfig {
   /// 0 = one shard per hardware core.
   int serving_shards = 0;
 
+  /// First stream id this server hands out (ids count up from here). The
+  /// cluster layer gives each server shard a disjoint id range so stream
+  /// ids are cluster-unique and carry their shard in the high bits; a bare
+  /// server keeps the default 0.
+  int64_t first_stream_id = 0;
+
   /// Worker threads for reconciliation scans after scaling operations
   /// (1 = serial; the queue is byte-identical for any value).
   int reconcile_threads = 1;

@@ -10,7 +10,9 @@
 
 namespace scaddar {
 
-/// Aggregate outcome of a scenario run.
+/// Aggregate outcome of a scenario run. The startup percentiles
+/// (nearest-rank, in rounds from `stream` to first delivered block) cover
+/// every stream that began playback during the run; 0 when none did.
 struct ScenarioResult {
   int64_t lines_executed = 0;
   int64_t rounds = 0;
@@ -20,6 +22,9 @@ struct ScenarioResult {
   int64_t streams_started = 0;
   int64_t streams_rejected = 0;
   int64_t crashes = 0;
+  int64_t startup_p50 = 0;
+  int64_t startup_p99 = 0;
+  int64_t startup_p999 = 0;
 };
 
 /// Drives a `CmServer` from a small line-oriented script — the repeatable

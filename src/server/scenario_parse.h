@@ -1,0 +1,78 @@
+#ifndef SCADDAR_SERVER_SCENARIO_PARSE_H_
+#define SCADDAR_SERVER_SCENARIO_PARSE_H_
+
+#include <charconv>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/disk.h"
+#include "util/statusor.h"
+
+namespace scaddar::scenario {
+
+/// Lexing/parsing helpers shared by the single-server and cluster scenario
+/// interpreters — one definition so both DSLs tokenize and diagnose lines
+/// identically.
+
+inline std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') {
+      ++pos;
+    }
+    const size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') {
+      ++pos;
+    }
+    if (pos > start) {
+      tokens.push_back(line.substr(start, pos - start));
+    }
+  }
+  return tokens;
+}
+
+inline StatusOr<int64_t> ParseInt(std::string_view token) {
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError("malformed integer");
+  }
+  return value;
+}
+
+inline StatusOr<double> ParseDouble(std::string_view token) {
+  double value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError("malformed number");
+  }
+  return value;
+}
+
+inline StatusOr<std::vector<DiskSlot>> ParseSlotList(std::string_view token) {
+  std::vector<DiskSlot> slots;
+  while (!token.empty()) {
+    const size_t comma = token.find(',');
+    SCADDAR_ASSIGN_OR_RETURN(const int64_t slot,
+                             ParseInt(token.substr(0, comma)));
+    slots.push_back(slot);
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    token = token.substr(comma + 1);
+  }
+  return slots;
+}
+
+inline Status LineError(int64_t line_number, std::string_view message) {
+  return InvalidArgumentError("line " + std::to_string(line_number) + ": " +
+                              std::string(message));
+}
+
+}  // namespace scaddar::scenario
+
+#endif  // SCADDAR_SERVER_SCENARIO_PARSE_H_

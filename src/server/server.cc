@@ -27,7 +27,8 @@ CmServer::CmServer(const ServerConfig& config)
       catalog_(config.master_seed, config.prng_kind, config.bits),
       disks_(config.disk_spec),
       store_(&disks_),
-      admission_(config.admission_utilization_cap) {}
+      admission_(config.admission_utilization_cap),
+      next_stream_id_(config.first_stream_id) {}
 
 StatusOr<std::unique_ptr<CmServer>> CmServer::Create(
     const ServerConfig& config) {
@@ -179,6 +180,26 @@ int64_t CmServer::ActiveStreamsFor(ObjectId object) const {
   return it == streams_per_object_.end() ? 0 : it->second;
 }
 
+std::vector<StreamHandoff> CmServer::DetachStreamsFor(ObjectId object) {
+  std::vector<StreamHandoff> handoffs;
+  for (const Stream& stream : streams_) {
+    if (stream.object() != object || stream.finished()) {
+      continue;
+    }
+    handoffs.push_back(StreamHandoff{object, stream.next_block(),
+                                     stream.paused()});
+  }
+  const auto detached = std::remove_if(
+      streams_.begin(), streams_.end(), [object](const Stream& stream) {
+        return stream.object() == object;
+      });
+  if (detached != streams_.end()) {
+    streams_.erase(detached, streams_.end());
+    streams_per_object_.erase(object);
+  }
+  return handoffs;
+}
+
 ParallelPlanOptions CmServer::ReconcileOptions() const {
   ParallelPlanOptions options;
   options.num_threads = config_.reconcile_threads;
@@ -265,6 +286,16 @@ RoundMetrics CmServer::Tick() {
     }
   }
   metrics.retiring_disks = static_cast<int64_t>(retiring_.size());
+
+  // Startup-latency observation: a stream whose playback position first
+  // leaves block 0 this round got its first delivery now. Pure bookkeeping
+  // after the serving paths ran, so every path records identically.
+  for (Stream& stream : streams_) {
+    if (!stream.playback_started() && stream.next_block() > 0) {
+      stream.MarkPlaybackStarted();
+      startup_latencies_.push_back(round_ - stream.start_round());
+    }
+  }
 
   // Drop finished streams (refcounts first: remove_if leaves moved-from
   // values in the tail, so the objects must be read before compaction).

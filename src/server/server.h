@@ -25,6 +25,16 @@ namespace scaddar {
 
 class FaultInjector;
 
+/// A stream's playback state captured when its object migrates to another
+/// server shard: everything the destination needs to resume the session
+/// (the rate is re-derived from the object's bitrate weight, which travels
+/// with the object).
+struct StreamHandoff {
+  ObjectId object = 0;
+  BlockIndex next_block = 0;
+  bool paused = false;
+};
+
 /// Per-round server metrics.
 struct RoundMetrics {
   int64_t round = 0;
@@ -93,6 +103,12 @@ class CmServer {
   /// Runs one scheduling round: serve streams, spend leftover bandwidth on
   /// migration, retire drained disks, drop finished streams.
   RoundMetrics Tick();
+
+  /// Detaches every active stream playing `object` and returns their
+  /// playback states, in stream-vector order. The streams vanish from this
+  /// server (they count as neither completed nor hiccuped further); the
+  /// cluster layer re-attaches them on the shard the object migrated to.
+  std::vector<StreamHandoff> DetachStreamsFor(ObjectId object);
 
   // --- VCR controls (Section 1 motivation #4). ---
   Status PauseStream(int64_t stream_id);
@@ -185,6 +201,16 @@ class CmServer {
 
   /// Aggregate committed stream bandwidth (sum of rates, blocks/round).
   int64_t ActiveLoad() const;
+
+  /// Startup latency (rounds from `StartStream` to the first delivered
+  /// block) of every stream that has started playback, in start order.
+  /// `Tick` appends an entry the round a stream's first block lands; the
+  /// percentile reports (p99/p999) in the benches and scenario summaries
+  /// read this. A stream that seeks before its first delivery registers
+  /// with the latency observed at its new position.
+  const std::vector<int64_t>& startup_latencies() const {
+    return startup_latencies_;
+  }
   int64_t completed_streams() const { return completed_streams_; }
   int64_t total_hiccups() const { return total_hiccups_; }
   int64_t total_served() const { return total_served_; }
@@ -217,6 +243,7 @@ class CmServer {
   std::vector<Stream> streams_;
   std::unordered_map<ObjectId, int64_t> streams_per_object_;
   std::vector<PhysicalDiskId> retiring_;
+  std::vector<int64_t> startup_latencies_;
 
   int64_t round_ = 0;
   int64_t next_stream_id_ = 0;

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 
-#include "placement/jump_hash_policy.h"
 #include "util/status.h"
 
 namespace scaddar {
 
-ShardRouter::ShardRouter(int num_shards, uint64_t seed) {
-  const int count = std::max(num_shards, 1);
+ShardRouter::ShardRouter(int num_shards, uint64_t seed)
+    : map_(num_shards) {
+  const int count = map_.num_seats();
   shards_.resize(static_cast<size_t>(count));
   for (int s = 0; s < count; ++s) {
     shards_[static_cast<size_t>(s)].shard = s;
@@ -20,8 +20,7 @@ ShardRouter::ShardRouter(int num_shards, uint64_t seed) {
 }
 
 int ShardRouter::ShardOf(int64_t stream_id) const {
-  return static_cast<int>(JumpBucket(static_cast<uint64_t>(stream_id),
-                                     num_shards()));
+  return map_.MemberOf(static_cast<uint64_t>(stream_id));
 }
 
 bool ShardRouter::Route(const std::vector<Stream>& streams) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "placement/shard_map.h"
 #include "random/splitmix64.h"
 #include "server/stream.h"
 
@@ -47,11 +48,13 @@ struct ServingShard {
   ShardStats stats;
 };
 
-/// Routes streams to shards with Lamping & Veach's jump consistent hash on
-/// the stream id (the same router the placement layer uses for blocks):
-/// stable — a stream stays on its shard for its whole life regardless of
-/// churn around it — and uniform, so shards stay balanced without any
-/// rebalancing machinery.
+/// Routes streams to shards over the shared `ShardMap` jump-hash core (the
+/// same router the cluster layer uses for objects and the placement layer
+/// uses for blocks): stable — a stream stays on its shard for its whole
+/// life regardless of churn around it — and uniform, so shards stay
+/// balanced without any rebalancing machinery. The serving shard count is
+/// fixed for the scheduler's lifetime, so the map's seats stay the identity
+/// permutation and `ShardOf` is exactly `JumpBucket(id, num_shards)`.
 ///
 /// The routing table is rebuilt only when the stream population changes
 /// (`Route` revalidates the cached ids with one linear compare pass); in
@@ -81,6 +84,7 @@ class ShardRouter {
   int64_t rebuilds() const { return rebuilds_; }
 
  private:
+  ShardMap map_;
   std::vector<ServingShard> shards_;
   std::vector<int64_t> routed_ids_;   // Cache key: ids in vector order.
   std::vector<int> shard_of_index_;

@@ -50,6 +50,13 @@ class Stream {
 
   int64_t hiccups() const { return hiccups_; }
 
+  /// Startup-latency observation: true once the server has noted the
+  /// stream's first delivered block (`CmServer::Tick` flips it and records
+  /// `round - start_round` as the stream's startup latency). Pure
+  /// bookkeeping — never read by any serving path.
+  bool playback_started() const { return playback_started_; }
+  void MarkPlaybackStarted() { playback_started_ = true; }
+
   // --- VCR-style operations (Section 1: "interactive applications or
   // VCR-style operations on CM streams" are exactly what random placement
   // supports and constrained striping does not). ---
@@ -81,6 +88,7 @@ class Stream {
   BlockIndex next_block_ = 0;
   int64_t hiccups_ = 0;
   bool paused_ = false;
+  bool playback_started_ = false;
   LocationCursor cursor_;
 };
 

@@ -49,6 +49,16 @@ double TrafficEngine::ModulatedArrivalMean(int64_t round) const {
 
 RoundTraffic TrafficEngine::NextRound(int64_t round,
                                       const std::vector<Stream>& active) {
+  std::vector<const Stream*> view;
+  view.reserve(active.size());
+  for (const Stream& stream : active) {
+    view.push_back(&stream);
+  }
+  return NextRound(round, view);
+}
+
+RoundTraffic TrafficEngine::NextRound(
+    int64_t round, const std::vector<const Stream*>& active) {
   SCADDAR_CHECK(popularity_ != nullptr);
   RoundTraffic traffic;
   traffic.round = round;
@@ -77,28 +87,28 @@ RoundTraffic TrafficEngine::NextRound(int64_t round,
     }
   }
 
-  // VCR events, rolled per active stream in vector order (deterministic).
-  for (const Stream& stream : active) {
-    if (stream.finished()) {
+  // VCR events, rolled per active stream in view order (deterministic).
+  for (const Stream* stream : active) {
+    if (stream->finished()) {
       continue;
     }
-    if (stream.paused()) {
+    if (stream->paused()) {
       if (Bernoulli(*prng_, config_.resume_probability)) {
-        traffic.resumes.push_back(stream.id());
+        traffic.resumes.push_back(stream->id());
       }
       continue;
     }
     if (config_.pause_probability > 0.0 &&
         Bernoulli(*prng_, config_.pause_probability)) {
-      traffic.pauses.push_back(stream.id());
+      traffic.pauses.push_back(stream->id());
       continue;
     }
     if (config_.seek_probability > 0.0 &&
         Bernoulli(*prng_, config_.seek_probability)) {
       traffic.seeks.push_back(SeekEvent{
-          stream.id(),
+          stream->id(),
           static_cast<BlockIndex>(UniformUint64(
-              *prng_, static_cast<uint64_t>(stream.num_blocks())))});
+              *prng_, static_cast<uint64_t>(stream->num_blocks())))});
     }
   }
   return traffic;

@@ -96,6 +96,13 @@ class TrafficEngine {
   /// Pure sampling: does not touch the server.
   RoundTraffic NextRound(int64_t round, const std::vector<Stream>& active);
 
+  /// Pointer-view overload for callers whose active streams don't live in
+  /// one vector (the cluster layer concatenates its shards' stream vectors
+  /// in seat order). Same draws in the same order: a 1-shard cluster view
+  /// replays bit-for-bit against the vector overload.
+  RoundTraffic NextRound(int64_t round,
+                         const std::vector<const Stream*>& active);
+
   /// Convenience driver: generates traffic for the server's current round,
   /// applies it (arrivals through admission control — rejects are counted,
   /// not fatal — then VCR events), runs `server.Tick()` and returns its
@@ -104,6 +111,11 @@ class TrafficEngine {
 
   /// Arrivals rejected by admission control across all `DriveRound` calls.
   int64_t rejected_arrivals() const { return rejected_arrivals_; }
+
+  /// Counts a rejected arrival on behalf of an external driver (the
+  /// cluster's `DriveRound` lives above this layer and applies arrivals
+  /// itself).
+  void RecordRejectedArrival() { ++rejected_arrivals_; }
 
   const TrafficConfig& config() const { return config_; }
 

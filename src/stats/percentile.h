@@ -1,0 +1,26 @@
+#ifndef SCADDAR_STATS_PERCENTILE_H_
+#define SCADDAR_STATS_PERCENTILE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace scaddar {
+
+/// Nearest-rank percentile over a copy of `values` (`p` in [0, 1]); 0 on an
+/// empty sample. Shared by the startup-latency reports (p99/p999) in the
+/// scenario summaries and the serving/cluster benches — one definition so
+/// every report means the same thing.
+inline int64_t PercentileOf(std::vector<int64_t> values, double p) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const auto index = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_STATS_PERCENTILE_H_
