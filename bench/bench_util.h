@@ -8,6 +8,9 @@
 // standardized schema (`BenchJson`) so the per-PR perf trajectory is
 // machine-readable.
 
+#include <sys/utsname.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -126,6 +129,86 @@ auto BestOf(int64_t repetitions, MeasureFn&& measure, SecondsFn&& seconds) {
   return best;
 }
 
+// --- Host metadata ------------------------------------------------------
+
+/// What machine a BENCH_*.json came from. Perf numbers are only comparable
+/// within one host (and one governor setting); the regression checker warns
+/// when a baseline and a candidate disagree here.
+struct HostInfo {
+  std::string cpu_model;   // /proc/cpuinfo "model name" (first core).
+  int64_t cores = 0;       // Online processors.
+  std::string governor;    // cpu0's cpufreq governor ("unknown" without
+                           // cpufreq, e.g. in containers).
+  std::string kernel;      // uname -r.
+};
+
+/// First line of `path` matching `key:`, value part only; "" when absent.
+inline std::string ReadTaggedLine(const char* path, std::string_view key) {
+  std::FILE* file = std::fopen(path, "r");
+  if (file == nullptr) {
+    return "";
+  }
+  char line[512];
+  std::string value;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    std::string_view view(line);
+    if (!view.starts_with(key)) {
+      continue;
+    }
+    const size_t colon = view.find(':');
+    if (colon == std::string_view::npos) {
+      continue;
+    }
+    view = view.substr(colon + 1);
+    while (!view.empty() && (view.front() == ' ' || view.front() == '\t')) {
+      view.remove_prefix(1);
+    }
+    while (!view.empty() && (view.back() == '\n' || view.back() == ' ')) {
+      view.remove_suffix(1);
+    }
+    value = std::string(view);
+    break;
+  }
+  std::fclose(file);
+  return value;
+}
+
+/// Whole first line of `path`, trimmed; "" when unreadable.
+inline std::string ReadFirstLine(const char* path) {
+  std::FILE* file = std::fopen(path, "r");
+  if (file == nullptr) {
+    return "";
+  }
+  char line[256];
+  std::string value;
+  if (std::fgets(line, sizeof(line), file) != nullptr) {
+    value = line;
+    while (!value.empty() &&
+           (value.back() == '\n' || value.back() == ' ')) {
+      value.pop_back();
+    }
+  }
+  std::fclose(file);
+  return value;
+}
+
+inline HostInfo QueryHost() {
+  HostInfo host;
+  host.cpu_model = ReadTaggedLine("/proc/cpuinfo", "model name");
+  if (host.cpu_model.empty()) {
+    host.cpu_model = "unknown";
+  }
+  host.cores = static_cast<int64_t>(sysconf(_SC_NPROCESSORS_ONLN));
+  host.governor = ReadFirstLine(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (host.governor.empty()) {
+    host.governor = "unknown";
+  }
+  utsname names{};
+  host.kernel = uname(&names) == 0 ? names.release : "unknown";
+  return host;
+}
+
 // --- Standardized BENCH_*.json ------------------------------------------
 
 /// One numeric field of a `BenchJson` tier or path object. `decimals == 0`
@@ -160,9 +243,21 @@ struct JsonMetric {
 class BenchJson {
  public:
   explicit BenchJson(const char* experiment) {
+    const HostInfo host = QueryHost();
     json_ = "{\n  \"experiment\": \"";
     json_ += experiment;
-    json_ += "\",\n  \"tiers\": [\n";
+    json_ += "\",\n  \"host\": {\"cpu\": \"";
+    json_ += host.cpu_model;
+    json_ += "\", \"cores\": ";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(host.cores));
+    json_ += buffer;
+    json_ += ", \"governor\": \"";
+    json_ += host.governor;
+    json_ += "\", \"kernel\": \"";
+    json_ += host.kernel;
+    json_ += "\"},\n  \"tiers\": [\n";
   }
 
   void BeginTier(int64_t ops) {

@@ -16,7 +16,19 @@ figures are noisy on shared hosts; throughput is the tracked contract.
 
 Usage:
     bench_regress.py BASELINE.json CANDIDATE.json [--threshold 0.15]
-                     [--verbose]
+                     [--verbose] [--require BENCH_x.json ...]
+    bench_regress.py --require BENCH_x.json [--require BENCH_y.json ...]
+
+`--require PATH` (repeatable) asserts that PATH exists and parses as a
+BenchJson document — the CI guard against a bench silently not running,
+which would otherwise make a perf regression look like a clean diff. With
+only `--require` flags the positional pair may be omitted; requirements
+are checked first and any miss fails the run before the diff.
+
+Documents carry a `"host"` object (CPU model, core count, cpufreq
+governor, kernel). A baseline and candidate from different hosts or
+governor settings are compared anyway — but with a warning, since the
+numbers are not really comparable.
 
 Tiers are matched by their position-independent identity: the `ops` value
 plus every string-valued label in the tier (e.g. `scenario`). Tiers, paths
@@ -29,6 +41,7 @@ in common is likewise a warning, not an error.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -51,19 +64,65 @@ def iter_metrics(tier):
                 yield path, name, float(value)
 
 
+def check_required(paths):
+    """Returns the list of problems with the required documents."""
+    problems = []
+    for path in paths:
+        if not os.path.exists(path):
+            problems.append(f"{path}: missing (bench did not run?)")
+            continue
+        try:
+            with open(path) as f:
+                document = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            problems.append(f"{path}: unreadable ({error})")
+            continue
+        if "experiment" not in document or "tiers" not in document:
+            problems.append(
+                f"{path}: not a BenchJson document "
+                f"(no experiment/tiers keys)")
+    return problems
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Fail when a candidate BENCH_*.json regresses "
-                    "throughput vs. a baseline.")
-    parser.add_argument("baseline", help="baseline BENCH_*.json")
-    parser.add_argument("candidate", help="candidate BENCH_*.json")
+                    "throughput vs. a baseline, or when a required "
+                    "document is missing.")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?", default=None,
+                        help="candidate BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="max allowed fractional throughput drop "
                              "(default: 0.15 = 15%%)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PATH",
+                        help="fail unless PATH exists and parses as a "
+                             "BenchJson document (repeatable)")
     parser.add_argument("--verbose", action="store_true",
                         help="print every compared metric, not just "
                              "regressions")
     args = parser.parse_args()
+
+    problems = check_required(args.require)
+    if problems:
+        print(f"FAIL: {len(problems)} required bench document(s) not "
+              f"usable:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.require:
+        print(f"required: all {len(args.require)} bench document(s) "
+              f"present")
+
+    if args.baseline is None and args.candidate is None:
+        if not args.require:
+            parser.error("nothing to do: give BASELINE CANDIDATE, "
+                         "--require, or both")
+        return 0
+    if args.baseline is None or args.candidate is None:
+        parser.error("BASELINE and CANDIDATE must be given together")
 
     with open(args.baseline) as f:
         baseline = json.load(f)
@@ -74,6 +133,16 @@ def main():
         print(f"warning: comparing different experiments "
               f"({baseline.get('experiment')!r} vs. "
               f"{candidate.get('experiment')!r})", file=sys.stderr)
+
+    base_host = baseline.get("host", {})
+    cand_host = candidate.get("host", {})
+    if base_host and cand_host:
+        for field in ("cpu", "governor", "kernel"):
+            if base_host.get(field) != cand_host.get(field):
+                print(f"warning: host {field} differs "
+                      f"({base_host.get(field)!r} vs. "
+                      f"{cand_host.get(field)!r}); numbers may not be "
+                      f"comparable", file=sys.stderr)
 
     base_tiers = {tier_key(t): t for t in baseline.get("tiers", [])}
     cand_tiers = {tier_key(t): t for t in candidate.get("tiers", [])}

@@ -50,6 +50,14 @@ StatusOr<std::unique_ptr<CmServer>> ClusterServer::BuildShard(
     int member) const {
   ServerConfig shard_config = config_.shard;
   shard_config.first_stream_id = static_cast<int64_t>(member) << kMemberShift;
+  // File-backed shards each get their own directory: a shard owns its disk
+  // farm, and member ids are never reused, so the suffix keeps crashed and
+  // replacement shards from clobbering each other's block files.
+  if (shard_config.storage_backend.starts_with("file:") ||
+      shard_config.storage_backend.starts_with("uring:")) {
+    shard_config.storage_backend +=
+        "/shard" + std::to_string(member);
+  }
   return CmServer::Create(shard_config);
 }
 

@@ -23,8 +23,14 @@ const char* KindToken(FaultKind kind) {
       return "transient";
     case FaultKind::kHook:
       return "hook";
+    case FaultKind::kBackendError:
+      return "backend";
   }
   return "?";
+}
+
+const char* BackendKindToken(BackendFaultKind kind) {
+  return kind == BackendFaultKind::kShort ? "short" : "eio";
 }
 
 StatusOr<int64_t> ParseInt(std::string_view token) {
@@ -134,6 +140,12 @@ std::string FaultSchedule::Serialize() const {
                       static_cast<long long>(event.round),
                       static_cast<long long>(event.move));
         break;
+      case FaultKind::kBackendError:
+        std::snprintf(buffer, sizeof(buffer), "backend %lld %lld %s %.17g\n",
+                      static_cast<long long>(event.round),
+                      static_cast<long long>(event.disk),
+                      BackendKindToken(event.backend), event.probability);
+        break;
     }
     out += buffer;
   }
@@ -190,6 +202,21 @@ StatusOr<FaultSchedule> FaultSchedule::Deserialize(std::string_view text) {
       event.kind = FaultKind::kHook;
       SCADDAR_ASSIGN_OR_RETURN(event.round, ParseInt(tokens[1]));
       SCADDAR_ASSIGN_OR_RETURN(event.move, ParseInt(tokens[2]));
+    } else if (tokens[0] == "backend" && tokens.size() == 5) {
+      event.kind = FaultKind::kBackendError;
+      SCADDAR_ASSIGN_OR_RETURN(event.round, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(event.disk, ParseInt(tokens[2]));
+      if (tokens[3] == "eio") {
+        event.backend = BackendFaultKind::kEio;
+      } else if (tokens[3] == "short") {
+        event.backend = BackendFaultKind::kShort;
+      } else {
+        return InvalidArgumentError("unrecognized backend fault kind");
+      }
+      SCADDAR_ASSIGN_OR_RETURN(event.probability, ParseDouble(tokens[4]));
+      if (event.probability < 0.0 || event.probability > 1.0) {
+        return InvalidArgumentError("backend probability outside [0, 1]");
+      }
     } else {
       return InvalidArgumentError("unrecognized fault schedule line");
     }
@@ -279,6 +306,24 @@ bool FaultInjector::FailTransfer(PhysicalDiskId from, PhysicalDiskId to) {
 
 bool FaultInjector::FailRead(PhysicalDiskId disk) {
   return TransientHits(disk, disk);
+}
+
+std::optional<BackendFaultKind> FaultInjector::NextBackendFault(
+    PhysicalDiskId disk) {
+  const std::vector<FaultEvent>& events = schedule_.events();
+  for (const FaultEvent& event : events) {
+    if (event.kind != FaultKind::kBackendError || !RoundMatches(event)) {
+      continue;
+    }
+    if (event.disk >= 0 && event.disk != disk) {
+      continue;
+    }
+    if (Bernoulli(*prng_, event.probability)) {
+      ++backend_faults_fired_;
+      return event.backend;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace scaddar

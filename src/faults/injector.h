@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,6 +43,16 @@ enum class FaultKind {
   /// Invoke the registered test hook just before a move ordinal executes
   /// (used to race scaling operations against a migration round).
   kHook,
+  /// Probabilistic fault on *real* storage-backend transfers (the
+  /// `StorageBackend` fault hook): an op completes with EIO or a short
+  /// transfer instead of touching/filling the whole block image.
+  kBackendError,
+};
+
+/// What a kBackendError event does to the transfer it hits.
+enum class BackendFaultKind {
+  kEio = 0,    // Op fails outright; the medium is untouched.
+  kShort = 1,  // Op transfers ~half the block (a torn/short write or read).
 };
 
 /// One scheduled fault. Events are keyed to round numbers and, for crash
@@ -58,8 +69,10 @@ struct FaultEvent {
   /// kDiskFail: the disk to kill. kTransientError: restrict errors to
   /// transfers/reads touching this disk (-1 = any disk).
   PhysicalDiskId disk = -1;
-  /// kTransientError: per-attempt failure probability.
+  /// kTransientError / kBackendError: per-attempt failure probability.
   double probability = 0.0;
+  /// kBackendError: what the fault does to the transfer.
+  BackendFaultKind backend = BackendFaultKind::kEio;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -136,12 +149,29 @@ class FaultInjector {
   /// True iff a transient error hits a block read from `disk`.
   bool FailRead(PhysicalDiskId disk);
 
+  /// Consulted by the storage backend's fault hook for every real block
+  /// transfer on `disk`. Armed kBackendError events draw per-op from the
+  /// seeded generator (first hit wins); returns the fault to inject, or
+  /// nothing. Same replayability contract as `FailTransfer`.
+  std::optional<BackendFaultKind> NextBackendFault(PhysicalDiskId disk);
+
   /// Test hook invoked by kHook events (e.g. enqueue a scaling operation
   /// mid-round to exercise the executor's epoch guard).
   void SetHook(std::function<void()> hook) { hook_ = std::move(hook); }
 
   /// Restarts move-ordinal counting (schedules keyed to a fresh executor).
   void ResetMoveCount() { move_ = -1; }
+
+  /// The ordinal `BeginMove` last advanced to (-1 before any move).
+  int64_t current_move() const { return move_; }
+
+  /// Re-enters a move recorded earlier in the round *without* advancing the
+  /// count or firing hooks. Two-phase engine rounds stage every move first
+  /// and complete the write-ahead protocol after the batched copies land;
+  /// the commit pass resumes each staged move's ordinal so per-move crash
+  /// events at the commit-side phase boundaries (kCopyLogged and later)
+  /// still target the move they name.
+  void ResumeMove(int64_t ordinal) { move_ = ordinal; }
 
   const FaultSchedule& schedule() const { return schedule_; }
   int64_t current_round() const { return round_; }
@@ -150,6 +180,7 @@ class FaultInjector {
   int64_t hooks_fired() const { return hooks_fired_; }
   int64_t transient_errors_fired() const { return transient_errors_fired_; }
   int64_t disk_failures_fired() const { return disk_failures_fired_; }
+  int64_t backend_faults_fired() const { return backend_faults_fired_; }
 
  private:
   bool RoundMatches(const FaultEvent& event) const {
@@ -167,6 +198,7 @@ class FaultInjector {
   int64_t hooks_fired_ = 0;
   int64_t transient_errors_fired_ = 0;
   int64_t disk_failures_fired_ = 0;
+  int64_t backend_faults_fired_ = 0;
 };
 
 }  // namespace scaddar

@@ -82,6 +82,23 @@ struct ServerConfig {
   /// only matters when crashes are possible (fault-injection runs), and the
   /// plain path is the established bench baseline.
   bool journal_migration = false;
+
+  /// Storage backend spec for real block I/O (`MakeStorageBackend` syntax):
+  /// "sim" (default) keeps the pure simulation — no `BlockIoEngine`, no
+  /// bytes move, byte-identical to the pre-backend server. "mem",
+  /// "file:<dir>" and "uring:<dir>" attach an engine: every served block
+  /// issues a physical read and every migration round lands its copies
+  /// through batched backend submissions. A non-"sim" backend forces
+  /// `journal_migration` on — real bytes move only under the WAL protocol.
+  std::string storage_backend = "sim";
+
+  /// Per-disk submission-queue depth for real backends (io_uring ring
+  /// entries; auto-submit high-water mark for the sync backend).
+  int io_queue_depth = 32;
+
+  /// Block-image size in bytes for real backends; must be a positive
+  /// multiple of 4096 (the O_DIRECT sector alignment).
+  int64_t io_block_bytes = 4096;
 };
 
 }  // namespace scaddar

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "faults/injector.h"
+#include "storage/block_io.h"
 #include "storage/move_journal.h"
 #include "util/thread_pool.h"
 
@@ -243,6 +244,17 @@ int64_t MigrationExecutor::RunRound(
     return false;
   };
 
+  // Two-phase (engine) rounds stage every move first and commit after the
+  // engine lands the round's copies in one batched submission per disk.
+  struct StagedMove {
+    int64_t entry = 0;
+    BlockRef ref;
+    PhysicalDiskId from = 0;
+    PhysicalDiskId to = 0;
+    int64_t ordinal = -1;  // Injector move ordinal at stage time.
+  };
+  std::vector<StagedMove> staged_moves;
+
   // Spend bandwidth in queue order with the precomputed targets.
   int64_t moved = 0;
   for (size_t i = 0; i < items.size(); ++i) {
@@ -295,6 +307,33 @@ int64_t MigrationExecutor::RunRound(
           .to_physical = target,
       });
       SCADDAR_CHECK(applied.ok());
+    } else if (io_ != nullptr) {
+      // Two-phase stage pass: log the intent and allocate the staged slot;
+      // the bytes move (and the copied/commit records follow) after the
+      // loop, once the engine has pushed the whole round's copies down.
+      const int64_t entry = journal_->Begin(ref, current, target);
+      if (crash_at(MovePhase::kIntentLogged)) {
+        return moved;
+      }
+      const Status staged = store.StageCopy(ref, target);
+      if (!staged.ok() && staged.code() == StatusCode::kUnavailable) {
+        // The backend refused the stage (disk open failure and friends):
+        // transient, like a failed transfer — close the intent and retry.
+        journal_->MarkAborted(entry);
+        disks.GetDisk(current).value()->RecordTransientError();
+        disks.GetDisk(target).value()->RecordTransientError();
+        ++transient_errors_;
+        PushRef(ref);
+        continue;
+      }
+      SCADDAR_CHECK(staged.ok());
+      if (crash_at(MovePhase::kCopyStaged)) {
+        return moved;
+      }
+      staged_moves.push_back(StagedMove{
+          entry, ref, current, target,
+          injector != nullptr ? injector->current_move() : -1});
+      continue;  // Transfers are recorded when the copy lands.
     } else {
       // The write-ahead protocol. Each `crash_at` is the boundary right
       // after a durable write; dying at any of them leaves a state
@@ -324,6 +363,51 @@ int64_t MigrationExecutor::RunRound(
     disks.GetDisk(target).value()->RecordMigrationTransfers(1);
     ++moved;
     ++total_moved_;
+  }
+
+  // Two-phase commit pass: land the round's staged copies — batched source
+  // reads, batched target writes (one submission per disk each), one flush
+  // per touched disk — then walk the stage order. Copies the backend failed
+  // abort and re-queue; intact ones complete the write-ahead protocol,
+  // where "copied" now genuinely means durable bytes.
+  if (io_ != nullptr && !staged_moves.empty()) {
+    std::vector<BlockRef> failed;
+    SCADDAR_CHECK(io_->FinishMigrationRound(&failed).ok());
+    const auto copy_failed = [&failed](BlockRef ref) {
+      return std::find(failed.begin(), failed.end(), ref) != failed.end();
+    };
+    for (const StagedMove& m : staged_moves) {
+      if (injector != nullptr) {
+        // Crash events name moves by ordinal; point the injector back at
+        // this move for the commit-side phase boundaries.
+        injector->ResumeMove(m.ordinal);
+      }
+      if (copy_failed(m.ref)) {
+        SCADDAR_CHECK(store.AbortStagedCopy(m.ref).ok());
+        journal_->MarkAborted(m.entry);
+        disks.GetDisk(m.from).value()->RecordTransientError();
+        disks.GetDisk(m.to).value()->RecordTransientError();
+        ++transient_errors_;
+        PushRef(m.ref);
+        continue;
+      }
+      journal_->MarkCopied(m.entry);
+      if (crash_at(MovePhase::kCopyLogged)) {
+        return moved;
+      }
+      SCADDAR_CHECK(store.CommitStagedMove(m.ref, m.from, m.to).ok());
+      if (crash_at(MovePhase::kLocationFlipped)) {
+        return moved;
+      }
+      journal_->MarkCommitted(m.entry);
+      if (crash_at(MovePhase::kCommitLogged)) {
+        return moved;
+      }
+      disks.GetDisk(m.from).value()->RecordMigrationTransfers(1);
+      disks.GetDisk(m.to).value()->RecordMigrationTransfers(1);
+      ++moved;
+      ++total_moved_;
+    }
   }
   return moved;
 }

@@ -14,6 +14,7 @@
 
 namespace scaddar {
 
+class BlockIoEngine;
 class FaultInjector;
 class MoveJournal;
 
@@ -48,6 +49,16 @@ class MigrationExecutor {
   /// fully undone, and a reconciliation scan re-queues the undone ones.
   void AttachJournal(MoveJournal* journal) { journal_ = journal; }
   MoveJournal* journal() const { return journal_; }
+
+  /// Attaches the real-I/O engine (requires a journal). Journaled rounds
+  /// then run two-phase: every move stages first, the engine lands the
+  /// whole round's copies in one batched submission per disk
+  /// (`BlockIoEngine::FinishMigrationRound`), and only copies that landed
+  /// intact are marked copied and committed. Copies the backend failed
+  /// (injected EIO, short write) are aborted and re-queued as transient
+  /// errors — the real-I/O analogue of `FaultInjector::FailTransfer`.
+  void AttachIoEngine(BlockIoEngine* io) { io_ = io; }
+  BlockIoEngine* io_engine() const { return io_; }
 
   /// True after an injected crash killed a round mid-move. A crashed
   /// executor refuses further rounds until `Reset` — the in-memory process
@@ -116,6 +127,7 @@ class MigrationExecutor {
   std::deque<BlockRef> queue_;
   std::unordered_map<ObjectId, int64_t> pending_per_object_;
   MoveJournal* journal_ = nullptr;  // Not owned; may be null.
+  BlockIoEngine* io_ = nullptr;     // Not owned; may be null.
   bool crashed_ = false;
   int64_t total_moved_ = 0;
   int64_t transient_errors_ = 0;

@@ -207,6 +207,17 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
         }
         tick_once();
       }
+    } else if (command == "backend" &&
+               (tokens.size() == 2 || tokens.size() == 3)) {
+      int64_t queue_depth = 0;
+      if (tokens.size() == 3) {
+        SCADDAR_ASSIGN_OR_RETURN(queue_depth, ParseInt(tokens[2]));
+      }
+      const Status status =
+          server.SelectBackend(tokens[1], static_cast<int>(queue_depth));
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
     } else if (command == "crash" && tokens.size() == 1) {
       const StatusOr<JournalRecoveryStats> stats =
           server.SimulateCrashRestart();

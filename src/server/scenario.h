@@ -39,6 +39,10 @@ struct ScenarioResult {
 ///   scale add <count>                    online disk-group addition
 ///   scale remove <slot>[,<slot>...]      online disk-group removal
 ///   rebase                               full redistribution
+///   backend <spec> [queue-depth]         select the storage backend
+///                                        ("sim", "mem", "file:<dir>",
+///                                        "uring:<dir>"); only legal while
+///                                        the store is empty
 ///   tick <rounds>                        run scheduling rounds
 ///   drain                                tick until migration idle
 ///   crash                                kill the process and restart it

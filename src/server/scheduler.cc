@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/block_io.h"
+
 namespace scaddar {
 
 namespace {
@@ -42,6 +44,10 @@ RoundServiceResult RoundScheduler::Run(
       SCADDAR_CHECK(it != budget.end());
       if (it->second > 0) {
         --it->second;
+        if (io_ != nullptr) {
+          SCADDAR_CHECK(
+              io_->EnqueueServeRead(stream.NextBlockRef(), *location).ok());
+        }
         stream.DeliverBlock();
         disks.GetDisk(*location).value()->RecordServedRequests(1);
         ++result.served;
@@ -94,6 +100,10 @@ RoundServiceResult RoundScheduler::RunBatched(
       int64_t& remaining = budget[static_cast<size_t>(location)];
       if (remaining > 0) {
         --remaining;
+        if (io_ != nullptr) {
+          SCADDAR_CHECK(
+              io_->EnqueueServeRead(stream.NextBlockRef(), location).ok());
+        }
         stream.DeliverBlock();
         ++served_on[static_cast<size_t>(location)];
         ++result.served;
@@ -140,6 +150,10 @@ RoundServiceResult RoundScheduler::RunScalarLocate(
       SCADDAR_CHECK(it != budget.end());
       if (it->second > 0) {
         --it->second;
+        if (io_ != nullptr) {
+          SCADDAR_CHECK(
+              io_->EnqueueServeRead(stream.NextBlockRef(), location).ok());
+        }
         stream.DeliverBlock();
         disks.GetDisk(location).value()->RecordServedRequests(1);
         ++result.served;

@@ -13,6 +13,8 @@
 
 namespace scaddar {
 
+class BlockIoEngine;
+
 /// Outcome of one scheduling round.
 struct RoundServiceResult {
   int64_t requests = 0;
@@ -44,6 +46,13 @@ struct RoundServiceResult {
 ///    pending (store == AF); use it for measurement, not for serving.
 class RoundScheduler {
  public:
+  /// Attaches (or detaches, with null) the real-I/O engine. With an engine
+  /// attached, every delivered block also queues a physical serve read
+  /// (`BlockIoEngine::EnqueueServeRead`) against the disk that served it;
+  /// the server drains the round's reads with `FinishServeRound` after the
+  /// scheduler returns, so submission overlaps the migration phase.
+  void set_io_engine(BlockIoEngine* io) { io_ = io; }
+
   RoundServiceResult Run(
       std::vector<Stream>& streams, const BlockStore& store, DiskArray& disks,
       std::unordered_map<PhysicalDiskId, int64_t>* leftover) const;
@@ -58,6 +67,9 @@ class RoundScheduler {
       std::vector<Stream>& streams, const PlacementPolicy& policy,
       DiskArray& disks,
       std::unordered_map<PhysicalDiskId, int64_t>* leftover) const;
+
+ private:
+  BlockIoEngine* io_ = nullptr;  // Not owned; may be null.
 };
 
 }  // namespace scaddar

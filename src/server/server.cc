@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <charconv>
+#include <optional>
 #include <thread>
 
 #include "faults/injector.h"
+#include "storage/block_io.h"
 
 namespace scaddar {
 
@@ -30,6 +32,8 @@ CmServer::CmServer(const ServerConfig& config)
       admission_(config.admission_utilization_cap),
       next_stream_id_(config.first_stream_id) {}
 
+CmServer::~CmServer() = default;
+
 StatusOr<std::unique_ptr<CmServer>> CmServer::Create(
     const ServerConfig& config) {
   if (config.initial_disks <= 0) {
@@ -48,7 +52,67 @@ StatusOr<std::unique_ptr<CmServer>> CmServer::Create(
   if (config.journal_migration) {
     server->migration_.AttachJournal(&server->journal_);
   }
+  if (config.storage_backend != "sim") {
+    SCADDAR_RETURN_IF_ERROR(server->SelectBackend(config.storage_backend,
+                                                  config.io_queue_depth));
+  }
   return server;
+}
+
+Status CmServer::SelectBackend(std::string_view spec, int queue_depth) {
+  if (store_.total_blocks() > 0 || store_.staged_blocks() > 0) {
+    return FailedPreconditionError(
+        "backend can only change while the store is empty");
+  }
+  if (spec == "sim") {
+    store_.AttachIoEngine(nullptr);
+    migration_.AttachIoEngine(nullptr);
+    scheduler_.set_io_engine(nullptr);
+    if (sharded_scheduler_ != nullptr) {
+      sharded_scheduler_->set_io_engine(nullptr);
+    }
+    io_engine_.reset();
+    config_.storage_backend = "sim";
+    return OkStatus();
+  }
+  BlockIoEngine::Options options;
+  options.spec = std::string(spec);
+  options.block_bytes = config_.io_block_bytes;
+  options.queue_depth =
+      queue_depth > 0 ? queue_depth : config_.io_queue_depth;
+  options.content_seed = config_.master_seed ^ 0xb10cb17e5ull;
+  SCADDAR_ASSIGN_OR_RETURN(io_engine_, BlockIoEngine::Create(options));
+  // Route backend faults through the attached injector (looked up per op,
+  // so AttachFaultInjector works in either order with backend selection).
+  io_engine_->backend().set_fault_hook(
+      [this](PhysicalDiskId disk, IoOp op) -> IoFault {
+        (void)op;
+        FaultInjector* const injector = disks_.fault_injector();
+        if (injector == nullptr) {
+          return IoFault::kNone;
+        }
+        const std::optional<BackendFaultKind> fault =
+            injector->NextBackendFault(disk);
+        if (!fault.has_value()) {
+          return IoFault::kNone;
+        }
+        return *fault == BackendFaultKind::kEio ? IoFault::kEio
+                                                : IoFault::kShort;
+      });
+  store_.AttachIoEngine(io_engine_.get());
+  migration_.AttachIoEngine(io_engine_.get());
+  scheduler_.set_io_engine(io_engine_.get());
+  if (sharded_scheduler_ != nullptr) {
+    sharded_scheduler_->set_io_engine(io_engine_.get());
+  }
+  // Real bytes only move under the WAL protocol: the two-phase round needs
+  // journal ids to abort failed copies, and recovery needs the journal to
+  // validate staged images.
+  config_.storage_backend = std::string(spec);
+  config_.io_queue_depth = options.queue_depth;
+  config_.journal_migration = true;
+  migration_.AttachJournal(&journal_);
+  return OkStatus();
 }
 
 Status CmServer::SyncDisks() {
@@ -247,6 +311,7 @@ RoundMetrics CmServer::Tick() {
         }
         sharded_scheduler_ = std::make_unique<ShardedScheduler>(
             std::max(shards, 1), config_.master_seed ^ 0x5aa2dull);
+        sharded_scheduler_->set_io_engine(io_engine_.get());
       }
       service = sharded_scheduler_->Run(streams_, *policy_, migration_,
                                         store_, disks_, &leftover,
@@ -260,6 +325,12 @@ RoundMetrics CmServer::Tick() {
   metrics.hiccups = service.hiccups;
   total_served_ += service.served;
   total_hiccups_ += service.hiccups;
+
+  // Land the round's physical serve reads: one batched submission per disk,
+  // verified against the canonical images as the completions drain.
+  if (io_engine_ != nullptr) {
+    SCADDAR_CHECK(io_engine_->FinishServeRound().ok());
+  }
 
   if (config_.migration_extra_budget > 0) {
     for (auto& [id, budget] : leftover) {
@@ -473,6 +544,10 @@ StatusOr<std::unique_ptr<CmServer>> CmServer::Restore(
     }
   }
   SCADDAR_RETURN_IF_ERROR(server->SyncDisks());
+  if (config.storage_backend != "sim") {
+    SCADDAR_RETURN_IF_ERROR(server->SelectBackend(config.storage_backend,
+                                                  config.io_queue_depth));
+  }
   // Materialize the store from AF() — valid because the snapshot was
   // taken with an idle migration (store == placement).
   std::vector<PhysicalDiskId> locations;
@@ -492,6 +567,14 @@ StatusOr<JournalRecoveryStats> CmServer::SimulateCrashRestart() {
   migration_.Reset();
   streams_.clear();
   streams_per_object_.clear();
+  // The engine crashes first: queued-but-unsubmitted staged copies vanish
+  // (their bytes never reached the medium), the slot layout round-trips
+  // through its serialized form, and every disk reopens through the
+  // backend. Recovery below then validates each journaled staged image
+  // before trusting it — this is where torn copies are caught.
+  if (io_engine_ != nullptr) {
+    SCADDAR_RETURN_IF_ERROR(io_engine_->SimulateCrashRestart());
+  }
   // The journal is the durable WAL a real server would fsync: round-trip it
   // through its text form so recovery provably runs off the serialized
   // bytes alone.

@@ -23,6 +23,7 @@
 
 namespace scaddar {
 
+class BlockIoEngine;
 class FaultInjector;
 
 /// A stream's playback state captured when its object migrates to another
@@ -65,6 +66,7 @@ class CmServer {
 
   CmServer(const CmServer&) = delete;
   CmServer& operator=(const CmServer&) = delete;
+  ~CmServer();
 
   /// Ingests a new CM object: derives its seed, materializes `X0`, places
   /// its blocks per the policy and writes them to the store.
@@ -139,6 +141,19 @@ class CmServer {
   /// Verifies that the materialized store matches AF() (meaningful when no
   /// migration is pending — otherwise reports FailedPrecondition).
   Status VerifyIntegrity() const;
+
+  // --- Real block I/O. --------------------------------------------------
+  /// Switches the storage backend (`MakeStorageBackend` spec; "sim" drops
+  /// back to pure simulation). Only legal while the store is empty — block
+  /// images are written at ingest, so an established farm cannot change
+  /// media under itself. `queue_depth` <= 0 keeps the config value. A real
+  /// backend forces the move journal on (real bytes only move under the
+  /// WAL protocol) and binds the backend fault hook to whatever fault
+  /// injector is attached, now or later.
+  Status SelectBackend(std::string_view spec, int queue_depth = 0);
+
+  /// The real-I/O engine, or null when the backend is "sim".
+  BlockIoEngine* io_engine() const { return io_engine_.get(); }
 
   // --- Fault injection & crash recovery. --------------------------------
   /// Attaches (or detaches, with null) the fault engine; it reaches every
@@ -233,6 +248,7 @@ class CmServer {
   Catalog catalog_;
   std::unique_ptr<PlacementPolicy> policy_;
   DiskArray disks_;
+  std::unique_ptr<BlockIoEngine> io_engine_;  // Null when backend == "sim".
   BlockStore store_;
   RoundScheduler scheduler_;
   std::unique_ptr<ShardedScheduler> sharded_scheduler_;  // Lazy.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "storage/block_io.h"
 #include "util/status.h"
 
 namespace scaddar {
@@ -217,6 +218,15 @@ RoundServiceResult ShardedScheduler::Run(
     // the stream asked, the disk was out of budget), same accounting as
     // the serial path's per-iteration increments, batched.
     Stream& stream = streams[i];
+    if (io_ != nullptr && k > 0) {
+      const BlockIndex first = stream.next_block();
+      for (int32_t b = 0; b < k; ++b) {
+        SCADDAR_CHECK(
+            io_->EnqueueServeRead(BlockRef{stream.object(), first + b},
+                                  slots[b])
+                .ok());
+      }
+    }
     stream.DeliverBlocks(k);
     ShardStats& owner = shards[static_cast<size_t>(shard_of[i])].stats;
     result.requests += k + (hiccup ? 1 : 0);

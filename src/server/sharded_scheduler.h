@@ -82,6 +82,13 @@ class ShardedScheduler {
   ShardedScheduler(const ShardedScheduler&) = delete;
   ShardedScheduler& operator=(const ShardedScheduler&) = delete;
 
+  /// Attaches (or detaches, with null) the real-I/O engine. Serve reads are
+  /// queued during the *serial commit* phase only — the engine is not
+  /// thread-safe, and the parallel resolve phase must stay read-only — so
+  /// the per-shard parallelism is untouched and a whole round's reads still
+  /// go down in one batched submission per disk.
+  void set_io_engine(BlockIoEngine* io) { io_ = io; }
+
   /// One scheduling round over `streams`; drop-in equivalent of
   /// `RoundScheduler::RunBatched` (same contract, same results).
   RoundServiceResult Run(
@@ -117,6 +124,7 @@ class ShardedScheduler {
                     const ShardedRunOptions& options);
 
   ShardRouter router_;
+  BlockIoEngine* io_ = nullptr;       // Not owned; may be null.
   std::unique_ptr<ThreadPool> pool_;  // Lazy: only parallel rounds need it.
   Published<RoundEpoch> epoch_;
   int64_t round_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/block_io.h"
+
 namespace scaddar {
 
 Status BlockStore::PlaceObject(ObjectId id,
@@ -11,6 +13,10 @@ Status BlockStore::PlaceObject(ObjectId id,
   }
   if (locations_.contains(id)) {
     return AlreadyExistsError("object already materialized");
+  }
+  if (io_ != nullptr) {
+    SCADDAR_RETURN_IF_ERROR(io_->PlaceObject(
+        id, std::span<const PhysicalDiskId>(locations)));
   }
   locations_[id] = locations;
   total_blocks_ += static_cast<int64_t>(locations.size());
@@ -26,6 +32,9 @@ Status BlockStore::DropObject(ObjectId id) {
   const auto it = locations_.find(id);
   if (it == locations_.end()) {
     return NotFoundError("object not materialized");
+  }
+  if (io_ != nullptr) {
+    SCADDAR_RETURN_IF_ERROR(io_->DropObject(id));
   }
   for (const PhysicalDiskId disk : it->second) {
     AdjustDisk(disk, -1);
@@ -86,6 +95,10 @@ Status BlockStore::ApplyMove(const BlockMove& move) {
   if (location != move.from_physical) {
     return FailedPreconditionError("block is not on the expected source disk");
   }
+  if (io_ != nullptr) {
+    SCADDAR_RETURN_IF_ERROR(
+        io_->ApplyMove(move.block, move.from_physical, move.to_physical));
+  }
   location = move.to_physical;
   AdjustDisk(move.from_physical, -1);
   AdjustDisk(move.to_physical, 1);
@@ -103,14 +116,18 @@ Status BlockStore::StageCopy(BlockRef ref, PhysicalDiskId to) {
       ref.block >= static_cast<BlockIndex>(it->second.size())) {
     return OutOfRangeError("block index out of range");
   }
-  if (it->second[static_cast<size_t>(ref.block)] == to) {
+  const PhysicalDiskId from = it->second[static_cast<size_t>(ref.block)];
+  if (from == to) {
     return InvalidArgumentError("block already resides on the target disk");
   }
   auto& object_staged = staged_[ref.object];
-  const auto [entry, inserted] = object_staged.try_emplace(ref.block, to);
-  if (!inserted) {
+  if (object_staged.contains(ref.block)) {
     return FailedPreconditionError("block already has a staged copy");
   }
+  if (io_ != nullptr) {
+    SCADDAR_RETURN_IF_ERROR(io_->StageCopy(ref, from, to));
+  }
+  object_staged.emplace(ref.block, to);
   AdjustDisk(to, 1);
   ++staged_count_;
   mutation_revision_.Bump();
@@ -138,6 +155,9 @@ Status BlockStore::CommitStagedMove(BlockRef ref, PhysicalDiskId from,
   if (location != from) {
     return FailedPreconditionError("block is not on the expected source disk");
   }
+  if (io_ != nullptr) {
+    SCADDAR_RETURN_IF_ERROR(io_->CommitStaged(ref, from, to));
+  }
   // The staged copy becomes the authoritative one (no occupancy change on
   // `to`); the source copy is released.
   location = to;
@@ -161,6 +181,9 @@ Status BlockStore::AbortStagedCopy(BlockRef ref) {
   if (entry == staged->second.end()) {
     return NotFoundError("block has no staged copy");
   }
+  if (io_ != nullptr) {
+    SCADDAR_RETURN_IF_ERROR(io_->AbortStaged(ref));
+  }
   AdjustDisk(entry->second, -1);
   staged->second.erase(entry);
   if (staged->second.empty()) {
@@ -169,6 +192,17 @@ Status BlockStore::AbortStagedCopy(BlockRef ref) {
   --staged_count_;
   mutation_revision_.Bump();
   return OkStatus();
+}
+
+StatusOr<bool> BlockStore::ValidateStagedImage(BlockRef ref) const {
+  const auto staged = staged_.find(ref.object);
+  if (staged == staged_.end() || !staged->second.contains(ref.block)) {
+    return NotFoundError("block has no staged copy");
+  }
+  if (io_ == nullptr) {
+    return true;  // Simulated staged copies cannot tear.
+  }
+  return io_->ValidateStagedImage(ref);
 }
 
 StatusOr<PhysicalDiskId> BlockStore::StagedTarget(BlockRef ref) const {

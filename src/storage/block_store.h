@@ -15,6 +15,8 @@
 
 namespace scaddar {
 
+class BlockIoEngine;
+
 /// The *materialized* truth of where every block physically resides. The
 /// placement policy computes where blocks *should* be; the block store
 /// records where they *are*. During an online scaling operation the two
@@ -26,6 +28,14 @@ namespace scaddar {
 class BlockStore {
  public:
   explicit BlockStore(DiskArray* disks = nullptr) : disks_(disks) {}
+
+  /// Attaches (or detaches, with null) the real-I/O engine. With an engine
+  /// attached every mutation forwards to it *before* mutating the
+  /// bookkeeping — block images move on the backing medium in lockstep
+  /// with the location map, and an engine failure leaves the store
+  /// untouched. Without one the store is the pure simulation it always was.
+  void AttachIoEngine(BlockIoEngine* io) { io_ = io; }
+  BlockIoEngine* io_engine() const { return io_; }
 
   /// Materializes an object whose block `i` lives on `locations[i]`.
   Status PlaceObject(ObjectId id, const std::vector<PhysicalDiskId>& locations);
@@ -88,6 +98,12 @@ class BlockStore {
   /// rollback of a torn or orphaned copy).
   Status AbortStagedCopy(BlockRef ref);
 
+  /// True when `ref`'s staged bytes are intact on the backing medium (reads
+  /// them back through the attached engine). Trivially true without an
+  /// engine — simulated staged copies cannot tear. NotFound when nothing is
+  /// staged. `MoveJournal::Recover` gates roll-forward on this.
+  StatusOr<bool> ValidateStagedImage(BlockRef ref) const;
+
   /// Where `ref` is currently staged to, or NotFound.
   StatusOr<PhysicalDiskId> StagedTarget(BlockRef ref) const;
 
@@ -120,6 +136,7 @@ class BlockStore {
   void AdjustDisk(PhysicalDiskId disk, int64_t delta);
 
   DiskArray* disks_;  // Not owned; may be null.
+  BlockIoEngine* io_ = nullptr;  // Not owned; may be null.
   std::unordered_map<ObjectId, std::vector<PhysicalDiskId>> locations_;
   std::unordered_map<ObjectId, RevisionCounter> row_revisions_;
   std::unordered_map<PhysicalDiskId, int64_t> per_disk_counts_;

@@ -75,9 +75,22 @@ void MoveJournal::MarkCommitted(int64_t id) {
   SCADDAR_CHECK(false && "MarkCommitted: unknown journal id");
 }
 
+void MoveJournal::MarkAborted(int64_t id) {
+  for (JournalEntry& entry : entries_) {
+    if (entry.id == id) {
+      SCADDAR_CHECK(entry.phase == JournalPhase::kIntent);
+      entry.phase = JournalPhase::kAborted;
+      --pending_;
+      return;
+    }
+  }
+  SCADDAR_CHECK(false && "MarkAborted: unknown journal id");
+}
+
 void MoveJournal::Compact() {
   while (!entries_.empty() &&
-         entries_.front().phase == JournalPhase::kCommitted) {
+         (entries_.front().phase == JournalPhase::kCommitted ||
+          entries_.front().phase == JournalPhase::kAborted)) {
     entries_.pop_front();
   }
 }
@@ -136,12 +149,13 @@ StatusOr<MoveJournal> MoveJournal::Deserialize(std::string_view text) {
       SCADDAR_ASSIGN_OR_RETURN(entry.from, ParseInt(tokens[4]));
       SCADDAR_ASSIGN_OR_RETURN(entry.to, ParseInt(tokens[5]));
       SCADDAR_ASSIGN_OR_RETURN(const int64_t phase, ParseInt(tokens[6]));
-      if (phase < 0 || phase > static_cast<int64_t>(JournalPhase::kCommitted)) {
+      if (phase < 0 || phase > static_cast<int64_t>(JournalPhase::kAborted)) {
         return InvalidArgumentError("move journal phase out of range");
       }
       entry.phase = static_cast<JournalPhase>(phase);
       journal.entries_.push_back(entry);
-      if (entry.phase != JournalPhase::kCommitted) {
+      if (entry.phase != JournalPhase::kCommitted &&
+          entry.phase != JournalPhase::kAborted) {
         ++journal.pending_;
       }
     } else {
@@ -157,7 +171,8 @@ StatusOr<MoveJournal> MoveJournal::Deserialize(std::string_view text) {
 StatusOr<JournalRecoveryStats> MoveJournal::Recover(BlockStore& store) {
   JournalRecoveryStats stats;
   for (JournalEntry& entry : entries_) {
-    if (entry.phase == JournalPhase::kCommitted) {
+    if (entry.phase == JournalPhase::kCommitted ||
+        entry.phase == JournalPhase::kAborted) {
       continue;
     }
     ++stats.scanned;
@@ -196,6 +211,20 @@ StatusOr<JournalRecoveryStats> MoveJournal::Recover(BlockStore& store) {
     if (!staged.ok() || *staged != entry.to) {
       return InternalError(
           "journal replay: copied record without a matching staged copy");
+    }
+    // The copied record promises staged bytes, but with a real backend the
+    // stage write may have died in the submission queue (crash between the
+    // log record and the batched submit) or landed short. Read the image
+    // back before trusting it; a torn copy rolls *back* and the block is
+    // re-discovered by reconciliation.
+    SCADDAR_ASSIGN_OR_RETURN(const bool intact,
+                             store.ValidateStagedImage(entry.block));
+    if (!intact) {
+      SCADDAR_RETURN_IF_ERROR(store.AbortStagedCopy(entry.block));
+      entry.phase = JournalPhase::kAborted;
+      --pending_;
+      ++stats.torn_copies_released;
+      continue;
     }
     SCADDAR_RETURN_IF_ERROR(
         store.CommitStagedMove(entry.block, entry.from, entry.to));

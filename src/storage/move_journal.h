@@ -14,11 +14,14 @@ namespace scaddar {
 
 /// Durable state of one journaled move. Records advance strictly
 /// kIntent -> kCopied -> kCommitted; a crash can strand an entry at any of
-/// the first two.
+/// the first two. An intent whose copy failed (injected EIO, short write)
+/// is closed out as kAborted — the move never happened and the block is
+/// re-queued by the executor.
 enum class JournalPhase {
   kIntent = 0,     // Move decided; nothing written to the target yet.
   kCopied = 1,     // Block bytes durably staged on the target disk.
   kCommitted = 2,  // Location flipped; the move is fully applied.
+  kAborted = 3,    // Copy failed; the staged slot was released.
 };
 
 /// One write-ahead record: "block moves from -> to".
@@ -39,6 +42,9 @@ struct JournalRecoveryStats {
   int64_t already_applied = 0;   // kCopied whose flip was already durable.
   int64_t discarded_intents = 0; // kIntent dropped (reconciliation re-queues).
   int64_t orphan_stages_released = 0;  // Torn copies with no kCopied record.
+  int64_t torn_copies_released = 0;    // kCopied whose staged *bytes* failed
+                                       // image validation (a batched write
+                                       // that never reached the medium).
 };
 
 /// The write-ahead move journal that makes migration crash-consistent: every
@@ -64,6 +70,10 @@ class MoveJournal {
 
   /// Marks the entry fully applied (id must exist and be kCopied).
   void MarkCommitted(int64_t id);
+
+  /// Closes an intent whose copy failed (id must exist and be kIntent).
+  /// The entry stops being pending; recovery skips it.
+  void MarkAborted(int64_t id);
 
   /// Entries not yet committed.
   int64_t pending() const { return pending_; }

@@ -1,0 +1,75 @@
+#include "storage/storage_backend.h"
+
+#include <sys/stat.h>
+
+#include "storage/file_backend.h"
+#include "storage/mem_backend.h"
+#include "storage/uring_backend.h"
+
+namespace scaddar {
+
+void MakeDirectories(std::string_view path) {
+  std::string prefix;
+  prefix.reserve(path.size());
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!prefix.empty() && prefix != "/") {
+        ::mkdir(prefix.c_str(), 0755);
+      }
+    }
+    if (i < path.size()) {
+      prefix += path[i];
+    }
+  }
+}
+
+namespace {
+
+constexpr std::string_view kFilePrefix = "file:";
+constexpr std::string_view kUringPrefix = "uring:";
+
+Status ValidateFileOptions(const BackendOptions& options) {
+  if (options.block_bytes <= 0 || options.block_bytes % 4096 != 0) {
+    return InvalidArgumentError(
+        "file-backed backends need block_bytes as a positive multiple of "
+        "4096 (O_DIRECT sector alignment)");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<StorageBackend>> MakeStorageBackend(
+    std::string_view spec, const BackendOptions& options) {
+  if (spec == "mem") {
+    return std::unique_ptr<StorageBackend>(new MemBackend(options));
+  }
+  if (spec.substr(0, kFilePrefix.size()) == kFilePrefix) {
+    const std::string_view dir = spec.substr(kFilePrefix.size());
+    if (dir.empty()) {
+      return InvalidArgumentError("file: spec needs a directory");
+    }
+    SCADDAR_RETURN_IF_ERROR(ValidateFileOptions(options));
+    return std::unique_ptr<StorageBackend>(
+        new SyncFileBackend(std::string(dir), options));
+  }
+  if (spec.substr(0, kUringPrefix.size()) == kUringPrefix) {
+    const std::string_view dir = spec.substr(kUringPrefix.size());
+    if (dir.empty()) {
+      return InvalidArgumentError("uring: spec needs a directory");
+    }
+    SCADDAR_RETURN_IF_ERROR(ValidateFileOptions(options));
+    if (!UringAvailable()) {
+      // Same files, same layout — scenarios written for uring keep running
+      // on kernels (or seccomp sandboxes) that refuse io_uring_setup.
+      return std::unique_ptr<StorageBackend>(
+          new SyncFileBackend(std::string(dir), options));
+    }
+    return std::unique_ptr<StorageBackend>(
+        new UringBackend(std::string(dir), options));
+  }
+  return InvalidArgumentError("unknown storage backend spec: " +
+                              std::string(spec));
+}
+
+}  // namespace scaddar

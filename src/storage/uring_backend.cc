@@ -1,0 +1,404 @@
+#include "storage/uring_backend.h"
+
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace scaddar {
+
+namespace {
+
+int UringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int UringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+               unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+int UringRegister(int ring_fd, unsigned opcode, const void* arg,
+                  unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, ring_fd, opcode, arg, nr_args));
+}
+
+int64_t AlignDownToSector(int64_t len) { return len & ~int64_t{4095}; }
+
+template <typename T>
+T* RingPtr(void* base, unsigned offset) {
+  return reinterpret_cast<T*>(static_cast<char*>(base) + offset);
+}
+
+}  // namespace
+
+bool UringAvailable() {
+  static const bool available = [] {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int fd = UringSetup(2, &params);
+    if (fd < 0) {
+      return false;
+    }
+    ::close(fd);
+    return true;
+  }();
+  return available;
+}
+
+UringBackend::UringBackend(std::string directory,
+                           const BackendOptions& options)
+    : StorageBackend(options), directory_(std::move(directory)) {
+  MakeDirectories(directory_);
+}
+
+UringBackend::~UringBackend() {
+  std::vector<IoCompletion> sink;
+  (void)DrainCompletions(sink);
+  for (auto& [id, ring] : rings_) {
+    TeardownRing(ring);
+  }
+}
+
+Status UringBackend::SetupRing(Ring& ring) {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  // SINGLE_ISSUER + COOP_TASKRUN shave kernel-side bookkeeping; both are
+  // newer than io_uring itself, so retry plain when the kernel objects.
+  params.flags = IORING_SETUP_SINGLE_ISSUER | IORING_SETUP_COOP_TASKRUN;
+  int fd = UringSetup(static_cast<unsigned>(queue_depth()), &params);
+  if (fd < 0 && errno == EINVAL) {
+    std::memset(&params, 0, sizeof(params));
+    fd = UringSetup(static_cast<unsigned>(queue_depth()), &params);
+  }
+  if (fd < 0) {
+    return UnavailableError(std::string("io_uring_setup: ") +
+                            std::strerror(errno));
+  }
+  ring.ring_fd = fd;
+  ring.sq_entries = params.sq_entries;
+  ring.cq_entries = params.cq_entries;
+
+  ring.sq_len = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  ring.cq_len = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && ring.cq_len > ring.sq_len) {
+    ring.sq_len = ring.cq_len;
+  }
+  ring.sq_mem = ::mmap(nullptr, ring.sq_len, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (ring.sq_mem == MAP_FAILED) {
+    ring.sq_mem = nullptr;
+    TeardownRing(ring);
+    return UnavailableError("mmap sq ring failed");
+  }
+  void* cq_base = ring.sq_mem;
+  if (!single_mmap) {
+    ring.cq_mem = ::mmap(nullptr, ring.cq_len, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (ring.cq_mem == MAP_FAILED) {
+      ring.cq_mem = nullptr;
+      TeardownRing(ring);
+      return UnavailableError("mmap cq ring failed");
+    }
+    cq_base = ring.cq_mem;
+  }
+  ring.sqes_len = params.sq_entries * sizeof(io_uring_sqe);
+  void* sqes = ::mmap(nullptr, ring.sqes_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    TeardownRing(ring);
+    return UnavailableError("mmap sqes failed");
+  }
+  ring.sqes = static_cast<io_uring_sqe*>(sqes);
+
+  ring.sq_head = RingPtr<unsigned>(ring.sq_mem, params.sq_off.head);
+  ring.sq_tail = RingPtr<unsigned>(ring.sq_mem, params.sq_off.tail);
+  ring.sq_mask = RingPtr<unsigned>(ring.sq_mem, params.sq_off.ring_mask);
+  ring.sq_array = RingPtr<unsigned>(ring.sq_mem, params.sq_off.array);
+  ring.cq_head = RingPtr<unsigned>(cq_base, params.cq_off.head);
+  ring.cq_tail = RingPtr<unsigned>(cq_base, params.cq_off.tail);
+  ring.cq_mask = RingPtr<unsigned>(cq_base, params.cq_off.ring_mask);
+  ring.cqes = RingPtr<io_uring_cqe>(cq_base, params.cq_off.cqes);
+  return OkStatus();
+}
+
+void UringBackend::TeardownRing(Ring& ring) {
+  if (ring.sqes != nullptr) {
+    ::munmap(ring.sqes, ring.sqes_len);
+    ring.sqes = nullptr;
+  }
+  if (ring.cq_mem != nullptr) {
+    ::munmap(ring.cq_mem, ring.cq_len);
+    ring.cq_mem = nullptr;
+  }
+  if (ring.sq_mem != nullptr) {
+    ::munmap(ring.sq_mem, ring.sq_len);
+    ring.sq_mem = nullptr;
+  }
+  if (ring.ring_fd >= 0) {
+    ::close(ring.ring_fd);
+    ring.ring_fd = -1;
+  }
+  if (ring.file_fd >= 0) {
+    ::close(ring.file_fd);
+    ring.file_fd = -1;
+  }
+}
+
+Status UringBackend::RegisterArenaOn(Ring& ring) {
+  if (arena_base_ == nullptr || ring.buffers_registered) {
+    return OkStatus();
+  }
+  iovec vec;
+  vec.iov_base = arena_base_;
+  vec.iov_len = static_cast<size_t>(arena_count_ * block_bytes());
+  if (UringRegister(ring.ring_fd, IORING_REGISTER_BUFFERS, &vec, 1) < 0) {
+    // Registration is an optimization (locked-memory limits can refuse
+    // it); unregistered READ/WRITE opcodes keep everything working.
+    return OkStatus();
+  }
+  ring.buffers_registered = true;
+  return OkStatus();
+}
+
+Status UringBackend::RegisterBufferArena(std::byte* base, int64_t count) {
+  arena_base_ = base;
+  arena_count_ = count;
+  for (auto& [id, ring] : rings_) {
+    if (ring.buffers_registered) {
+      UringRegister(ring.ring_fd, IORING_UNREGISTER_BUFFERS, nullptr, 0);
+      ring.buffers_registered = false;
+    }
+    SCADDAR_RETURN_IF_ERROR(RegisterArenaOn(ring));
+  }
+  return OkStatus();
+}
+
+Status UringBackend::OpenDisk(PhysicalDiskId disk) {
+  Ring& ring = rings_[disk];
+  if (ring.ring_fd >= 0) {
+    return OkStatus();
+  }
+  const std::string path =
+      directory_ + "/disk_" + std::to_string(disk) + ".img";
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_DIRECT, 0644);
+  if (fd < 0 && (errno == EINVAL || errno == ENOTSUP)) {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  } else if (fd >= 0) {
+    direct_ = true;
+  }
+  if (fd < 0) {
+    rings_.erase(disk);
+    return UnavailableError("open(" + path + "): " + std::strerror(errno));
+  }
+  ring.file_fd = fd;
+  const Status setup = SetupRing(ring);
+  if (!setup.ok()) {
+    TeardownRing(ring);
+    rings_.erase(disk);
+    return setup;
+  }
+  return RegisterArenaOn(ring);
+}
+
+Status UringBackend::CloseDisk(PhysicalDiskId disk) {
+  std::vector<IoCompletion> sink;
+  SCADDAR_RETURN_IF_ERROR(DrainCompletions(sink));
+  completed_.insert(completed_.end(), sink.begin(), sink.end());
+  const auto it = rings_.find(disk);
+  if (it == rings_.end()) {
+    return NotFoundError("disk not open");
+  }
+  TeardownRing(it->second);
+  rings_.erase(it);
+  return OkStatus();
+}
+
+StatusOr<UringBackend::Ring*> UringBackend::Lookup(PhysicalDiskId disk) {
+  const auto it = rings_.find(disk);
+  if (it == rings_.end() || it->second.ring_fd < 0) {
+    return NotFoundError("disk not open");
+  }
+  return &it->second;
+}
+
+Status UringBackend::PrepOp(Ring& ring, IoOp op, int64_t offset, void* addr,
+                            int64_t len, int64_t token) {
+  const unsigned head = __atomic_load_n(ring.sq_head, __ATOMIC_ACQUIRE);
+  unsigned tail = *ring.sq_tail;
+  if (tail - head >= ring.sq_entries) {
+    SCADDAR_RETURN_IF_ERROR(SubmitRing(ring));
+  }
+  if (ring.in_flight + ring.to_submit >=
+      static_cast<int64_t>(ring.cq_entries)) {
+    // CQ about to overflow: push what we have and reap one batch.
+    SCADDAR_RETURN_IF_ERROR(SubmitRing(ring));
+    SCADDAR_RETURN_IF_ERROR(ReapRing(ring, 1));
+  }
+  tail = *ring.sq_tail;
+  const unsigned index = tail & *ring.sq_mask;
+  io_uring_sqe& sqe = ring.sqes[index];
+  std::memset(&sqe, 0, sizeof(sqe));
+  const bool in_arena =
+      arena_base_ != nullptr && static_cast<std::byte*>(addr) >= arena_base_ &&
+      static_cast<std::byte*>(addr) < arena_base_ + arena_count_ * block_bytes();
+  const bool fixed = in_arena && ring.buffers_registered;
+  if (op == IoOp::kRead) {
+    sqe.opcode = fixed ? IORING_OP_READ_FIXED : IORING_OP_READ;
+  } else {
+    sqe.opcode = fixed ? IORING_OP_WRITE_FIXED : IORING_OP_WRITE;
+  }
+  sqe.fd = ring.file_fd;
+  sqe.off = static_cast<__u64>(offset);
+  sqe.addr = reinterpret_cast<__u64>(addr);
+  sqe.len = static_cast<__u32>(len);
+  sqe.buf_index = 0;  // The arena is registered as one iovec.
+  // Low bit carries the opcode so reaping can split read/write stats.
+  sqe.user_data =
+      (static_cast<__u64>(token) << 1) | (op == IoOp::kWrite ? 1 : 0);
+  ring.sq_array[index] = index;
+  __atomic_store_n(ring.sq_tail, tail + 1, __ATOMIC_RELEASE);
+  ++ring.to_submit;
+  return OkStatus();
+}
+
+StatusOr<int64_t> UringBackend::EnqueueRead(PhysicalDiskId disk, int64_t slot,
+                                            std::byte* buf) {
+  SCADDAR_ASSIGN_OR_RETURN(Ring * ring, Lookup(disk));
+  const int64_t token = next_token_++;
+  const IoFault fault = NextFault(disk, IoOp::kRead);
+  if (fault == IoFault::kEio) {
+    IoCompletion completion;
+    completion.token = token;
+    completion.status = UnavailableError("injected EIO on read");
+    completed_.push_back(std::move(completion));
+    return token;
+  }
+  int64_t len = block_bytes();
+  if (fault == IoFault::kShort) {
+    len /= 2;
+    if (direct_) {
+      len = AlignDownToSector(len);
+    }
+  }
+  SCADDAR_RETURN_IF_ERROR(
+      PrepOp(*ring, IoOp::kRead, slot * block_bytes(), buf, len, token));
+  return token;
+}
+
+StatusOr<int64_t> UringBackend::EnqueueWrite(PhysicalDiskId disk,
+                                             int64_t slot,
+                                             const std::byte* buf) {
+  SCADDAR_ASSIGN_OR_RETURN(Ring * ring, Lookup(disk));
+  const int64_t token = next_token_++;
+  const IoFault fault = NextFault(disk, IoOp::kWrite);
+  if (fault == IoFault::kEio) {
+    IoCompletion completion;
+    completion.token = token;
+    completion.status = UnavailableError("injected EIO on write");
+    completed_.push_back(std::move(completion));
+    return token;
+  }
+  int64_t len = block_bytes();
+  if (fault == IoFault::kShort) {
+    len /= 2;
+    if (direct_) {
+      len = AlignDownToSector(len);
+    }
+  }
+  SCADDAR_RETURN_IF_ERROR(PrepOp(*ring, IoOp::kWrite, slot * block_bytes(),
+                                 const_cast<std::byte*>(buf), len, token));
+  return token;
+}
+
+Status UringBackend::SubmitRing(Ring& ring) {
+  if (ring.to_submit == 0) {
+    return OkStatus();
+  }
+  const int res = UringEnter(ring.ring_fd, ring.to_submit, 0, 0);
+  if (res < 0) {
+    return UnavailableError(std::string("io_uring_enter: ") +
+                            std::strerror(errno));
+  }
+  ring.in_flight += res;
+  ring.to_submit -= static_cast<unsigned>(res);
+  ++stats_.submit_batches;
+  return OkStatus();
+}
+
+Status UringBackend::ReapRing(Ring& ring, int64_t min_complete) {
+  int64_t reaped = 0;
+  while (true) {
+    unsigned head = *ring.cq_head;
+    const unsigned tail = __atomic_load_n(ring.cq_tail, __ATOMIC_ACQUIRE);
+    while (head != tail) {
+      const io_uring_cqe& cqe = ring.cqes[head & *ring.cq_mask];
+      IoCompletion completion;
+      completion.token = static_cast<int64_t>(cqe.user_data >> 1);
+      if (cqe.res < 0) {
+        completion.status = UnavailableError(std::string("io_uring op: ") +
+                                             std::strerror(-cqe.res));
+      } else {
+        completion.bytes = cqe.res;
+        ((cqe.user_data & 1) != 0 ? stats_.writes : stats_.reads)++;
+      }
+      completed_.push_back(std::move(completion));
+      ++head;
+      ++reaped;
+      --ring.in_flight;
+    }
+    __atomic_store_n(ring.cq_head, head, __ATOMIC_RELEASE);
+    if (reaped >= min_complete || ring.in_flight == 0) {
+      return OkStatus();
+    }
+    const unsigned want = static_cast<unsigned>(min_complete - reaped);
+    const int res =
+        UringEnter(ring.ring_fd, 0, want, IORING_ENTER_GETEVENTS);
+    if (res < 0 && errno != EINTR) {
+      return UnavailableError(std::string("io_uring_enter(wait): ") +
+                              std::strerror(errno));
+    }
+  }
+}
+
+Status UringBackend::Flush(PhysicalDiskId disk) {
+  SCADDAR_ASSIGN_OR_RETURN(Ring * ring, Lookup(disk));
+  SCADDAR_CHECK(ring->to_submit == 0 && ring->in_flight == 0);
+  if (::fdatasync(ring->file_fd) != 0) {
+    return UnavailableError(std::string("fdatasync: ") +
+                            std::strerror(errno));
+  }
+  ++stats_.flushes;
+  return OkStatus();
+}
+
+Status UringBackend::SubmitAll() {
+  for (auto& [disk, ring] : rings_) {
+    SCADDAR_RETURN_IF_ERROR(SubmitRing(ring));
+  }
+  return OkStatus();
+}
+
+Status UringBackend::DrainCompletions(std::vector<IoCompletion>& out) {
+  SCADDAR_RETURN_IF_ERROR(SubmitAll());
+  for (auto& [disk, ring] : rings_) {
+    while (ring.in_flight > 0) {
+      SCADDAR_RETURN_IF_ERROR(ReapRing(ring, ring.in_flight));
+    }
+  }
+  out.insert(out.end(), completed_.begin(), completed_.end());
+  completed_.clear();
+  return OkStatus();
+}
+
+}  // namespace scaddar

@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -72,6 +76,14 @@ Status UnimplementedError(std::string_view message) {
 
 Status InternalError(std::string_view message) {
   return Status(StatusCode::kInternal, message);
+}
+
+Status UnavailableError(std::string_view message) {
+  return Status(StatusCode::kUnavailable, message);
+}
+
+Status DataLossError(std::string_view message) {
+  return Status(StatusCode::kDataLoss, message);
 }
 
 namespace internal {

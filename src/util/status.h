@@ -23,6 +23,8 @@ enum class StatusCode {
   kResourceExhausted = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kUnavailable = 9,
+  kDataLoss = 10,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -81,6 +83,8 @@ Status OutOfRangeError(std::string_view message);
 Status ResourceExhaustedError(std::string_view message);
 Status UnimplementedError(std::string_view message);
 Status InternalError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status DataLossError(std::string_view message);
 
 namespace internal {
 [[noreturn]] void DieBecauseOfBadStatusOrAccess(const Status& status);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "storage/block_io.h"
+
 namespace scaddar {
 namespace {
 
@@ -120,6 +124,27 @@ TEST(ScenarioTest, MalformedArgumentsRejected) {
   EXPECT_FALSE(RunScenario(*server, "tick -3\n").ok());
   EXPECT_FALSE(RunScenario(*server, "scale sideways 2\n").ok());
   EXPECT_FALSE(RunScenario(*server, "scale remove 1,,2\n").ok());
+}
+
+TEST(ScenarioTest, BackendCommand) {
+  auto server = MakeServer();
+  std::string dir = ::testing::TempDir() + "scaddar_scn_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir.data()), nullptr);
+  const StatusOr<ScenarioResult> result =
+      RunScenario(*server, "backend file:" + dir + " 8\n"
+                           "addobject 1 50\n"
+                           "stream 1\n"
+                           "tick 60\n"
+                           "verify\n");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(server->io_engine(), nullptr);
+  EXPECT_EQ(server->io_engine()->backend().queue_depth(), 8);
+  EXPECT_GT(server->io_engine()->stats().serve_reads, 0);
+  // Selecting a backend is only legal on an empty store, and an unknown
+  // spec is a line error.
+  EXPECT_FALSE(RunScenario(*server, "backend mem\n").ok());
+  auto fresh = MakeServer();
+  EXPECT_FALSE(RunScenario(*fresh, "backend nvme:/dev/nvme0\n").ok());
 }
 
 }  // namespace
