@@ -67,6 +67,10 @@ void PrintSummary(const scaddar::ScenarioResult& result) {
     std::printf("  crashes survived  : %lld\n",
                 static_cast<long long>(result.crashes));
   }
+  if (result.kill_restarts > 0) {
+    std::printf("  checkpoint restarts : %lld\n",
+                static_cast<long long>(result.kill_restarts));
+  }
 }
 
 }  // namespace

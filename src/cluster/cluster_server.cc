@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "recovery/checkpoint_manager.h"
+#include "recovery/snapshot.h"
 #include "util/status.h"
 
 namespace scaddar {
@@ -46,8 +48,7 @@ StatusOr<std::unique_ptr<ClusterServer>> ClusterServer::Create(
 ClusterServer::ClusterServer(const ClusterConfig& config)
     : config_(config), map_(config.initial_shards) {}
 
-StatusOr<std::unique_ptr<CmServer>> ClusterServer::BuildShard(
-    int member) const {
+ServerConfig ClusterServer::ShardConfig(int member) const {
   ServerConfig shard_config = config_.shard;
   shard_config.first_stream_id = static_cast<int64_t>(member) << kMemberShift;
   // File-backed shards each get their own directory: a shard owns its disk
@@ -58,7 +59,12 @@ StatusOr<std::unique_ptr<CmServer>> ClusterServer::BuildShard(
     shard_config.storage_backend +=
         "/shard" + std::to_string(member);
   }
-  return CmServer::Create(shard_config);
+  return shard_config;
+}
+
+StatusOr<std::unique_ptr<CmServer>> ClusterServer::BuildShard(
+    int member) const {
+  return CmServer::Create(ShardConfig(member));
 }
 
 int ClusterServer::ShardIndexOf(int member) const {
@@ -474,6 +480,77 @@ ClusterRoundMetrics ClusterServer::DriveRound(TrafficEngine& engine) {
     SCADDAR_CHECK(SeekStream(seek.stream_id, seek.block).ok());
   }
   return Tick();
+}
+
+StatusOr<std::string> ClusterServer::EncodeCheckpoint() const {
+  ClusterSnapshot snapshot;
+  snapshot.seats = map_.seats();
+  snapshot.next_member = map_.next_member();
+  snapshot.map_epoch = map_.epoch();
+  snapshot.owners.reserve(objects_.size());
+  for (const ObjectId object : objects_) {
+    snapshot.owners.emplace_back(object, owner_.at(object));
+  }
+  snapshot.shards.reserve(shards_.size());
+  for (const Shard& entry : shards_) {
+    snapshot.shards.push_back(ClusterSnapshotShard{
+        entry.member, entry.retiring,
+        EncodeServerSnapshot(entry.server->CaptureState())});
+  }
+  snapshot.round = round_;
+  snapshot.handoff_rejects = handoff_rejects_;
+  return EncodeClusterSnapshot(snapshot);
+}
+
+Status ClusterServer::WriteCheckpoint(CheckpointManager& manager,
+                                      int level) const {
+  SCADDAR_ASSIGN_OR_RETURN(const std::string document, EncodeCheckpoint());
+  return manager.Write(document, level, round_).status();
+}
+
+StatusOr<std::unique_ptr<ClusterServer>> ClusterServer::RestoreFromCheckpoint(
+    const ClusterConfig& config, CheckpointManager& manager) {
+  SCADDAR_ASSIGN_OR_RETURN(const LoadedCheckpoint loaded,
+                           manager.LoadNewestValid());
+  SCADDAR_ASSIGN_OR_RETURN(const ClusterSnapshot snapshot,
+                           DecodeClusterSnapshot(loaded.payload));
+  if (config.cross_shard_budget < 0) {
+    return InvalidArgumentError("cross_shard_budget must be >= 0");
+  }
+  SCADDAR_ASSIGN_OR_RETURN(
+      ShardMap map, ShardMap::FromParts(snapshot.seats, snapshot.next_member,
+                                        snapshot.map_epoch));
+  std::unique_ptr<ClusterServer> cluster(new ClusterServer(config));
+  cluster->map_ = std::move(map);
+  for (const ClusterSnapshotShard& entry : snapshot.shards) {
+    if (cluster->map_.HasMember(entry.member) == entry.retiring) {
+      return InvalidArgumentError(
+          "checkpointed retiring flag disagrees with the shard map");
+    }
+    auto server = CmServer::FromSnapshotDocument(
+        cluster->ShardConfig(entry.member), entry.document);
+    if (!server.ok()) {
+      return server.status();
+    }
+    cluster->shards_.push_back(
+        Shard{entry.member, std::move(server).value(), entry.retiring});
+  }
+  for (const auto& [object, member] : snapshot.owners) {
+    if (cluster->ShardIndexOf(member) < 0) {
+      return InvalidArgumentError("checkpointed owner is not a known shard");
+    }
+    if (!cluster->owner_.emplace(object, member).second) {
+      return InvalidArgumentError("duplicate object in checkpointed owners");
+    }
+    cluster->objects_.push_back(object);
+  }
+  cluster->round_ = snapshot.round;
+  cluster->handoff_rejects_ = snapshot.handoff_rejects;
+  // In-flight transfers were volatile state: any partially copied blocks on
+  // a destination died with the process, so re-deriving the queue from
+  // route-vs-owner divergence restarts each interrupted transfer cleanly.
+  cluster->ReconcileRouting();
+  return cluster;
 }
 
 }  // namespace scaddar

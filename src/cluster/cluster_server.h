@@ -17,6 +17,8 @@
 
 namespace scaddar {
 
+class CheckpointManager;
+
 /// Configuration of the scale-out cluster: every server shard is built from
 /// the same `ServerConfig` template (same policy, same master seed — an
 /// object's X0 sequence is shard-independent, so a migrated object's
@@ -202,6 +204,24 @@ class ClusterServer {
   /// Last published epoch (tests assert workers saw a coherent view).
   ClusterEpoch PublishedEpoch() const { return published_.Read(); }
 
+  // --- Checkpoint/restart (src/recovery). --------------------------------
+  /// Serializes the whole cluster — seat table, owner directory and one
+  /// nested server snapshot per shard — into one checksummed document.
+  /// In-flight cross-shard transfers are deliberately excluded: restore
+  /// re-derives them from route-vs-owner divergence.
+  StatusOr<std::string> EncodeCheckpoint() const;
+
+  /// Writes `EncodeCheckpoint` through `manager` as an L`level` set at the
+  /// current cluster round.
+  Status WriteCheckpoint(CheckpointManager& manager, int level) const;
+
+  /// Rebuilds a cluster from the newest valid set in `manager`: the shard
+  /// map from its checkpointed parts, each shard via
+  /// `CmServer::FromSnapshotDocument` (journal-wins reconciliation inside),
+  /// then `ReconcileRouting` to requeue any transfer the kill interrupted.
+  static StatusOr<std::unique_ptr<ClusterServer>> RestoreFromCheckpoint(
+      const ClusterConfig& config, CheckpointManager& manager);
+
  private:
   struct Shard {
     int member = 0;
@@ -216,6 +236,10 @@ class ClusterServer {
 
   /// The member encoded in a cluster stream id's high bits.
   static int MemberOfStreamId(int64_t stream_id);
+
+  /// The config template specialized for `member` (stream-id tag, per-shard
+  /// backend directory).
+  ServerConfig ShardConfig(int member) const;
 
   /// Builds a shard server for `member` from the config template.
   StatusOr<std::unique_ptr<CmServer>> BuildShard(int member) const;

@@ -25,6 +25,10 @@ const char* KindToken(FaultKind kind) {
       return "hook";
     case FaultKind::kBackendError:
       return "backend";
+    case FaultKind::kSnapshotCrash:
+      return "snapcrash";
+    case FaultKind::kSnapshotCorrupt:
+      return "snapcorrupt";
   }
   return "?";
 }
@@ -146,6 +150,16 @@ std::string FaultSchedule::Serialize() const {
                       static_cast<long long>(event.disk),
                       BackendKindToken(event.backend), event.probability);
         break;
+      case FaultKind::kSnapshotCrash:
+        std::snprintf(buffer, sizeof(buffer), "snapcrash %lld %d\n",
+                      static_cast<long long>(event.move),
+                      static_cast<int>(event.snapshot_phase));
+        break;
+      case FaultKind::kSnapshotCorrupt:
+        std::snprintf(buffer, sizeof(buffer), "snapcorrupt %lld %lld\n",
+                      static_cast<long long>(event.move),
+                      static_cast<long long>(event.disk));
+        break;
     }
     out += buffer;
   }
@@ -195,7 +209,8 @@ StatusOr<FaultSchedule> FaultSchedule::Deserialize(std::string_view text) {
       SCADDAR_ASSIGN_OR_RETURN(event.round, ParseInt(tokens[1]));
       SCADDAR_ASSIGN_OR_RETURN(event.disk, ParseInt(tokens[2]));
       SCADDAR_ASSIGN_OR_RETURN(event.probability, ParseDouble(tokens[3]));
-      if (event.probability < 0.0 || event.probability > 1.0) {
+      // Negated so NaN (which fails every comparison) is also rejected.
+      if (!(event.probability >= 0.0 && event.probability <= 1.0)) {
         return InvalidArgumentError("transient probability outside [0, 1]");
       }
     } else if (tokens[0] == "hook" && tokens.size() == 3) {
@@ -214,9 +229,21 @@ StatusOr<FaultSchedule> FaultSchedule::Deserialize(std::string_view text) {
         return InvalidArgumentError("unrecognized backend fault kind");
       }
       SCADDAR_ASSIGN_OR_RETURN(event.probability, ParseDouble(tokens[4]));
-      if (event.probability < 0.0 || event.probability > 1.0) {
+      if (!(event.probability >= 0.0 && event.probability <= 1.0)) {
         return InvalidArgumentError("backend probability outside [0, 1]");
       }
+    } else if (tokens[0] == "snapcrash" && tokens.size() == 3) {
+      event.kind = FaultKind::kSnapshotCrash;
+      SCADDAR_ASSIGN_OR_RETURN(event.move, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t phase, ParseInt(tokens[2]));
+      if (phase < 0 || phase >= kNumSnapshotPhases) {
+        return InvalidArgumentError("snapshot crash phase out of range");
+      }
+      event.snapshot_phase = static_cast<SnapshotPhase>(phase);
+    } else if (tokens[0] == "snapcorrupt" && tokens.size() == 3) {
+      event.kind = FaultKind::kSnapshotCorrupt;
+      SCADDAR_ASSIGN_OR_RETURN(event.move, ParseInt(tokens[1]));
+      SCADDAR_ASSIGN_OR_RETURN(event.disk, ParseInt(tokens[2]));
     } else {
       return InvalidArgumentError("unrecognized fault schedule line");
     }
@@ -306,6 +333,39 @@ bool FaultInjector::FailTransfer(PhysicalDiskId from, PhysicalDiskId to) {
 
 bool FaultInjector::FailRead(PhysicalDiskId disk) {
   return TransientHits(disk, disk);
+}
+
+void FaultInjector::BeginSnapshot() { ++snapshot_; }
+
+bool FaultInjector::CrashAtSnapshot(SnapshotPhase phase) {
+  const std::vector<FaultEvent>& events = schedule_.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.kind != FaultKind::kSnapshotCrash || fired_[i] ||
+        event.move != snapshot_ || event.snapshot_phase != phase) {
+      continue;
+    }
+    fired_[i] = true;
+    ++snapshot_crashes_fired_;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::CorruptSnapshotAt(int64_t location) {
+  const std::vector<FaultEvent>& events = schedule_.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.kind != FaultKind::kSnapshotCorrupt || fired_[i] ||
+        event.move != snapshot_ ||
+        (event.disk >= 0 && event.disk != location)) {
+      continue;
+    }
+    fired_[i] = true;
+    ++snapshot_corruptions_fired_;
+    return true;
+  }
+  return false;
 }
 
 std::optional<BackendFaultKind> FaultInjector::NextBackendFault(

@@ -28,6 +28,17 @@ enum class MovePhase {
 };
 inline constexpr int kNumMovePhases = 5;
 
+/// The durable phases of one checkpoint-set write (`CheckpointManager`), in
+/// write order. Kill points at these boundaries produce every torn-set state
+/// the multi-level scheme must survive: nothing written, a primary fragment
+/// without its redundancy, and a complete set (the benign case).
+enum class SnapshotPhase {
+  kCaptured = 0,        // State captured in memory; nothing durable yet.
+  kPrimaryWritten = 1,  // First fragment durable; redundancy still missing.
+  kSetComplete = 2,     // Every fragment durable; the set is valid.
+};
+inline constexpr int kNumSnapshotPhases = 3;
+
 /// What a scheduled fault does when it fires.
 enum class FaultKind {
   /// Kill the process at a (move ordinal, phase) boundary. The executor
@@ -47,6 +58,13 @@ enum class FaultKind {
   /// `StorageBackend` fault hook): an op completes with EIO or a short
   /// transfer instead of touching/filling the whole block image.
   kBackendError,
+  /// Kill the process at a (snapshot ordinal, snapshot phase) boundary
+  /// inside a checkpoint-set write. Fragments durable before the boundary
+  /// survive — possibly a torn set the loader must reject.
+  kSnapshotCrash,
+  /// Flip one byte in the checkpoint fragment being written at a snapshot
+  /// location (silent media corruption; caught by checksum at load).
+  kSnapshotCorrupt,
 };
 
 /// What a kBackendError event does to the transfer it hits.
@@ -63,11 +81,16 @@ struct FaultEvent {
   int64_t round = -1;
   /// kCrash / kHook: fire at this 0-based move ordinal (moves are counted
   /// across rounds since construction or `ResetMoveCount`).
+  /// kSnapshotCrash / kSnapshotCorrupt: the 0-based snapshot ordinal
+  /// (snapshots counted across the injector's lifetime by `BeginSnapshot`).
   int64_t move = 0;
   /// kCrash: the phase boundary of that move to die at.
   MovePhase phase = MovePhase::kIntentLogged;
+  /// kSnapshotCrash: the snapshot-phase boundary to die at.
+  SnapshotPhase snapshot_phase = SnapshotPhase::kCaptured;
   /// kDiskFail: the disk to kill. kTransientError: restrict errors to
   /// transfers/reads touching this disk (-1 = any disk).
+  /// kSnapshotCorrupt: the snapshot location to corrupt (-1 = any).
   PhysicalDiskId disk = -1;
   /// kTransientError / kBackendError: per-attempt failure probability.
   double probability = 0.0;
@@ -103,8 +126,8 @@ class FaultSchedule {
   const std::vector<FaultEvent>& events() const { return events_; }
   int64_t num_events() const { return static_cast<int64_t>(events_.size()); }
 
-  /// Text form: one `crash|fail|transient|hook` line per event;
-  /// round-trips via `Deserialize`.
+  /// Text form: one `crash|fail|transient|hook|backend|snapcrash|
+  /// snapcorrupt` line per event; round-trips via `Deserialize`.
   std::string Serialize() const;
   static StatusOr<FaultSchedule> Deserialize(std::string_view text);
 
@@ -149,6 +172,19 @@ class FaultInjector {
   /// True iff a transient error hits a block read from `disk`.
   bool FailRead(PhysicalDiskId disk);
 
+  /// Called by `CheckpointManager::Write` when a checkpoint set is about to
+  /// be captured; advances the snapshot ordinal that kSnapshotCrash and
+  /// kSnapshotCorrupt events key on.
+  void BeginSnapshot();
+
+  /// True iff a kSnapshotCrash event fires at this phase boundary of the
+  /// current snapshot. The caller must treat the process as killed.
+  bool CrashAtSnapshot(SnapshotPhase phase);
+
+  /// True iff a kSnapshotCorrupt event hits the fragment being written at
+  /// `location` during the current snapshot (one-shot per event).
+  bool CorruptSnapshotAt(int64_t location);
+
   /// Consulted by the storage backend's fault hook for every real block
   /// transfer on `disk`. Armed kBackendError events draw per-op from the
   /// seeded generator (first hit wins); returns the fault to inject, or
@@ -181,6 +217,13 @@ class FaultInjector {
   int64_t transient_errors_fired() const { return transient_errors_fired_; }
   int64_t disk_failures_fired() const { return disk_failures_fired_; }
   int64_t backend_faults_fired() const { return backend_faults_fired_; }
+  int64_t snapshot_crashes_fired() const { return snapshot_crashes_fired_; }
+  int64_t snapshot_corruptions_fired() const {
+    return snapshot_corruptions_fired_;
+  }
+
+  /// The ordinal `BeginSnapshot` last advanced to (-1 before any snapshot).
+  int64_t current_snapshot() const { return snapshot_; }
 
  private:
   bool RoundMatches(const FaultEvent& event) const {
@@ -194,11 +237,14 @@ class FaultInjector {
   std::function<void()> hook_;
   int64_t round_ = -1;
   int64_t move_ = -1;
+  int64_t snapshot_ = -1;
   int64_t crashes_fired_ = 0;
   int64_t hooks_fired_ = 0;
   int64_t transient_errors_fired_ = 0;
   int64_t disk_failures_fired_ = 0;
   int64_t backend_faults_fired_ = 0;
+  int64_t snapshot_crashes_fired_ = 0;
+  int64_t snapshot_corruptions_fired_ = 0;
 };
 
 }  // namespace scaddar

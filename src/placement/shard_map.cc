@@ -16,6 +16,31 @@ ShardMap::ShardMap(int initial_members) {
   next_member_ = count;
 }
 
+StatusOr<ShardMap> ShardMap::FromParts(std::vector<int> seats,
+                                       int next_member, int64_t epoch) {
+  if (seats.empty()) {
+    return InvalidArgumentError("shard map needs at least one seat");
+  }
+  if (epoch < 0) {
+    return InvalidArgumentError("shard-map epoch must be >= 0");
+  }
+  std::vector<int> sorted = seats;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() < 0 ||
+      std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return InvalidArgumentError("seat members must be distinct and >= 0");
+  }
+  if (sorted.back() >= next_member) {
+    return InvalidArgumentError(
+        "next_member must exceed every seated member id");
+  }
+  ShardMap map(1);
+  map.seats_ = std::move(seats);
+  map.next_member_ = next_member;
+  map.epoch_ = epoch;
+  return map;
+}
+
 int ShardMap::MemberOf(uint64_t key) const {
   const int64_t seat =
       JumpBucket(key, static_cast<int64_t>(seats_.size()));

@@ -37,6 +37,13 @@ class ShardMap {
   /// >= 1). Member ids above that are handed out by `AddMember`.
   explicit ShardMap(int initial_members);
 
+  /// Rebuilds a map from checkpointed parts. `seats` must be non-empty with
+  /// distinct non-negative members, all below `next_member` (ids are never
+  /// reused, so every seated member predates the next handout); `epoch` must
+  /// be >= 0.
+  static StatusOr<ShardMap> FromParts(std::vector<int> seats, int next_member,
+                                      int64_t epoch);
+
   /// The member owning `key` at the current epoch.
   int MemberOf(uint64_t key) const;
 
@@ -55,6 +62,10 @@ class ShardMap {
 
   /// Membership changes applied so far (the routing epoch).
   int64_t epoch() const { return epoch_; }
+
+  /// The id `AddMember` will hand out next (checkpointed so ids stay
+  /// never-reused across a restart).
+  int next_member() const { return next_member_; }
 
   bool HasMember(int member) const { return SeatOf(member) >= 0; }
 

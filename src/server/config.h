@@ -99,6 +99,26 @@ struct ServerConfig {
   /// Block-image size in bytes for real backends; must be a positive
   /// multiple of 4096 (the O_DIRECT sector alignment).
   int64_t io_block_bytes = 4096;
+
+  // --- Multi-level checkpoint/restart (src/recovery). Effective only once
+  // a CheckpointManager is attached (`CmServer::EnableCheckpoints`) — the
+  // manager is owned outside the server, like the fault injector. ---
+
+  /// Write an L1 (single local copy) checkpoint set every this many rounds
+  /// (0 = no periodic checkpoints).
+  int64_t checkpoint_every = 0;
+
+  /// Write an L2 (redundant) set every this many rounds instead of the L1
+  /// due that round (0 = L1 only). Should be a multiple of
+  /// `checkpoint_every` to align with the L1 cadence.
+  int64_t checkpoint_level2_every = 0;
+
+  /// L2 redundancy scheme: "partner" (two full copies) or "xor"
+  /// (N-1 data fragments + parity across all snapshot locations).
+  std::string checkpoint_redundancy = "partner";
+
+  /// Independent snapshot locations the manager spreads sets across.
+  int64_t checkpoint_locations = 4;
 };
 
 }  // namespace scaddar

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "recovery/checkpoint_manager.h"
 #include "server/scenario_parse.h"
 #include "server/workload/traffic_engine.h"
 #include "stats/percentile.h"
@@ -24,6 +25,17 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
   // objects in registration order.
   TrafficConfig traffic_config;
   std::unique_ptr<TrafficEngine> traffic;
+  // Checkpoint manager created by the `checkpoint` command. It lives in
+  // this scope, so the guard detaches it from the server on every exit
+  // path (success or line error) — the server must not keep a dangling
+  // pointer once the scenario run ends.
+  std::unique_ptr<CheckpointManager> checkpoint;
+  struct DetachGuard {
+    CmServer& server;
+    ~DetachGuard() {
+      SCADDAR_CHECK(server.AttachCheckpointManager(nullptr).ok());
+    }
+  } detach_guard{server};
   std::string_view rest = script;
   while (!rest.empty()) {
     const size_t eol = rest.find('\n');
@@ -225,6 +237,39 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
         return LineError(line_number, stats.status().message());
       }
       ++result.crashes;
+    } else if (command == "checkpoint" && tokens.size() >= 2 &&
+               tokens.size() <= 4) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t every, ParseInt(tokens[1]));
+      int64_t level2_every = 0;
+      if (tokens.size() >= 3) {
+        SCADDAR_ASSIGN_OR_RETURN(level2_every, ParseInt(tokens[2]));
+      }
+      CheckpointOptions options;
+      options.num_locations = server.config().checkpoint_locations;
+      const std::string_view redundancy_token =
+          tokens.size() == 4 ? tokens[3]
+                             : std::string_view(
+                                   server.config().checkpoint_redundancy);
+      const StatusOr<CheckpointRedundancy> redundancy =
+          ParseCheckpointRedundancy(redundancy_token);
+      if (!redundancy.ok()) {
+        return LineError(line_number, redundancy.status().message());
+      }
+      options.redundancy = *redundancy;
+      checkpoint = std::make_unique<CheckpointManager>(options);
+      const Status status =
+          server.EnableCheckpoints(checkpoint.get(), every, level2_every);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+    } else if (command == "killrestart" && tokens.size() == 1) {
+      const StatusOr<CheckpointRestoreStats> stats =
+          server.KillRestartFromCheckpoint();
+      if (!stats.ok()) {
+        return LineError(line_number, stats.status().message());
+      }
+      ++result.crashes;
+      ++result.kill_restarts;
     } else if (command == "verify" && tokens.size() == 1) {
       const Status status = server.VerifyIntegrity();
       if (!status.ok()) {

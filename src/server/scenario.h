@@ -22,6 +22,7 @@ struct ScenarioResult {
   int64_t streams_started = 0;
   int64_t streams_rejected = 0;
   int64_t crashes = 0;
+  int64_t kill_restarts = 0;  // `killrestart` commands (also in crashes).
   int64_t startup_p50 = 0;
   int64_t startup_p99 = 0;
   int64_t startup_p999 = 0;
@@ -47,6 +48,17 @@ struct ScenarioResult {
 ///   drain                                tick until migration idle
 ///   crash                                kill the process and restart it
 ///                                        (journal recovery; streams die)
+///   checkpoint <every> [level2-every] [redundancy]
+///                                        attach a checkpoint manager (owned
+///                                        by the scenario run) and write an
+///                                        L1 set every <every> rounds,
+///                                        upgraded to a redundant L2 set
+///                                        every [level2-every] rounds;
+///                                        [redundancy] is partner|xor
+///   killrestart                          kill the process and restart from
+///                                        the newest valid checkpoint set
+///                                        (streams resume at their saved
+///                                        positions; requires `checkpoint`)
 ///   verify                               assert store matches AF()
 ///
 /// Traffic-engine hooks (seeded, replayable synthetic load — see

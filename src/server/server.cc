@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "faults/injector.h"
+#include "recovery/checkpoint_manager.h"
+#include "recovery/snapshot.h"
 #include "storage/block_io.h"
 
 namespace scaddar {
@@ -63,6 +65,11 @@ Status CmServer::SelectBackend(std::string_view spec, int queue_depth) {
   if (store_.total_blocks() > 0 || store_.staged_blocks() > 0) {
     return FailedPreconditionError(
         "backend can only change while the store is empty");
+  }
+  if (spec != "sim" && checkpoint_ != nullptr) {
+    return FailedPreconditionError(
+        "checkpointing covers the simulated tier; detach the checkpoint "
+        "manager before selecting a real backend");
   }
   if (spec == "sim") {
     store_.AttachIoEngine(nullptr);
@@ -148,8 +155,9 @@ Status CmServer::AddObject(ObjectId id, int64_t num_blocks,
   if (!placed.ok()) {
     SCADDAR_CHECK(policy_->RemoveObject(id).ok());
     SCADDAR_CHECK(catalog_.RemoveObject(id).ok());
+    return placed;
   }
-  return placed;
+  return MetadataBarrier();
 }
 
 Status CmServer::RemoveObject(ObjectId id) {
@@ -162,7 +170,8 @@ Status CmServer::RemoveObject(ObjectId id) {
   }
   SCADDAR_RETURN_IF_ERROR(policy_->RemoveObject(id));
   SCADDAR_RETURN_IF_ERROR(store_.DropObject(id));
-  return catalog_.RemoveObject(id);
+  SCADDAR_RETURN_IF_ERROR(catalog_.RemoveObject(id));
+  return MetadataBarrier();
 }
 
 Status CmServer::ScaleAdd(int64_t count) {
@@ -170,7 +179,7 @@ Status CmServer::ScaleAdd(int64_t count) {
   SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(op));
   SCADDAR_RETURN_IF_ERROR(SyncDisks());
   migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
-  return OkStatus();
+  return MetadataBarrier();
 }
 
 Status CmServer::ScaleRemove(std::vector<DiskSlot> slots) {
@@ -193,7 +202,7 @@ Status CmServer::ScaleRemove(std::vector<DiskSlot> slots) {
   }
   SCADDAR_RETURN_IF_ERROR(SyncDisks());
   migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
-  return OkStatus();
+  return MetadataBarrier();
 }
 
 bool CmServer::WouldExceedTolerance(const ScalingOp& op) const {
@@ -223,7 +232,7 @@ Status CmServer::FullRedistribution() {
   policy_ = std::move(fresh);
   // 3. Converge materialized state onto the new placement, online.
   migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
-  return OkStatus();
+  return MetadataBarrier();
 }
 
 StatusOr<int64_t> CmServer::StartStream(ObjectId object) {
@@ -282,8 +291,8 @@ RoundMetrics CmServer::Tick() {
   RoundMetrics metrics;
   metrics.round = round_;
   metrics.active_streams = active_streams();
-  if (migration_.crashed()) {
-    return metrics;  // Dead process; only SimulateCrashRestart revives it.
+  if (crashed()) {
+    return metrics;  // Dead process until a restart path revives it.
   }
   if (FaultInjector* const injector = disks_.fault_injector()) {
     injector->BeginRound(round_);
@@ -387,6 +396,7 @@ RoundMetrics CmServer::Tick() {
   streams_.erase(finished, streams_.end());
 
   ++round_;
+  MaybeCheckpoint();
   return metrics;
 }
 
@@ -565,6 +575,7 @@ StatusOr<JournalRecoveryStats> CmServer::SimulateCrashRestart() {
   // Volatile state dies with the process: the migration queue, the active
   // streams and this round's budgets.
   migration_.Reset();
+  snapshot_crashed_ = false;
   streams_.clear();
   streams_per_object_.clear();
   // The engine crashes first: queued-but-unsubmitted staged copies vanish
@@ -600,6 +611,416 @@ StatusOr<JournalRecoveryStats> CmServer::SimulateCrashRestart() {
   // discarded — idempotent re-execution instead of replaying stale plans.
   migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
   return stats;
+}
+
+Status CmServer::AttachCheckpointManager(CheckpointManager* manager) {
+  if (manager == nullptr) {
+    checkpoint_ = nullptr;
+    return OkStatus();
+  }
+  if (io_engine_ != nullptr) {
+    return FailedPreconditionError(
+        "checkpointing covers the simulated tier; the real-I/O engine "
+        "persists its own layout and journal");
+  }
+  checkpoint_ = manager;
+  // Checkpoint restart replays the WAL over snapshot rows; every move must
+  // journal or committed placements could be lost.
+  config_.journal_migration = true;
+  migration_.AttachJournal(&journal_);
+  return OkStatus();
+}
+
+Status CmServer::EnableCheckpoints(CheckpointManager* manager, int64_t every,
+                                   int64_t level2_every) {
+  if (manager == nullptr || every <= 0 || level2_every < 0) {
+    return InvalidArgumentError(
+        "checkpointing needs a manager and a positive interval");
+  }
+  SCADDAR_RETURN_IF_ERROR(AttachCheckpointManager(manager));
+  config_.checkpoint_every = every;
+  config_.checkpoint_level2_every = level2_every;
+  // Bootstrap set: a restart is possible before the first interval elapses.
+  return WriteCheckpoint(level2_every > 0 ? 2 : 1);
+}
+
+ServerSnapshot CmServer::CaptureState() const {
+  ServerSnapshot snapshot;
+  snapshot.policy = std::string(policy_->name());
+  snapshot.oplog = policy_->log().Serialize();
+  snapshot.journal = journal_.Serialize();
+  for (const ObjectId id : catalog_.object_ids()) {
+    const CmObject object = catalog_.GetObject(id).value();
+    SnapshotObject record;
+    record.id = object.id;
+    record.num_blocks = object.num_blocks;
+    record.weight = object.bitrate_weight;
+    record.generation = object.seed_generation;
+    record.epoch_added = policy_->epoch_added(id);
+    const std::span<const PhysicalDiskId> row =
+        store_.LocationsOf(id).value();
+    record.row.assign(row.begin(), row.end());
+    snapshot.objects.push_back(std::move(record));
+  }
+  snapshot.staged = store_.StagedCopies();
+  for (const Stream& stream : streams_) {
+    snapshot.streams.push_back(SnapshotStream{
+        stream.id(), stream.object(), stream.next_block(), stream.rate(),
+        stream.start_round(), stream.hiccups(), stream.paused(),
+        stream.playback_started()});
+  }
+  snapshot.startup_latencies = startup_latencies_;
+  snapshot.round = round_;
+  snapshot.next_stream_id = next_stream_id_;
+  snapshot.completed_streams = completed_streams_;
+  snapshot.total_served = total_served_;
+  snapshot.total_hiccups = total_hiccups_;
+  // Quiescent capture: nothing pending, staged or draining means the rows
+  // above provably equal AF() — restore can skip the divergence rescan.
+  snapshot.converged =
+      migration_.idle() && snapshot.staged.empty() && retiring_.empty();
+  return snapshot;
+}
+
+Status CmServer::WriteCheckpoint(int level) {
+  if (checkpoint_ == nullptr) {
+    return FailedPreconditionError("no checkpoint manager attached");
+  }
+  const std::string document = EncodeServerSnapshot(CaptureState());
+  const StatusOr<CheckpointSetInfo> written =
+      checkpoint_->Write(document, level, round_, disks_.fault_injector());
+  if (!written.ok()) {
+    if (written.status().code() == StatusCode::kUnavailable) {
+      snapshot_crashed_ = true;  // Injected kill mid-write: process is dead.
+    }
+    return written.status();
+  }
+  // The set covers every committed move; the journal's committed prefix is
+  // dead weight from here on (this is what keeps restart-from-checkpoint
+  // cheaper than full replay: the retained journal suffix stays short).
+  journal_.Compact();
+  return OkStatus();
+}
+
+Status CmServer::MetadataBarrier() {
+  if (checkpoint_ == nullptr) {
+    return OkStatus();
+  }
+  // Metadata mutations bypass the move journal, so the mutation is durable
+  // only once a set covers it. A kill inside the barrier correctly loses
+  // the mutation — the caller sees Unavailable, and restart rewinds to the
+  // state before it.
+  return WriteCheckpoint(1);
+}
+
+void CmServer::MaybeCheckpoint() {
+  if (checkpoint_ == nullptr || config_.checkpoint_every <= 0) {
+    return;
+  }
+  int level = 0;
+  if (config_.checkpoint_level2_every > 0 &&
+      round_ % config_.checkpoint_level2_every == 0) {
+    level = 2;
+  } else if (round_ % config_.checkpoint_every == 0) {
+    level = 1;
+  }
+  if (level == 0) {
+    return;
+  }
+  const Status status = WriteCheckpoint(level);
+  // Unavailable = injected snapshot kill; the server is now crashed and the
+  // chaos harness restarts it. Anything else is a programmer error.
+  SCADDAR_CHECK(status.ok() || status.code() == StatusCode::kUnavailable);
+}
+
+Status CmServer::LoadFromState(const ServerSnapshot& snapshot,
+                               std::string_view live_journal,
+                               CheckpointRestoreStats* stats) {
+  if (config_.storage_backend != "sim") {
+    return FailedPreconditionError(
+        "checkpoint restore covers the simulated tier only");
+  }
+  if (snapshot.policy != config_.policy) {
+    return InvalidArgumentError("snapshot policy differs from config");
+  }
+  if (snapshot.policy != "scaddar" && snapshot.policy != "naive" &&
+      snapshot.policy != "mod" && snapshot.policy != "roundrobin") {
+    return UnimplementedError(
+        "only deterministic policies can be restored from a checkpoint");
+  }
+  SCADDAR_ASSIGN_OR_RETURN(const OpLog script,
+                           OpLog::Deserialize(snapshot.oplog));
+  for (const SnapshotObject& record : snapshot.objects) {
+    if (record.epoch_added < 0 || record.epoch_added > script.num_ops()) {
+      return InvalidArgumentError(
+          "object registration epoch outside the op log");
+    }
+    if (static_cast<int64_t>(record.row.size()) != record.num_blocks) {
+      return InvalidArgumentError("snapshot row length != object size");
+    }
+  }
+
+  // Policy + catalog: registrations interleaved with op replay, exactly as
+  // `Restore` — the policy must say where blocks *should* be so the
+  // reconciliation scan below can finish any interrupted reorganization.
+  PolicyOptions options;
+  options.seed = config_.master_seed ^ 0xd15c5ull;
+  SCADDAR_ASSIGN_OR_RETURN(
+      policy_, MakePolicyWithDisks(config_.policy,
+                                   script.physical_disks_at(0), options));
+  for (Epoch j = 0; j <= script.num_ops(); ++j) {
+    for (const SnapshotObject& record : snapshot.objects) {
+      if (record.epoch_added != j) {
+        continue;
+      }
+      SCADDAR_RETURN_IF_ERROR(
+          catalog_.AddObject(record.id, record.num_blocks, record.weight));
+      SCADDAR_RETURN_IF_ERROR(
+          catalog_.SetGeneration(record.id, record.generation));
+      SCADDAR_ASSIGN_OR_RETURN(std::vector<uint64_t> x0,
+                               catalog_.MaterializeX0(record.id));
+      SCADDAR_RETURN_IF_ERROR(policy_->AddObject(record.id, std::move(x0)));
+    }
+    if (j < script.num_ops()) {
+      SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(script.op(j + 1)));
+    }
+  }
+
+  // The surviving WAL, not the snapshot's embedded copy, is authoritative
+  // for everything that moved after the capture.
+  SCADDAR_ASSIGN_OR_RETURN(journal_, MoveJournal::Deserialize(live_journal));
+  // An empty WAL on top of a quiescent capture proves no move finished, and
+  // none was in flight, after the rows were taken.
+  const bool quiescent = snapshot.converged && snapshot.staged.empty() &&
+                         journal_.entries().empty();
+
+  // Every disk the rows, stages or journal reference must exist before
+  // placement — disks absent from the placement live set are mid-drain.
+  // Membership goes through a dense bitmap: the scan visits one entry per
+  // block, so sorting the reference union would dominate large restores.
+  const std::vector<PhysicalDiskId>& live = policy_->log().physical_disks();
+  PhysicalDiskId max_live = -1;
+  for (const PhysicalDiskId disk : live) {
+    max_live = std::max(max_live, disk);
+  }
+  std::vector<char> is_live(static_cast<size_t>(max_live + 1), 0);
+  for (const PhysicalDiskId disk : live) {
+    is_live[static_cast<size_t>(disk)] = 1;
+  }
+  std::vector<PhysicalDiskId> missing;
+  const auto note_missing = [&](PhysicalDiskId disk) {
+    if (disk < 0 || disk > max_live || !is_live[static_cast<size_t>(disk)]) {
+      missing.push_back(disk);
+    }
+  };
+  for (const SnapshotObject& record : snapshot.objects) {
+    for (const PhysicalDiskId disk : record.row) {
+      note_missing(disk);
+    }
+  }
+  for (const auto& [ref, disk] : snapshot.staged) {
+    note_missing(disk);
+  }
+  for (const JournalEntry& entry : journal_.entries()) {
+    note_missing(entry.from);
+    note_missing(entry.to);
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  retiring_.insert(retiring_.end(), missing.begin(), missing.end());
+  SCADDAR_RETURN_IF_ERROR(SyncDisks());
+
+  // Materialize rows *directly* from the snapshot — no per-block remap
+  // chain walk. This is the restart-speed win over `Restore`, and the only
+  // correct source mid-migration (the policy's AF() may disagree with
+  // where blocks physically were).
+  for (const SnapshotObject& record : snapshot.objects) {
+    SCADDAR_RETURN_IF_ERROR(store_.PlaceObject(record.id, record.row));
+  }
+  for (const auto& [ref, disk] : snapshot.staged) {
+    SCADDAR_RETURN_IF_ERROR(store_.StageCopy(ref, disk));
+  }
+
+  // Journal-wins reconciliation, pass 1: entries that *finished* after the
+  // capture describe state newer than the snapshot rows. Replaying them in
+  // log order re-applies every committed move (nothing committed is ever
+  // lost) and re-creates durable stages the snapshot predates.
+  for (const JournalEntry& entry : journal_.entries()) {
+    const StatusOr<PhysicalDiskId> location = store_.LocationOf(entry.block);
+    if (!location.ok()) {
+      continue;  // Object dropped after this entry; nothing to re-apply.
+    }
+    if (entry.phase == JournalPhase::kCommitted) {
+      if (*location == entry.to) {
+        continue;  // Already reflected in the snapshot rows.
+      }
+      if (*location != entry.from) {
+        return InternalError(
+            "checkpoint replay: committed move from an unexpected disk");
+      }
+      const StatusOr<PhysicalDiskId> staged =
+          store_.StagedTarget(entry.block);
+      if (staged.ok() && *staged == entry.to) {
+        SCADDAR_RETURN_IF_ERROR(
+            store_.CommitStagedMove(entry.block, entry.from, entry.to));
+      } else {
+        BlockMove move;
+        move.block = entry.block;
+        move.from_physical = entry.from;
+        move.to_physical = entry.to;
+        SCADDAR_RETURN_IF_ERROR(store_.ApplyMove(move));
+      }
+      if (stats != nullptr) {
+        ++stats->committed_replayed;
+      }
+    } else if (entry.phase == JournalPhase::kCopied) {
+      // The copied record proves durable staged bytes; re-create the stage
+      // if the snapshot predates it so `Recover` can roll it forward.
+      const StatusOr<PhysicalDiskId> staged =
+          store_.StagedTarget(entry.block);
+      if (*location == entry.from && !staged.ok()) {
+        SCADDAR_RETURN_IF_ERROR(store_.StageCopy(entry.block, entry.to));
+      }
+    } else if (entry.phase == JournalPhase::kAborted) {
+      // Abort landed after the capture: release the captured stage.
+      const StatusOr<PhysicalDiskId> staged =
+          store_.StagedTarget(entry.block);
+      if (staged.ok() && *staged == entry.to) {
+        SCADDAR_RETURN_IF_ERROR(store_.AbortStagedCopy(entry.block));
+      }
+    }
+  }
+  // Pass 2: the standard crash protocol resolves what was *in flight* —
+  // intents discard, validated copies roll forward, orphan stages release.
+  SCADDAR_ASSIGN_OR_RETURN(const JournalRecoveryStats journal_stats,
+                           journal_.Recover(store_));
+  journal_.Compact();
+  if (stats != nullptr) {
+    stats->journal = journal_stats;
+  }
+
+  // Re-derive the retiring set from what actually holds blocks now (a disk
+  // fully drained between capture and kill retires here).
+  retiring_.clear();
+  for (const auto& [disk, count] : store_.per_disk_counts()) {
+    if (count > 0 &&
+        std::find(live.begin(), live.end(), disk) == live.end()) {
+      retiring_.push_back(disk);
+    }
+  }
+  std::sort(retiring_.begin(), retiring_.end());
+  SCADDAR_RETURN_IF_ERROR(SyncDisks());
+
+  // Streams resume at their saved positions; serving counters carry over so
+  // metric continuity is assertable across the restart.
+  for (const SnapshotStream& record : snapshot.streams) {
+    SCADDAR_ASSIGN_OR_RETURN(const CmObject meta,
+                             catalog_.GetObject(record.object));
+    streams_.emplace_back(record.id, record.object, meta.num_blocks,
+                          record.start_round, record.rate);
+    streams_.back().RestoreProgress(record.next_block, record.hiccups,
+                                    record.paused, record.playback_started);
+    ++streams_per_object_[record.object];
+  }
+  startup_latencies_ = snapshot.startup_latencies;
+  round_ = snapshot.round;
+  next_stream_id_ = snapshot.next_stream_id;
+  completed_streams_ = snapshot.completed_streams;
+  total_served_ = snapshot.total_served;
+  total_hiccups_ = snapshot.total_hiccups;
+  if (stats != nullptr) {
+    stats->streams_restored = static_cast<int64_t>(streams_.size());
+  }
+
+  if (config_.journal_migration) {
+    migration_.AttachJournal(&journal_);
+  }
+  // Any reorganization the kill interrupted resumes here: the divergence
+  // scan re-discovers every block AF() wants elsewhere. A quiescent capture
+  // with an empty WAL skips it — the rows landed exactly where AF() wants
+  // them, and rescanning every block would cost what replay costs. This is
+  // the common case that keeps checkpoint restart cheaper than replay.
+  if (!quiescent || !retiring_.empty()) {
+    migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
+  }
+  return OkStatus();
+}
+
+StatusOr<CheckpointRestoreStats> CmServer::KillRestartFromCheckpoint() {
+  if (checkpoint_ == nullptr) {
+    return FailedPreconditionError("no checkpoint manager attached");
+  }
+  // What survives the kill: the checkpoint locations (inside the manager)
+  // and the journal's serialized WAL. Everything else dies below.
+  const std::string live_journal = journal_.Serialize();
+  SCADDAR_ASSIGN_OR_RETURN(LoadedCheckpoint loaded,
+                           checkpoint_->LoadNewestValid());
+  SCADDAR_ASSIGN_OR_RETURN(const ServerSnapshot snapshot,
+                           DecodeServerSnapshot(loaded.payload));
+
+  // Rebuild in place from empty — the same members a fresh server starts
+  // with, minus the attachments that survive (injector, manager).
+  FaultInjector* const injector = disks_.fault_injector();
+  catalog_ = Catalog(config_.master_seed, config_.prng_kind, config_.bits);
+  policy_.reset();
+  disks_ = DiskArray(config_.disk_spec);
+  disks_.set_fault_injector(injector);
+  store_ = BlockStore(&disks_);
+  journal_ = MoveJournal();
+  migration_.Reset();
+  migration_.AttachJournal(&journal_);
+  sharded_scheduler_.reset();
+  last_sharded_round_ = ShardedRoundStats{};
+  streams_.clear();
+  streams_per_object_.clear();
+  retiring_.clear();
+  startup_latencies_.clear();
+  round_ = 0;
+  next_stream_id_ = config_.first_stream_id;
+  completed_streams_ = 0;
+  total_hiccups_ = 0;
+  total_served_ = 0;
+  snapshot_crashed_ = false;
+
+  CheckpointRestoreStats stats;
+  stats.set_id = loaded.info.id;
+  stats.level = loaded.info.level;
+  stats.snapshot_round = loaded.info.round;
+  stats.sets_rejected = loaded.sets_rejected;
+  stats.rebuilt_from_parity = loaded.rebuilt_from_parity;
+  SCADDAR_RETURN_IF_ERROR(LoadFromState(snapshot, live_journal, &stats));
+  return stats;
+}
+
+StatusOr<std::unique_ptr<CmServer>> CmServer::FromSnapshotDocument(
+    const ServerConfig& config, std::string_view document,
+    CheckpointRestoreStats* stats) {
+  SCADDAR_ASSIGN_OR_RETURN(const ServerSnapshot snapshot,
+                           DecodeServerSnapshot(document));
+  std::unique_ptr<CmServer> server(new CmServer(config));
+  // The embedded journal is the WAL here: a cold restore has no newer text.
+  SCADDAR_RETURN_IF_ERROR(
+      server->LoadFromState(snapshot, snapshot.journal, stats));
+  return server;
+}
+
+StatusOr<std::unique_ptr<CmServer>> CmServer::RestoreFromCheckpoint(
+    const ServerConfig& config, CheckpointManager& manager,
+    CheckpointRestoreStats* stats) {
+  SCADDAR_ASSIGN_OR_RETURN(LoadedCheckpoint loaded,
+                           manager.LoadNewestValid());
+  CheckpointRestoreStats local;
+  CheckpointRestoreStats* const out = stats != nullptr ? stats : &local;
+  out->set_id = loaded.info.id;
+  out->level = loaded.info.level;
+  out->snapshot_round = loaded.info.round;
+  out->sets_rejected = loaded.sets_rejected;
+  out->rebuilt_from_parity = loaded.rebuilt_from_parity;
+  SCADDAR_ASSIGN_OR_RETURN(std::unique_ptr<CmServer> server,
+                           FromSnapshotDocument(config, loaded.payload, out));
+  // The manager stays attached: checkpointing continues across restarts.
+  SCADDAR_RETURN_IF_ERROR(server->AttachCheckpointManager(&manager));
+  return server;
 }
 
 Status CmServer::VerifyIntegrity() const {

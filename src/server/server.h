@@ -24,7 +24,23 @@
 namespace scaddar {
 
 class BlockIoEngine;
+class CheckpointManager;
 class FaultInjector;
+struct ServerSnapshot;
+
+/// What a checkpoint restart found and rebuilt.
+struct CheckpointRestoreStats {
+  int64_t set_id = 0;          // Checkpoint set the restore loaded.
+  int level = 0;               // Its level (1 or 2).
+  int64_t snapshot_round = 0;  // Server round at capture.
+  int64_t sets_rejected = 0;   // Newer sets skipped as torn/corrupt.
+  bool rebuilt_from_parity = false;
+  int64_t streams_restored = 0;
+  /// Committed journal entries newer than the snapshot that were re-applied
+  /// to the restored rows — the "journal wins" half of reconciliation.
+  int64_t committed_replayed = 0;
+  JournalRecoveryStats journal;  // In-flight move resolution.
+};
 
 /// A stream's playback state captured when its object migrates to another
 /// server shard: everything the destination needs to resume the session
@@ -142,6 +158,59 @@ class CmServer {
   /// migration is pending — otherwise reports FailedPrecondition).
   Status VerifyIntegrity() const;
 
+  // --- Multi-level checkpoint/restart (src/recovery). -------------------
+  /// Attaches (or detaches, with null) the checkpoint manager. The caller
+  /// owns it — its locations are the durable state that survives a
+  /// kill/restart. Attachment forces the move journal on (checkpoint
+  /// restart replays the WAL over snapshot rows) and is refused while a
+  /// real-I/O engine is selected: the engine persists its own layout and
+  /// journal; checkpointing covers the metadata-simulation tier.
+  Status AttachCheckpointManager(CheckpointManager* manager);
+
+  /// Attaches `manager` and turns on periodic checkpoints: an L1 set every
+  /// `every` rounds, upgraded to an L2 redundant set every `level2_every`
+  /// rounds (0 = never). Writes a bootstrap set immediately so a restart
+  /// is possible before the first interval elapses.
+  Status EnableCheckpoints(CheckpointManager* manager, int64_t every,
+                           int64_t level2_every = 0);
+
+  /// Captures the full serving state — policy metadata, op log, journal
+  /// text, materialized rows, staged copies, stream cursors and counters.
+  /// Unlike `SaveSnapshot`, valid mid-migration: rows + staged + journal
+  /// describe the in-between state exactly.
+  ServerSnapshot CaptureState() const;
+
+  /// Encodes the current state and writes one checkpoint set at `level`.
+  /// On success the journal's committed prefix is compacted (the set now
+  /// covers it). An injected snapshot-phase kill marks the server crashed
+  /// and returns Unavailable.
+  Status WriteCheckpoint(int level);
+
+  /// Simulates a process kill and restarts *in place* from the newest valid
+  /// checkpoint set plus the surviving journal text. Everything volatile
+  /// dies (streams, migration queue, round counters — the restored server
+  /// rewinds to the snapshot round with streams at their saved positions);
+  /// committed moves newer than the snapshot are replayed from the journal,
+  /// so no committed placement is ever lost.
+  StatusOr<CheckpointRestoreStats> KillRestartFromCheckpoint();
+
+  /// Builds a fresh server from the newest valid set in `manager` (which
+  /// stays attached, so checkpointing continues). `config` supplies the
+  /// knobs and must match the snapshot's semantics, as with `Restore`.
+  static StatusOr<std::unique_ptr<CmServer>> RestoreFromCheckpoint(
+      const ServerConfig& config, CheckpointManager& manager,
+      CheckpointRestoreStats* stats = nullptr);
+
+  /// Builds a fresh server from one encoded snapshot document (the
+  /// journal embedded in the document is the WAL). The cluster layer uses
+  /// this to restore member shards out of a cluster set.
+  static StatusOr<std::unique_ptr<CmServer>> FromSnapshotDocument(
+      const ServerConfig& config, std::string_view document,
+      CheckpointRestoreStats* stats = nullptr);
+
+  /// The attached checkpoint manager, or null.
+  CheckpointManager* checkpoint_manager() const { return checkpoint_; }
+
   // --- Real block I/O. --------------------------------------------------
   /// Switches the storage backend (`MakeStorageBackend` spec; "sim" drops
   /// back to pure simulation). Only legal while the store is empty — block
@@ -162,9 +231,11 @@ class CmServer {
     disks_.set_fault_injector(injector);
   }
 
-  /// True after an injected crash killed the server mid-round. A crashed
-  /// server ignores `Tick` until `SimulateCrashRestart`.
-  bool crashed() const { return migration_.crashed(); }
+  /// True after an injected crash killed the server — mid-round (migration
+  /// crash points) or mid-checkpoint (snapshot-phase kill points). A
+  /// crashed server ignores `Tick` until `SimulateCrashRestart` or
+  /// `KillRestartFromCheckpoint`.
+  bool crashed() const { return migration_.crashed() || snapshot_crashed_; }
 
   /// Simulates a process crash + restart. Volatile state dies: the
   /// migration queue, active streams and round budgets are dropped.
@@ -241,6 +312,22 @@ class CmServer {
   /// retiring disks.
   Status SyncDisks();
 
+  /// Rebuilds this (freshly reset) server from a decoded snapshot plus the
+  /// surviving journal text (`live_journal` wins over the snapshot for
+  /// moves that progressed after the capture).
+  Status LoadFromState(const ServerSnapshot& snapshot,
+                       std::string_view live_journal,
+                       CheckpointRestoreStats* stats);
+
+  /// End-of-round checkpoint cadence (`checkpoint_every` /
+  /// `checkpoint_level2_every`); tolerates injected snapshot kills.
+  void MaybeCheckpoint();
+
+  /// Metadata mutations (ingest, scaling) are not journaled — an immediate
+  /// L1 set after each one is what makes them durable. No-op when no
+  /// manager is attached.
+  Status MetadataBarrier();
+
   /// Sharding options for reconciliation scans, from the config knob.
   ParallelPlanOptions ReconcileOptions() const;
 
@@ -255,6 +342,8 @@ class CmServer {
   ShardedRoundStats last_sharded_round_;
   MigrationExecutor migration_;
   MoveJournal journal_;
+  CheckpointManager* checkpoint_ = nullptr;  // Not owned; may be null.
+  bool snapshot_crashed_ = false;  // Injected kill inside a checkpoint write.
   AdmissionController admission_;
   std::vector<Stream> streams_;
   std::unordered_map<ObjectId, int64_t> streams_per_object_;

@@ -8,4 +8,12 @@ void Stream::SeekTo(BlockIndex block) {
   next_block_ = std::clamp<BlockIndex>(block, 0, num_blocks_);
 }
 
+void Stream::RestoreProgress(BlockIndex next_block, int64_t hiccups,
+                             bool paused, bool playback_started) {
+  next_block_ = std::clamp<BlockIndex>(next_block, 0, num_blocks_);
+  hiccups_ = hiccups;
+  paused_ = paused;
+  playback_started_ = playback_started;
+}
+
 }  // namespace scaddar

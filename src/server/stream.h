@@ -70,6 +70,11 @@ class Stream {
   /// `num_blocks` ends the stream.
   void SeekTo(BlockIndex block);
 
+  /// Reattaches a checkpoint-restored stream at its saved position: cursor,
+  /// pause state and per-stream counters as of the snapshot.
+  void RestoreProgress(BlockIndex next_block, int64_t hiccups, bool paused,
+                       bool playback_started);
+
   int64_t num_blocks() const { return num_blocks_; }
 
   /// Blocks this stream must receive per round to avoid a hiccup.

@@ -17,6 +17,7 @@
 #include "server/server.h"
 #include "storage/block_store.h"
 #include "storage/move_journal.h"
+#include "storage/storage_backend.h"
 
 namespace scaddar {
 namespace {
@@ -264,12 +265,14 @@ TEST(FileBackendServerTest, UringSpecServesIdentically) {
 }
 
 // ---------------------------------------------------------------------------
-// Satellite: tear the file-backed server down mid-staged-copy; recovery
-// must restore byte-identical images.
+// Crash matrix on real media: tear the server down mid-staged-copy on each
+// backend scheme; recovery must restore byte-identical images. The uring
+// rows demand the real ring (skipped on kernels without io_uring) so the
+// matrix never silently degrades into a second copy of the sync rows.
 
-void CrashAtPhaseRecoversBytes(MovePhase phase) {
+void CrashAtPhaseRecoversBytes(const std::string& scheme, MovePhase phase) {
   ServerConfig config = IoConfig();
-  config.storage_backend = "file:" + TempDir();
+  config.storage_backend = scheme + ":" + TempDir();
   auto server_or = CmServer::Create(config);
   ASSERT_TRUE(server_or.ok());
   CmServer& server = **server_or;
@@ -306,15 +309,37 @@ void CrashAtPhaseRecoversBytes(MovePhase phase) {
 }
 
 TEST(FileBackendCrashTest, CrashAtCopyStagedRecoversBytes) {
-  CrashAtPhaseRecoversBytes(MovePhase::kCopyStaged);
+  CrashAtPhaseRecoversBytes("file", MovePhase::kCopyStaged);
 }
 
 TEST(FileBackendCrashTest, CrashAtCopyLoggedRecoversBytes) {
-  CrashAtPhaseRecoversBytes(MovePhase::kCopyLogged);
+  CrashAtPhaseRecoversBytes("file", MovePhase::kCopyLogged);
 }
 
 TEST(FileBackendCrashTest, CrashAtLocationFlippedRecoversBytes) {
-  CrashAtPhaseRecoversBytes(MovePhase::kLocationFlipped);
+  CrashAtPhaseRecoversBytes("file", MovePhase::kLocationFlipped);
+}
+
+#define SCADDAR_REQUIRE_URING()                                   \
+  do {                                                            \
+    if (!UringAvailable()) {                                      \
+      GTEST_SKIP() << "io_uring unavailable on this kernel";      \
+    }                                                             \
+  } while (false)
+
+TEST(UringBackendCrashTest, CrashAtCopyStagedRecoversBytes) {
+  SCADDAR_REQUIRE_URING();
+  CrashAtPhaseRecoversBytes("uring", MovePhase::kCopyStaged);
+}
+
+TEST(UringBackendCrashTest, CrashAtCopyLoggedRecoversBytes) {
+  SCADDAR_REQUIRE_URING();
+  CrashAtPhaseRecoversBytes("uring", MovePhase::kCopyLogged);
+}
+
+TEST(UringBackendCrashTest, CrashAtLocationFlippedRecoversBytes) {
+  SCADDAR_REQUIRE_URING();
+  CrashAtPhaseRecoversBytes("uring", MovePhase::kLocationFlipped);
 }
 
 // ---------------------------------------------------------------------------

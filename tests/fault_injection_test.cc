@@ -50,6 +50,66 @@ TEST(FaultScheduleTest, DeserializeRejectsGarbage) {
                   .ok());
 }
 
+TEST(FaultScheduleTest, BackendLinesRoundTripAndRejectMalformedFields) {
+  // Round trip both backend fault kinds through the text form.
+  FaultSchedule schedule;
+  schedule.Add(FaultEvent{.kind = FaultKind::kBackendError,
+                          .round = -1,
+                          .disk = 2,
+                          .probability = 0.25,
+                          .backend = BackendFaultKind::kEio});
+  schedule.Add(FaultEvent{.kind = FaultKind::kBackendError,
+                          .round = 9,
+                          .disk = -1,
+                          .probability = 1.0,
+                          .backend = BackendFaultKind::kShort});
+  const StatusOr<FaultSchedule> parsed =
+      FaultSchedule::Deserialize(schedule.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, schedule);
+
+  // Malformed fields must be rejected with a clear error, never silently
+  // ignored: bad kind token, out-of-range/NaN probability, non-numeric
+  // disk or round, wrong arity.
+  const auto reject = [](std::string_view line) {
+    const StatusOr<FaultSchedule> bad = FaultSchedule::Deserialize(
+        "faults-v1\n" + std::string(line) + "\n");
+    EXPECT_FALSE(bad.ok()) << "accepted: " << line;
+    if (!bad.ok()) {
+      EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_FALSE(bad.status().message().empty());
+    }
+  };
+  reject("backend -1 0 eio 1.5");     // Probability above 1.
+  reject("backend -1 0 eio -0.25");   // Probability below 0.
+  reject("backend -1 0 eio nan");     // NaN fails the range check too.
+  reject("backend -1 0 torn 0.5");    // Unknown fault kind token.
+  reject("backend -1 disk3 eio 0.5"); // Non-numeric disk.
+  reject("backend oops 0 eio 0.5");   // Non-numeric round.
+  reject("backend -1 0 eio");         // Missing probability.
+  reject("backend -1 0 eio 0.5 9");   // Trailing junk.
+  // The transient line shares the probability validation.
+  reject("transient -1 0 nan");
+}
+
+TEST(FaultScheduleTest, SnapshotLinesRoundTrip) {
+  FaultSchedule schedule;
+  schedule.Add(FaultEvent{.kind = FaultKind::kSnapshotCrash,
+                          .move = 3,
+                          .snapshot_phase = SnapshotPhase::kPrimaryWritten});
+  schedule.Add(FaultEvent{.kind = FaultKind::kSnapshotCorrupt,
+                          .move = 5,
+                          .disk = 1});
+  const StatusOr<FaultSchedule> parsed =
+      FaultSchedule::Deserialize(schedule.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, schedule);
+  EXPECT_FALSE(
+      FaultSchedule::Deserialize("faults-v1\nsnapcrash 0 3\n").ok());
+  EXPECT_FALSE(
+      FaultSchedule::Deserialize("faults-v1\nsnapcorrupt 0\n").ok());
+}
+
 TEST(FaultScheduleTest, RandomSchedulesAreSeedDeterministic) {
   RandomScheduleOptions options;
   options.crashes = 3;
