@@ -23,6 +23,7 @@ execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR}
           --target simd_kernel_test batch_equivalence_test intmath_test
                    fault_injection_test cluster_test storage_backend_test
+                   governor_property_test
   RESULT_VARIABLE build_result)
 if(build_result)
   message(FATAL_ERROR "UBSan build failed: ${build_result}")
@@ -30,7 +31,7 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_CTEST_COMMAND} --test-dir ${BINARY_DIR}
-          -R "simd_kernel_test|batch_equivalence_test|intmath_test|^fault_injection_test$|^cluster_test$|storage_backend_test"
+          -R "simd_kernel_test|batch_equivalence_test|intmath_test|^fault_injection_test$|^cluster_test$|storage_backend_test|governor_property_test"
           --output-on-failure
   RESULT_VARIABLE test_result)
 if(test_result)

@@ -63,6 +63,10 @@ void PrintSummary(const scaddar::ScenarioResult& result) {
               static_cast<long long>(result.startup_p50),
               static_cast<long long>(result.startup_p99),
               static_cast<long long>(result.startup_p999));
+  if (result.auto_reorg_triggers > 0) {
+    std::printf("  auto reorgs       : %lld\n",
+                static_cast<long long>(result.auto_reorg_triggers));
+  }
   if (result.crashes > 0) {
     std::printf("  crashes survived  : %lld\n",
                 static_cast<long long>(result.crashes));

@@ -21,6 +21,8 @@ StatusOr<ScenarioResult> RunClusterScenario(ClusterServer& cluster,
   int64_t line_number = 0;
   TrafficConfig traffic_config;
   std::unique_ptr<TrafficEngine> traffic;
+  // One governor declaration per scenario, as in the bare interpreter.
+  bool governor_declared = false;
   std::string_view rest = script;
   while (!rest.empty()) {
     const size_t eol = rest.find('\n');
@@ -220,6 +222,34 @@ StatusOr<ScenarioResult> RunClusterScenario(ClusterServer& cluster,
         }
         tick_once();
       }
+    } else if (command == "governor" &&
+               (tokens.size() == 3 || tokens.size() == 4)) {
+      if (governor_declared) {
+        return LineError(line_number, "duplicate governor declaration");
+      }
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t bits, ParseInt(tokens[1]));
+      if (bits < 1 || bits > 64) {
+        return LineError(line_number, "governor bits must be in [1, 64]");
+      }
+      SCADDAR_ASSIGN_OR_RETURN(const double eps, ParseDouble(tokens[2]));
+      double cov = cluster.config().shard.reorg_cov_threshold;
+      if (tokens.size() == 4) {
+        SCADDAR_ASSIGN_OR_RETURN(cov, ParseDouble(tokens[3]));
+      }
+      const Status status =
+          cluster.ConfigureGovernor(static_cast<int>(bits), eps, cov);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+      governor_declared = true;
+    } else if (command == "autoreorg" && tokens.size() == 2) {
+      if (tokens[1] == "on") {
+        cluster.SetAutoReorg(true);
+      } else if (tokens[1] == "off") {
+        cluster.SetAutoReorg(false);
+      } else {
+        return LineError(line_number, "autoreorg takes on|off");
+      }
     } else if (command == "verify" && tokens.size() == 1) {
       const Status status = cluster.VerifyIntegrity();
       if (!status.ok()) {
@@ -235,6 +265,7 @@ StatusOr<ScenarioResult> RunClusterScenario(ClusterServer& cluster,
   result.startup_p50 = PercentileOf(cluster.StartupLatencies(), 0.50);
   result.startup_p99 = PercentileOf(cluster.StartupLatencies(), 0.99);
   result.startup_p999 = PercentileOf(cluster.StartupLatencies(), 0.999);
+  result.auto_reorg_triggers = cluster.TotalReorgTriggers();
   return result;
 }
 

@@ -344,6 +344,39 @@ Status ClusterServer::ScaleRemoveDisks(int shard_id,
   return server->ScaleRemove(std::move(slots));
 }
 
+Status ClusterServer::ConfigureGovernor(int bits, double eps,
+                                        double cov_threshold) {
+  // Validate once before touching any shard, so a bad knob set leaves every
+  // shard's governor untouched (the per-shard calls below cannot fail).
+  SCADDAR_RETURN_IF_ERROR(AdaptiveReorgDriver::Create(
+                              bits, eps, cov_threshold,
+                              config_.shard.reorg_check_every)
+                              .status());
+  for (Shard& entry : shards_) {
+    SCADDAR_RETURN_IF_ERROR(
+        entry.server->ConfigureGovernor(bits, eps, cov_threshold));
+  }
+  config_.shard.governor_bits = bits;
+  config_.shard.governor_eps = eps;
+  config_.shard.reorg_cov_threshold = cov_threshold;
+  return OkStatus();
+}
+
+void ClusterServer::SetAutoReorg(bool enabled) {
+  for (Shard& entry : shards_) {
+    entry.server->SetAutoReorg(enabled);
+  }
+  config_.shard.auto_reorg = enabled;
+}
+
+int64_t ClusterServer::TotalReorgTriggers() const {
+  int64_t total = 0;
+  for (const Shard& entry : shards_) {
+    total += static_cast<int64_t>(entry.server->reorg_triggers().size());
+  }
+  return total;
+}
+
 void ClusterServer::ReconcileRouting() {
   for (const ObjectId object : objects_) {
     const int owner = owner_.at(object);

@@ -148,6 +148,19 @@ class ClusterServer {
   Status ScaleAddDisks(int shard, int64_t count);
   Status ScaleRemoveDisks(int shard, std::vector<DiskSlot> slots);
 
+  // --- Adaptive self-triggered reorganization (forwarded). --------------
+  /// Configures every live shard's governor and CoV threshold (validated
+  /// once up front — all-or-nothing), and updates the shard template so
+  /// shards added later inherit the knobs.
+  Status ConfigureGovernor(int bits, double eps, double cov_threshold);
+
+  /// Enables/disables the adaptive driver on every live shard and in the
+  /// shard template.
+  void SetAutoReorg(bool enabled);
+
+  /// Self-triggered reorganizations summed over live shards.
+  int64_t TotalReorgTriggers() const;
+
   // --- Invariants. -------------------------------------------------------
   /// Cross-checks the cluster: every owned object lives in exactly its
   /// owner's catalog, route targets diverge from owners only while a

@@ -8,6 +8,24 @@
 
 namespace scaddar {
 
+/// Why an adaptive placement driver scheduled a reorganization.
+enum class ReorgReason {
+  kBudget,  // The Section 4.3 ε budget was threatened (or already spent).
+  kCov,     // Live per-disk CoV drifted past the configured threshold.
+};
+
+/// One recorded self-triggered reorganization event. Lives next to the
+/// governor (not the server) so checkpoint documents can carry the trigger
+/// history without a recovery->server dependency.
+struct ReorgTrigger {
+  int64_t round = 0;
+  ReorgReason reason = ReorgReason::kBudget;
+  /// `BudgetConsumed` at the trigger (kBudget) or the measured CoV (kCov).
+  double value = 0.0;
+
+  friend bool operator==(const ReorgTrigger&, const ReorgTrigger&) = default;
+};
+
 /// Operational wrapper around the Section 4.3 tolerance gate: a deployment
 /// configures its generator width `b` and unfairness budget `ε` once, and
 /// asks the governor before every scaling operation whether to proceed or

@@ -5,8 +5,10 @@
 #include "placement/jump_hash_policy.h"
 #include "placement/mod_policy.h"
 #include "placement/naive_policy.h"
+#include "placement/round_hashing_policy.h"
 #include "placement/round_robin_policy.h"
 #include "placement/scaddar_policy.h"
+#include "placement/segment_policy.h"
 
 namespace scaddar {
 
@@ -37,6 +39,12 @@ StatusOr<std::unique_ptr<PlacementPolicy>> MakePolicy(
   if (name == "chash") {
     return std::unique_ptr<PlacementPolicy>(
         new ConsistentHashPolicy(n0, options.vnodes));
+  }
+  if (name == "roundhash") {
+    return std::unique_ptr<PlacementPolicy>(new RoundHashingPolicy(n0));
+  }
+  if (name == "segment") {
+    return std::unique_ptr<PlacementPolicy>(new SegmentPolicy(n0));
   }
   return NotFoundError("unknown placement policy");
 }
@@ -71,12 +79,19 @@ StatusOr<std::unique_ptr<PlacementPolicy>> MakePolicyWithDisks(
     return std::unique_ptr<PlacementPolicy>(
         new ConsistentHashPolicy(std::move(log), options.vnodes));
   }
+  if (name == "roundhash") {
+    return std::unique_ptr<PlacementPolicy>(
+        new RoundHashingPolicy(std::move(log)));
+  }
+  if (name == "segment") {
+    return std::unique_ptr<PlacementPolicy>(new SegmentPolicy(std::move(log)));
+  }
   return NotFoundError("unknown placement policy");
 }
 
 std::vector<std::string_view> KnownPolicyNames() {
   return {"scaddar", "naive", "mod", "directory", "roundrobin", "jump",
-          "chash"};
+          "chash", "roundhash", "segment"};
 }
 
 }  // namespace scaddar

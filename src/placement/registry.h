@@ -17,7 +17,8 @@ struct PolicyOptions {
 };
 
 /// Creates a policy by name: "scaddar", "naive", "mod", "directory",
-/// "roundrobin", "jump" or "chash". `n0` is the initial disk count.
+/// "roundrobin", "jump", "chash", "roundhash" or "segment". `n0` is the
+/// initial disk count.
 StatusOr<std::unique_ptr<PlacementPolicy>> MakePolicy(
     std::string_view name, int64_t n0, const PolicyOptions& options = {});
 

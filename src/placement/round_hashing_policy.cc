@@ -1,0 +1,71 @@
+#include "placement/round_hashing_policy.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "random/splitmix64.h"
+
+namespace scaddar {
+
+int64_t RoundHashingPolicy::RoundBucket(uint64_t key, int64_t num_buckets) {
+  SCADDAR_DCHECK(num_buckets > 0);
+  const uint64_t n = static_cast<uint64_t>(num_buckets);
+  // Level L: 2^L <= n < 2^(L+1). The split frontier s = n - 2^L marks how
+  // many parent buckets have already split into their high images.
+  const int level = std::bit_width(n) - 1;
+  const uint64_t parent_mask = (uint64_t{1} << level) - 1;
+  uint64_t pos = key & parent_mask;
+  if (pos < n - (parent_mask + 1)) {
+    // Parent already split: re-hash into the doubled round. The result is
+    // either `pos` or `pos + 2^L`, and the latter is < n exactly because
+    // pos is below the frontier.
+    pos = key & ((parent_mask << 1) | 1);
+  }
+  return static_cast<int64_t>(pos);
+}
+
+RoundHashingPolicy::RoundHashingPolicy(int64_t n0) : PlacementPolicy(n0) {
+  buckets_ = log().physical_disks_at(0);
+}
+
+RoundHashingPolicy::RoundHashingPolicy(OpLog initial_log)
+    : PlacementPolicy(std::move(initial_log)) {
+  buckets_ = log().physical_disks_at(0);
+}
+
+Status RoundHashingPolicy::OnOp(const ScalingOp& op) {
+  const Epoch j = log().num_ops();
+  if (op.is_add()) {
+    // New physical ids take the tail positions: each one is the high image
+    // of the parent at the current frontier, so only that parent's keys
+    // re-hash.
+    const std::vector<PhysicalDiskId>& now = log().physical_disks_at(j);
+    const int64_t n_prev = log().disks_after(j - 1);
+    for (size_t i = static_cast<size_t>(n_prev); i < now.size(); ++i) {
+      buckets_.push_back(now[i]);
+    }
+    return OkStatus();
+  }
+  const std::vector<PhysicalDiskId>& before = log().physical_disks_at(j - 1);
+  for (const DiskSlot slot : op.removed_slots()) {
+    const PhysicalDiskId removed = before[static_cast<size_t>(slot)];
+    const auto it = std::find(buckets_.begin(), buckets_.end(), removed);
+    SCADDAR_CHECK(it != buckets_.end());
+    *it = buckets_.back();  // Swap-with-last, then shrink from the tail.
+    buckets_.pop_back();
+  }
+  return OkStatus();
+}
+
+PhysicalDiskId RoundHashingPolicy::Locate(ObjectId object,
+                                          BlockIndex block) const {
+  const std::vector<uint64_t>& x0 = x0_of(object);
+  SCADDAR_CHECK(block >= 0 &&
+                block < static_cast<BlockIndex>(x0.size()));
+  const uint64_t key = Mix64(x0[static_cast<size_t>(block)]);
+  const int64_t bucket =
+      RoundBucket(key, static_cast<int64_t>(buckets_.size()));
+  return buckets_[static_cast<size_t>(bucket)];
+}
+
+}  // namespace scaddar

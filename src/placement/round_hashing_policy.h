@@ -1,0 +1,49 @@
+#ifndef SCADDAR_PLACEMENT_ROUND_HASHING_POLICY_H_
+#define SCADDAR_PLACEMENT_ROUND_HASHING_POLICY_H_
+
+#include <vector>
+
+#include "placement/policy.h"
+
+namespace scaddar {
+
+/// The doubling-rounds bucket scheme at the heart of Round-Hashing (Grossi
+/// & Versari 2018), in its whole-bucket (linear-hashing) form: with `n`
+/// buckets and level `L = floor(log2 n)`, a key first hashes into the `2^L`
+/// parent positions and re-hashes into `2^(L+1)` positions when its parent
+/// is below the split frontier `n - 2^L`. Lookup is O(1) pure arithmetic —
+/// two masks, no loop, no per-key state — which is the property the paper
+/// contributes over jump hash's O(log n) iteration.
+///
+/// Trade-offs the comparator bench (EXP-G) quantifies: splits move whole
+/// half-buckets, so an addition moves *less* than the minimal uniform
+/// fraction and the load between split and unsplit buckets spreads by up to
+/// 2x until the round completes (Round-Hashing proper refines this with
+/// fractional splits; this is the frontier structure underneath). Arbitrary
+/// removals use the same swap-with-last emulation as `JumpHashPolicy`.
+class RoundHashingPolicy final : public PlacementPolicy {
+ public:
+  explicit RoundHashingPolicy(int64_t n0);
+  explicit RoundHashingPolicy(OpLog initial_log);
+
+  std::string_view name() const override { return "roundhash"; }
+
+  PhysicalDiskId Locate(ObjectId object, BlockIndex block) const override;
+
+  /// Position of `key` among `num_buckets` via the split frontier; exposed
+  /// for tests.
+  static int64_t RoundBucket(uint64_t key, int64_t num_buckets);
+
+  /// Bucket order (position -> physical id); exposed for tests.
+  const std::vector<PhysicalDiskId>& buckets() const { return buckets_; }
+
+ protected:
+  Status OnOp(const ScalingOp& op) override;
+
+ private:
+  std::vector<PhysicalDiskId> buckets_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_ROUND_HASHING_POLICY_H_

@@ -1,0 +1,69 @@
+#ifndef SCADDAR_PLACEMENT_SEGMENT_POLICY_H_
+#define SCADDAR_PLACEMENT_SEGMENT_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "placement/policy.h"
+
+namespace scaddar {
+
+/// ASURA-style segment placement (Ishikawa 2013): the 64-bit hash space is
+/// partitioned into contiguous segments, each owned by one disk, and a key
+/// lands on the owner of the segment containing its hash. Every scaling
+/// operation rebalances the segment table to *exact* per-disk targets
+/// (total/2^64 within one unit), carving only the surplus: additions take
+/// precisely a 1/(n+1) slice from the existing disks, removals hand the
+/// departed disk's segments to whoever is under target — so movement is
+/// minimal and uniformity is exact by construction, at any churn depth.
+///
+/// The trade-off the comparator bench (EXP-G) quantifies: the table itself.
+/// Lookup is O(log S) binary search and S (the segment count) grows with
+/// churn — each operation can split O(n) segments — where SCADDAR's state
+/// is O(ops) and jump/round-hashing carry O(n). Adjacent same-owner
+/// segments are merged after every rebalance to keep S at the fragmentation
+/// floor, but unlike SCADDAR the table can never *shrink* back to O(1) per
+/// disk without a full reshuffle.
+class SegmentPolicy final : public PlacementPolicy {
+ public:
+  explicit SegmentPolicy(int64_t n0);
+  explicit SegmentPolicy(OpLog initial_log);
+
+  std::string_view name() const override { return "segment"; }
+
+  PhysicalDiskId Locate(ObjectId object, BlockIndex block) const override;
+
+  /// Segments in the current table — the state-size axis of EXP-G.
+  int64_t num_segments() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+
+  /// Owner of the segment containing hash point `key`; exposed for tests.
+  PhysicalDiskId OwnerOfPoint(uint64_t key) const;
+
+ protected:
+  Status OnOp(const ScalingOp& op) override;
+
+ private:
+  /// One contiguous slice [start, next segment's start) of the hash space.
+  /// The table always starts at 0 and covers the full 2^64 range.
+  struct Segment {
+    uint64_t start = 0;
+    PhysicalDiskId owner = 0;
+  };
+
+  /// Rebalances the table onto `owners` (ascending physical ids): every
+  /// owner ends at its exact target share, donors release only surplus,
+  /// receivers take only deficit. Segments owned by disks absent from
+  /// `owners` are treated as fully released.
+  void RebalanceTo(const std::vector<PhysicalDiskId>& owners);
+
+  /// Equal partition of the table across `owners` (initial construction).
+  void BuildEqual(const std::vector<PhysicalDiskId>& owners);
+
+  std::vector<Segment> segments_;  // Sorted by start; segments_[0].start==0.
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_PLACEMENT_SEGMENT_POLICY_H_

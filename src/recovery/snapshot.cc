@@ -37,6 +37,23 @@ void AppendInt(std::string& out, int64_t value) {
   out.append(buffer, ptr);
 }
 
+StatusOr<double> ParseFloat(std::string_view token) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return InvalidArgumentError("malformed float in snapshot");
+  }
+  return value;
+}
+
+void AppendFloat(std::string& out, double value) {
+  // max_digits10 round-trips every finite double exactly.
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
 /// Cursor over a payload: line-oriented fields plus exact-byte blobs for
 /// nested documents (op log, journal, per-shard snapshots) whose content is
 /// itself multi-line.
@@ -251,6 +268,28 @@ std::string EncodeServerSnapshot(const ServerSnapshot& snapshot) {
     AppendInt(payload, latency);
   }
   payload += '\n';
+  if (snapshot.governor_bits > 0) {
+    payload += "governor ";
+    AppendInt(payload, snapshot.governor_bits);
+    payload += ' ';
+    AppendFloat(payload, snapshot.governor_eps);
+    payload += ' ';
+    AppendFloat(payload, snapshot.reorg_cov_threshold);
+    payload += ' ';
+    AppendInt(payload, snapshot.reorg_check_every);
+    payload += ' ';
+    AppendInt(payload, snapshot.auto_reorg ? 1 : 0);
+    payload += '\n';
+  }
+  for (const ReorgTrigger& trigger : snapshot.reorg_triggers) {
+    payload += "trigger ";
+    AppendInt(payload, trigger.round);
+    payload += ' ';
+    AppendInt(payload, trigger.reason == ReorgReason::kCov ? 1 : 0);
+    payload += ' ';
+    AppendFloat(payload, trigger.value);
+    payload += '\n';
+  }
   AppendBlob(payload, "oplog", snapshot.oplog);
   AppendBlob(payload, "journal", snapshot.journal);
   for (const SnapshotObject& object : snapshot.objects) {
@@ -343,6 +382,23 @@ StatusOr<ServerSnapshot> DecodeServerSnapshot(std::string_view document) {
     } else if (key == "converged" && fields.size() == 2) {
       SCADDAR_ASSIGN_OR_RETURN(const int64_t converged, ParseInt(fields[1]));
       snapshot.converged = converged != 0;
+    } else if (key == "governor" && fields.size() == 6) {
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t bits, ParseInt(fields[1]));
+      SCADDAR_ASSIGN_OR_RETURN(snapshot.governor_eps, ParseFloat(fields[2]));
+      SCADDAR_ASSIGN_OR_RETURN(snapshot.reorg_cov_threshold,
+                               ParseFloat(fields[3]));
+      SCADDAR_ASSIGN_OR_RETURN(snapshot.reorg_check_every,
+                               ParseInt(fields[4]));
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t auto_on, ParseInt(fields[5]));
+      snapshot.governor_bits = static_cast<int>(bits);
+      snapshot.auto_reorg = auto_on != 0;
+    } else if (key == "trigger" && fields.size() == 4) {
+      ReorgTrigger trigger;
+      SCADDAR_ASSIGN_OR_RETURN(trigger.round, ParseInt(fields[1]));
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t reason, ParseInt(fields[2]));
+      SCADDAR_ASSIGN_OR_RETURN(trigger.value, ParseFloat(fields[3]));
+      trigger.reason = reason != 0 ? ReorgReason::kCov : ReorgReason::kBudget;
+      snapshot.reorg_triggers.push_back(trigger);
     } else if (key == "latencies" && fields.size() >= 2) {
       SCADDAR_ASSIGN_OR_RETURN(const int64_t count, ParseInt(fields[1]));
       if (count != static_cast<int64_t>(fields.size()) - 2) {

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/governor.h"
 #include "core/types.h"
 #include "util/statusor.h"
 
@@ -88,6 +89,15 @@ struct ServerSnapshot {
   // quiescent snapshot with an empty surviving WAL skips the divergence
   // rescan entirely (nothing was in flight, nothing moved afterwards).
   bool converged = false;
+  // Adaptive reorg driver state. `governor_bits == 0` means the document
+  // predates the driver (or never configured one): restore keeps the
+  // config-built driver and empty trigger history.
+  int governor_bits = 0;
+  double governor_eps = 0.0;
+  double reorg_cov_threshold = 0.0;
+  int64_t reorg_check_every = 16;
+  bool auto_reorg = false;
+  std::vector<ReorgTrigger> reorg_triggers;
 };
 
 std::string EncodeServerSnapshot(const ServerSnapshot& snapshot);

@@ -119,6 +119,30 @@ struct ServerConfig {
 
   /// Independent snapshot locations the manager spreads sets across.
   int64_t checkpoint_locations = 4;
+
+  // --- Adaptive self-triggered reorganization (src/server/reorg_driver).
+  // The driver watches the Section 4.3 ε budget before every scaling op
+  // and the live per-disk CoV at end of round, and schedules a full
+  // redistribution as a background migration job when either is
+  // threatened. ---
+
+  /// Master switch for the adaptive placement driver.
+  bool auto_reorg = false;
+
+  /// Governor generator width `b` for the budget watch (0 = use `bits`).
+  int governor_bits = 0;
+
+  /// Governor unfairness budget ε (0 = use `tolerance_eps`).
+  double governor_eps = 0.0;
+
+  /// CoV drift threshold that triggers a reorganization (0 = budget watch
+  /// only, no CoV watch).
+  double reorg_cov_threshold = 0.0;
+
+  /// Rounds between CoV evaluations (CoV is O(disks) per check, but a
+  /// triggered reorg is expensive — this knob paces how eagerly drift is
+  /// noticed).
+  int64_t reorg_check_every = 16;
 };
 
 }  // namespace scaddar

@@ -1,0 +1,38 @@
+#include "server/reorg_driver.h"
+
+#include <cmath>
+
+namespace scaddar {
+
+AdaptiveReorgDriver::AdaptiveReorgDriver()
+    : AdaptiveReorgDriver(64, 0.05, 0.0, 16) {}
+
+AdaptiveReorgDriver::AdaptiveReorgDriver(int bits, double eps,
+                                         double cov_threshold,
+                                         int64_t check_every)
+    : governor_(bits, eps),
+      cov_threshold_(cov_threshold),
+      check_every_(check_every) {}
+
+StatusOr<AdaptiveReorgDriver> AdaptiveReorgDriver::Create(
+    int bits, double eps, double cov_threshold, int64_t check_every) {
+  if (bits < 1 || bits > 64) {
+    return InvalidArgumentError("governor bits must be in [1, 64]");
+  }
+  // `ParseDouble` accepts "nan"/"inf" spellings, so the range checks here
+  // must be explicit about finiteness.
+  if (!std::isfinite(eps) || eps <= 0.0) {
+    return InvalidArgumentError(
+        "governor eps must be finite and positive");
+  }
+  if (!std::isfinite(cov_threshold) || cov_threshold < 0.0) {
+    return InvalidArgumentError(
+        "CoV threshold must be finite and non-negative");
+  }
+  if (check_every < 1) {
+    return InvalidArgumentError("CoV check interval must be >= 1 round");
+  }
+  return AdaptiveReorgDriver(bits, eps, cov_threshold, check_every);
+}
+
+}  // namespace scaddar

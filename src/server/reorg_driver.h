@@ -1,0 +1,96 @@
+#ifndef SCADDAR_SERVER_REORG_DRIVER_H_
+#define SCADDAR_SERVER_REORG_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/governor.h"
+#include "core/op_log.h"
+#include "core/scaling_op.h"
+#include "util/statusor.h"
+
+namespace scaddar {
+
+/// The adaptive placement driver's configuration + memory: a
+/// `ToleranceGovernor` for the Section 4.3 ε budget, a CoV drift threshold
+/// for live load imbalance, and the history of every reorganization the
+/// driver has triggered. `CmServer` owns one, consults it before every
+/// scaling operation and at end of round, and calls `FullRedistribution`
+/// when the driver says to — so the paper's "keep track of Π_k and find out
+/// whether the next operation will lead to a violation" finally *acts*
+/// instead of just advising.
+///
+/// The driver itself is deliberately passive (no server pointer): decisions
+/// are pure functions of the op log and the measured CoV, which is what
+/// makes the property-test oracle (`governor_property_test`) and the
+/// twin-server equivalence test exact.
+class AdaptiveReorgDriver {
+ public:
+  /// Disabled driver with the library defaults (b=64, ε=0.05) — the state a
+  /// server has before any `governor`/`autoreorg` configuration.
+  AdaptiveReorgDriver();
+
+  /// Validates and builds: `bits` in [1, 64]; `eps` finite and > 0;
+  /// `cov_threshold` finite and >= 0 (0 = no CoV watch); `check_every` >= 1
+  /// rounds between CoV evaluations. Starts disabled.
+  static StatusOr<AdaptiveReorgDriver> Create(int bits, double eps,
+                                              double cov_threshold,
+                                              int64_t check_every);
+
+  /// Whether the driver may trigger reorganizations.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  const ToleranceGovernor& governor() const { return governor_; }
+  double cov_threshold() const { return cov_threshold_; }
+  int64_t check_every() const { return check_every_; }
+
+  /// True iff the driver is on and appending `op` to `log` would break the
+  /// ε budget — the caller must rebase *first*, which resets the log and
+  /// makes the op affordable again. This fires exactly when the serial
+  /// `OpLog::WouldExceedTolerance` oracle flips.
+  bool WantsRebaseBeforeOp(const OpLog& log, const ScalingOp& op) const {
+    return enabled_ &&
+           governor_.Consider(log, op) ==
+               ToleranceGovernor::Advice::kRebaseFirst;
+  }
+
+  /// True iff the driver is on and `log` already stands outside the budget
+  /// (possible when the governor is tightened, or enabled, mid-life).
+  bool BudgetExceeded(const OpLog& log) const {
+    return enabled_ && !governor_.WithinBudget(log);
+  }
+
+  /// True iff the end-of-round CoV evaluation is due at `round`.
+  bool CovCheckDue(int64_t round) const {
+    return enabled_ && cov_threshold_ > 0.0 && round % check_every_ == 0;
+  }
+
+  /// True iff a measured CoV calls for a reorganization.
+  bool CovExceeded(double cov) const {
+    return enabled_ && cov_threshold_ > 0.0 && cov > cov_threshold_;
+  }
+
+  // --- Trigger history (surfaced in ScenarioResult, checkpointed). --------
+  void RecordTrigger(int64_t round, ReorgReason reason, double value) {
+    triggers_.push_back(ReorgTrigger{round, reason, value});
+  }
+  const std::vector<ReorgTrigger>& triggers() const { return triggers_; }
+  void RestoreTriggers(std::vector<ReorgTrigger> triggers) {
+    triggers_ = std::move(triggers);
+  }
+
+ private:
+  AdaptiveReorgDriver(int bits, double eps, double cov_threshold,
+                      int64_t check_every);
+
+  ToleranceGovernor governor_;
+  double cov_threshold_ = 0.0;
+  int64_t check_every_ = 16;
+  bool enabled_ = false;
+  std::vector<ReorgTrigger> triggers_;
+};
+
+}  // namespace scaddar
+
+#endif  // SCADDAR_SERVER_REORG_DRIVER_H_

@@ -30,6 +30,9 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
   // path (success or line error) — the server must not keep a dangling
   // pointer once the scenario run ends.
   std::unique_ptr<CheckpointManager> checkpoint;
+  // `governor` is a declaration, not a runtime action: one per scenario,
+  // so a script's ε semantics cannot silently change partway through.
+  bool governor_declared = false;
   struct DetachGuard {
     CmServer& server;
     ~DetachGuard() {
@@ -127,6 +130,35 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
       const Status status = server.FullRedistribution();
       if (!status.ok()) {
         return LineError(line_number, status.message());
+      }
+    } else if (command == "governor" &&
+               (tokens.size() == 3 || tokens.size() == 4)) {
+      if (governor_declared) {
+        return LineError(line_number, "duplicate governor declaration");
+      }
+      SCADDAR_ASSIGN_OR_RETURN(const int64_t bits, ParseInt(tokens[1]));
+      if (bits < 1 || bits > 64) {
+        return LineError(line_number, "governor bits must be in [1, 64]");
+      }
+      SCADDAR_ASSIGN_OR_RETURN(const double eps, ParseDouble(tokens[2]));
+      // Omitted CoV keeps whatever threshold the server already has.
+      double cov = server.reorg_driver().cov_threshold();
+      if (tokens.size() == 4) {
+        SCADDAR_ASSIGN_OR_RETURN(cov, ParseDouble(tokens[3]));
+      }
+      const Status status =
+          server.ConfigureGovernor(static_cast<int>(bits), eps, cov);
+      if (!status.ok()) {
+        return LineError(line_number, status.message());
+      }
+      governor_declared = true;
+    } else if (command == "autoreorg" && tokens.size() == 2) {
+      if (tokens[1] == "on") {
+        server.SetAutoReorg(true);
+      } else if (tokens[1] == "off") {
+        server.SetAutoReorg(false);
+      } else {
+        return LineError(line_number, "autoreorg takes on|off");
       }
     } else if (command == "tick" && tokens.size() == 2) {
       SCADDAR_ASSIGN_OR_RETURN(const int64_t rounds, ParseInt(tokens[1]));
@@ -282,6 +314,8 @@ StatusOr<ScenarioResult> RunScenario(CmServer& server,
   result.startup_p50 = PercentileOf(server.startup_latencies(), 0.50);
   result.startup_p99 = PercentileOf(server.startup_latencies(), 0.99);
   result.startup_p999 = PercentileOf(server.startup_latencies(), 0.999);
+  result.auto_reorg_triggers =
+      static_cast<int64_t>(server.reorg_triggers().size());
   return result;
 }
 

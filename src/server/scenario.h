@@ -23,6 +23,9 @@ struct ScenarioResult {
   int64_t streams_rejected = 0;
   int64_t crashes = 0;
   int64_t kill_restarts = 0;  // `killrestart` commands (also in crashes).
+  /// Reorganizations the adaptive driver triggered on its own (budget or
+  /// CoV) across the run — the count of `reorg_triggers()` at the end.
+  int64_t auto_reorg_triggers = 0;
   int64_t startup_p50 = 0;
   int64_t startup_p99 = 0;
   int64_t startup_p999 = 0;
@@ -40,6 +43,14 @@ struct ScenarioResult {
 ///   scale add <count>                    online disk-group addition
 ///   scale remove <slot>[,<slot>...]      online disk-group removal
 ///   rebase                               full redistribution
+///   governor <bits> <eps> [cov]          configure the adaptive driver's
+///                                        governor (generator width, ε
+///                                        budget) and optionally the CoV
+///                                        drift threshold; at most one
+///                                        declaration per scenario
+///   autoreorg on|off                     enable/disable self-triggered
+///                                        reorganization (budget gate on
+///                                        scaling ops + end-of-round watch)
 ///   backend <spec> [queue-depth]         select the storage backend
 ///                                        ("sim", "mem", "file:<dir>",
 ///                                        "uring:<dir>"); only legal while

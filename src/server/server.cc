@@ -8,6 +8,7 @@
 #include "faults/injector.h"
 #include "recovery/checkpoint_manager.h"
 #include "recovery/snapshot.h"
+#include "stats/load_metrics.h"
 #include "storage/block_io.h"
 
 namespace scaddar {
@@ -45,6 +46,8 @@ StatusOr<std::unique_ptr<CmServer>> CmServer::Create(
     return InvalidArgumentError("bits must be in [1, 64]");
   }
   std::unique_ptr<CmServer> server(new CmServer(config));
+  SCADDAR_ASSIGN_OR_RETURN(server->reorg_, BuildReorgDriver(config));
+  server->reorg_.set_enabled(config.auto_reorg);
   PolicyOptions options;
   options.seed = config.master_seed ^ 0xd15c5ull;
   SCADDAR_ASSIGN_OR_RETURN(
@@ -176,6 +179,7 @@ Status CmServer::RemoveObject(ObjectId id) {
 
 Status CmServer::ScaleAdd(int64_t count) {
   SCADDAR_ASSIGN_OR_RETURN(const ScalingOp op, ScalingOp::Add(count));
+  SCADDAR_RETURN_IF_ERROR(MaybeRebaseBeforeOp(op));
   SCADDAR_RETURN_IF_ERROR(policy_->ApplyOp(op));
   SCADDAR_RETURN_IF_ERROR(SyncDisks());
   migration_.EnqueueReconciliation(store_, *policy_, ReconcileOptions());
@@ -185,6 +189,9 @@ Status CmServer::ScaleAdd(int64_t count) {
 Status CmServer::ScaleRemove(std::vector<DiskSlot> slots) {
   SCADDAR_ASSIGN_OR_RETURN(const ScalingOp op,
                            ScalingOp::Remove(std::move(slots)));
+  // A rebase here is safe for the slot numbers below: the fresh policy's
+  // epoch 0 addresses the same physical disks in the same order.
+  SCADDAR_RETURN_IF_ERROR(MaybeRebaseBeforeOp(op));
   // Resolve the physical disks being retired *before* the op renumbers
   // slots; they keep serving until the migration drains them.
   const std::vector<PhysicalDiskId>& before =
@@ -397,7 +404,96 @@ RoundMetrics CmServer::Tick() {
 
   ++round_;
   MaybeCheckpoint();
+  // Adaptive driver check last, after the round is fully accounted and any
+  // due checkpoint covers the pre-reorg state — a kill between the
+  // checkpoint and the triggered reorg loses only the trigger, never a
+  // committed move. The recorded round is the post-increment value, so a
+  // twin server can replay the trigger by issuing a manual
+  // FullRedistribution after the Tick whose round() matches.
+  MaybeAutoReorgOnRound();
   return metrics;
+}
+
+StatusOr<AdaptiveReorgDriver> CmServer::BuildReorgDriver(
+    const ServerConfig& config) {
+  const int bits =
+      config.governor_bits > 0 ? config.governor_bits : config.bits;
+  const double eps =
+      config.governor_eps > 0.0 ? config.governor_eps : config.tolerance_eps;
+  return AdaptiveReorgDriver::Create(bits, eps, config.reorg_cov_threshold,
+                                     config.reorg_check_every);
+}
+
+Status CmServer::ConfigureGovernor(int bits, double eps,
+                                   double cov_threshold) {
+  SCADDAR_ASSIGN_OR_RETURN(
+      AdaptiveReorgDriver driver,
+      AdaptiveReorgDriver::Create(bits, eps, cov_threshold,
+                                  config_.reorg_check_every));
+  driver.set_enabled(reorg_.enabled());
+  driver.RestoreTriggers(reorg_.triggers());
+  reorg_ = std::move(driver);
+  config_.governor_bits = bits;
+  config_.governor_eps = eps;
+  config_.reorg_cov_threshold = cov_threshold;
+  return OkStatus();
+}
+
+void CmServer::SetAutoReorg(bool enabled) {
+  reorg_.set_enabled(enabled);
+  config_.auto_reorg = enabled;
+}
+
+Status CmServer::MaybeRebaseBeforeOp(const ScalingOp& op) {
+  if (!reorg_.WantsRebaseBeforeOp(policy_->log(), op)) {
+    return OkStatus();
+  }
+  reorg_.RecordTrigger(round_, ReorgReason::kBudget,
+                       reorg_.governor().BudgetConsumed(policy_->log()));
+  return FullRedistribution();
+}
+
+void CmServer::MaybeAutoReorgOnRound() {
+  if (!reorg_.enabled() || crashed()) {
+    return;
+  }
+  // Budget overrun: possible when the governor was tightened (or turned on)
+  // over an already-long op log. The rebase resets the log, so this cannot
+  // re-fire next round.
+  if (reorg_.BudgetExceeded(policy_->log())) {
+    reorg_.RecordTrigger(round_, ReorgReason::kBudget,
+                         reorg_.governor().BudgetConsumed(policy_->log()));
+    const Status status = FullRedistribution();
+    SCADDAR_CHECK(status.ok() || status.code() == StatusCode::kUnavailable);
+    return;
+  }
+  if (!reorg_.CovCheckDue(round_)) {
+    return;
+  }
+  // Only judge a settled layout: mid-migration or mid-drain counts reflect
+  // a reorganization already underway (this is also what keeps a restarted
+  // server from re-triggering a reorg it is resuming).
+  if (!migration_.idle() || !retiring_.empty() || store_.total_blocks() <= 0) {
+    return;
+  }
+  const std::unordered_map<PhysicalDiskId, int64_t>& per_disk =
+      store_.per_disk_counts();
+  std::vector<int64_t> counts;
+  for (const PhysicalDiskId id : policy_->log().physical_disks()) {
+    const auto it = per_disk.find(id);
+    counts.push_back(it == per_disk.end() ? 0 : it->second);
+  }
+  if (counts.empty()) {
+    return;
+  }
+  const LoadMetrics metrics = ComputeLoadMetrics(counts);
+  if (!reorg_.CovExceeded(metrics.coefficient_of_variation)) {
+    return;
+  }
+  reorg_.RecordTrigger(round_, ReorgReason::kCov,
+                       metrics.coefficient_of_variation);
+  const Status status = FullRedistribution();
+  SCADDAR_CHECK(status.ok() || status.code() == StatusCode::kUnavailable);
 }
 
 Status CmServer::PauseStream(int64_t stream_id) {
@@ -679,6 +775,12 @@ ServerSnapshot CmServer::CaptureState() const {
   // above provably equal AF() — restore can skip the divergence rescan.
   snapshot.converged =
       migration_.idle() && snapshot.staged.empty() && retiring_.empty();
+  snapshot.governor_bits = reorg_.governor().bits();
+  snapshot.governor_eps = reorg_.governor().eps();
+  snapshot.reorg_cov_threshold = reorg_.cov_threshold();
+  snapshot.reorg_check_every = reorg_.check_every();
+  snapshot.auto_reorg = reorg_.enabled();
+  snapshot.reorg_triggers = reorg_.triggers();
   return snapshot;
 }
 
@@ -928,6 +1030,25 @@ Status CmServer::LoadFromState(const ServerSnapshot& snapshot,
   completed_streams_ = snapshot.completed_streams;
   total_served_ = snapshot.total_served;
   total_hiccups_ = snapshot.total_hiccups;
+
+  // The adaptive driver — governor parameters, enablement and trigger
+  // history — is part of the durable state: a kill-restart must *resume* a
+  // pending reorganization (the reconciliation below) without re-counting
+  // it as a new trigger. Pre-driver documents (bits == 0) keep the
+  // config-built driver.
+  if (snapshot.governor_bits > 0) {
+    SCADDAR_ASSIGN_OR_RETURN(
+        reorg_, AdaptiveReorgDriver::Create(
+                    snapshot.governor_bits, snapshot.governor_eps,
+                    snapshot.reorg_cov_threshold, snapshot.reorg_check_every));
+    reorg_.set_enabled(snapshot.auto_reorg);
+    reorg_.RestoreTriggers(snapshot.reorg_triggers);
+    config_.governor_bits = snapshot.governor_bits;
+    config_.governor_eps = snapshot.governor_eps;
+    config_.reorg_cov_threshold = snapshot.reorg_cov_threshold;
+    config_.reorg_check_every = snapshot.reorg_check_every;
+    config_.auto_reorg = snapshot.auto_reorg;
+  }
   if (stats != nullptr) {
     stats->streams_restored = static_cast<int64_t>(streams_.size());
   }
@@ -969,6 +1090,8 @@ StatusOr<CheckpointRestoreStats> CmServer::KillRestartFromCheckpoint() {
   journal_ = MoveJournal();
   migration_.Reset();
   migration_.AttachJournal(&journal_);
+  SCADDAR_ASSIGN_OR_RETURN(reorg_, BuildReorgDriver(config_));
+  reorg_.set_enabled(config_.auto_reorg);
   sharded_scheduler_.reset();
   last_sharded_round_ = ShardedRoundStats{};
   streams_.clear();

@@ -12,6 +12,7 @@
 #include "server/admission.h"
 #include "server/config.h"
 #include "server/migration.h"
+#include "server/reorg_driver.h"
 #include "server/scheduler.h"
 #include "server/sharded_scheduler.h"
 #include "server/stream.h"
@@ -113,6 +114,27 @@ class CmServer {
   /// log over the current disks. Blocks migrate online like any other
   /// reorganization.
   Status FullRedistribution();
+
+  // --- Adaptive self-triggered reorganization. --------------------------
+  /// Replaces the adaptive driver's governor and CoV threshold (validated;
+  /// InvalidArgument on non-finite or out-of-range values). The enabled
+  /// flag and trigger history carry over. Mirrors the knobs into `config()`
+  /// so checkpoint restores and cluster shard templates see them.
+  Status ConfigureGovernor(int bits, double eps, double cov_threshold);
+
+  /// Turns the adaptive driver on or off. While on, the server rebases
+  /// (full redistribution) before any scaling op that would break the ε
+  /// budget, and at end of round when the budget is already spent or the
+  /// live per-disk CoV drifts past the configured threshold.
+  void SetAutoReorg(bool enabled);
+
+  const AdaptiveReorgDriver& reorg_driver() const { return reorg_; }
+
+  /// Every reorganization the driver has triggered, in round order
+  /// (checkpointed; survives kill-restarts).
+  const std::vector<ReorgTrigger>& reorg_triggers() const {
+    return reorg_.triggers();
+  }
 
   /// Starts a playback stream if admission control allows it; returns the
   /// stream id or ResourceExhausted.
@@ -331,6 +353,22 @@ class CmServer {
   /// Sharding options for reconciliation scans, from the config knob.
   ParallelPlanOptions ReconcileOptions() const;
 
+  /// Builds the adaptive driver from config knobs (governor_bits/eps fall
+  /// back to bits/tolerance_eps when 0).
+  static StatusOr<AdaptiveReorgDriver> BuildReorgDriver(
+      const ServerConfig& config);
+
+  /// Budget gate before a scaling op: if the driver is on and `op` would
+  /// break the ε budget, record a trigger and rebase first (the rebase
+  /// resets the op log, making `op` affordable). Physical-id order is
+  /// preserved across the rebase, so removal slot numbers stay valid.
+  Status MaybeRebaseBeforeOp(const ScalingOp& op);
+
+  /// End-of-round driver check: budget overrun first (a tightened or newly
+  /// enabled governor can stand outside budget with no op in sight), then
+  /// the paced CoV evaluation over the live per-disk counts.
+  void MaybeAutoReorgOnRound();
+
   ServerConfig config_;
   Catalog catalog_;
   std::unique_ptr<PlacementPolicy> policy_;
@@ -341,6 +379,7 @@ class CmServer {
   std::unique_ptr<ShardedScheduler> sharded_scheduler_;  // Lazy.
   ShardedRoundStats last_sharded_round_;
   MigrationExecutor migration_;
+  AdaptiveReorgDriver reorg_;
   MoveJournal journal_;
   CheckpointManager* checkpoint_ = nullptr;  // Not owned; may be null.
   bool snapshot_crashed_ = false;  // Injected kill inside a checkpoint write.

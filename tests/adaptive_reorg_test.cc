@@ -1,0 +1,205 @@
+// The adaptive reorganization driver's server-level contract.
+//
+//  - Twin equivalence: a server that self-triggers rebases (budget gate
+//    before each scaling op) lands byte-identical — placement, per-disk
+//    counts, stream cursors, serving totals — to a twin with the driver
+//    disabled that is handed a manual FullRedistribution at exactly the
+//    recorded trigger points. Auto mode is a scheduler, not a new
+//    mechanism.
+//  - CoV watch: under a deliberately narrow generator the ungoverned
+//    layout drifts; the end-of-round watch catches the drift on a settled
+//    layout, schedules a reorganization under live traffic, and the
+//    layout converges back below the threshold with zero dropped streams.
+//  - Tightened-governor overrun: enabling a narrow governor over an
+//    already-long op log trips the end-of-round budget check exactly once
+//    (the rebase resets the log).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "stats/load_metrics.h"
+#include "server/server.h"
+
+namespace scaddar {
+namespace {
+
+std::map<ObjectId, std::vector<PhysicalDiskId>> Placement(
+    const CmServer& server) {
+  std::map<ObjectId, std::vector<PhysicalDiskId>> out;
+  for (const ObjectId id : server.catalog().object_ids()) {
+    const auto row = server.store().LocationsOf(id).value();
+    out[id] = std::vector<PhysicalDiskId>(row.begin(), row.end());
+  }
+  return out;
+}
+
+void Drain(CmServer& server) {
+  int64_t guard = 0;
+  while (!server.migration().idle()) {
+    server.Tick();
+    ASSERT_LT(++guard, 10'000);
+  }
+}
+
+TEST(AdaptiveReorgTest, AutoTriggersMatchManualRedistributionTwin) {
+  ServerConfig config;
+  config.initial_disks = 4;
+  config.master_seed = 0xfeed01;
+  config.governor_bits = 12;  // Narrow: the eps budget dies mid-churn.
+  config.governor_eps = 0.05;
+  auto auto_server = std::move(CmServer::Create(config)).value();
+  auto_server->SetAutoReorg(true);
+
+  ServerConfig twin_config = config;
+  twin_config.auto_reorg = false;
+  auto twin = std::move(CmServer::Create(twin_config)).value();
+
+  for (CmServer* s : {auto_server.get(), twin.get()}) {
+    ASSERT_TRUE(s->AddObject(1, 300).ok());
+    ASSERT_TRUE(s->AddObject(2, 200).ok());
+    ASSERT_TRUE(s->StartStream(1).ok());
+    ASSERT_TRUE(s->StartStream(2).ok());
+  }
+
+  // Lockstep churn. When the governed server rebased before an op (its
+  // trigger count grew), the twin is handed the same rebase manually at
+  // the same round — `FullRedistribution`'s fresh seeds depend only on
+  // (master_seed, round), so the two reshuffles are identical.
+  const std::vector<ScalingOp> churn = {
+      ScalingOp::Add(2).value(),    ScalingOp::Remove({1}).value(),
+      ScalingOp::Add(3).value(),    ScalingOp::Remove({0, 4}).value(),
+      ScalingOp::Add(2).value(),    ScalingOp::Remove({2}).value(),
+      ScalingOp::Add(1).value(),
+  };
+  for (const ScalingOp& op : churn) {
+    ASSERT_EQ(auto_server->round(), twin->round());
+    const size_t triggers_before = auto_server->reorg_triggers().size();
+    if (op.is_add()) {
+      ASSERT_TRUE(auto_server->ScaleAdd(op.add_count()).ok());
+    } else {
+      ASSERT_TRUE(auto_server->ScaleRemove(op.removed_slots()).ok());
+    }
+    if (auto_server->reorg_triggers().size() > triggers_before) {
+      ASSERT_TRUE(twin->FullRedistribution().ok());
+    }
+    if (op.is_add()) {
+      ASSERT_TRUE(twin->ScaleAdd(op.add_count()).ok());
+    } else {
+      ASSERT_TRUE(twin->ScaleRemove(op.removed_slots()).ok());
+    }
+    for (int i = 0; i < 3; ++i) {
+      auto_server->Tick();
+      twin->Tick();
+    }
+  }
+  // The harness is vacuous unless the budget actually tripped.
+  ASSERT_FALSE(auto_server->reorg_triggers().empty());
+  for (const ReorgTrigger& trigger : auto_server->reorg_triggers()) {
+    EXPECT_EQ(trigger.reason, ReorgReason::kBudget);
+  }
+  EXPECT_TRUE(twin->reorg_triggers().empty());
+
+  Drain(*auto_server);
+  Drain(*twin);
+  EXPECT_EQ(Placement(*auto_server), Placement(*twin));
+  EXPECT_EQ(auto_server->store().per_disk_counts(),
+            twin->store().per_disk_counts());
+  EXPECT_EQ(auto_server->total_served(), twin->total_served());
+  EXPECT_EQ(auto_server->round(), twin->round());
+  ASSERT_EQ(auto_server->streams().size(), twin->streams().size());
+  for (size_t i = 0; i < auto_server->streams().size(); ++i) {
+    EXPECT_EQ(auto_server->streams()[i].next_block(),
+              twin->streams()[i].next_block());
+  }
+  EXPECT_TRUE(auto_server->VerifyIntegrity().ok());
+  EXPECT_TRUE(twin->VerifyIntegrity().ok());
+}
+
+double SettledCov(CmServer& server) {
+  const auto& per_disk = server.store().per_disk_counts();
+  std::vector<int64_t> counts;
+  for (const PhysicalDiskId id : server.policy().log().physical_disks()) {
+    const auto it = per_disk.find(id);
+    counts.push_back(it == per_disk.end() ? 0 : it->second);
+  }
+  return ComputeLoadMetrics(counts).coefficient_of_variation;
+}
+
+TEST(AdaptiveReorgTest, CovWatchRestoresBalanceWithZeroDroppedStreams) {
+  ServerConfig config;
+  config.initial_disks = 4;
+  config.master_seed = 0xfeed02;
+  config.bits = 10;          // Narrow placement generator: layout drifts.
+  config.governor_bits = 64; // Budget effectively infinite: CoV-only test.
+  config.governor_eps = 0.05;
+  config.reorg_cov_threshold = 0.35;
+  config.reorg_check_every = 2;
+  config.auto_reorg = true;
+  auto server = std::move(CmServer::Create(config)).value();
+  ASSERT_TRUE(server->AddObject(1, 1'200).ok());
+  ASSERT_TRUE(server->AddObject(2, 800).ok());
+  const int64_t stream_a = server->StartStream(1).value();
+  const int64_t stream_b = server->StartStream(2).value();
+  (void)stream_a;
+  (void)stream_b;
+
+  // Churn under the narrow generator until the watch fires. Every op's
+  // migration is drained first: the watch only judges settled layouts.
+  bool triggered = false;
+  for (int i = 0; i < 30 && !triggered; ++i) {
+    ASSERT_TRUE(server->ScaleAdd(1).ok());
+    Drain(*server);
+    for (int tick = 0; tick < 2; ++tick) {
+      server->Tick();  // Land on a check_every boundary post-drain.
+    }
+    triggered = !server->reorg_triggers().empty();
+  }
+  ASSERT_TRUE(triggered) << "CoV never crossed the threshold";
+  const ReorgTrigger trigger = server->reorg_triggers().front();
+  EXPECT_EQ(trigger.reason, ReorgReason::kCov);
+  EXPECT_GT(trigger.value, config.reorg_cov_threshold);
+
+  // The triggered reorganization converges under traffic and restores the
+  // balance the threshold asks for.
+  Drain(*server);
+  EXPECT_LT(SettledCov(*server), config.reorg_cov_threshold);
+  // Zero dropped sessions: both streams are still live (objects are long
+  // enough that neither finished) and serving continued every round.
+  EXPECT_EQ(server->active_streams(), 2);
+  EXPECT_GT(server->total_served(), 0);
+  EXPECT_TRUE(server->VerifyIntegrity().ok());
+}
+
+TEST(AdaptiveReorgTest, TightenedGovernorTripsEndOfRoundOverrunOnce) {
+  ServerConfig config;
+  config.initial_disks = 4;
+  config.master_seed = 0xfeed03;
+  auto server = std::move(CmServer::Create(config)).value();
+  ASSERT_TRUE(server->AddObject(1, 150).ok());
+  // Grow an op log too long for a 12-bit governor, ungoverned.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server->ScaleAdd(2).ok());
+  }
+  ASSERT_TRUE(server->ConfigureGovernor(12, 0.05, 0.0).ok());
+  server->SetAutoReorg(true);
+  ASSERT_FALSE(server->reorg_driver().governor().WithinBudget(
+      server->policy().log()));
+
+  server->Tick();
+  ASSERT_EQ(server->reorg_triggers().size(), 1u);
+  EXPECT_EQ(server->reorg_triggers().front().reason, ReorgReason::kBudget);
+  EXPECT_EQ(server->reorg_triggers().front().round, server->round());
+  // The rebase reset the log: in budget again, and no re-fire next rounds.
+  EXPECT_TRUE(server->reorg_driver().governor().WithinBudget(
+      server->policy().log()));
+  for (int i = 0; i < 4; ++i) {
+    server->Tick();
+  }
+  EXPECT_EQ(server->reorg_triggers().size(), 1u);
+}
+
+}  // namespace
+}  // namespace scaddar

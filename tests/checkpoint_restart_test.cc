@@ -505,6 +505,73 @@ TEST(KillRestartTest, SnapshotKillPointMarksServerCrashed) {
   EXPECT_TRUE(server->VerifyIntegrity().ok());
 }
 
+TEST(KillRestartTest, MidReorgKillResumesPendingRedistributionWithoutRetrigger) {
+  // The adaptive driver's recovery contract: a kill landing between a
+  // self-triggered redistribution and its convergence must RESUME the
+  // pending reorganization (replaying from the barrier checkpoint + the
+  // journal), not count a fresh trigger — the restored trigger history is
+  // the one that was captured, and the CoV watch stays quiet while the
+  // resumed migration is in flight.
+  ServerConfig config = RecoveryConfig(0xabc8);
+  config.initial_disks = 4;
+  config.bits = 10;           // Narrow generator: the layout drifts.
+  config.governor_bits = 64;  // Budget effectively infinite: CoV-only.
+  config.governor_eps = 0.05;
+  config.reorg_cov_threshold = 0.35;
+  config.reorg_check_every = 2;
+  config.auto_reorg = true;
+  auto server = std::move(CmServer::Create(config)).value();
+  CheckpointManager manager;
+  ASSERT_TRUE(server->AddObject(1, 1'200).ok());
+  ASSERT_TRUE(server->AddObject(2, 800).ok());
+  ASSERT_TRUE(server->StartStream(1).ok());
+  ASSERT_TRUE(server->EnableCheckpoints(&manager, 1000).ok());
+
+  // Churn on settled layouts until the watch fires; the triggered
+  // FullRedistribution's own metadata barrier makes the trigger durable
+  // before a single reorg move lands.
+  int64_t guard = 0;
+  bool triggered = false;
+  for (int i = 0; i < 30 && !triggered; ++i) {
+    ASSERT_TRUE(server->ScaleAdd(1).ok());
+    while (!server->migration().idle()) {
+      server->Tick();
+      ASSERT_LT(++guard, 100'000);
+    }
+    for (int tick = 0; tick < 2 && !triggered; ++tick) {
+      server->Tick();
+      triggered = !server->reorg_triggers().empty();
+    }
+  }
+  ASSERT_TRUE(triggered) << "CoV never crossed the threshold";
+  const std::vector<ReorgTrigger> recorded = server->reorg_triggers();
+  ASSERT_FALSE(server->migration().idle());  // Mid-reorg, by construction.
+
+  // Kill mid-reorg and restart from the barrier checkpoint.
+  const auto stats = server->KillRestartFromCheckpoint();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  // Resumed, not re-triggered: the restored history is exactly the
+  // captured one, and convergence adds nothing to it.
+  EXPECT_EQ(server->reorg_triggers(), recorded);
+  EXPECT_TRUE(server->reorg_driver().enabled());
+  EXPECT_EQ(server->reorg_driver().cov_threshold(),
+            config.reorg_cov_threshold);
+  ASSERT_FALSE(server->migration().idle());
+  while (!server->migration().idle()) {
+    server->Tick();
+    ASSERT_LT(++guard, 100'000);
+  }
+  EXPECT_EQ(server->reorg_triggers(), recorded);
+  // And a few settled rounds after convergence stay quiet too: the
+  // redistribution restored the balance the threshold asks for.
+  for (int i = 0; i < 6; ++i) {
+    server->Tick();
+  }
+  EXPECT_EQ(server->reorg_triggers(), recorded);
+  EXPECT_TRUE(server->VerifyIntegrity().ok());
+}
+
 // ---------------------------------------------------------------------------
 // Scenario DSL: `checkpoint` + `killrestart` through the interpreter.
 

@@ -1,0 +1,168 @@
+// Property harness for the Section 4.3 bound under the adaptive driver:
+// seeded random churn over random (bits, eps) governor configs, checked
+// against a *serial* oracle — its own OpLog plus a bare ToleranceGovernor,
+// no server machinery. Two properties, per step:
+//
+//  1. Safety: the governed server's op log never stands outside the ε
+//     budget (`WithinBudget` holds after every scaling op and every round).
+//  2. Exactness: the server self-triggers a rebase exactly when the
+//     oracle's `Consider` flips to kRebaseFirst — same count, same rounds,
+//     all kBudget — never early, never late.
+//
+// The test also runs under the tsan/asan/ubsan smoke harnesses
+// (cmake/*_smoke.cmake): the randomized churn is the widest single driver
+// of the scaling/migration/reorg paths the suite has.
+
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/governor.h"
+#include "core/op_log.h"
+#include "server/reorg_driver.h"
+#include "server/server.h"
+
+namespace scaddar {
+namespace {
+
+TEST(GovernorPropertyTest, GovernedChurnMatchesSerialOracleExactly) {
+  std::mt19937_64 rng(0x5cadda9001ull);
+  int trials_with_triggers = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    // Narrow generators so budgets exhaust within the trial; varied eps so
+    // the limit lands at different op depths across trials.
+    const int bits = 14 + static_cast<int>(rng() % 8);          // [14, 21]
+    const double eps =
+        0.02 + 0.03 * static_cast<double>(rng() % 8);           // [0.02, 0.23]
+
+    ServerConfig config;
+    config.initial_disks = 4;
+    config.governor_bits = bits;
+    config.governor_eps = eps;
+    config.auto_reorg = true;
+    auto server = CmServer::Create(config).value();
+    for (ObjectId id = 1; id <= 3; ++id) {
+      ASSERT_TRUE(server->AddObject(id, 400).ok());
+    }
+
+    // The oracle: an op log evolved serially beside the server. A predicted
+    // trigger resets it over the same disk count, exactly as the server's
+    // FullRedistribution starts a fresh log over the current disks.
+    OpLog oracle = OpLog::Create(config.initial_disks).value();
+    const ToleranceGovernor governor(bits, eps);
+    std::vector<int64_t> predicted_rounds;
+
+    for (int step = 0; step < 24; ++step) {
+      const int64_t disks = oracle.current_disks();
+      ScalingOp op = ScalingOp::Add(1).value();
+      if (disks > 3 && rng() % 2 == 0) {
+        op = ScalingOp::Remove(
+                 {static_cast<DiskSlot>(rng() % static_cast<uint64_t>(disks))})
+                 .value();
+      } else {
+        op = ScalingOp::Add(1 + static_cast<int64_t>(rng() % 3)).value();
+      }
+
+      const bool predict =
+          governor.Consider(oracle, op) ==
+          ToleranceGovernor::Advice::kRebaseFirst;
+      if (predict) {
+        oracle = OpLog::Create(disks).value();
+        predicted_rounds.push_back(server->round());
+      }
+      ASSERT_TRUE(oracle.Append(op).ok());
+
+      if (op.is_add()) {
+        ASSERT_TRUE(server->ScaleAdd(op.add_count()).ok());
+      } else {
+        ASSERT_TRUE(server->ScaleRemove(op.removed_slots()).ok());
+      }
+
+      // Safety: the governed log is inside the budget after every op.
+      EXPECT_TRUE(server->reorg_driver().governor().WithinBudget(
+          server->policy().log()))
+          << "trial " << trial << " step " << step;
+      // Exactness: a trigger fired at this op iff the oracle predicted it.
+      ASSERT_EQ(server->reorg_triggers().size(), predicted_rounds.size())
+          << "trial " << trial << " step " << step;
+
+      // A few serving rounds between ops; the end-of-round watch must not
+      // add spurious triggers (fresh-or-gated logs are always in budget,
+      // and the CoV watch is off).
+      for (int tick = 0; tick < 3; ++tick) {
+        server->Tick();
+      }
+      EXPECT_TRUE(server->reorg_driver().governor().WithinBudget(
+          server->policy().log()));
+      ASSERT_EQ(server->reorg_triggers().size(), predicted_rounds.size());
+    }
+
+    const std::vector<ReorgTrigger>& triggers = server->reorg_triggers();
+    for (size_t i = 0; i < triggers.size(); ++i) {
+      EXPECT_EQ(triggers[i].round, predicted_rounds[i]);
+      EXPECT_EQ(triggers[i].reason, ReorgReason::kBudget);
+      EXPECT_GT(triggers[i].value, 0.0);
+      EXPECT_LE(triggers[i].value, 1.0);
+    }
+    if (!triggers.empty()) {
+      ++trials_with_triggers;
+    }
+  }
+  // The harness is vacuous if no trial ever hits the budget.
+  EXPECT_GT(trials_with_triggers, 0);
+}
+
+TEST(GovernorPropertyTest, DriverCreateRejectsBadConfigs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AdaptiveReorgDriver::Create(0, 0.05, 0.0, 16).ok());
+  EXPECT_FALSE(AdaptiveReorgDriver::Create(65, 0.05, 0.0, 16).ok());
+  EXPECT_FALSE(AdaptiveReorgDriver::Create(32, 0.0, 0.0, 16).ok());
+  EXPECT_FALSE(AdaptiveReorgDriver::Create(32, -0.1, 0.0, 16).ok());
+  EXPECT_FALSE(AdaptiveReorgDriver::Create(32, nan, 0.0, 16).ok());
+  EXPECT_FALSE(AdaptiveReorgDriver::Create(32, inf, 0.0, 16).ok());
+  EXPECT_FALSE(AdaptiveReorgDriver::Create(32, 0.05, nan, 16).ok());
+  EXPECT_FALSE(AdaptiveReorgDriver::Create(32, 0.05, -0.5, 16).ok());
+  EXPECT_FALSE(AdaptiveReorgDriver::Create(32, 0.05, 0.1, 0).ok());
+  const auto driver = AdaptiveReorgDriver::Create(32, 0.05, 0.1, 16);
+  ASSERT_TRUE(driver.ok());
+  EXPECT_FALSE(driver.value().enabled());  // Starts disabled.
+}
+
+TEST(GovernorPropertyTest, ConfigureGovernorKeepsHistoryAndEnablement) {
+  ServerConfig config;
+  config.initial_disks = 4;
+  config.governor_bits = 14;
+  config.governor_eps = 0.05;
+  config.auto_reorg = true;
+  auto server = CmServer::Create(config).value();
+  ASSERT_TRUE(server->AddObject(1, 200).ok());
+  // Burn the 14-bit budget until at least one trigger lands.
+  for (int i = 0; i < 12 && server->reorg_triggers().empty(); ++i) {
+    ASSERT_TRUE(server->ScaleAdd(2).ok());
+  }
+  ASSERT_FALSE(server->reorg_triggers().empty());
+  const size_t triggers = server->reorg_triggers().size();
+
+  // Reconfigure wide: history and the enabled flag must carry over.
+  ASSERT_TRUE(server->ConfigureGovernor(64, 0.05, 0.25).ok());
+  EXPECT_EQ(server->reorg_triggers().size(), triggers);
+  EXPECT_TRUE(server->reorg_driver().enabled());
+  EXPECT_EQ(server->reorg_driver().governor().bits(), 64);
+  EXPECT_EQ(server->reorg_driver().cov_threshold(), 0.25);
+  // And the config mirrors the knobs for checkpoint/shard-template reuse.
+  EXPECT_EQ(server->config().governor_bits, 64);
+  EXPECT_EQ(server->config().reorg_cov_threshold, 0.25);
+
+  EXPECT_FALSE(server->ConfigureGovernor(0, 0.05, 0.0).ok());
+  EXPECT_FALSE(
+      server
+          ->ConfigureGovernor(32, std::numeric_limits<double>::quiet_NaN(),
+                              0.0)
+          .ok());
+}
+
+}  // namespace
+}  // namespace scaddar

@@ -126,6 +126,74 @@ TEST(ScenarioTest, MalformedArgumentsRejected) {
   EXPECT_FALSE(RunScenario(*server, "scale remove 1,,2\n").ok());
 }
 
+TEST(ScenarioTest, GovernorDeclarationDrivesAutoReorg) {
+  auto server = MakeServer();
+  const StatusOr<ScenarioResult> result = RunScenario(*server, R"(
+governor 12 0.05
+autoreorg on
+addobject 1 300
+stream 1
+scale add 2
+tick 5
+scale add 2
+tick 5
+scale add 2
+tick 5
+scale add 2
+drain
+verify
+)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->auto_reorg_triggers, 0);
+  EXPECT_EQ(server->reorg_driver().governor().bits(), 12);
+  EXPECT_TRUE(server->reorg_driver().enabled());
+}
+
+TEST(ScenarioTest, GovernorRejectsMalformedDeclarations) {
+  auto server = MakeServer();
+  // Wrong arity falls out of the command match entirely.
+  EXPECT_FALSE(RunScenario(*server, "governor\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "governor 12\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "governor 12 0.05 0.2 7\n").ok());
+  // Unparseable and out-of-range arguments.
+  EXPECT_FALSE(RunScenario(*server, "governor twelve 0.05\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "governor 0 0.05\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "governor 65 0.05\n").ok());
+  // An int64 that wraps to a small int must not sneak past validation.
+  EXPECT_FALSE(RunScenario(*server, "governor 4294967301 0.05\n").ok());
+  // eps must be a finite positive number (from_chars accepts nan/inf).
+  EXPECT_FALSE(RunScenario(*server, "governor 12 0\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "governor 12 -0.5\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "governor 12 nan\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "governor 12 inf\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "governor 12 0.05 nan\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "governor 12 0.05 -1\n").ok());
+  // None of the rejected declarations reconfigured the server.
+  EXPECT_EQ(server->config().governor_bits, 0);
+  // One declaration per scenario: the duplicate errors after the first
+  // line already configured, so probe it on a fresh server.
+  auto fresh = MakeServer();
+  EXPECT_FALSE(
+      RunScenario(*fresh, "governor 12 0.05\ngovernor 14 0.1\n").ok());
+  EXPECT_EQ(fresh->config().governor_bits, 12);
+  EXPECT_FALSE(RunScenario(*server, "autoreorg maybe\n").ok());
+  EXPECT_FALSE(RunScenario(*server, "autoreorg\n").ok());
+}
+
+TEST(ScenarioTest, AutoReorgTogglesWithoutGovernor) {
+  auto server = MakeServer();
+  const StatusOr<ScenarioResult> result = RunScenario(*server, R"(
+addobject 1 50
+autoreorg on
+tick 3
+autoreorg off
+tick 3
+)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->auto_reorg_triggers, 0);
+  EXPECT_FALSE(server->reorg_driver().enabled());
+}
+
 TEST(ScenarioTest, BackendCommand) {
   auto server = MakeServer();
   std::string dir = ::testing::TempDir() + "scaddar_scn_XXXXXX";
